@@ -1,0 +1,253 @@
+//! The tuning driver: runs configuration sweeps on the simulator.
+
+use std::sync::Arc;
+
+use critter_algs::Workload;
+use critter_core::{CritterConfig, CritterEnv, ExecutionPolicy, KernelStore, PathMetrics};
+use critter_machine::{MachineModel, MachineParams, NoiseParams};
+use critter_sim::{run_simulation, SimConfig};
+use parking_lot::Mutex;
+
+/// Options of one tuning sweep.
+#[derive(Debug, Clone)]
+pub struct TuningOptions {
+    /// Selective-execution policy under test.
+    pub policy: ExecutionPolicy,
+    /// Confidence tolerance ε.
+    pub epsilon: f64,
+    /// Reset kernel statistics before each configuration (§VI-A: true for
+    /// SLATE and CANDMC workloads, false for Capital).
+    pub reset_between_configs: bool,
+    /// Repetitions of each configuration's (full, tuned) pair.
+    pub reps: usize,
+    /// Charge Critter's internal piggyback messages (overhead ablation).
+    pub charge_internal: bool,
+    /// Message-size granularity of communication signatures (the signature
+    /// ablation: exact sizes vs log2 buckets).
+    pub granularity: critter_core::signature::SizeGranularity,
+    /// Enable the §VIII input-size extrapolation extension for the selective
+    /// runs (per-routine-family line fits allow skipping under-sampled
+    /// signatures).
+    pub extrapolate: bool,
+    /// Machine parameters.
+    pub params: MachineParams,
+    /// Noise model parameters.
+    pub noise: NoiseParams,
+    /// Base seed for the machine noise streams.
+    pub seed: u64,
+    /// Node-allocation id (§VI-A runs every experiment on two allocations).
+    pub allocation: u64,
+}
+
+impl TuningOptions {
+    /// Defaults: cluster noise on the KNL machine, one repetition.
+    pub fn new(policy: ExecutionPolicy, epsilon: f64) -> Self {
+        TuningOptions {
+            policy,
+            epsilon,
+            reset_between_configs: true,
+            reps: 1,
+            charge_internal: true,
+            granularity: critter_core::signature::SizeGranularity::Exact,
+            extrapolate: false,
+            params: MachineParams::stampede2_knl(),
+            noise: NoiseParams::cluster(),
+            seed: 0xC0FFEE,
+            allocation: 0,
+        }
+    }
+
+    /// Persist kernel models across configurations (Capital protocol).
+    pub fn persist_models(mut self) -> Self {
+        self.reset_between_configs = false;
+        self
+    }
+
+    /// Use the small test machine parameters (unit tests).
+    pub fn test_machine(mut self) -> Self {
+        self.params = MachineParams::test_machine();
+        self
+    }
+}
+
+/// Aggregated outcome of one simulated run.
+#[derive(Debug, Clone, Default)]
+pub struct RunRecord {
+    /// Simulated makespan (the autotuner pays this).
+    pub elapsed: f64,
+    /// Critter's critical-path execution-time estimate.
+    pub predicted: f64,
+    /// Critical-path cost metrics.
+    pub path: PathMetrics,
+    /// Longest per-rank *executed* kernel time (computation + communication,
+    /// excluding profiling overheads) — Fig. 4c / 5c's metric.
+    pub max_kernel_time: f64,
+    /// Longest per-rank *predicted* kernel time (executed + skipped means).
+    pub max_kernel_predicted: f64,
+    /// Kernels executed across all ranks.
+    pub kernels_executed: u64,
+    /// Kernels skipped across all ranks.
+    pub kernels_skipped: u64,
+    /// Total internal (profiling) words sent.
+    pub internal_words: u64,
+}
+
+/// Per-configuration results: one `(full, tuned)` record pair per repetition,
+/// plus the offline pass records for a-priori propagation.
+#[derive(Debug, Clone, Default)]
+pub struct ConfigResult {
+    /// Configuration label.
+    pub name: String,
+    /// `(reference full run, selective run)` per repetition.
+    pub pairs: Vec<(RunRecord, RunRecord)>,
+    /// Offline full passes (a-priori propagation only), charged to tuning time.
+    pub offline: Vec<RunRecord>,
+}
+
+/// A full tuning sweep's results (one policy, one ε, one allocation).
+#[derive(Debug, Clone)]
+pub struct TuningReport {
+    /// Policy under test.
+    pub policy: ExecutionPolicy,
+    /// Confidence tolerance.
+    pub epsilon: f64,
+    /// Per-configuration results, in sweep order.
+    pub configs: Vec<ConfigResult>,
+}
+
+/// The exhaustive-search autotuner.
+pub struct Autotuner {
+    opts: TuningOptions,
+}
+
+impl Autotuner {
+    /// Create a tuner with the given options.
+    pub fn new(opts: TuningOptions) -> Self {
+        Autotuner { opts }
+    }
+
+    /// The options in force.
+    pub fn options(&self) -> &TuningOptions {
+        &self.opts
+    }
+
+    /// Execute one simulated run of `w` under `cfg`, threading the per-rank
+    /// kernel stores through the rank threads.
+    fn run_once(
+        &self,
+        w: &dyn Workload,
+        cfg: &CritterConfig,
+        stores: &mut Vec<KernelStore>,
+        run_index: u64,
+        capture_apriori: bool,
+    ) -> RunRecord {
+        let ranks = w.ranks();
+        assert_eq!(stores.len(), ranks, "store count mismatch");
+        let machine = MachineModel::new(
+            self.opts.params.clone(),
+            self.opts.noise.clone(),
+            ranks,
+            self.opts.seed,
+            self.opts.allocation,
+        )
+        .with_noise_seed(run_index.wrapping_add(1))
+        .shared();
+        let slots: Arc<Vec<Mutex<Option<KernelStore>>>> = Arc::new(
+            stores.drain(..).map(|s| Mutex::new(Some(s))).collect(),
+        );
+        let slots_in = Arc::clone(&slots);
+        let report = run_simulation(SimConfig::new(ranks), machine, move |ctx| {
+            let store = slots_in[ctx.rank()].lock().take().expect("store present");
+            let mut env = CritterEnv::new(ctx, cfg.clone(), store);
+            w.run(&mut env, false);
+            let (rep, mut store) = env.finish();
+            if capture_apriori {
+                store.capture_apriori();
+            }
+            *slots_in[ctx.rank()].lock() = Some(store);
+            rep
+        });
+        *stores = slots.iter().map(|m| m.lock().take().expect("store returned")).collect();
+
+        let mut rec = RunRecord { elapsed: report.elapsed(), ..Default::default() };
+        for r in &report.outputs {
+            rec.predicted = rec.predicted.max(r.predicted_time);
+            rec.path = rec.path.max(r.path);
+            rec.max_kernel_time =
+                rec.max_kernel_time.max(r.local_comp_executed + r.local_comm_executed);
+            rec.max_kernel_predicted = rec
+                .max_kernel_predicted
+                .max(r.local_comp_predicted + r.local_comm_predicted);
+            rec.kernels_executed += r.kernels_executed;
+            rec.kernels_skipped += r.kernels_skipped;
+            rec.internal_words += r.internal_words;
+        }
+        rec
+    }
+
+    /// Tune over `workloads` (one sweep): for each configuration, a reference
+    /// full execution directly prior to the selective one, repeated
+    /// `reps` times; a-priori propagation additionally pays an offline pass.
+    pub fn tune(&self, workloads: &[Arc<dyn Workload>]) -> TuningReport {
+        assert!(!workloads.is_empty(), "empty configuration space");
+        let ranks = workloads[0].ranks();
+        assert!(
+            workloads.iter().all(|w| w.ranks() == ranks),
+            "all configurations of a sweep must use the same rank count"
+        );
+        let policy = self.opts.policy;
+        let tuned_cfg = {
+            let mut c = CritterConfig::new(policy, self.opts.epsilon);
+            c.charge_internal = self.opts.charge_internal;
+            c.granularity = self.opts.granularity;
+            if self.opts.extrapolate {
+                c = c.with_extrapolation();
+            }
+            c
+        };
+        let full_cfg = {
+            let mut c = CritterConfig::full();
+            c.charge_internal = self.opts.charge_internal;
+            c.granularity = self.opts.granularity;
+            c
+        };
+
+        let mut stores: Vec<KernelStore> = (0..ranks).map(|_| KernelStore::new()).collect();
+        let mut run_index: u64 = self.opts.allocation.wrapping_mul(0x1000_0000);
+        let mut configs = Vec::with_capacity(workloads.len());
+        for w in workloads {
+            let mut result = ConfigResult { name: w.name(), ..Default::default() };
+            // Per-configuration statistics protocol.
+            let keep = !self.opts.reset_between_configs;
+            for s in stores.iter_mut() {
+                s.start_config(keep);
+            }
+            let entry_state = stores.clone();
+            for rep in 0..self.opts.reps.max(1) {
+                if rep > 0 {
+                    stores = entry_state.clone();
+                }
+                // Reference full execution (fresh measurement stores so the
+                // reference is unperturbed; ours must not pollute the model).
+                let mut ref_stores: Vec<KernelStore> =
+                    (0..ranks).map(|_| KernelStore::new()).collect();
+                let full = self.run_once(w.as_ref(), &full_cfg, &mut ref_stores, run_index, false);
+                run_index += 1;
+                // A-priori propagation: offline iteration on the tuning stores
+                // to capture critical-path counts.
+                if policy.needs_offline_pass() {
+                    let offline =
+                        self.run_once(w.as_ref(), &full_cfg, &mut stores, run_index, true);
+                    run_index += 1;
+                    result.offline.push(offline);
+                }
+                // The selectively-executed tuning run.
+                let tuned = self.run_once(w.as_ref(), &tuned_cfg, &mut stores, run_index, false);
+                run_index += 1;
+                result.pairs.push((full, tuned));
+            }
+            configs.push(result);
+        }
+        TuningReport { policy, epsilon: self.opts.epsilon, configs }
+    }
+}

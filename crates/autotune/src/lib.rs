@@ -1,0 +1,26 @@
+//! # critter-autotune
+//!
+//! The approximate-autotuning driver (§VI): exhaustive search over a
+//! configuration space, with each configuration's execution accelerated by
+//! Critter's selective kernel execution, and the paper's evaluation metrics —
+//! per-configuration relative prediction error, mean error, autotuning
+//! speedup, and optimal-configuration selection quality.
+//!
+//! The measurement protocol follows §VI-A: each configuration's *reference*
+//! full execution runs directly prior to the approximated one (same
+//! allocation, fresh noise draw), prediction error compares the selective
+//! run's critical-path estimate against that reference, kernel statistics are
+//! reset between configurations for the SLATE/CANDMC workloads and persisted
+//! for Capital, and *a-priori propagation* pays for an extra offline full
+//! execution per configuration.
+
+#![deny(missing_docs)]
+
+pub mod driver;
+pub mod metrics;
+pub mod search;
+pub mod spaces;
+
+pub use driver::{Autotuner, ConfigResult, RunRecord, TuningOptions, TuningReport};
+pub use search::{search, SearchOutcome, SearchStrategy};
+pub use spaces::TuningSpace;

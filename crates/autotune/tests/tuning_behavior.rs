@@ -1,0 +1,94 @@
+//! End-to-end tuning-sweep behavior on the smoke configuration spaces.
+
+use critter_autotune::{Autotuner, TuningOptions, TuningSpace};
+use critter_core::ExecutionPolicy;
+
+fn tune(space: TuningSpace, policy: ExecutionPolicy, epsilon: f64) -> critter_autotune::TuningReport {
+    let mut opts = TuningOptions::new(policy, epsilon).test_machine();
+    opts.reset_between_configs = space.resets_between_configs();
+    Autotuner::new(opts).tune(&space.smoke())
+}
+
+#[test]
+fn conditional_tuning_speeds_up_slate_cholesky() {
+    let report = tune(TuningSpace::SlateCholesky, ExecutionPolicy::ConditionalExecution, 0.5);
+    assert!(report.speedup() > 1.0, "speedup {}", report.speedup());
+    assert!(report.skip_fraction() > 0.0);
+    assert!(report.mean_error().is_finite());
+}
+
+#[test]
+fn errors_decrease_with_tolerance_on_average() {
+    // ε → 0 approaches full execution: fewer skips, better prediction.
+    let loose = tune(TuningSpace::SlateCholesky, ExecutionPolicy::OnlinePropagation, 2.0);
+    let tight = tune(TuningSpace::SlateCholesky, ExecutionPolicy::OnlinePropagation, 1e-6);
+    assert!(tight.skip_fraction() < loose.skip_fraction());
+    assert!(tight.tuning_time() >= loose.tuning_time() * 0.8);
+}
+
+#[test]
+fn full_policy_error_is_small() {
+    // Full execution predicts from measured kernels only; against an
+    // independent noisy reference run the error should be modest (noise
+    // level), far below 100%.
+    let report = tune(TuningSpace::CapitalCholesky, ExecutionPolicy::Full, 0.0);
+    assert_eq!(report.skip_fraction(), 0.0);
+    assert!(report.mean_error() < 0.5, "mean error {}", report.mean_error());
+}
+
+#[test]
+fn apriori_pays_offline_pass() {
+    let report = tune(TuningSpace::CandmcQr, ExecutionPolicy::APrioriPropagation, 0.25);
+    for c in &report.configs {
+        assert!(!c.offline.is_empty(), "a-priori must run an offline pass per config");
+    }
+    // Offline passes are charged, so the tuning time exceeds the pure
+    // selective time.
+    let selective_only: f64 = report
+        .configs
+        .iter()
+        .map(|c| c.pairs.iter().map(|(_, t)| t.elapsed).sum::<f64>())
+        .sum();
+    assert!(report.tuning_time() > selective_only);
+}
+
+#[test]
+fn eager_persists_models_across_configs() {
+    let mut opts = TuningOptions::new(ExecutionPolicy::EagerPropagation, 0.5).test_machine();
+    opts.reset_between_configs = false;
+    let report = Autotuner::new(opts).tune(&TuningSpace::CapitalCholesky.smoke());
+    // Later configurations reuse converged models: the final config must skip
+    // a larger fraction than the first.
+    let frac = |c: &critter_autotune::ConfigResult| {
+        let (f, t) = (&c.pairs[0].1.kernels_executed, &c.pairs[0].1.kernels_skipped);
+        *t as f64 / (*f + *t).max(1) as f64
+    };
+    let first = frac(&report.configs[0]);
+    let last = frac(report.configs.last().unwrap());
+    assert!(last >= first, "eager skip fraction should not regress: {first} vs {last}");
+}
+
+#[test]
+fn selection_quality_is_high_under_loose_tolerance() {
+    let report = tune(TuningSpace::SlateQr, ExecutionPolicy::ConditionalExecution, 0.5);
+    assert!(report.selection_quality() > 0.8, "quality {}", report.selection_quality());
+    assert!(report.selected() < report.configs.len());
+}
+
+#[test]
+fn repetitions_are_recorded() {
+    let mut opts = TuningOptions::new(ExecutionPolicy::LocalPropagation, 0.5).test_machine();
+    opts.reps = 2;
+    let report = Autotuner::new(opts).tune(&TuningSpace::SlateQr.smoke());
+    for c in &report.configs {
+        assert_eq!(c.pairs.len(), 2);
+    }
+}
+
+#[test]
+fn kernel_time_excludes_profiling() {
+    let report = tune(TuningSpace::SlateCholesky, ExecutionPolicy::ConditionalExecution, 0.5);
+    assert!(report.kernel_time() > 0.0);
+    assert!(report.kernel_time() <= report.tuning_time() * 1.01);
+    assert!(report.kernel_time() < report.full_kernel_time());
+}

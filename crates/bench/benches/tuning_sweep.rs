@@ -1,0 +1,46 @@
+//! End-to-end tuning-sweep cost per policy on a smoke-sized space: the
+//! headline "how much does autotuning cost under each policy" comparison, in
+//! host time (the simulated-time comparison is what fig4/fig5 report).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use critter_autotune::{Autotuner, TuningOptions, TuningSpace};
+use critter_core::ExecutionPolicy;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smoke_sweep_slate_chol");
+    g.sample_size(10);
+    let space = TuningSpace::SlateCholesky;
+    let workloads = space.smoke();
+    for policy in ExecutionPolicy::ALL_SELECTIVE {
+        g.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |bch, &p| {
+            bch.iter(|| {
+                let mut opts = TuningOptions::new(p, 0.25).test_machine();
+                opts.reset_between_configs = space.resets_between_configs();
+                let report = Autotuner::new(opts).tune(&workloads);
+                black_box(report.speedup());
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_epsilons(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smoke_sweep_candmc_eps");
+    g.sample_size(10);
+    let workloads = TuningSpace::CandmcQr.smoke();
+    for &eps in &[1.0, 0.125] {
+        g.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |bch, &e| {
+            bch.iter(|| {
+                let opts =
+                    TuningOptions::new(ExecutionPolicy::OnlinePropagation, e).test_machine();
+                let report = Autotuner::new(opts).tune(&workloads);
+                black_box(report.mean_error());
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_epsilons);
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! Ablation studies for the design choices DESIGN.md §4 calls out:
+//!
+//! * `noise` — how policy speedup and prediction error respond to machine
+//!   noise amplitude (0×, 1×, 2×, 4× the calibrated cluster level);
+//! * `overhead` — charging vs not charging Critter's internal piggyback
+//!   messages (the paper's "profiling overhead is minimal" claim);
+//! * `granularity` — exact message-size signatures vs log2 buckets;
+//! * `count-scaling` — conditional execution (no critical-path count
+//!   scaling) vs online propagation (√k-scaled intervals) convergence.
+//!
+//! Run all: `cargo run -p critter-bench --bin ablate --release`.
+
+use critter_autotune::{Autotuner, TuningOptions, TuningSpace};
+use critter_bench::{f, FigOpts, Table};
+use critter_core::signature::SizeGranularity;
+use critter_core::ExecutionPolicy;
+use critter_algs::slate_chol::SlateCholesky;
+use critter_algs::Workload;
+use critter_core::{CritterConfig, CritterEnv, KernelStore};
+use critter_machine::{MachineModel, NoiseParams};
+use critter_sim::{run_simulation, SimConfig};
+
+fn main() {
+    let opts = FigOpts::from_args();
+    noise_ablation(&opts);
+    overhead_ablation(&opts);
+    granularity_ablation(&opts);
+    count_scaling_ablation(&opts);
+    p2p_semantics_ablation(&opts);
+    extrapolation_ablation(&opts);
+}
+
+fn base(policy: ExecutionPolicy, eps: f64, space: TuningSpace) -> TuningOptions {
+    let mut o = TuningOptions::new(policy, eps);
+    o.reset_between_configs = space.resets_between_configs();
+    o
+}
+
+/// Speedup/error vs noise amplitude: selective execution should skip less (and
+/// err more) on noisier machines for a fixed ε.
+fn noise_ablation(opts: &FigOpts) {
+    let space = TuningSpace::SlateCholesky;
+    let ws = space.bench();
+    let mut t = Table::new(
+        "ablate-noise",
+        &["noise_scale", "speedup", "mean_err", "skip_frac"],
+    );
+    for &scale in &[0.0, 0.5, 1.0, 2.0, 4.0] {
+        let mut o = base(ExecutionPolicy::OnlinePropagation, 0.25, space);
+        o.noise = NoiseParams::cluster().scaled(scale);
+        let r = Autotuner::new(o).tune(&ws);
+        t.row(vec![f(scale), f(r.speedup()), f(r.mean_error()), f(r.skip_fraction())]);
+    }
+    t.emit(&opts.out_dir);
+}
+
+/// Charged vs free internal messages: the gap is Critter's modeled overhead.
+fn overhead_ablation(opts: &FigOpts) {
+    let mut t = Table::new(
+        "ablate-overhead",
+        &["space", "charged", "tuning_time", "full_time", "speedup"],
+    );
+    for space in [TuningSpace::CapitalCholesky, TuningSpace::CandmcQr] {
+        let ws = space.bench();
+        for charged in [true, false] {
+            let mut o = base(ExecutionPolicy::ConditionalExecution, 0.25, space);
+            o.charge_internal = charged;
+            let r = Autotuner::new(o).tune(&ws);
+            t.row(vec![
+                space.name().into(),
+                charged.to_string(),
+                f(r.tuning_time()),
+                f(r.full_time()),
+                f(r.speedup()),
+            ]);
+        }
+    }
+    t.emit(&opts.out_dir);
+}
+
+/// Exact vs log2-bucketed communication signatures: coarser pooling converges
+/// faster but mixes distinct message behaviors (more error).
+fn granularity_ablation(opts: &FigOpts) {
+    let space = TuningSpace::CandmcQr;
+    let ws = space.bench();
+    let mut t = Table::new(
+        "ablate-granularity",
+        &["granularity", "speedup", "mean_err", "skip_frac", "distinct_sig_proxy"],
+    );
+    for (gran, label) in [(SizeGranularity::Exact, "exact"), (SizeGranularity::Log2, "log2")] {
+        let mut o = base(ExecutionPolicy::OnlinePropagation, 0.25, space);
+        o.granularity = gran;
+        let r = Autotuner::new(o).tune(&ws);
+        let execs: u64 = r
+            .configs
+            .iter()
+            .map(|c| c.pairs.iter().map(|(_, t)| t.kernels_executed).sum::<u64>())
+            .sum();
+        t.row(vec![
+            label.into(),
+            f(r.speedup()),
+            f(r.mean_error()),
+            f(r.skip_fraction()),
+            execs.to_string(),
+        ]);
+    }
+    t.emit(&opts.out_dir);
+}
+
+/// Conditional (k = 1) vs online (√k scaling): the paper's §III-A claim that
+/// path counts cut the samples needed for a fixed tolerance.
+fn count_scaling_ablation(opts: &FigOpts) {
+    let space = TuningSpace::SlateCholesky;
+    let ws = space.bench();
+    let mut t = Table::new(
+        "ablate-count-scaling",
+        &["policy", "epsilon", "kernels_executed", "skip_frac", "mean_err"],
+    );
+    for &eps in &[0.5, 0.125, 0.03125] {
+        for policy in [ExecutionPolicy::ConditionalExecution, ExecutionPolicy::OnlinePropagation] {
+            let o = base(policy, eps, space);
+            let r = Autotuner::new(o).tune(&ws);
+            let execs: u64 = r
+                .configs
+                .iter()
+                .map(|c| c.pairs.iter().map(|(_, t)| t.kernels_executed).sum::<u64>())
+                .sum();
+            t.row(vec![
+                policy.name().into(),
+                f(eps),
+                execs.to_string(),
+                f(r.skip_fraction()),
+                f(r.mean_error()),
+            ]);
+        }
+    }
+    t.emit(&opts.out_dir);
+}
+
+/// Eager vs rendezvous point-to-point time semantics (DESIGN.md §4.1): run
+/// one tile-Cholesky configuration with the eager threshold forced to zero
+/// (all rendezvous), the default 512 words, and effectively infinite (all
+/// eager), and compare the simulated makespans. Rendezvous couples sender
+/// clocks to receivers, lengthening the panel chain.
+fn p2p_semantics_ablation(opts: &FigOpts) {
+    let w = SlateCholesky { n: 384, tile: 48, lookahead: 1, pr: 4, pc: 4 };
+    let mut t = Table::new("ablate-p2p-semantics", &["eager_threshold_words", "makespan"]);
+    for (label, thresh) in [("0 (rendezvous)", 0usize), ("512 (default)", 512), ("inf (eager)", usize::MAX)] {
+        let machine = MachineModel::stampede2(w.ranks(), 99, 0).shared();
+        let wl = w.clone();
+        let report = run_simulation(
+            SimConfig::new(w.ranks()).with_eager_words(thresh),
+            machine,
+            move |ctx| {
+                let mut env = CritterEnv::new(ctx, CritterConfig::full(), KernelStore::new());
+                wl.run(&mut env, false);
+                let _ = env.finish();
+            },
+        );
+        t.row(vec![label.into(), f(report.elapsed())]);
+    }
+    t.emit(&opts.out_dir);
+}
+
+/// The §VIII extension on the workload the paper names as its beneficiary:
+/// CANDMC QR's gradually shrinking trailing matrix yields many under-sampled
+/// signatures; per-family line fits let them be skipped.
+fn extrapolation_ablation(opts: &FigOpts) {
+    let space = TuningSpace::CandmcQr;
+    let ws = space.bench();
+    let mut t = Table::new(
+        "ablate-extrapolation",
+        &["extrapolate", "epsilon", "speedup", "skip_frac", "mean_err"],
+    );
+    for &eps in &[0.5, 0.125] {
+        for extrapolate in [false, true] {
+            let mut o = base(ExecutionPolicy::OnlinePropagation, eps, space);
+            o.extrapolate = extrapolate;
+            let r = Autotuner::new(o).tune(&ws);
+            t.row(vec![
+                extrapolate.to_string(),
+                f(eps),
+                f(r.speedup()),
+                f(r.skip_fraction()),
+                f(r.mean_error()),
+            ]);
+        }
+    }
+    t.emit(&opts.out_dir);
+}

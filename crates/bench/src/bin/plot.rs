@@ -1,0 +1,105 @@
+//! Render the reproduced figure panels as terminal plots from the CSVs the
+//! `fig4`/`fig5` binaries wrote — no re-simulation needed.
+//!
+//! ```text
+//! cargo run -p critter-bench --bin plot --release            # all panels
+//! cargo run -p critter-bench --bin plot --release -- results # explicit dir
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use critter_bench::plot::{render, PlotOpts, Series};
+
+/// Minimal CSV reader handling the harness's quoted config names.
+fn read_csv(path: &Path) -> Option<(Vec<String>, Vec<Vec<String>>)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    let parse = |line: &str| -> Vec<String> {
+        let mut cells = Vec::new();
+        let mut cur = String::new();
+        let mut quoted = false;
+        for ch in line.chars() {
+            match ch {
+                '"' => quoted = !quoted,
+                ',' if !quoted => cells.push(std::mem::take(&mut cur)),
+                _ => cur.push(ch),
+            }
+        }
+        cells.push(cur);
+        cells
+    };
+    let header = parse(lines.next()?);
+    let rows = lines.map(parse).collect();
+    Some((header, rows))
+}
+
+fn col(header: &[String], name: &str) -> usize {
+    header.iter().position(|h| h == name).unwrap_or_else(|| panic!("missing column {name}"))
+}
+
+/// Plot `y` against ε per policy from a sweeps CSV.
+fn sweep_panel(dir: &Path, file: &str, metric: &str, title: &str, log_y: bool) {
+    let path = dir.join(file);
+    let Some((header, rows)) = read_csv(&path) else {
+        eprintln!("skipping {title}: {} not found (run fig4/fig5 first)", path.display());
+        return;
+    };
+    let (pi, ei, yi) = (col(&header, "policy"), col(&header, "epsilon"), col(&header, metric));
+    let mut by_policy: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for r in &rows {
+        let (Ok(x), Ok(y)) = (r[ei].parse::<f64>(), r[yi].parse::<f64>()) else { continue };
+        by_policy.entry(r[pi].clone()).or_default().push((x, y));
+    }
+    let series: Vec<Series> = by_policy
+        .into_iter()
+        .map(|(label, points)| Series { label, points })
+        .collect();
+    let opts = PlotOpts { log_x: true, log_y, ..Default::default() };
+    print!("{}", render(title, &series, &opts));
+    println!();
+}
+
+/// Plot the BSP trade-off cloud (syncs vs words / flops) from a fig3 CSV.
+fn fig3_panel(dir: &Path, file: &str, ycol: &str, title: &str) {
+    let path = dir.join(file);
+    let Some((header, rows)) = read_csv(&path) else {
+        eprintln!("skipping {title}: {} not found (run fig3 first)", path.display());
+        return;
+    };
+    let (xi, yi) = (col(&header, "syncs(S)"), col(&header, ycol));
+    let points: Vec<(f64, f64)> = rows
+        .iter()
+        .filter_map(|r| Some((r[xi].parse().ok()?, r[yi].parse().ok()?)))
+        .collect();
+    let series = [Series { label: "configurations".into(), points }];
+    let opts = PlotOpts { log_x: true, log_y: true, height: 14, ..Default::default() };
+    print!("{}", render(title, &series, &opts));
+    println!();
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    let dir = Path::new(&dir);
+
+    // Fig. 3 panels: trade-off clouds per workload.
+    for (file, name) in [
+        ("fig3-capital-cholesky.csv", "Capital Cholesky"),
+        ("fig3-slate-cholesky.csv", "SLATE Cholesky"),
+        ("fig3-candmc-qr.csv", "CANDMC QR"),
+        ("fig3-slate-qr.csv", "SLATE QR"),
+    ] {
+        fig3_panel(dir, file, "words(W)", &format!("Fig.3 {name}: path words vs supersteps"));
+    }
+
+    // Fig. 4/5 panels: tuning time and error vs ε per policy.
+    for (file, fig, name) in [
+        ("fig4-capital-cholesky-sweeps.csv", "4a/4e", "Capital Cholesky"),
+        ("fig4-slate-cholesky-sweeps.csv", "4b/4f", "SLATE Cholesky"),
+        ("fig5-candmc-qr-sweeps.csv", "5a/5e", "CANDMC QR"),
+        ("fig5-slate-qr-sweeps.csv", "5b/5f", "SLATE QR"),
+    ] {
+        sweep_panel(dir, file, "tuning_time", &format!("Fig.{fig} {name}: tuning time vs ε"), false);
+        sweep_panel(dir, file, "mean_err", &format!("Fig.{fig} {name}: mean prediction error vs ε"), false);
+    }
+}

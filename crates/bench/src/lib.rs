@@ -1,0 +1,294 @@
+//! # critter-bench
+//!
+//! The figure-regeneration harness. Each binary reproduces one of the paper's
+//! evaluation figures on the scaled configuration spaces (see DESIGN.md's
+//! per-experiment index):
+//!
+//! * `fig3` — BSP trade-off panels 3a–3l (measured critical-path costs per
+//!   configuration + analytic BSP cross-check);
+//! * `fig4` — Cholesky autotuning time and prediction error, panels 4a–4h;
+//! * `fig5` — QR autotuning time and prediction error, panels 5a–5h;
+//! * `ablate` — the DESIGN.md ablations (noise amplitude, profiling
+//!   overhead charging, signature granularity, count scaling).
+//!
+//! Binaries print aligned tables to stdout and write CSV + JSON into
+//! `results/` so EXPERIMENTS.md's paper-vs-measured entries can be refreshed
+//! mechanically. Pass `--quick` for a reduced ε grid.
+
+pub mod plot;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use critter_autotune::{Autotuner, TuningOptions, TuningReport, TuningSpace};
+use critter_core::ExecutionPolicy;
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct FigOpts {
+    /// Reduced ε grid and single repetition.
+    pub quick: bool,
+    /// Number of node allocations to repeat the experiment on (paper: 2).
+    pub allocations: u64,
+    /// Repetitions per configuration within an allocation.
+    pub reps: usize,
+    /// Output directory for CSV/JSON artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl FigOpts {
+    /// Parse from `std::env::args` (flags: `--quick`, `--allocations N`,
+    /// `--reps N`, `--out DIR`).
+    pub fn from_args() -> Self {
+        let mut opts = FigOpts {
+            quick: false,
+            allocations: 1,
+            reps: 1,
+            out_dir: PathBuf::from("results"),
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => opts.quick = true,
+                "--allocations" => {
+                    i += 1;
+                    opts.allocations = args[i].parse().expect("--allocations N");
+                }
+                "--reps" => {
+                    i += 1;
+                    opts.reps = args[i].parse().expect("--reps N");
+                }
+                "--out" => {
+                    i += 1;
+                    opts.out_dir = PathBuf::from(&args[i]);
+                }
+                other => panic!("unknown flag {other}"),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The ε grid: the paper sweeps ε = 1 down to 2⁻⁸; quick mode uses three
+    /// representative points.
+    pub fn epsilons(&self) -> Vec<f64> {
+        if self.quick {
+            vec![1.0, 0.25, 0.0625]
+        } else {
+            (0..=8).map(|k| 1.0 / (1u64 << k) as f64).collect()
+        }
+    }
+}
+
+/// Run one `(space, policy, ε, allocation)` tuning sweep with the paper's
+/// per-space statistics-reset protocol.
+pub fn sweep(space: TuningSpace, policy: ExecutionPolicy, epsilon: f64, reps: usize, allocation: u64) -> TuningReport {
+    let mut opts = TuningOptions::new(policy, epsilon);
+    opts.reset_between_configs = space.resets_between_configs();
+    opts.reps = reps;
+    opts.allocation = allocation;
+    Autotuner::new(opts).tune(&space.bench())
+}
+
+/// A CSV/table writer that accumulates rows and flushes to disk + stdout.
+pub struct Table {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column names.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Table {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.name);
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout and write `<out_dir>/<name>.csv`.
+    pub fn emit(&self, out_dir: &Path) {
+        println!("{}", self.render());
+        fs::create_dir_all(out_dir).expect("create results dir");
+        let quote = |c: &String| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        };
+        let mut csv = self.header.iter().map(quote).collect::<Vec<_>>().join(",") + "\n";
+        for row in &self.rows {
+            csv.push_str(&row.iter().map(quote).collect::<Vec<_>>().join(","));
+            csv.push('\n');
+        }
+        let path = out_dir.join(format!("{}.csv", self.name));
+        fs::write(&path, csv).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Format a float with engineering-friendly precision.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1e4 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// The five selective policies plus labels, in the paper's order.
+pub fn policies() -> Vec<(ExecutionPolicy, &'static str)> {
+    ExecutionPolicy::ALL_SELECTIVE.iter().map(|&p| (p, p.name())).collect()
+}
+
+/// Dump a JSON summary next to the CSVs.
+pub fn write_json(out_dir: &Path, name: &str, value: &serde_json::Value) {
+    fs::create_dir_all(out_dir).expect("create results dir");
+    let path = out_dir.join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serialize")).expect("write json");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Shared implementation for Figures 4 (Cholesky) and 5 (QR): `space_a` fills
+/// the left panels, `space_b` the right ones.
+pub fn run_figure(opts: &FigOpts, space_a: TuningSpace, space_b: TuningSpace, fig: &str) {
+    let mut summary = Vec::new();
+    for space in [space_a, space_b] {
+        let mut sweep_table = Table::new(
+            &format!("{fig}-{}-sweeps", space.name()),
+            &[
+                "policy", "epsilon", "alloc", "tuning_time", "full_time", "speedup",
+                "kernel_time", "full_kernel_time", "kernel_speedup",
+                "mean_err", "mean_comp_err", "skip_frac", "sel_quality",
+            ],
+        );
+        let mut per_config = Table::new(
+            &format!("{fig}-{}-online-per-config", space.name()),
+            &["epsilon", "alloc", "v", "config", "rel_error", "true_time", "predicted"],
+        );
+        for allocation in 0..opts.allocations {
+            for &(policy, label) in &policies() {
+                for &eps in &opts.epsilons() {
+                    let report = sweep(space, policy, eps, opts.reps, allocation);
+                    sweep_table.row(vec![
+                        label.to_string(),
+                        f(eps),
+                        allocation.to_string(),
+                        f(report.tuning_time()),
+                        f(report.full_time()),
+                        f(report.speedup()),
+                        f(report.kernel_time()),
+                        f(report.full_kernel_time()),
+                        f(report.kernel_time_speedup()),
+                        f(report.mean_error()),
+                        f(report.mean_comp_error()),
+                        f(report.skip_fraction()),
+                        f(report.selection_quality()),
+                    ]);
+                    summary.push(serde_json::json!({
+                        "space": space.name(),
+                        "policy": label,
+                        "epsilon": eps,
+                        "allocation": allocation,
+                        "tuning_time": report.tuning_time(),
+                        "full_time": report.full_time(),
+                        "speedup": report.speedup(),
+                        "kernel_time_speedup": report.kernel_time_speedup(),
+                        "mean_error": report.mean_error(),
+                        "mean_comp_error": report.mean_comp_error(),
+                        "selection_quality": report.selection_quality(),
+                        "skip_fraction": report.skip_fraction(),
+                    }));
+                    // Panels g/h: per-configuration error for online freq
+                    // propagation.
+                    if policy == ExecutionPolicy::OnlinePropagation {
+                        let errs = report.per_config_error();
+                        let truth = report.true_times();
+                        let preds = report.predicted_times();
+                        for (v, cfg) in report.configs.iter().enumerate() {
+                            per_config.row(vec![
+                                f(eps),
+                                allocation.to_string(),
+                                v.to_string(),
+                                cfg.name.clone(),
+                                f(errs[v]),
+                                f(truth[v]),
+                                f(preds[v]),
+                            ]);
+                        }
+                    }
+                }
+            }
+        }
+        sweep_table.emit(&opts.out_dir);
+        per_config.emit(&opts.out_dir);
+    }
+    write_json(&opts.out_dir, fig, &serde_json::Value::Array(summary));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-col"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("long-col"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert!(f(123456.0).contains('e'));
+        assert_eq!(f(1.5), "1.5000");
+    }
+
+    #[test]
+    fn epsilon_grids() {
+        let quick = FigOpts { quick: true, allocations: 1, reps: 1, out_dir: "x".into() };
+        assert_eq!(quick.epsilons().len(), 3);
+        let full = FigOpts { quick: false, ..quick };
+        assert_eq!(full.epsilons().len(), 9);
+        assert_eq!(full.epsilons()[8], 1.0 / 256.0);
+    }
+}

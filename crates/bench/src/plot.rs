@@ -1,0 +1,159 @@
+//! Terminal scatter/line plots for the figure harness: renders the paper's
+//! panel curves (autotuning time vs ε per policy, error vs ε, BSP trade-off
+//! clouds) directly from the CSVs in `results/`, so the reproduced figures
+//! can be eyeballed without leaving the terminal.
+
+use std::fmt::Write as _;
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in any order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Plot options.
+#[derive(Debug, Clone)]
+pub struct PlotOpts {
+    /// Plot width in character cells.
+    pub width: usize,
+    /// Plot height in character cells.
+    pub height: usize,
+    /// Log-scale the x axis.
+    pub log_x: bool,
+    /// Log-scale the y axis.
+    pub log_y: bool,
+}
+
+impl Default for PlotOpts {
+    fn default() -> Self {
+        PlotOpts { width: 72, height: 20, log_x: false, log_y: false }
+    }
+}
+
+const MARKS: &[char] = &['o', 'x', '+', '*', '#', '@', '%', '&'];
+
+fn transform(v: f64, log: bool) -> f64 {
+    if log {
+        v.max(1e-300).log10()
+    } else {
+        v
+    }
+}
+
+/// Render `series` as an ASCII scatter plot with axes and a legend.
+pub fn render(title: &str, series: &[Series], opts: &PlotOpts) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "-- {title} --");
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter())
+        .map(|&(x, y)| (transform(x, opts.log_x), transform(y, opts.log_y)))
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if pts.is_empty() {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    // Degenerate ranges still deserve a visible line.
+    if x1 - x0 < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if y1 - y0 < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let (w, h) = (opts.width.max(16), opts.height.max(6));
+    let mut grid = vec![vec![' '; w]; h];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            let (tx, ty) = (transform(x, opts.log_x), transform(y, opts.log_y));
+            if !tx.is_finite() || !ty.is_finite() {
+                continue;
+            }
+            let cx = ((tx - x0) / (x1 - x0) * (w - 1) as f64).round() as usize;
+            let cy = ((ty - y0) / (y1 - y0) * (h - 1) as f64).round() as usize;
+            let row = h - 1 - cy.min(h - 1);
+            grid[row][cx.min(w - 1)] = mark;
+        }
+    }
+    let fmt_axis = |v: f64, log: bool| -> String {
+        let raw = if log { 10f64.powf(v) } else { v };
+        if raw == 0.0 {
+            "0".into()
+        } else if raw.abs() >= 1e4 || raw.abs() < 1e-2 {
+            format!("{raw:.2e}")
+        } else {
+            format!("{raw:.3}")
+        }
+    };
+    let _ = writeln!(out, "{:>10} +{}", fmt_axis(y1, opts.log_y), "-".repeat(w));
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == h - 1 { fmt_axis(y0, opts.log_y) } else { String::new() };
+        let _ = writeln!(out, "{label:>10} |{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(
+        out,
+        "{:>10}  {}{}",
+        "",
+        fmt_axis(x0, opts.log_x),
+        format!("{:>w$}", fmt_axis(x1, opts.log_x), w = w.saturating_sub(fmt_axis(x0, opts.log_x).len()))
+    );
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "{:>12} {}", MARKS[si % MARKS.len()], s.label);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<Series> {
+        vec![
+            Series { label: "a".into(), points: vec![(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)] },
+            Series { label: "b".into(), points: vec![(1.0, 2.0), (2.0, 2.0), (3.0, 2.0)] },
+        ]
+    }
+
+    #[test]
+    fn renders_marks_and_legend() {
+        let s = render("demo", &series(), &PlotOpts::default());
+        assert!(s.contains("demo"));
+        assert!(s.contains('o') && s.contains('x'));
+        assert!(s.contains(" a") && s.contains(" b"));
+    }
+
+    #[test]
+    fn log_axes_do_not_panic_on_small_values() {
+        let s = vec![Series {
+            label: "tiny".into(),
+            points: vec![(1.0 / 256.0, 1e-6), (1.0, 1e-2)],
+        }];
+        let out = render("log", &s, &PlotOpts { log_x: true, log_y: true, ..Default::default() });
+        assert!(out.contains("log"));
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        let out = render("none", &[], &PlotOpts::default());
+        assert!(out.contains("(no data)"));
+    }
+
+    #[test]
+    fn degenerate_range_is_handled() {
+        let s = vec![Series { label: "flat".into(), points: vec![(1.0, 5.0), (1.0, 5.0)] }];
+        let out = render("flat", &s, &PlotOpts::default());
+        assert!(out.contains('o'));
+    }
+}

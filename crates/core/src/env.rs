@@ -1,0 +1,856 @@
+//! The Critter interception environment (the paper's Fig. 2).
+//!
+//! [`CritterEnv`] wraps a simulated rank's [`RankCtx`] and exposes the same
+//! compute/communication surface the application would use against MPI and
+//! BLAS/LAPACK directly. Every call is intercepted:
+//!
+//! 1. the kernel's signature is generated from the call "envelope";
+//! 2. an internal message with this rank's execution vote, sub-critical-path
+//!    execution time, cost metrics, and `K̃` kernel frequencies is exchanged
+//!    among the participating ranks (piggybacked custom reduction for
+//!    collectives, an internal sendrecv for blocking point-to-point, a one-way
+//!    eager message for nonblocking point-to-point);
+//! 3. the longest-path combine is applied ([`crate::message`]);
+//! 4. the user operation is **selectively executed** according to the merged
+//!    vote, its measured time (or its modeled mean, when skipped) is folded
+//!    into the pathset `P`, and the kernel's statistics are updated.
+//!
+//! Skipping is allowed to corrupt application numerics — exactly as in the
+//! paper, where input matrices are reset between runs because selective
+//! execution leaves wrong values behind. Correctness tests therefore run
+//! under [`ExecutionPolicy::Full`].
+
+use critter_machine::CommOp;
+use critter_sim::{Communicator, RankCtx, ReduceOp, Request};
+
+use crate::channels::ChannelRegistry;
+use crate::message::{combine_internal, EagerEntry, InternalMsg};
+use crate::policy::{CritterConfig, ExecutionPolicy};
+use crate::profile::KernelStore;
+use crate::report::{CritterReport, PathMetrics};
+use crate::signature::{ComputeOp, KernelSig};
+use critter_stats::ConfidenceLevel;
+
+/// Combine for the finalization busy-time reduction: `[sum, max, count]`.
+fn combine_busy(a: &[f64], b: &[f64]) -> Vec<f64> {
+    vec![a[0] + b[0], a[1].max(b[1]), a[2] + b[2]]
+}
+
+/// Tag-space offset of internal sender→receiver messages.
+const TAG_S2R: u64 = 1 << 40;
+/// Tag-space offset of internal receiver→sender replies.
+const TAG_R2S: u64 = 1 << 41;
+
+/// Outstanding nonblocking operation through the interception layer.
+#[must_use = "critter requests must be completed with wait()"]
+pub struct CritterRequest {
+    inner: ReqInner,
+}
+
+enum ReqInner {
+    Send {
+        sig: KernelSig,
+        internal: Request,
+        user: Option<Request>,
+    },
+    Recv {
+        sig: KernelSig,
+        internal: Request,
+        user: Request,
+        words: usize,
+    },
+}
+
+/// The per-rank Critter profiling environment.
+pub struct CritterEnv<'a> {
+    ctx: &'a mut RankCtx,
+    cfg: CritterConfig,
+    level: ConfidenceLevel,
+    store: KernelStore,
+    registry: ChannelRegistry,
+    /// `P.exec_time`: the predicted execution time along this rank's current
+    /// sub-critical path.
+    exec_time: f64,
+    metrics: PathMetrics,
+    report: CritterReport,
+}
+
+impl<'a> CritterEnv<'a> {
+    /// Wrap a rank context (the `MPI_Init` interception: registers the world
+    /// channel) with a fresh or persisted kernel store.
+    pub fn new(ctx: &'a mut RankCtx, cfg: CritterConfig, store: KernelStore) -> Self {
+        let registry = ChannelRegistry::new(ctx.size());
+        let level = cfg.level();
+        CritterEnv {
+            ctx,
+            cfg,
+            level,
+            store,
+            registry,
+            exec_time: 0.0,
+            metrics: PathMetrics::default(),
+            report: CritterReport::default(),
+        }
+    }
+
+    /// This rank's world rank.
+    pub fn rank(&self) -> usize {
+        self.ctx.rank()
+    }
+
+    /// Total ranks.
+    pub fn size(&self) -> usize {
+        self.ctx.size()
+    }
+
+    /// World communicator.
+    pub fn world(&self) -> Communicator {
+        self.ctx.world()
+    }
+
+    /// Escape hatch to the raw simulator context (un-intercepted setup work:
+    /// data generation, result verification).
+    pub fn ctx(&mut self) -> &mut RankCtx {
+        self.ctx
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CritterConfig {
+        &self.cfg
+    }
+
+    /// Read access to the kernel store (tests, diagnostics).
+    pub fn store(&self) -> &KernelStore {
+        &self.store
+    }
+
+    /// Current predicted critical-path execution time.
+    pub fn exec_time(&self) -> f64 {
+        self.exec_time
+    }
+
+    // ------------------------------------------------------------------
+    // Decision machinery
+    // ------------------------------------------------------------------
+
+    fn effective_count(&self, key: u64) -> u64 {
+        match self.cfg.policy {
+            ExecutionPolicy::Full
+            | ExecutionPolicy::ConditionalExecution
+            | ExecutionPolicy::EagerPropagation => 1,
+            ExecutionPolicy::LocalPropagation | ExecutionPolicy::OnlinePropagation => {
+                self.store.path_count(key).max(1)
+            }
+            ExecutionPolicy::APrioriPropagation => {
+                self.store.apriori_counts.get(&key).copied().unwrap_or(1).max(1)
+            }
+        }
+    }
+
+    /// Whether this rank wants `sig` executed (true = not yet predictable).
+    fn want_execute(&mut self, sig: &KernelSig) -> bool {
+        if self.cfg.policy == ExecutionPolicy::Full {
+            return true;
+        }
+        let k = self.effective_count(sig.key());
+        let policy = self.cfg.policy;
+        let epsilon = self.cfg.epsilon;
+        let min_samples = self.cfg.min_samples;
+        let level = &self.level;
+        let m = self.store.model_mut(sig);
+        if policy == ExecutionPolicy::EagerPropagation && m.eager_off {
+            return false;
+        }
+        if policy.executes_once_per_config() && m.executed_this_config == 0 {
+            return true;
+        }
+        if m.stats.count() < min_samples {
+            return true;
+        }
+        let ci = m.interval(level);
+        !ci.predictable(epsilon, k)
+    }
+
+    fn model_mean(&self, key: u64) -> f64 {
+        self.store.model(key).map(|m| m.stats.mean()).unwrap_or(0.0)
+    }
+
+    /// Collective charge spec for an internal payload of `len` words: free
+    /// when overhead charging is off, otherwise capped at the compact wire
+    /// size of the real implementation's profile messages.
+    fn internal_charge(&self, len: usize) -> Option<Option<usize>> {
+        if self.cfg.charge_internal {
+            Some(Some(len.min(self.cfg.internal_words_cap)))
+        } else {
+            None
+        }
+    }
+
+    /// Point-to-point cost override for an internal payload.
+    fn internal_p2p_cost(&self, len: usize) -> Option<usize> {
+        if self.cfg.charge_internal {
+            Some(len.min(self.cfg.internal_words_cap))
+        } else {
+            Some(0)
+        }
+    }
+
+    /// Deterministic estimate of an internal point-to-point message's cost,
+    /// folded into the predicted path time (the noise-free model cost of the
+    /// charged wire size — both endpoints compute the same value).
+    fn internal_p2p_time(&self, len: usize) -> f64 {
+        let words = self.internal_p2p_cost(len).unwrap_or(len);
+        self.ctx.machine().comm_time_exact(CommOp::PointToPoint, words, 2)
+    }
+
+    // ------------------------------------------------------------------
+    // Internal message plumbing
+    // ------------------------------------------------------------------
+
+    fn build_internal(
+        &mut self,
+        vote: bool,
+        user_words: u64,
+        reply_expected: bool,
+        eager_meta: Option<&critter_sim::ChannelMeta>,
+    ) -> InternalMsg {
+        let path: Vec<(u64, u64, f64)> =
+            self.store.path_counts.iter().map(|(&k, &(f, t))| (k, f, t)).collect();
+        let mut eager = Vec::new();
+        if self.cfg.policy == ExecutionPolicy::EagerPropagation {
+            if let Some(meta) = eager_meta {
+                let epsilon = self.cfg.epsilon;
+                let min_samples = self.cfg.min_samples;
+                for (key, m) in self.store.local.iter() {
+                    if m.eager_off || m.stats.count() < min_samples {
+                        continue;
+                    }
+                    // Only kernels whose local CI already meets ε travel; only
+                    // along grid dimensions not yet covered for this kernel.
+                    if self
+                        .registry
+                        .extend_coverage(&m.eager_strides, m.eager_coverage, meta)
+                        .is_none()
+                    {
+                        continue;
+                    }
+                    if m.interval(&self.level).predictable(epsilon, 1) {
+                        eager.push(EagerEntry::from_stats(*key, &m.stats, m.eager_coverage));
+                    }
+                }
+                eager.sort_by_key(|e| e.key);
+            }
+        }
+        InternalMsg {
+            vote,
+            exec_time: self.exec_time,
+            metrics: self.metrics,
+            path,
+            eager,
+            user_words,
+            reply_expected,
+        }
+    }
+
+    /// Fold a merged internal message into local state: longest-path adoption,
+    /// metric maxima, eager statistics aggregation.
+    fn absorb(&mut self, merged: &InternalMsg, comm_meta: Option<&critter_sim::ChannelMeta>) {
+        if merged.exec_time > self.exec_time {
+            if self.cfg.policy.adopts_remote_path() {
+                self.store.adopt_path(merged.path.iter().copied());
+            }
+            self.exec_time = merged.exec_time;
+        }
+        self.metrics = self.metrics.max(merged.metrics);
+        if self.cfg.policy == ExecutionPolicy::EagerPropagation {
+            if let Some(meta) = comm_meta {
+                let world = self.registry.world_size() as u64;
+                for e in &merged.eager {
+                    let Some(m) = self.store.local.get_mut(&e.key) else {
+                        // Kernel unknown locally: it will never execute here,
+                        // so its statistics are irrelevant to local decisions.
+                        continue;
+                    };
+                    if m.eager_off {
+                        continue;
+                    }
+                    let Some((strides, cov)) =
+                        self.registry.extend_coverage(&m.eager_strides, m.eager_coverage, meta)
+                    else {
+                        continue;
+                    };
+                    // Replacement semantics: every participant leaves with the
+                    // identical merged statistics, keeping later aggregations
+                    // along other grid dimensions free of double counting.
+                    m.stats = e.to_stats();
+                    m.eager_strides = strides;
+                    m.eager_coverage = cov;
+                    if m.eager_coverage >= world {
+                        let ci = m.interval(&self.level);
+                        if ci.predictable(self.cfg.epsilon, 1) {
+                            m.eager_off = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Computation kernels
+    // ------------------------------------------------------------------
+
+    /// Intercept a computational kernel of signature `(op, m, n, k)` costing
+    /// `flops`. When executed, `body` performs the real numerical work and the
+    /// sampled time is recorded; when skipped, `body` does not run and the
+    /// kernel's modeled mean is charged to the prediction. Returns the time
+    /// contributed to the path (measured or predicted).
+    pub fn kernel<F: FnOnce()>(&mut self, op: ComputeOp, m: usize, n: usize, k: usize, flops: f64, body: F) -> f64 {
+        let sig = KernelSig::compute(op, m, n, k);
+        self.store.schedule(&sig);
+        let mut extrapolated = None;
+        let execute = if self.want_execute(&sig) {
+            // §VIII extension: an under-sampled signature may still be
+            // skipped when its routine family's line fit predicts it well.
+            if let Some(xcfg) = self.cfg.extrapolate {
+                if self.cfg.policy != ExecutionPolicy::Full {
+                    extrapolated = self.store.extrapolation.predict(op, flops, &xcfg);
+                }
+            }
+            extrapolated.is_none()
+        } else {
+            false
+        };
+        self.metrics.flops += flops;
+        let start = self.ctx.now();
+        let charged = if execute {
+            let t = self.ctx.compute(op.class(), flops);
+            body();
+            self.store.record(&sig, t);
+            self.store.extrapolation.record(op, flops, t);
+            self.store.attribute_path_time(sig.key(), t);
+            self.exec_time += t;
+            self.metrics.comp_time += t;
+            self.report.local_comp_executed += t;
+            self.report.local_comp_predicted += t;
+            self.report.kernels_executed += 1;
+            t
+        } else {
+            let mean = extrapolated.unwrap_or_else(|| self.model_mean(sig.key()));
+            self.store.attribute_path_time(sig.key(), mean);
+            self.exec_time += mean;
+            self.metrics.comp_time += mean;
+            self.report.local_comp_predicted += mean;
+            self.report.kernels_skipped += 1;
+            mean
+        };
+        if self.cfg.trace {
+            self.report.trace.push(crate::trace::TraceEvent {
+                label: sig.label(),
+                start,
+                duration: self.ctx.now() - start,
+                predicted: charged,
+                executed: execute,
+                is_comm: false,
+            });
+        }
+        charged
+    }
+
+    /// Intercept a user-annotated code region (the paper's preprocessor-
+    /// directive interception, e.g. Capital's block-to-cyclic kernels).
+    pub fn custom_kernel<F: FnOnce()>(&mut self, id: u32, size: usize, flops: f64, body: F) -> f64 {
+        self.kernel(ComputeOp::Custom(id), size, 0, 0, flops, body)
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    /// Common pre-step for collectives: schedule, vote, piggyback reduction.
+    /// Returns `(signature, execute, extrapolated mean)` — the last is `Some`
+    /// when this rank's vote to skip came from a communication-family line
+    /// fit rather than the kernel's own statistics.
+    fn pre_collective(
+        &mut self,
+        op: CommOp,
+        comm: &Communicator,
+        words: usize,
+    ) -> (KernelSig, bool, Option<f64>) {
+        let sig = KernelSig::collective(op, words, comm.meta(), self.cfg.granularity);
+        self.store.schedule(&sig);
+        let mut vote = self.want_execute(&sig);
+        let mut extrapolated = None;
+        if vote && self.cfg.policy != ExecutionPolicy::Full {
+            if let Some(xcfg) = self.cfg.extrapolate {
+                let meta = comm.meta();
+                extrapolated = self.store.extrapolation.predict_comm(
+                    op,
+                    meta.size as u64,
+                    meta.stride() as u64,
+                    words as f64,
+                    &xcfg,
+                );
+                if extrapolated.is_some() {
+                    vote = false;
+                }
+            }
+        }
+        let meta = comm.meta().clone();
+        let msg = self.build_internal(vote, words as u64, false, Some(&meta));
+        let payload = msg.encode();
+        self.report.internal_words += payload.len() as u64;
+        let charge = self.internal_charge(payload.len());
+        let (merged_raw, internal_cost) =
+            self.ctx.allreduce_custom_timed(comm, payload, combine_internal, charge);
+        let merged = InternalMsg::decode(&merged_raw);
+        self.absorb(&merged, Some(&meta));
+        // The piggyback reduction is on the critical path of every
+        // participant; its (identical) cost is part of the predicted time.
+        self.exec_time += internal_cost;
+        self.metrics.syncs += 1.0;
+        self.metrics.comm_words += words as f64;
+        (sig, merged.vote, extrapolated)
+    }
+
+    fn post_executed_comm(&mut self, sig: &KernelSig, t: f64) {
+        self.store.record(sig, t);
+        if let KernelSig::Comm { op, words, comm_size, stride } = sig {
+            // Feed the communication-family line fit (§VIII extension). With
+            // exact size granularity `words` is the true message size; log2
+            // buckets would warp the size axis, so skip them.
+            if self.cfg.granularity == crate::signature::SizeGranularity::Exact {
+                self.store.extrapolation.record_comm(*op, *comm_size, *stride, *words as f64, t);
+            }
+        }
+        self.store.attribute_path_time(sig.key(), t);
+        self.exec_time += t;
+        self.metrics.comm_time += t;
+        self.report.local_comm_executed += t;
+        self.report.local_comm_predicted += t;
+        self.report.kernels_executed += 1;
+        if self.cfg.trace {
+            self.report.trace.push(crate::trace::TraceEvent {
+                label: sig.label(),
+                start: self.ctx.now() - t,
+                duration: t,
+                predicted: t,
+                executed: true,
+                is_comm: true,
+            });
+        }
+    }
+
+    fn post_skipped_comm(&mut self, sig: &KernelSig) {
+        self.post_skipped_comm_with(sig, None)
+    }
+
+    fn post_skipped_comm_with(&mut self, sig: &KernelSig, extrapolated: Option<f64>) {
+        let own = self.model_mean(sig.key());
+        let mean = if own > 0.0 { own } else { extrapolated.unwrap_or(0.0) };
+        self.store.attribute_path_time(sig.key(), mean);
+        self.exec_time += mean;
+        self.metrics.comm_time += mean;
+        self.report.local_comm_predicted += mean;
+        self.report.kernels_skipped += 1;
+        if self.cfg.trace {
+            self.report.trace.push(crate::trace::TraceEvent {
+                label: sig.label(),
+                start: self.ctx.now(),
+                duration: 0.0,
+                predicted: mean,
+                executed: false,
+                is_comm: true,
+            });
+        }
+    }
+
+    /// Intercepted broadcast. As in MPI, `data` must be sized identically on
+    /// every rank; non-roots receive the root's payload (or zeros on a skip).
+    pub fn bcast(&mut self, comm: &Communicator, root: usize, data: &mut Vec<f64>) {
+        let words = data.len();
+        let (sig, execute, xmean) = self.pre_collective(CommOp::Bcast, comm, words);
+        if execute {
+            let t0 = self.ctx.now();
+            self.ctx.bcast(comm, root, data);
+            let t = self.ctx.now() - t0;
+            self.post_executed_comm(&sig, t);
+        } else {
+            if comm.rank() != root {
+                data.iter_mut().for_each(|x| *x = 0.0);
+            }
+            self.post_skipped_comm_with(&sig, xmean);
+        }
+    }
+
+    /// Intercepted allreduce.
+    pub fn allreduce(&mut self, comm: &Communicator, op: ReduceOp, data: &[f64]) -> Vec<f64> {
+        let (sig, execute, xmean) = self.pre_collective(CommOp::Allreduce, comm, data.len());
+        if execute {
+            let t0 = self.ctx.now();
+            let out = self.ctx.allreduce(comm, op, data);
+            let t = self.ctx.now() - t0;
+            self.post_executed_comm(&sig, t);
+            out
+        } else {
+            self.post_skipped_comm_with(&sig, xmean);
+            vec![0.0; data.len()]
+        }
+    }
+
+    /// Intercepted reduce (result at `root`).
+    pub fn reduce(&mut self, comm: &Communicator, root: usize, op: ReduceOp, data: &[f64]) -> Option<Vec<f64>> {
+        let (sig, execute, xmean) = self.pre_collective(CommOp::Reduce, comm, data.len());
+        if execute {
+            let t0 = self.ctx.now();
+            let out = self.ctx.reduce(comm, root, op, data);
+            let t = self.ctx.now() - t0;
+            self.post_executed_comm(&sig, t);
+            out
+        } else {
+            self.post_skipped_comm_with(&sig, xmean);
+            (comm.rank() == root).then(|| vec![0.0; data.len()])
+        }
+    }
+
+    /// Intercepted allgather (per-rank contribution `data`).
+    pub fn allgather(&mut self, comm: &Communicator, data: &[f64]) -> Vec<f64> {
+        let (sig, execute, xmean) = self.pre_collective(CommOp::Allgather, comm, data.len());
+        if execute {
+            let t0 = self.ctx.now();
+            let out = self.ctx.allgather(comm, data);
+            let t = self.ctx.now() - t0;
+            self.post_executed_comm(&sig, t);
+            out
+        } else {
+            self.post_skipped_comm_with(&sig, xmean);
+            vec![0.0; data.len() * comm.size()]
+        }
+    }
+
+    /// Intercepted gather onto `root`.
+    pub fn gather(&mut self, comm: &Communicator, root: usize, data: &[f64]) -> Option<Vec<f64>> {
+        let (sig, execute, xmean) = self.pre_collective(CommOp::Gather, comm, data.len());
+        if execute {
+            let t0 = self.ctx.now();
+            let out = self.ctx.gather(comm, root, data);
+            let t = self.ctx.now() - t0;
+            self.post_executed_comm(&sig, t);
+            out
+        } else {
+            self.post_skipped_comm_with(&sig, xmean);
+            (comm.rank() == root).then(|| vec![0.0; data.len() * comm.size()])
+        }
+    }
+
+    /// Intercepted scatter from `root`: the root supplies `size()·chunk`
+    /// words; every rank receives `chunk` words.
+    pub fn scatter(&mut self, comm: &Communicator, root: usize, data: &[f64], chunk: usize) -> Vec<f64> {
+        if comm.rank() == root {
+            assert_eq!(data.len(), chunk * comm.size(), "scatter root payload size");
+        }
+        let (sig, execute, xmean) = self.pre_collective(CommOp::Scatter, comm, chunk);
+        if execute {
+            let t0 = self.ctx.now();
+            let out = self.ctx.scatter(comm, root, data);
+            let t = self.ctx.now() - t0;
+            self.post_executed_comm(&sig, t);
+            out
+        } else {
+            self.post_skipped_comm_with(&sig, xmean);
+            vec![0.0; chunk]
+        }
+    }
+
+    /// Intercepted reduce-scatter (`size()·chunk`-word contribution, `chunk`
+    /// words returned).
+    pub fn reduce_scatter(&mut self, comm: &Communicator, op: ReduceOp, data: &[f64]) -> Vec<f64> {
+        let chunk = data.len() / comm.size().max(1);
+        let (sig, execute, xmean) = self.pre_collective(CommOp::ReduceScatter, comm, chunk);
+        if execute {
+            let t0 = self.ctx.now();
+            let out = self.ctx.reduce_scatter(comm, op, data);
+            let t = self.ctx.now() - t0;
+            self.post_executed_comm(&sig, t);
+            out
+        } else {
+            self.post_skipped_comm_with(&sig, xmean);
+            vec![0.0; chunk]
+        }
+    }
+
+    /// Intercepted all-to-all (`size()·chunk`-word contribution and result).
+    pub fn alltoall(&mut self, comm: &Communicator, data: &[f64]) -> Vec<f64> {
+        let chunk = data.len() / comm.size().max(1);
+        let (sig, execute, xmean) = self.pre_collective(CommOp::Alltoall, comm, chunk);
+        if execute {
+            let t0 = self.ctx.now();
+            let out = self.ctx.alltoall(comm, data);
+            let t = self.ctx.now() - t0;
+            self.post_executed_comm(&sig, t);
+            out
+        } else {
+            self.post_skipped_comm_with(&sig, xmean);
+            vec![0.0; data.len()]
+        }
+    }
+
+    /// Intercepted barrier. The internal reduction has already synchronized
+    /// the participants, so a skipped barrier loses no synchronization.
+    pub fn barrier(&mut self, comm: &Communicator) {
+        let (sig, execute, _xmean) = self.pre_collective(CommOp::Barrier, comm, 0);
+        if execute {
+            let t0 = self.ctx.now();
+            self.ctx.barrier(comm);
+            let t = self.ctx.now() - t0;
+            self.post_executed_comm(&sig, t);
+        } else {
+            self.post_skipped_comm(&sig);
+        }
+    }
+
+    /// Intercepted communicator split (registers the new channel with the
+    /// aggregate infrastructure, per Fig. 2's `MPI_Comm_split`).
+    pub fn split(&mut self, comm: &Communicator, color: i64, key: i64) -> Option<Communicator> {
+        let new = self.ctx.split(comm, color, key);
+        if let Some(c) = &new {
+            self.registry.register(c.meta());
+        }
+        new
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    fn p2p_sig(&self, comm: &Communicator, peer: usize, words: usize) -> KernelSig {
+        let me = comm.world_rank_of(comm.rank());
+        let them = comm.world_rank_of(peer);
+        KernelSig::p2p(words, me.abs_diff(them), self.cfg.granularity)
+    }
+
+    /// Intercepted blocking send (Fig. 2's symmetric protocol: internal
+    /// messages are exchanged both ways; the pair executes the user message
+    /// iff either side votes execute).
+    pub fn send(&mut self, comm: &Communicator, dst: usize, tag: u64, data: &[f64]) {
+        assert!(tag < TAG_S2R, "user tags must stay below the internal tag space");
+        let sig = self.p2p_sig(comm, dst, data.len());
+        self.store.schedule(&sig);
+        let vote = self.want_execute(&sig);
+        let msg = self.build_internal(vote, data.len() as u64, true, None);
+        let payload = msg.encode();
+        self.report.internal_words += payload.len() as u64;
+        let cost = self.internal_p2p_cost(payload.len());
+        let ireq = self.ctx.isend_with_cost(comm, dst, tag + TAG_S2R, payload, cost);
+        let reply_raw = self.ctx.recv(comm, dst, tag + TAG_R2S);
+        self.ctx.wait(ireq);
+        let reply_len = reply_raw.len();
+        let merged = msg.combine(&InternalMsg::decode(&reply_raw));
+        self.absorb(&merged, None);
+        self.exec_time += self.internal_p2p_time(reply_len);
+        self.metrics.syncs += 1.0;
+        self.metrics.comm_words += data.len() as f64;
+        if merged.vote {
+            let t0 = self.ctx.now();
+            self.ctx.send(comm, dst, tag, data);
+            let t = self.ctx.now() - t0;
+            self.post_executed_comm(&sig, t);
+        } else {
+            self.post_skipped_comm(&sig);
+        }
+    }
+
+    /// Intercepted blocking receive of `words` words (the count is part of
+    /// the MPI envelope, so it is known to the receiver). Handles both the
+    /// blocking-sender and nonblocking-sender protocols.
+    pub fn recv(&mut self, comm: &Communicator, src: usize, tag: u64, words: usize) -> Vec<f64> {
+        assert!(tag < TAG_S2R, "user tags must stay below the internal tag space");
+        let sig = self.p2p_sig(comm, src, words);
+        self.store.schedule(&sig);
+        let vote = self.want_execute(&sig);
+        let their_raw = self.ctx.recv(comm, src, tag + TAG_S2R);
+        let their = InternalMsg::decode(&their_raw);
+        let (merged, execute) = if their.reply_expected {
+            // Symmetric protocol: reply with our state; execute on OR of votes.
+            let mine = self.build_internal(vote, words as u64, false, None);
+            let payload = mine.encode();
+            self.report.internal_words += payload.len() as u64;
+            let cost = self.internal_p2p_cost(payload.len());
+            let r = self.ctx.isend_with_cost(comm, src, tag + TAG_R2S, payload, cost);
+            self.ctx.wait(r);
+            let merged = mine.combine(&their);
+            let ex = merged.vote;
+            (merged, ex)
+        } else {
+            // Nonblocking sender: its decision governs; we still merge for
+            // path propagation.
+            let mine = self.build_internal(vote, words as u64, false, None);
+            let ex = their.vote;
+            (mine.combine(&their), ex)
+        };
+        self.absorb(&merged, None);
+        self.exec_time += self.internal_p2p_time(their_raw.len());
+        self.metrics.syncs += 1.0;
+        self.metrics.comm_words += words as f64;
+        if execute {
+            let t0 = self.ctx.now();
+            let data = self.ctx.recv(comm, src, tag);
+            let t = self.ctx.now() - t0;
+            debug_assert_eq!(data.len(), words, "received payload size mismatch");
+            self.post_executed_comm(&sig, t);
+            data
+        } else {
+            self.post_skipped_comm(&sig);
+            vec![0.0; words]
+        }
+    }
+
+    /// Intercepted nonblocking send. The sender's vote alone governs
+    /// execution (the deadlock-free default protocol for nonblocking
+    /// communication, §IV-A).
+    pub fn isend(&mut self, comm: &Communicator, dst: usize, tag: u64, data: Vec<f64>) -> CritterRequest {
+        assert!(tag < TAG_S2R, "user tags must stay below the internal tag space");
+        let sig = self.p2p_sig(comm, dst, data.len());
+        self.store.schedule(&sig);
+        let vote = self.want_execute(&sig);
+        let words = data.len();
+        let msg = self.build_internal(vote, words as u64, false, None);
+        let payload = msg.encode();
+        self.report.internal_words += payload.len() as u64;
+        let cost = self.internal_p2p_cost(payload.len());
+        let internal = self.ctx.isend_with_cost(comm, dst, tag + TAG_S2R, payload, cost);
+        self.exec_time += self.ctx.machine().params().per_call_overhead;
+        self.metrics.syncs += 1.0;
+        self.metrics.comm_words += words as f64;
+        let user = if vote {
+            Some(self.ctx.isend(comm, dst, tag, data))
+        } else {
+            // Charged as predicted at post time; the wait will be free.
+            self.post_skipped_comm(&sig);
+            None
+        };
+        CritterRequest { inner: ReqInner::Send { sig, internal, user } }
+    }
+
+    /// Intercepted nonblocking receive of `words` words.
+    pub fn irecv(&mut self, comm: &Communicator, src: usize, tag: u64, words: usize) -> CritterRequest {
+        assert!(tag < TAG_S2R, "user tags must stay below the internal tag space");
+        let sig = self.p2p_sig(comm, src, words);
+        let internal = self.ctx.irecv(comm, src, tag + TAG_S2R);
+        let user = self.ctx.irecv(comm, src, tag);
+        CritterRequest { inner: ReqInner::Recv { sig, internal, user, words } }
+    }
+
+    /// Complete a nonblocking operation; returns data for receives.
+    pub fn wait(&mut self, req: CritterRequest) -> Option<Vec<f64>> {
+        match req.inner {
+            ReqInner::Send { sig, internal, user } => {
+                self.ctx.wait(internal);
+                if let Some(u) = user {
+                    let t0 = self.ctx.now();
+                    self.ctx.wait(u);
+                    let t = self.ctx.now() - t0;
+                    self.post_executed_comm(&sig, t);
+                }
+                None
+            }
+            ReqInner::Recv { sig, internal, user, words } => {
+                self.store.schedule(&sig);
+                let their_raw = self.ctx.wait(internal).expect("internal message missing");
+                let their = InternalMsg::decode(&their_raw);
+                assert!(
+                    !their.reply_expected,
+                    "blocking send matched with nonblocking receive is not supported"
+                );
+                let vote = self.want_execute(&sig);
+                let mine = self.build_internal(vote, words as u64, false, None);
+                let merged = mine.combine(&their);
+                self.absorb(&merged, None);
+                self.exec_time += self.internal_p2p_time(their_raw.len());
+                self.metrics.syncs += 1.0;
+                self.metrics.comm_words += words as f64;
+                if their.vote {
+                    let t0 = self.ctx.now();
+                    let data = self.ctx.wait(user).expect("user payload missing");
+                    let t = self.ctx.now() - t0;
+                    debug_assert_eq!(data.len(), words, "received payload size mismatch");
+                    self.post_executed_comm(&sig, t);
+                    Some(data)
+                } else {
+                    drop(user); // never matched; harmless in the simulator
+                    self.post_skipped_comm(&sig);
+                    Some(vec![0.0; words])
+                }
+            }
+        }
+    }
+
+    /// Intercepted deadlock-free exchange (nonblocking send + blocking recv).
+    #[allow(clippy::too_many_arguments)] // mirrors MPI_Sendrecv's argument list
+    pub fn sendrecv(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        send_tag: u64,
+        data: &[f64],
+        src: usize,
+        recv_tag: u64,
+        recv_words: usize,
+    ) -> Vec<f64> {
+        let sreq = self.isend(comm, dst, send_tag, data.to_vec());
+        let out = self.recv(comm, src, recv_tag, recv_words);
+        self.wait(sreq);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Finalization
+    // ------------------------------------------------------------------
+
+    /// Final world-wide propagation (the `critter::stop` call): agree on the
+    /// configuration's predicted critical-path execution time and metrics,
+    /// then return the report and the (persistable) kernel store.
+    pub fn finish(mut self) -> (CritterReport, KernelStore) {
+        let world = self.ctx.world();
+        let msg = self.build_internal(false, 0, false, None);
+        let payload = msg.encode();
+        self.report.internal_words += payload.len() as u64;
+        let charge = self.internal_charge(payload.len());
+        let (merged_raw, internal_cost) =
+            self.ctx.allreduce_custom_timed(&world, payload, combine_internal, charge);
+        let merged = InternalMsg::decode(&merged_raw);
+        self.absorb(&merged, None);
+        self.exec_time += internal_cost;
+        // Busy-time statistics across ranks (load-imbalance diagnostics):
+        // one small sum+max reduction, charged like the other internals.
+        let busy = self.report.local_comp_executed + self.report.local_comm_executed;
+        let charge = self.internal_charge(2);
+        let sums = self.ctx.allreduce_custom(
+            &world,
+            vec![busy, busy, 1.0],
+            combine_busy,
+            charge,
+        );
+        self.report.mean_busy = sums[0] / sums[2].max(1.0);
+        self.report.max_busy = sums[1];
+        // The winning path's per-kernel profile, labeled where known locally.
+        self.report.top_kernels = self
+            .store
+            .path_profile()
+            .into_iter()
+            .take(10)
+            .map(|(key, count, time)| {
+                let label = self
+                    .store
+                    .model(key)
+                    .map(|m| m.sig.label())
+                    .unwrap_or_else(|| format!("kernel#{key:x}"));
+                (label, count, time)
+            })
+            .collect();
+        self.report.predicted_time = self.exec_time;
+        self.report.path = self.metrics;
+        self.report.distinct_kernels = self.store.local.len() as u64;
+        (self.report, self.store)
+    }
+}

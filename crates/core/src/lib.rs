@@ -1,0 +1,48 @@
+//! # critter-core
+//!
+//! The paper's primary contribution: **Critter**, a profiling layer that
+//! performs *online critical-path analysis* and *selective kernel execution*
+//! to accelerate distributed-memory autotuning (Hutter & Solomonik,
+//! IPDPS 2021).
+//!
+//! A [`CritterEnv`] wraps a simulated rank's [`critter_sim::RankCtx`] and
+//! intercepts every computation kernel (BLAS/LAPACK call) and communication
+//! kernel (MPI call) the application issues — the role Fig. 2 of the paper
+//! assigns to the PMPI interception layer. For each kernel *signature*
+//! (routine + input size, [`signature::KernelSig`]) it maintains:
+//!
+//! * `K̄` — local single-pass performance statistics ([`profile::KernelStore`]);
+//! * `K̃` — the kernel's execution count along the rank's current
+//!   *sub-critical path*, propagated between ranks by piggybacking a
+//!   max-by-execution-time reduction on every intercepted communication
+//!   (the longest-path algorithm, [`message`]);
+//! * a confidence interval on the kernel's mean execution time
+//!   (`critter-stats`), optionally tightened by the path count.
+//!
+//! Once a kernel is *predictable* — relative confidence-interval size below
+//! the tolerance ε, per the active [`policy::ExecutionPolicy`] — its execution
+//! is skipped and its modeled mean is charged to the prediction instead. The
+//! [`channels`] module implements the aggregate-channel infrastructure that
+//! the *eager propagation* policy uses to switch kernels off globally across
+//! a cartesian processor grid.
+
+#![deny(missing_docs)]
+
+pub mod channels;
+pub mod env;
+pub mod extrapolate;
+pub mod fnv;
+pub mod message;
+pub mod policy;
+pub mod profile;
+pub mod report;
+pub mod signature;
+pub mod trace;
+
+pub use env::CritterEnv;
+pub use extrapolate::{ExtrapolationConfig, ExtrapolationTable};
+pub use policy::{CritterConfig, ExecutionPolicy};
+pub use profile::KernelStore;
+pub use report::{CritterReport, PathMetrics};
+pub use signature::{ComputeOp, KernelSig};
+pub use trace::{Trace, TraceEvent};

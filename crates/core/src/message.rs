@@ -1,0 +1,307 @@
+//! Internal path-propagation payloads (the paper's `int_msg`).
+//!
+//! Every intercepted communication piggybacks one of these messages among the
+//! participating ranks (Fig. 2). The payload carries: the sender's execution
+//! vote, its current sub-critical-path execution time and cost metrics, its
+//! `K̃` kernel-frequency table, and — under eager propagation — the local
+//! statistics of kernels ready to be aggregated across the sub-communicator.
+//!
+//! Payloads are serialized as `Vec<f64>` so they travel through the same
+//! simulated communication layer as application data, and are folded with a
+//! plain-`fn` combine operator ([`combine_internal`]) inside the simulator's
+//! custom allreduce — the analogue of the paper's `custom_op` MPI reduction.
+//! The combine rule is the **longest-path algorithm**: the contribution with
+//! the larger `exec_time` wins wholesale (its `K̃` replaces the others'),
+//! votes are OR-ed, cost metrics are maximized elementwise, and eager entries
+//! are merged with Welford's parallel combination.
+
+use critter_stats::OnlineStats;
+
+use crate::report::PathMetrics;
+
+/// Statistics of one kernel carried by eager propagation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EagerEntry {
+    /// Kernel signature key (52-bit, exact in f64).
+    pub key: u64,
+    /// Sample count.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Welford M2 (sum of squared deviations).
+    pub m2: f64,
+    /// Coverage: how many world ranks these statistics have reached.
+    pub coverage: u64,
+}
+
+impl EagerEntry {
+    /// Build from single-pass stats.
+    pub fn from_stats(key: u64, stats: &OnlineStats, coverage: u64) -> Self {
+        EagerEntry {
+            key,
+            count: stats.count(),
+            mean: stats.mean(),
+            m2: stats.variance() * (stats.count().saturating_sub(1)) as f64,
+            coverage,
+        }
+    }
+
+    /// Reconstruct `OnlineStats` (count/mean/variance; extrema are lost, which
+    /// the selective-execution criterion never uses).
+    pub fn to_stats(&self) -> OnlineStats {
+        let mut s = OnlineStats::new();
+        if self.count == 0 {
+            return s;
+        }
+        // Rebuild a two-point sketch with the same count, mean, and M2:
+        // push `count` synthetic samples mean±d where d² ·count = m2.
+        let d = (self.m2 / self.count as f64).sqrt();
+        let half = self.count / 2;
+        for _ in 0..half {
+            s.push(self.mean - d);
+            s.push(self.mean + d);
+        }
+        if self.count % 2 == 1 {
+            s.push(self.mean);
+        }
+        s
+    }
+
+    /// Welford parallel merge of two entries with the same key.
+    pub fn merge(&self, o: &EagerEntry) -> EagerEntry {
+        assert_eq!(self.key, o.key, "cannot merge different kernels");
+        let n1 = self.count as f64;
+        let n2 = o.count as f64;
+        if self.count == 0 {
+            return *o;
+        }
+        if o.count == 0 {
+            return *self;
+        }
+        let n = n1 + n2;
+        let delta = o.mean - self.mean;
+        EagerEntry {
+            key: self.key,
+            count: self.count + o.count,
+            mean: self.mean + delta * n2 / n,
+            m2: self.m2 + o.m2 + delta * delta * n1 * n2 / n,
+            coverage: self.coverage.max(o.coverage),
+        }
+    }
+}
+
+/// The internal message exchanged on every intercepted communication.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InternalMsg {
+    /// Execution vote: true = this participant wants the user operation
+    /// executed (its kernel is not yet predictable).
+    pub vote: bool,
+    /// Sender's current sub-critical-path execution-time estimate.
+    pub exec_time: f64,
+    /// Independently max-propagated path cost metrics.
+    pub metrics: PathMetrics,
+    /// `K̃` — (kernel key, frequency along the path, accumulated time the
+    /// kernel contributed along the path). The per-kernel time component is
+    /// the paper's "critical path performance profile of each kernel",
+    /// constructed online.
+    pub path: Vec<(u64, u64, f64)>,
+    /// Eager-propagation statistics entries.
+    pub eager: Vec<EagerEntry>,
+    /// For point-to-point: word count of the (possibly skipped) user payload,
+    /// so a skipping receiver can size its placeholder buffer.
+    pub user_words: u64,
+    /// Point-to-point protocol flag: true when the sender blocks for the
+    /// receiver's internal reply (blocking send — Fig. 2's `PMPI_Sendrecv`
+    /// exchange), false for the one-way nonblocking protocol where the
+    /// sender's vote governs execution.
+    pub reply_expected: bool,
+}
+
+const HEADER: usize = 1 + 1 + PathMetrics::LEN + 4;
+
+impl InternalMsg {
+    /// Serialize to a flat `f64` payload.
+    pub fn encode(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(HEADER + 3 * self.path.len() + 5 * self.eager.len());
+        v.push(if self.vote { 1.0 } else { 0.0 });
+        v.push(self.exec_time);
+        v.extend_from_slice(&self.metrics.to_array());
+        v.push(self.path.len() as f64);
+        v.push(self.eager.len() as f64);
+        v.push(self.user_words as f64);
+        v.push(if self.reply_expected { 1.0 } else { 0.0 });
+        for &(k, f, t) in &self.path {
+            v.push(k as f64);
+            v.push(f as f64);
+            v.push(t);
+        }
+        for e in &self.eager {
+            v.push(e.key as f64);
+            v.push(e.count as f64);
+            v.push(e.mean);
+            v.push(e.m2);
+            v.push(e.coverage as f64);
+        }
+        v
+    }
+
+    /// Deserialize from a flat payload (panics on malformed input — internal
+    /// messages are produced only by [`InternalMsg::encode`]).
+    pub fn decode(v: &[f64]) -> Self {
+        assert!(v.len() >= HEADER, "internal message too short: {}", v.len());
+        let vote = v[0] > 0.5;
+        let exec_time = v[1];
+        let mut arr = [0.0; PathMetrics::LEN];
+        arr.copy_from_slice(&v[2..2 + PathMetrics::LEN]);
+        let metrics = PathMetrics::from_array(arr);
+        let n_path = v[2 + PathMetrics::LEN] as usize;
+        let n_eager = v[3 + PathMetrics::LEN] as usize;
+        let user_words = v[4 + PathMetrics::LEN] as u64;
+        let reply_expected = v[5 + PathMetrics::LEN] > 0.5;
+        let mut off = HEADER;
+        let mut path = Vec::with_capacity(n_path);
+        for _ in 0..n_path {
+            path.push((v[off] as u64, v[off + 1] as u64, v[off + 2]));
+            off += 3;
+        }
+        let mut eager = Vec::with_capacity(n_eager);
+        for _ in 0..n_eager {
+            eager.push(EagerEntry {
+                key: v[off] as u64,
+                count: v[off + 1] as u64,
+                mean: v[off + 2],
+                m2: v[off + 3],
+                coverage: v[off + 4] as u64,
+            });
+            off += 5;
+        }
+        InternalMsg { vote, exec_time, metrics, path, eager, user_words, reply_expected }
+    }
+
+    /// The longest-path combine: winner-takes-all on `exec_time` (and `K̃`),
+    /// OR on votes, elementwise max on metrics, Welford merge on eager entries.
+    pub fn combine(&self, o: &InternalMsg) -> InternalMsg {
+        let (winner, loser) = if self.exec_time >= o.exec_time { (self, o) } else { (o, self) };
+        let mut eager = winner.eager.clone();
+        for e in &loser.eager {
+            if let Some(mine) = eager.iter_mut().find(|x| x.key == e.key) {
+                *mine = mine.merge(e);
+            } else {
+                eager.push(*e);
+            }
+        }
+        eager.sort_by_key(|e| e.key);
+        InternalMsg {
+            vote: self.vote || o.vote,
+            exec_time: winner.exec_time,
+            metrics: self.metrics.max(o.metrics),
+            path: winner.path.clone(),
+            eager,
+            user_words: self.user_words.max(o.user_words),
+            reply_expected: self.reply_expected || o.reply_expected,
+        }
+    }
+}
+
+/// `fn`-pointer combine over serialized payloads, used as the simulator's
+/// custom-allreduce operator.
+pub fn combine_internal(a: &[f64], b: &[f64]) -> Vec<f64> {
+    InternalMsg::decode(a).combine(&InternalMsg::decode(b)).encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(vote: bool, t: f64) -> InternalMsg {
+        InternalMsg {
+            vote,
+            exec_time: t,
+            metrics: PathMetrics { comm_words: t * 2.0, syncs: 1.0, flops: 10.0, comp_time: t, comm_time: 0.0 },
+            path: vec![(1, 3, 0.5), (9, 1, 0.1)],
+            eager: vec![],
+            user_words: 0,
+            reply_expected: false,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut m = msg(true, 2.5);
+        m.eager.push(EagerEntry { key: 77, count: 4, mean: 1.5, m2: 0.25, coverage: 8 });
+        m.user_words = 123;
+        assert_eq!(InternalMsg::decode(&m.encode()), m);
+    }
+
+    #[test]
+    fn combine_winner_takes_path() {
+        let a = msg(false, 1.0);
+        let mut b = msg(false, 2.0);
+        b.path = vec![(5, 9, 2.5)];
+        let c = a.combine(&b);
+        assert_eq!(c.exec_time, 2.0);
+        assert_eq!(c.path, vec![(5, 9, 2.5)]);
+        // Symmetric call yields identical result (order independence).
+        assert_eq!(b.combine(&a), c);
+    }
+
+    #[test]
+    fn combine_or_votes_and_max_metrics() {
+        let a = msg(true, 3.0);
+        let b = msg(false, 1.0);
+        let c = a.combine(&b);
+        assert!(c.vote);
+        assert_eq!(c.metrics.comm_words, 6.0);
+        let d = msg(false, 1.0).combine(&msg(false, 0.5));
+        assert!(!d.vote);
+    }
+
+    #[test]
+    fn combine_merges_eager_entries() {
+        let mut a = msg(false, 1.0);
+        a.eager.push(EagerEntry { key: 7, count: 2, mean: 1.0, m2: 0.0, coverage: 2 });
+        let mut b = msg(false, 0.5);
+        b.eager.push(EagerEntry { key: 7, count: 2, mean: 3.0, m2: 0.0, coverage: 4 });
+        b.eager.push(EagerEntry { key: 8, count: 1, mean: 5.0, m2: 0.0, coverage: 1 });
+        let c = a.combine(&b);
+        assert_eq!(c.eager.len(), 2);
+        let e7 = c.eager.iter().find(|e| e.key == 7).unwrap();
+        assert_eq!(e7.count, 4);
+        assert_eq!(e7.mean, 2.0);
+        assert!(e7.m2 > 0.0, "merged spread must appear in M2");
+        assert_eq!(e7.coverage, 4);
+    }
+
+    #[test]
+    fn eager_entry_stats_roundtrip() {
+        let mut s = OnlineStats::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.push(x);
+        }
+        let e = EagerEntry::from_stats(42, &s, 1);
+        let back = e.to_stats();
+        assert_eq!(back.count(), 4);
+        assert!((back.mean() - s.mean()).abs() < 1e-12);
+        assert!((back.variance() - s.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combine_fn_pointer_works() {
+        let a = msg(false, 1.0).encode();
+        let b = msg(true, 4.0).encode();
+        let c = combine_internal(&a, &b);
+        let m = InternalMsg::decode(&c);
+        assert!(m.vote);
+        assert_eq!(m.exec_time, 4.0);
+    }
+
+    #[test]
+    fn combine_is_associative_on_exec_time() {
+        let (a, b, c) = (msg(false, 1.0), msg(true, 5.0), msg(false, 3.0));
+        let left = a.combine(&b).combine(&c);
+        let right = a.combine(&b.combine(&c));
+        assert_eq!(left.exec_time, right.exec_time);
+        assert_eq!(left.vote, right.vote);
+        assert_eq!(left.path, right.path);
+    }
+}

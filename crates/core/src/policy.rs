@@ -1,0 +1,200 @@
+//! Selective-execution policies and framework configuration (§IV-B).
+
+use critter_stats::ConfidenceLevel;
+
+use crate::extrapolate::ExtrapolationConfig;
+use crate::signature::SizeGranularity;
+
+/// The kernel-execution policies the paper evaluates, plus the full-execution
+/// baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutionPolicy {
+    /// Execute everything; collect statistics and paths but never skip.
+    /// This is the paper's red reference line and the offline pass of
+    /// *a-priori propagation*.
+    Full,
+    /// *Conditional execution*: skip only when the kernel's own confidence
+    /// interval meets ε — no execution-count scaling, no count propagation.
+    ConditionalExecution,
+    /// *Local propagation*: scale the criterion by the kernel's locally
+    /// observed path count; never adopt remote paths' counts.
+    LocalPropagation,
+    /// *Online propagation*: scale by the critical-path execution count,
+    /// adopted on-line from whichever execution path currently dominates.
+    OnlinePropagation,
+    /// *A-priori propagation*: an initial full execution captures the
+    /// critical-path counts, which then apply from the first tuning step.
+    APrioriPropagation,
+    /// *Eager propagation*: skip a kernel everywhere once one processor deems
+    /// it predictable and its statistics have been propagated across a set of
+    /// channels covering the whole processor grid. Models persist across
+    /// configurations; kernels stay off permanently.
+    EagerPropagation,
+}
+
+impl ExecutionPolicy {
+    /// All selective policies, in the paper's presentation order.
+    pub const ALL_SELECTIVE: [ExecutionPolicy; 5] = [
+        ExecutionPolicy::ConditionalExecution,
+        ExecutionPolicy::LocalPropagation,
+        ExecutionPolicy::OnlinePropagation,
+        ExecutionPolicy::APrioriPropagation,
+        ExecutionPolicy::EagerPropagation,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecutionPolicy::Full => "full execution",
+            ExecutionPolicy::ConditionalExecution => "conditional execution",
+            ExecutionPolicy::LocalPropagation => "local propagation",
+            ExecutionPolicy::OnlinePropagation => "online propagation",
+            ExecutionPolicy::APrioriPropagation => "a priori propagation",
+            ExecutionPolicy::EagerPropagation => "eager propagation",
+        }
+    }
+
+    /// Whether this policy adopts the remote winner's `K̃` during the
+    /// longest-path reduction (only *online propagation* does, plus the
+    /// full/offline pass that records a-priori counts).
+    pub fn adopts_remote_path(self) -> bool {
+        matches!(self, ExecutionPolicy::OnlinePropagation | ExecutionPolicy::Full)
+    }
+
+    /// Whether every kernel must execute at least once per tuning iteration
+    /// (§VI-A: all methods except eager propagation).
+    pub fn executes_once_per_config(self) -> bool {
+        !matches!(self, ExecutionPolicy::EagerPropagation | ExecutionPolicy::Full)
+    }
+
+    /// Whether kernel models persist across configurations by default.
+    pub fn reuses_models(self) -> bool {
+        matches!(self, ExecutionPolicy::EagerPropagation)
+    }
+
+    /// Whether an extra offline full execution is required before tuning.
+    pub fn needs_offline_pass(self) -> bool {
+        matches!(self, ExecutionPolicy::APrioriPropagation)
+    }
+}
+
+/// Configuration of the Critter environment.
+#[derive(Debug, Clone)]
+pub struct CritterConfig {
+    /// The selective-execution policy.
+    pub policy: ExecutionPolicy,
+    /// Confidence tolerance ε: a kernel becomes predictable when the relative
+    /// (possibly path-count-scaled) confidence-interval size drops below it.
+    pub epsilon: f64,
+    /// Confidence level for the intervals (the paper uses 95%).
+    pub confidence: f64,
+    /// Minimum samples before a kernel may be considered predictable.
+    pub min_samples: u64,
+    /// Whether internal (profiling) messages are charged communication time.
+    /// True models real piggyback traffic; false isolates pure algorithmic
+    /// effects (the overhead ablation).
+    pub charge_internal: bool,
+    /// Wire-size cap (in words) for charged internal messages. The real
+    /// Critter piggybacks compact fixed-size profile arrays; our serialized
+    /// `K̃` payloads are semantically equivalent but verbose, so their cost is
+    /// charged at the compact size to keep the modeled overhead faithful.
+    pub internal_words_cap: usize,
+    /// Message-size granularity of communication-kernel signatures.
+    pub granularity: SizeGranularity,
+    /// §VIII extension: extrapolate computation-kernel performance across
+    /// input sizes with per-routine-family line fits, allowing under-sampled
+    /// signatures (e.g. CANDMC's shrinking trailing matrix) to be skipped.
+    /// `None` (the default) reproduces the paper's per-signature behavior.
+    pub extrapolate: Option<ExtrapolationConfig>,
+    /// Record a per-rank chronological event trace (offline analysis /
+    /// debugging; adds memory proportional to the number of interceptions).
+    pub trace: bool,
+}
+
+impl CritterConfig {
+    /// Config for `policy` at tolerance ε with the paper's defaults.
+    pub fn new(policy: ExecutionPolicy, epsilon: f64) -> Self {
+        CritterConfig {
+            policy,
+            epsilon,
+            confidence: 0.95,
+            min_samples: 2,
+            charge_internal: true,
+            internal_words_cap: 32,
+            granularity: SizeGranularity::Exact,
+            extrapolate: None,
+            trace: false,
+        }
+    }
+
+    /// Enable per-rank event tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Enable the §VIII input-size extrapolation extension.
+    pub fn with_extrapolation(mut self) -> Self {
+        self.extrapolate = Some(ExtrapolationConfig::default());
+        self
+    }
+
+    /// The full-execution baseline (never skips; ε is irrelevant).
+    pub fn full() -> Self {
+        CritterConfig::new(ExecutionPolicy::Full, 0.0)
+    }
+
+    /// Turn internal-message charging off.
+    pub fn without_overhead(mut self) -> Self {
+        self.charge_internal = false;
+        self
+    }
+
+    /// Use log2 message-size buckets (granularity ablation).
+    pub fn with_log2_sizes(mut self) -> Self {
+        self.granularity = SizeGranularity::Log2;
+        self
+    }
+
+    /// Construct the confidence-level helper for this configuration.
+    pub fn level(&self) -> ConfidenceLevel {
+        ConfidenceLevel::new(self.confidence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_traits_match_paper() {
+        use ExecutionPolicy::*;
+        assert!(OnlinePropagation.adopts_remote_path());
+        assert!(!LocalPropagation.adopts_remote_path());
+        assert!(!ConditionalExecution.adopts_remote_path());
+        assert!(ConditionalExecution.executes_once_per_config());
+        assert!(!EagerPropagation.executes_once_per_config());
+        assert!(EagerPropagation.reuses_models());
+        assert!(APrioriPropagation.needs_offline_pass());
+        assert!(!OnlinePropagation.needs_offline_pass());
+    }
+
+    #[test]
+    fn config_defaults() {
+        let c = CritterConfig::new(ExecutionPolicy::OnlinePropagation, 0.25);
+        assert_eq!(c.confidence, 0.95);
+        assert_eq!(c.min_samples, 2);
+        assert!(c.charge_internal);
+        assert!(!c.without_overhead().charge_internal);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<&str> = ExecutionPolicy::ALL_SELECTIVE.iter().map(|p| p.name()).collect();
+        names.push(ExecutionPolicy::Full.name());
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

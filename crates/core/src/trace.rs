@@ -1,0 +1,160 @@
+//! Per-rank event tracing — the offline-analysis counterpart of Critter's
+//! online path analysis (§II notes offline mechanisms save profiling data for
+//! later passes; this is the equivalent hook for debugging and visualizing a
+//! simulated schedule).
+//!
+//! Tracing is opt-in (`CritterConfig::trace`): every intercepted kernel —
+//! executed or skipped — appends one [`TraceEvent`] with its virtual-time
+//! span. The trace rides in the per-rank [`crate::CritterReport`].
+
+use crate::fnv::FnvMap;
+
+/// One intercepted kernel occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Kernel signature label (e.g. `gemm[64x64x64]`, `bcast[w=512,p=4,s=1]`).
+    pub label: String,
+    /// Virtual time at which the interception began.
+    pub start: f64,
+    /// Measured duration (0 for skipped kernels, whose clock does not move).
+    pub duration: f64,
+    /// Time charged to the critical-path prediction (measured when executed,
+    /// the model mean when skipped).
+    pub predicted: f64,
+    /// Whether the kernel actually executed.
+    pub executed: bool,
+    /// Whether this is a communication kernel.
+    pub is_comm: bool,
+}
+
+/// A rank's chronological event trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event (events arrive in virtual-time order per rank).
+    pub fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// All events, chronologically.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Aggregate by label: `(label, occurrences, executed, total duration,
+    /// total predicted)`, sorted by total predicted time descending.
+    pub fn by_kernel(&self) -> Vec<(String, u64, u64, f64, f64)> {
+        let mut agg: FnvMap<&str, (u64, u64, f64, f64)> = FnvMap::default();
+        for e in &self.events {
+            let a = agg.entry(e.label.as_str()).or_insert((0, 0, 0.0, 0.0));
+            a.0 += 1;
+            a.1 += e.executed as u64;
+            a.2 += e.duration;
+            a.3 += e.predicted;
+        }
+        let mut v: Vec<(String, u64, u64, f64, f64)> = agg
+            .into_iter()
+            .map(|(label, (n, ex, d, p))| (label.to_string(), n, ex, d, p))
+            .collect();
+        v.sort_by(|a, b| b.4.partial_cmp(&a.4).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// Render a compact text summary (top `k` kernels by predicted time).
+    pub fn render(&self, k: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<30} {:>7} {:>7} {:>12} {:>12}",
+            "kernel", "occurs", "exec", "measured(s)", "predicted(s)"
+        );
+        for (label, n, ex, d, p) in self.by_kernel().into_iter().take(k) {
+            let _ = writeln!(out, "{label:<30} {n:>7} {ex:>7} {d:>12.6} {p:>12.6}");
+        }
+        out
+    }
+
+    /// Fraction of events that were skipped.
+    pub fn skip_fraction(&self) -> f64 {
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        self.events.iter().filter(|e| !e.executed).count() as f64 / self.events.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(label: &str, start: f64, dur: f64, executed: bool) -> TraceEvent {
+        TraceEvent {
+            label: label.into(),
+            start,
+            duration: dur,
+            predicted: if executed { dur } else { dur + 0.5 },
+            executed,
+            is_comm: false,
+        }
+    }
+
+    #[test]
+    fn aggregates_by_label() {
+        let mut t = Trace::new();
+        t.push(ev("gemm[8x8x8]", 0.0, 1.0, true));
+        t.push(ev("gemm[8x8x8]", 1.0, 2.0, true));
+        t.push(ev("potrf[8x0x0]", 3.0, 4.0, true));
+        let agg = t.by_kernel();
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0].0, "potrf[8x0x0]", "sorted by predicted time");
+        let gemm = agg.iter().find(|a| a.0.starts_with("gemm")).unwrap();
+        assert_eq!(gemm.1, 2);
+        assert_eq!(gemm.3, 3.0);
+    }
+
+    #[test]
+    fn skip_fraction_counts_non_executed() {
+        let mut t = Trace::new();
+        t.push(ev("a", 0.0, 1.0, true));
+        t.push(ev("a", 1.0, 0.0, false));
+        t.push(ev("a", 1.0, 0.0, false));
+        assert!((t.skip_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn render_contains_labels() {
+        let mut t = Trace::new();
+        t.push(ev("bcast[w=4,p=2,s=1]", 0.0, 0.5, true));
+        let s = t.render(5);
+        assert!(s.contains("bcast[w=4,p=2,s=1]"));
+        assert!(s.contains("predicted"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.skip_fraction(), 0.0);
+        assert!(t.by_kernel().is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of Critter's propagation machinery: serialization
+//! roundtrips, combine-operator algebra, channel factorization.
+
+use critter_core::message::{EagerEntry, InternalMsg};
+use critter_core::PathMetrics;
+use critter_sim::ChannelMeta;
+use proptest::prelude::*;
+
+fn arb_metrics() -> impl Strategy<Value = PathMetrics> {
+    (0.0f64..1e6, 0.0f64..1e4, 0.0f64..1e9, 0.0f64..1e3, 0.0f64..1e3).prop_map(
+        |(w, s, f, ct, mt)| PathMetrics {
+            comm_words: w,
+            syncs: s,
+            flops: f,
+            comp_time: ct,
+            comm_time: mt,
+        },
+    )
+}
+
+fn arb_msg() -> impl Strategy<Value = InternalMsg> {
+    (
+        any::<bool>(),
+        0.0f64..1e3,
+        arb_metrics(),
+        proptest::collection::vec((0u64..(1 << 52), 1u64..1000, 0.0f64..100.0), 0..20),
+        proptest::collection::vec(
+            (0u64..(1 << 52), 1u64..100, 0.0f64..10.0, 0.0f64..5.0, 1u64..64),
+            0..8,
+        ),
+        0u64..100_000,
+        any::<bool>(),
+    )
+        .prop_map(|(vote, exec_time, metrics, path, eager_raw, user_words, reply)| {
+            let path = path.into_iter().collect();
+            let eager = eager_raw
+                .into_iter()
+                .map(|(key, count, mean, m2, coverage)| EagerEntry { key, count, mean, m2, coverage })
+                .collect();
+            InternalMsg { vote, exec_time, metrics, path, eager, user_words, reply_expected: reply }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_decode_roundtrip(msg in arb_msg()) {
+        prop_assert_eq!(InternalMsg::decode(&msg.encode()), msg);
+    }
+
+    #[test]
+    fn combine_is_commutative_in_observables(a in arb_msg(), b in arb_msg()) {
+        let ab = a.combine(&b);
+        let ba = b.combine(&a);
+        prop_assert_eq!(ab.vote, ba.vote);
+        prop_assert_eq!(ab.exec_time, ba.exec_time);
+        prop_assert_eq!(ab.metrics, ba.metrics);
+        // Eager entries are sorted by key, so full equality holds there too.
+        prop_assert_eq!(ab.eager.len(), ba.eager.len());
+    }
+
+    #[test]
+    fn combine_vote_is_or(a in arb_msg(), b in arb_msg()) {
+        prop_assert_eq!(a.combine(&b).vote, a.vote || b.vote);
+    }
+
+    #[test]
+    fn combine_exec_time_is_max(a in arb_msg(), b in arb_msg()) {
+        prop_assert_eq!(a.combine(&b).exec_time, a.exec_time.max(b.exec_time));
+    }
+
+    #[test]
+    fn combine_metrics_dominate_inputs(a in arb_msg(), b in arb_msg()) {
+        let c = a.combine(&b);
+        for (x, lo) in [
+            (c.metrics.comm_words, a.metrics.comm_words.max(b.metrics.comm_words)),
+            (c.metrics.syncs, a.metrics.syncs.max(b.metrics.syncs)),
+            (c.metrics.flops, a.metrics.flops.max(b.metrics.flops)),
+        ] {
+            prop_assert_eq!(x, lo);
+        }
+    }
+
+    #[test]
+    fn eager_merge_preserves_count_and_mass(
+        key in 0u64..(1 << 52),
+        c1 in 1u64..1000, m1 in 0.0f64..10.0,
+        c2 in 1u64..1000, m2 in 0.0f64..10.0,
+    ) {
+        let a = EagerEntry { key, count: c1, mean: m1, m2: 0.0, coverage: 1 };
+        let b = EagerEntry { key, count: c2, mean: m2, m2: 0.0, coverage: 2 };
+        let m = a.merge(&b);
+        prop_assert_eq!(m.count, c1 + c2);
+        let mass = c1 as f64 * m1 + c2 as f64 * m2;
+        prop_assert!((m.mean * (c1 + c2) as f64 - mass).abs() < 1e-9 * (1.0 + mass.abs()));
+        prop_assert!(m.m2 >= -1e-12, "merged spread must be nonnegative");
+    }
+
+    #[test]
+    fn channel_factorization_roundtrip(
+        s1 in 1usize..5, n1 in 2usize..5,
+        f2 in 1usize..4, n2 in 2usize..4,
+        offset in 0usize..7,
+    ) {
+        // Build a genuine 2-level strided product and check the decomposition
+        // reproduces the member set.
+        let s2 = s1 * n1 * f2; // outer stride strictly larger than the inner span
+        let mut ranks = Vec::new();
+        for j in 0..n2 {
+            for i in 0..n1 {
+                ranks.push(offset + i * s1 + j * s2);
+            }
+        }
+        ranks.sort_unstable();
+        ranks.dedup();
+        prop_assume!(ranks.len() == n1 * n2); // distinct members only
+        let meta = ChannelMeta::from_sorted_ranks(&ranks);
+        prop_assert!(!meta.irregular, "true products must factor");
+        prop_assert_eq!(meta.offset, offset);
+        prop_assert_eq!(meta.size, n1 * n2);
+        // Reconstruct members from the factored dims.
+        let mut rebuilt = vec![meta.offset];
+        for &(stride, size) in &meta.dims {
+            let mut next = Vec::new();
+            for &base in &rebuilt {
+                for i in 0..size {
+                    next.push(base + i * stride);
+                }
+            }
+            rebuilt = next;
+        }
+        rebuilt.sort_unstable();
+        prop_assert_eq!(rebuilt, ranks);
+    }
+}

@@ -1,0 +1,399 @@
+//! Level-3 BLAS: `gemm`, `syrk`, `trsm`, `trmm`.
+//!
+//! Straightforward cache-aware loop orders (jki with column access) — these
+//! kernels exist for *correctness* of the distributed algorithms; their
+//! simulated cost comes from the machine model, not from how fast this code
+//! runs on the host.
+
+use crate::matrix::Matrix;
+
+/// Transposition selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trans {
+    /// Operate on the matrix as stored.
+    No,
+    /// Operate on the transpose.
+    Yes,
+}
+
+/// Triangle selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Uplo {
+    /// Lower triangle.
+    Lower,
+    /// Upper triangle.
+    Upper,
+}
+
+/// Side selector for triangular ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Triangular matrix applied from the left.
+    Left,
+    /// Triangular matrix applied from the right.
+    Right,
+}
+
+#[inline]
+fn op(a: &Matrix, ta: Trans, i: usize, k: usize) -> f64 {
+    match ta {
+        Trans::No => a[(i, k)],
+        Trans::Yes => a[(k, i)],
+    }
+}
+
+fn op_dims(a: &Matrix, ta: Trans) -> (usize, usize) {
+    match ta {
+        Trans::No => (a.rows(), a.cols()),
+        Trans::Yes => (a.cols(), a.rows()),
+    }
+}
+
+/// General matrix multiply: `C ← α·op(A)·op(B) + β·C`.
+pub fn gemm(ta: Trans, tb: Trans, alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    let (m, ka) = op_dims(a, ta);
+    let (kb, n) = op_dims(b, tb);
+    assert_eq!(ka, kb, "gemm inner dimensions disagree: {ka} vs {kb}");
+    assert_eq!(c.rows(), m, "gemm C rows");
+    assert_eq!(c.cols(), n, "gemm C cols");
+    if beta != 1.0 {
+        for x in c.data_mut() {
+            *x *= beta;
+        }
+    }
+    if alpha == 0.0 {
+        return;
+    }
+    // jki order: stream down columns of C and op(A).
+    for j in 0..n {
+        for k in 0..ka {
+            let bkj = alpha * op(b, tb, k, j);
+            if bkj == 0.0 {
+                continue;
+            }
+            match ta {
+                Trans::No => {
+                    // Column k of A is contiguous.
+                    let acol = a.col(k);
+                    let ccol = c.col_mut(j);
+                    for i in 0..m {
+                        ccol[i] += acol[i] * bkj;
+                    }
+                }
+                Trans::Yes => {
+                    let ccol = c.col_mut(j);
+                    for (i, cij) in ccol.iter_mut().enumerate() {
+                        *cij += a[(k, i)] * bkj;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Symmetric rank-k update: `C ← α·op(A)·op(A)ᵀ + β·C`, touching only the
+/// `uplo` triangle of `C` and mirroring it (C kept full-symmetric, which the
+/// distributed algorithms rely on).
+pub fn syrk(uplo: Uplo, ta: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
+    let (n, k) = op_dims(a, ta);
+    assert_eq!(c.rows(), n, "syrk C must be n×n");
+    assert_eq!(c.cols(), n, "syrk C must be n×n");
+    for j in 0..n {
+        let range: Box<dyn Iterator<Item = usize>> = match uplo {
+            Uplo::Lower => Box::new(j..n),
+            Uplo::Upper => Box::new(0..=j),
+        };
+        for i in range {
+            let mut s = 0.0;
+            for l in 0..k {
+                s += op(a, ta, i, l) * op(a, ta, j, l);
+            }
+            let v = alpha * s + beta * c[(i, j)];
+            c[(i, j)] = v;
+            c[(j, i)] = v;
+        }
+    }
+}
+
+/// Triangular solve with multiple right-hand sides:
+/// `op(A)·X = α·B` (Left) or `X·op(A) = α·B` (Right); `B` is overwritten by `X`.
+/// `unit` marks an implicit unit diagonal.
+pub fn trsm(side: Side, uplo: Uplo, ta: Trans, unit: bool, alpha: f64, a: &Matrix, b: &mut Matrix) {
+    assert_eq!(a.rows(), a.cols(), "triangular matrix must be square");
+    let n = a.rows();
+    match side {
+        Side::Left => assert_eq!(b.rows(), n, "trsm left dimension"),
+        Side::Right => assert_eq!(b.cols(), n, "trsm right dimension"),
+    }
+    if alpha != 1.0 {
+        for x in b.data_mut() {
+            *x *= alpha;
+        }
+    }
+    // Effective triangle after transposition.
+    let lower = matches!(
+        (uplo, ta),
+        (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes)
+    );
+    let diag = |a: &Matrix, i: usize| if unit { 1.0 } else { a[(i, i)] };
+    match side {
+        Side::Left => {
+            // Solve op(A)·X = B column by column.
+            for j in 0..b.cols() {
+                if lower {
+                    for i in 0..n {
+                        let mut s = b[(i, j)];
+                        for k in 0..i {
+                            s -= op(a, ta, i, k) * b[(k, j)];
+                        }
+                        b[(i, j)] = s / diag(a, i);
+                    }
+                } else {
+                    for i in (0..n).rev() {
+                        let mut s = b[(i, j)];
+                        for k in (i + 1)..n {
+                            s -= op(a, ta, i, k) * b[(k, j)];
+                        }
+                        b[(i, j)] = s / diag(a, i);
+                    }
+                }
+            }
+        }
+        Side::Right => {
+            // Solve X·op(A) = B row by row (i.e. column ordering over X cols).
+            for i in 0..b.rows() {
+                if lower {
+                    // X[:, j] computed from high j to low j: X·L = B →
+                    // X[i,j] = (B[i,j] - Σ_{k>j} X[i,k]·L[k,j]) / L[j,j]
+                    for j in (0..n).rev() {
+                        let mut s = b[(i, j)];
+                        for k in (j + 1)..n {
+                            s -= b[(i, k)] * op(a, ta, k, j);
+                        }
+                        b[(i, j)] = s / diag(a, j);
+                    }
+                } else {
+                    for j in 0..n {
+                        let mut s = b[(i, j)];
+                        for k in 0..j {
+                            s -= b[(i, k)] * op(a, ta, k, j);
+                        }
+                        b[(i, j)] = s / diag(a, j);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Triangular matrix multiply: `B ← α·op(A)·B` (Left) or `B ← α·B·op(A)`
+/// (Right), with triangular `A`.
+pub fn trmm(side: Side, uplo: Uplo, ta: Trans, unit: bool, alpha: f64, a: &Matrix, b: &mut Matrix) {
+    assert_eq!(a.rows(), a.cols(), "triangular matrix must be square");
+    let n = a.rows();
+    let lower = matches!(
+        (uplo, ta),
+        (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes)
+    );
+    let diag = |a: &Matrix, i: usize| if unit { 1.0 } else { a[(i, i)] };
+    match side {
+        Side::Left => {
+            assert_eq!(b.rows(), n, "trmm left dimension");
+            for j in 0..b.cols() {
+                if lower {
+                    // Work bottom-up so untouched entries are still inputs.
+                    for i in (0..n).rev() {
+                        let mut s = diag(a, i) * b[(i, j)];
+                        for k in 0..i {
+                            s += op(a, ta, i, k) * b[(k, j)];
+                        }
+                        b[(i, j)] = alpha * s;
+                    }
+                } else {
+                    for i in 0..n {
+                        let mut s = diag(a, i) * b[(i, j)];
+                        for k in (i + 1)..n {
+                            s += op(a, ta, i, k) * b[(k, j)];
+                        }
+                        b[(i, j)] = alpha * s;
+                    }
+                }
+            }
+        }
+        Side::Right => {
+            assert_eq!(b.cols(), n, "trmm right dimension");
+            for i in 0..b.rows() {
+                if lower {
+                    for j in 0..n {
+                        let mut s = b[(i, j)] * diag(a, j);
+                        for k in (j + 1)..n {
+                            s += b[(i, k)] * op(a, ta, k, j);
+                        }
+                        b[(i, j)] = alpha * s;
+                    }
+                } else {
+                    for j in (0..n).rev() {
+                        let mut s = b[(i, j)] * diag(a, j);
+                        for k in 0..j {
+                            s += b[(i, k)] * op(a, ta, k, j);
+                        }
+                        b[(i, j)] = alpha * s;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower_random(n: usize, seed: u64) -> Matrix {
+        let mut l = Matrix::random(n, n, seed);
+        l.tril_in_place();
+        for i in 0..n {
+            l[(i, i)] = 2.0 + l[(i, i)].abs(); // well conditioned
+        }
+        l
+    }
+
+    #[test]
+    fn gemm_matches_reference() {
+        let a = Matrix::random(4, 6, 1);
+        let b = Matrix::random(6, 3, 2);
+        let mut c = Matrix::zeros(4, 3);
+        gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+        assert!(c.max_abs_diff(&a.matmul_ref(&b)) < 1e-12);
+    }
+
+    #[test]
+    fn gemm_transposes() {
+        let a = Matrix::random(6, 4, 3);
+        let b = Matrix::random(6, 3, 4);
+        let mut c = Matrix::zeros(4, 3);
+        gemm(Trans::Yes, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+        assert!(c.max_abs_diff(&a.transposed().matmul_ref(&b)) < 1e-12);
+
+        let a2 = Matrix::random(4, 6, 5);
+        let b2 = Matrix::random(3, 6, 6);
+        let mut c2 = Matrix::zeros(4, 3);
+        gemm(Trans::No, Trans::Yes, 1.0, &a2, &b2, 0.0, &mut c2);
+        assert!(c2.max_abs_diff(&a2.matmul_ref(&b2.transposed())) < 1e-12);
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = Matrix::random(3, 3, 7);
+        let b = Matrix::random(3, 3, 8);
+        let c0 = Matrix::random(3, 3, 9);
+        let mut c = c0.clone();
+        gemm(Trans::No, Trans::No, 2.0, &a, &b, -1.0, &mut c);
+        let mut expect = a.matmul_ref(&b);
+        for j in 0..3 {
+            for i in 0..3 {
+                expect[(i, j)] = 2.0 * expect[(i, j)] - c0[(i, j)];
+            }
+        }
+        assert!(c.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn syrk_matches_gemm() {
+        let a = Matrix::random(5, 3, 10);
+        let mut c = Matrix::zeros(5, 5);
+        syrk(Uplo::Lower, Trans::No, 1.0, &a, 0.0, &mut c);
+        let expect = a.matmul_ref(&a.transposed());
+        assert!(c.max_abs_diff(&expect) < 1e-12);
+        // Transposed variant: C = AᵀA.
+        let mut ct = Matrix::zeros(3, 3);
+        syrk(Uplo::Upper, Trans::Yes, 1.0, &a, 0.0, &mut ct);
+        assert!(ct.max_abs_diff(&a.transposed().matmul_ref(&a)) < 1e-12);
+    }
+
+    #[test]
+    fn trsm_left_lower_solves() {
+        let l = lower_random(5, 11);
+        let x_true = Matrix::random(5, 3, 12);
+        let b = l.matmul_ref(&x_true);
+        let mut x = b.clone();
+        trsm(Side::Left, Uplo::Lower, Trans::No, false, 1.0, &l, &mut x);
+        assert!(x.max_abs_diff(&x_true) < 1e-10);
+    }
+
+    #[test]
+    fn trsm_left_lower_transposed() {
+        let l = lower_random(5, 13);
+        let x_true = Matrix::random(5, 2, 14);
+        let b = l.transposed().matmul_ref(&x_true);
+        let mut x = b.clone();
+        trsm(Side::Left, Uplo::Lower, Trans::Yes, false, 1.0, &l, &mut x);
+        assert!(x.max_abs_diff(&x_true) < 1e-10);
+    }
+
+    #[test]
+    fn trsm_right_lower_transposed() {
+        // The Cholesky panel update: L21 = A21 · L11^{-T}, i.e. solve X·L11ᵀ = A21.
+        let l = lower_random(4, 15);
+        let x_true = Matrix::random(3, 4, 16);
+        let b = x_true.matmul_ref(&l.transposed());
+        let mut x = b.clone();
+        trsm(Side::Right, Uplo::Lower, Trans::Yes, false, 1.0, &l, &mut x);
+        assert!(x.max_abs_diff(&x_true) < 1e-10);
+    }
+
+    #[test]
+    fn trsm_unit_diagonal() {
+        let mut l = lower_random(4, 17);
+        for i in 0..4 {
+            l[(i, i)] = 123.0; // must be ignored under unit
+        }
+        let mut unit_l = l.clone();
+        for i in 0..4 {
+            unit_l[(i, i)] = 1.0;
+        }
+        let x_true = Matrix::random(4, 2, 18);
+        let b = unit_l.matmul_ref(&x_true);
+        let mut x = b.clone();
+        trsm(Side::Left, Uplo::Lower, Trans::No, true, 1.0, &l, &mut x);
+        assert!(x.max_abs_diff(&x_true) < 1e-10);
+    }
+
+    #[test]
+    fn trmm_left_and_right_match_gemm() {
+        let l = lower_random(4, 19);
+        let b0 = Matrix::random(4, 3, 20);
+        let mut b = b0.clone();
+        trmm(Side::Left, Uplo::Lower, Trans::No, false, 1.0, &l, &mut b);
+        assert!(b.max_abs_diff(&l.matmul_ref(&b0)) < 1e-12);
+
+        let c0 = Matrix::random(3, 4, 21);
+        let mut c = c0.clone();
+        trmm(Side::Right, Uplo::Lower, Trans::Yes, false, 1.0, &l, &mut c);
+        assert!(c.max_abs_diff(&c0.matmul_ref(&l.transposed())) < 1e-12);
+    }
+
+    #[test]
+    fn trmm_upper() {
+        let mut u = Matrix::random(4, 4, 22);
+        u.triu_in_place();
+        let b0 = Matrix::random(4, 2, 23);
+        let mut b = b0.clone();
+        trmm(Side::Left, Uplo::Upper, Trans::No, false, 1.0, &u, &mut b);
+        assert!(b.max_abs_diff(&u.matmul_ref(&b0)) < 1e-12);
+    }
+
+    #[test]
+    fn trsm_right_upper() {
+        let mut u = Matrix::random(4, 4, 24);
+        u.triu_in_place();
+        for i in 0..4 {
+            u[(i, i)] = 3.0 + u[(i, i)].abs();
+        }
+        let x_true = Matrix::random(2, 4, 25);
+        let b = x_true.matmul_ref(&u);
+        let mut x = b.clone();
+        trsm(Side::Right, Uplo::Upper, Trans::No, false, 1.0, &u, &mut x);
+        assert!(x.max_abs_diff(&x_true) < 1e-10);
+    }
+}

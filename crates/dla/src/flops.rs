@@ -1,0 +1,110 @@
+//! Flop counts per kernel (standard LAPACK working-note counts).
+//!
+//! The machine model converts these into simulated time. Counts are for the
+//! *mathematical* operation, independent of how the reference implementation
+//! here happens to compute it.
+
+/// `gemm`: `C(m×n) += A(m×k)·B(k×n)` → `2mnk`.
+pub fn gemm(m: usize, n: usize, k: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
+/// `syrk`: `C(n×n) += A(n×k)·Aᵀ` on one triangle → `n(n+1)k`.
+pub fn syrk(n: usize, k: usize) -> f64 {
+    n as f64 * (n + 1) as f64 * k as f64
+}
+
+/// `trsm`: triangular solve with an `n×n` triangle against `m` vectors of
+/// length `n` (left side) → `n²·m`.
+pub fn trsm(n: usize, m: usize) -> f64 {
+    n as f64 * n as f64 * m as f64
+}
+
+/// `trmm`: same flop count as `trsm`.
+pub fn trmm(n: usize, m: usize) -> f64 {
+    trsm(n, m)
+}
+
+/// `potrf`: Cholesky of `n×n` → `n³/3`.
+pub fn potrf(n: usize) -> f64 {
+    (n as f64).powi(3) / 3.0
+}
+
+/// `trtri`: triangular inversion of `n×n` → `n³/3`.
+pub fn trtri(n: usize) -> f64 {
+    (n as f64).powi(3) / 3.0
+}
+
+/// `geqrf` on `m×n` (`m ≥ n`) → `2n²(m − n/3)`.
+pub fn geqrf(m: usize, n: usize) -> f64 {
+    2.0 * (n as f64).powi(2) * (m as f64 - n as f64 / 3.0)
+}
+
+/// `ormqr`: apply `k` reflectors of length `m` to `m×n` → `4mnk − 2nk²`
+/// (approximation of the LAPACK count).
+pub fn ormqr(m: usize, n: usize, k: usize) -> f64 {
+    (4.0 * m as f64 * n as f64 * k as f64 - 2.0 * n as f64 * (k as f64).powi(2)).max(0.0)
+}
+
+/// `larft`: form `k×k` block reflector from length-`m` vectors → `k²m`.
+pub fn larft(m: usize, k: usize) -> f64 {
+    (k as f64).powi(2) * m as f64
+}
+
+/// `tpqrt` factoring `[R(n×n); B(m×n)]` → `2n²m + (2/3)n³`.
+pub fn tpqrt(m: usize, n: usize) -> f64 {
+    2.0 * (n as f64).powi(2) * m as f64 + 2.0 / 3.0 * (n as f64).powi(3)
+}
+
+/// `tpmqrt` applying an `[n; m]`-stacked `Q` of width `k` to `c` columns
+/// → `4mkc` (plus lower-order top-tile work).
+pub fn tpmqrt(m: usize, k: usize, c: usize) -> f64 {
+    4.0 * m as f64 * k as f64 * c as f64 + 2.0 * k as f64 * k as f64 * c as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_cube() {
+        assert_eq!(gemm(10, 10, 10), 2000.0);
+    }
+
+    #[test]
+    fn syrk_half_of_gemm() {
+        // syrk on one triangle is about half a square gemm.
+        let full = gemm(100, 100, 50);
+        let half = syrk(100, 50);
+        assert!(half < 0.6 * full && half > 0.4 * full);
+    }
+
+    #[test]
+    fn potrf_third_cube() {
+        assert!((potrf(30) - 9000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geqrf_tall_dominates_square() {
+        assert!(geqrf(1000, 10) > geqrf(10, 10));
+    }
+
+    #[test]
+    fn counts_positive() {
+        for f in [
+            gemm(3, 4, 5),
+            syrk(3, 4),
+            trsm(3, 4),
+            trmm(3, 4),
+            potrf(5),
+            trtri(5),
+            geqrf(8, 3),
+            ormqr(8, 4, 3),
+            larft(8, 3),
+            tpqrt(5, 3),
+            tpmqrt(5, 3, 4),
+        ] {
+            assert!(f > 0.0);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! LU factorization with partial pivoting (`getrf`) and solves (`getrs`).
+//!
+//! CANDMC's Householder-reconstruction step \[1\] computes an LU factorization
+//! of a matrix derived from the panel's orthogonal factor; `getrf` completes
+//! the LAPACK kernel family the paper's workloads draw from.
+
+use crate::blas3::{trsm, Side, Trans, Uplo};
+use crate::matrix::Matrix;
+
+/// Error raised when a pivot column is exactly singular.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularMatrix {
+    /// Index of the zero pivot.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular (zero pivot at column {})", self.pivot)
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// LU factorization with partial pivoting, in place: on return `a` holds
+/// `L` (unit lower, below the diagonal) and `U` (upper, including the
+/// diagonal) with `P·A = L·U`; the returned vector is the pivot row chosen at
+/// each step (LAPACK `ipiv`, 0-based).
+pub fn getrf(a: &mut Matrix) -> Result<Vec<usize>, SingularMatrix> {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    let mut ipiv = Vec::with_capacity(k);
+    for j in 0..k {
+        // Partial pivot: the largest magnitude in column j at or below row j.
+        let mut p = j;
+        let mut best = a[(j, j)].abs();
+        for i in (j + 1)..m {
+            let v = a[(i, j)].abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        if best == 0.0 {
+            return Err(SingularMatrix { pivot: j });
+        }
+        ipiv.push(p);
+        if p != j {
+            for c in 0..n {
+                let t = a[(j, c)];
+                a[(j, c)] = a[(p, c)];
+                a[(p, c)] = t;
+            }
+        }
+        // Eliminate below the pivot.
+        let piv = a[(j, j)];
+        for i in (j + 1)..m {
+            let l = a[(i, j)] / piv;
+            a[(i, j)] = l;
+            for c in (j + 1)..n {
+                let ajc = a[(j, c)];
+                a[(i, c)] -= l * ajc;
+            }
+        }
+    }
+    Ok(ipiv)
+}
+
+/// Solve `A·X = B` using a factorization from [`getrf`]: applies the row
+/// interchanges to `b`, then forward- and back-substitutes. `b` is
+/// overwritten with `X`.
+pub fn getrs(lu: &Matrix, ipiv: &[usize], b: &mut Matrix) {
+    let n = lu.rows();
+    assert_eq!(lu.cols(), n, "getrs requires a square factorization");
+    assert_eq!(b.rows(), n, "right-hand side row mismatch");
+    // Apply P to B (same interchanges, same order, as in the factorization).
+    for (j, &p) in ipiv.iter().enumerate() {
+        if p != j {
+            for c in 0..b.cols() {
+                let t = b[(j, c)];
+                b[(j, c)] = b[(p, c)];
+                b[(p, c)] = t;
+            }
+        }
+    }
+    // L (unit diagonal) then U.
+    trsm(Side::Left, Uplo::Lower, Trans::No, true, 1.0, lu, b);
+    trsm(Side::Left, Uplo::Upper, Trans::No, false, 1.0, lu, b);
+}
+
+/// Flop count of `getrf` on `m×n` (`m ≥ n`): `mn² − n³/3`.
+pub fn getrf_flops(m: usize, n: usize) -> f64 {
+    let (m, n) = (m as f64, n as f64);
+    m * n * n - n * n * n / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reconstruct(lu: &Matrix, ipiv: &[usize], m: usize, n: usize) -> Matrix {
+        // Build P⁻¹·L·U = A.
+        let k = m.min(n);
+        let mut l = Matrix::zeros(m, k);
+        for j in 0..k {
+            l[(j, j)] = 1.0;
+            for i in (j + 1)..m {
+                l[(i, j)] = lu[(i, j)];
+            }
+        }
+        let mut u = Matrix::zeros(k, n);
+        for j in 0..n {
+            for i in 0..=j.min(k - 1) {
+                u[(i, j)] = lu[(i, j)];
+            }
+        }
+        let mut pa = l.matmul_ref(&u);
+        // Undo the interchanges (reverse order).
+        for (j, &p) in ipiv.iter().enumerate().rev() {
+            if p != j {
+                for c in 0..n {
+                    let t = pa[(j, c)];
+                    pa[(j, c)] = pa[(p, c)];
+                    pa[(p, c)] = t;
+                }
+            }
+        }
+        pa
+    }
+
+    #[test]
+    fn factors_square_matrix() {
+        let a = Matrix::random(6, 6, 1);
+        let mut lu = a.clone();
+        let ipiv = getrf(&mut lu).unwrap();
+        let recon = reconstruct(&lu, &ipiv, 6, 6);
+        assert!(recon.max_abs_diff(&a) < 1e-12, "PᵀLU must reconstruct A");
+    }
+
+    #[test]
+    fn factors_tall_matrix() {
+        let a = Matrix::random(9, 4, 2);
+        let mut lu = a.clone();
+        let ipiv = getrf(&mut lu).unwrap();
+        let recon = reconstruct(&lu, &ipiv, 9, 4);
+        assert!(recon.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn solves_linear_system() {
+        let a = Matrix::random_spd(7, 3); // well conditioned
+        let x_true = Matrix::random(7, 2, 4);
+        let b = a.matmul_ref(&x_true);
+        let mut lu = a.clone();
+        let ipiv = getrf(&mut lu).unwrap();
+        let mut x = b.clone();
+        getrs(&lu, &ipiv, &mut x);
+        assert!(x.max_abs_diff(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = 1.0; // column 2 fully zero
+        assert_eq!(getrf(&mut a), Err(SingularMatrix { pivot: 2 }));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        let orig = a.clone();
+        let ipiv = getrf(&mut a).unwrap();
+        let recon = reconstruct(&a, &ipiv, 2, 2);
+        assert!(recon.max_abs_diff(&orig) < 1e-14);
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert!((getrf_flops(10, 10) - (1000.0 - 1000.0 / 3.0)).abs() < 1e-9);
+        assert!(getrf_flops(100, 10) > getrf_flops(10, 10));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+        #[test]
+        fn prop_lu_reconstructs(n in 1usize..10, seed in 0u64..500) {
+            let a = Matrix::random_spd(n, seed); // nonsingular by construction
+            let mut lu = a.clone();
+            let ipiv = getrf(&mut lu).unwrap();
+            let recon = reconstruct(&lu, &ipiv, n, n);
+            prop_assert!(recon.max_abs_diff(&a) < 1e-9 * (1.0 + a.norm_fro()));
+        }
+
+        #[test]
+        fn prop_solve_roundtrip(n in 1usize..10, cols in 1usize..4, seed in 0u64..500) {
+            let a = Matrix::random_spd(n, seed);
+            let x_true = Matrix::random(n, cols, seed + 1);
+            let b = a.matmul_ref(&x_true);
+            let mut lu = a.clone();
+            let ipiv = getrf(&mut lu).unwrap();
+            let mut x = b;
+            getrs(&lu, &ipiv, &mut x);
+            prop_assert!(x.max_abs_diff(&x_true) < 1e-7 * (1.0 + x_true.norm_fro()));
+        }
+    }
+}

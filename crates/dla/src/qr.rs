@@ -1,0 +1,258 @@
+//! Householder QR: `geqrf`, `ormqr`, `larft`.
+
+use crate::blas3::Trans;
+use crate::matrix::Matrix;
+
+/// Householder QR factorization in place (LAPACK `geqrf` convention):
+/// on return the upper triangle of `a` holds `R`; the columns below the
+/// diagonal hold the Householder vectors (unit diagonal implicit); returns
+/// the scalar factors `tau`.
+pub fn geqrf(a: &mut Matrix) -> Vec<f64> {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    let mut tau = vec![0.0; k];
+    for j in 0..k {
+        // Build the reflector for column j.
+        let mut norm2 = 0.0;
+        for i in j..m {
+            norm2 += a[(i, j)] * a[(i, j)];
+        }
+        let x0 = a[(j, j)];
+        let norm = norm2.sqrt();
+        if norm == 0.0 {
+            tau[j] = 0.0;
+            continue;
+        }
+        let beta = if x0 >= 0.0 { -norm } else { norm };
+        tau[j] = (beta - x0) / beta;
+        let scale = 1.0 / (x0 - beta);
+        for i in (j + 1)..m {
+            a[(i, j)] *= scale;
+        }
+        a[(j, j)] = beta;
+        // Apply H = I - tau·v·vᵀ to the trailing columns.
+        let t = tau[j];
+        for c in (j + 1)..n {
+            let mut w = a[(j, c)];
+            for i in (j + 1)..m {
+                w += a[(i, j)] * a[(i, c)];
+            }
+            w *= t;
+            a[(j, c)] -= w;
+            for i in (j + 1)..m {
+                let vij = a[(i, j)];
+                a[(i, c)] -= w * vij;
+            }
+        }
+    }
+    tau
+}
+
+/// Apply `Q` or `Qᵀ` (from a `geqrf` factorization stored in `v`, `tau`) to
+/// `c` from the left: `C ← op(Q)·C`.
+pub fn ormqr(trans: Trans, v: &Matrix, tau: &[f64], c: &mut Matrix) {
+    let m = v.rows();
+    let k = tau.len();
+    assert!(k <= v.cols(), "more tau factors than reflector columns");
+    assert_eq!(c.rows(), m, "ormqr dimension mismatch");
+    let order: Box<dyn Iterator<Item = usize>> = match trans {
+        Trans::Yes => Box::new(0..k),        // Qᵀ = H_{k-1}···H_0 applied left to right
+        Trans::No => Box::new((0..k).rev()), // Q  = H_0···H_{k-1}
+    };
+    for j in order {
+        let t = tau[j];
+        if t == 0.0 {
+            continue;
+        }
+        for col in 0..c.cols() {
+            let mut w = c[(j, col)];
+            for i in (j + 1)..m {
+                w += v[(i, j)] * c[(i, col)];
+            }
+            w *= t;
+            c[(j, col)] -= w;
+            for i in (j + 1)..m {
+                let vij = v[(i, j)];
+                c[(i, col)] -= w * vij;
+            }
+        }
+    }
+}
+
+/// Form the upper-triangular block reflector `T` with `Q = I - V·T·Vᵀ`
+/// (LAPACK `larft`, forward columnwise storage as produced by [`geqrf`]).
+pub fn larft(v: &Matrix, tau: &[f64]) -> Matrix {
+    let m = v.rows();
+    let k = tau.len();
+    let mut t = Matrix::zeros(k, k);
+    for j in 0..k {
+        t[(j, j)] = tau[j];
+        if j == 0 || tau[j] == 0.0 {
+            continue;
+        }
+        // w = Vᵀ[:, 0..j] · v_j  (v_j has implicit 1 at row j).
+        let mut w = vec![0.0; j];
+        for p in 0..j {
+            let mut s = v[(j, p)]; // row j of column p times v_j[j] = 1
+            for i in (j + 1)..m {
+                s += v[(i, p)] * v[(i, j)];
+            }
+            w[p] = s;
+        }
+        // T[0..j, j] = -tau_j · T[0..j, 0..j] · w.
+        for r in 0..j {
+            let mut s = 0.0;
+            for p in r..j {
+                s += t[(r, p)] * w[p];
+            }
+            t[(r, j)] = -tau[j] * s;
+        }
+    }
+    t
+}
+
+/// Build the explicit `m × k` orthogonal factor `Q` from a `geqrf`
+/// factorization (LAPACK `orgqr`): apply `Q` to the first `k` columns of `I`.
+pub fn orgqr(v: &Matrix, tau: &[f64]) -> Matrix {
+    let m = v.rows();
+    let k = tau.len();
+    let mut q = Matrix::zeros(m, k);
+    for j in 0..k {
+        q[(j, j)] = 1.0;
+    }
+    ormqr(Trans::No, v, tau, &mut q);
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check_qr(m: usize, n: usize, seed: u64, tol: f64) {
+        let a = Matrix::random(m, n, seed);
+        let mut f = a.clone();
+        let tau = geqrf(&mut f);
+        let q = orgqr(&f, &tau);
+        // R = upper triangle of the first min(m,n) rows.
+        let k = m.min(n);
+        let mut r = Matrix::zeros(k, n);
+        for j in 0..n {
+            for i in 0..k.min(j + 1) {
+                r[(i, j)] = f[(i, j)];
+            }
+        }
+        // Q·R reconstructs A.
+        let recon = q.matmul_ref(&r);
+        assert!(recon.max_abs_diff(&a) < tol, "reconstruction error too large");
+        // QᵀQ = I.
+        let qtq = q.transposed().matmul_ref(&q);
+        assert!(qtq.max_abs_diff(&Matrix::identity(k)) < tol, "Q not orthogonal");
+    }
+
+    #[test]
+    fn qr_square() {
+        check_qr(6, 6, 1, 1e-10);
+    }
+
+    #[test]
+    fn qr_tall() {
+        check_qr(12, 4, 2, 1e-10);
+    }
+
+    #[test]
+    fn qr_wide() {
+        check_qr(4, 7, 3, 1e-10);
+    }
+
+    #[test]
+    fn ormqr_transpose_gives_r() {
+        // Qᵀ·A = [R; 0].
+        let a = Matrix::random(8, 3, 4);
+        let mut f = a.clone();
+        let tau = geqrf(&mut f);
+        let mut c = a.clone();
+        ormqr(Trans::Yes, &f, &tau, &mut c);
+        for j in 0..3 {
+            for i in 0..8 {
+                if i <= j {
+                    assert!((c[(i, j)] - f[(i, j)]).abs() < 1e-10);
+                } else {
+                    assert!(c[(i, j)].abs() < 1e-10, "below-R entry not annihilated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ormqr_roundtrip_is_identity() {
+        let a = Matrix::random(7, 4, 5);
+        let mut f = Matrix::random(7, 4, 6);
+        let tau = geqrf(&mut f);
+        let mut c = a.clone();
+        ormqr(Trans::Yes, &f, &tau, &mut c);
+        ormqr(Trans::No, &f, &tau, &mut c);
+        assert!(c.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn larft_block_reflector_matches_product() {
+        // I - V·T·Vᵀ must equal H_0·H_1···H_{k-1} = Q.
+        let a = Matrix::random(8, 4, 7);
+        let mut f = a.clone();
+        let tau = geqrf(&mut f);
+        let t = larft(&f, &tau);
+        // Build V explicitly (unit lower trapezoid).
+        let mut v = Matrix::zeros(8, 4);
+        for j in 0..4 {
+            v[(j, j)] = 1.0;
+            for i in (j + 1)..8 {
+                v[(i, j)] = f[(i, j)];
+            }
+        }
+        // Q_wy = I - V·T·Vᵀ.
+        let vt = v.matmul_ref(&t);
+        let q_wy_delta = vt.matmul_ref(&v.transposed());
+        let mut q_wy = Matrix::identity(8);
+        for j in 0..8 {
+            for i in 0..8 {
+                q_wy[(i, j)] -= q_wy_delta[(i, j)];
+            }
+        }
+        // Q from applying reflectors to the identity.
+        let mut q_ref = Matrix::identity(8);
+        ormqr(Trans::No, &f, &tau, &mut q_ref);
+        assert!(q_wy.max_abs_diff(&q_ref) < 1e-10);
+        // T is upper triangular.
+        assert_eq!(t[(2, 0)], 0.0);
+    }
+
+    #[test]
+    fn geqrf_zero_column_is_safe() {
+        let mut a = Matrix::zeros(4, 2);
+        a[(0, 1)] = 1.0;
+        let tau = geqrf(&mut a);
+        assert_eq!(tau[0], 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn prop_qr_reconstructs(m in 1usize..14, dn in 0usize..6, seed in 0u64..500) {
+            let n = (1 + dn).min(m); // tall or square
+            let a = Matrix::random(m, n, seed);
+            let mut f = a.clone();
+            let tau = geqrf(&mut f);
+            let q = orgqr(&f, &tau);
+            let mut r = Matrix::zeros(n, n);
+            for j in 0..n {
+                for i in 0..=j {
+                    r[(i, j)] = f[(i, j)];
+                }
+            }
+            prop_assert!(q.matmul_ref(&r).max_abs_diff(&a) < 1e-8);
+            prop_assert!(q.transposed().matmul_ref(&q).max_abs_diff(&Matrix::identity(n)) < 1e-8);
+        }
+    }
+}

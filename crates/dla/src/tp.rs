@@ -1,0 +1,243 @@
+//! Triangular-pentagonal QR (`tpqrt`) and its application (`tpmqrt`).
+//!
+//! These are the tile-algorithm kernels: `tpqrt` annihilates a tile `B`
+//! against an already-triangular tile `R` by factoring the stack `[R; B]`,
+//! and `tpmqrt` applies the resulting implicit `Q` to a pair of tiles of the
+//! trailing matrix. SLATE's task-based QR and the TSQR reduction tree in
+//! CANDMC-style panel factorization are built from exactly these two
+//! operations. We implement the `l = 0` ("square-below", fully pentagonal)
+//! variant, which also covers the triangular-below case used by TSQR — the
+//! structured zeros are simply carried.
+
+use crate::matrix::Matrix;
+
+/// Factor the stack `[R; B]` where `r` is `n × n` upper triangular and `b` is
+/// `m × n`. On return `r` holds the updated triangular factor, `b` holds the
+/// Householder vector block `V` (the below-identity part of each reflector),
+/// and the returned vector holds the scalar factors `tau`.
+pub fn tpqrt(r: &mut Matrix, b: &mut Matrix) -> Vec<f64> {
+    let n = r.rows();
+    assert_eq!(r.cols(), n, "R tile must be square");
+    assert_eq!(b.cols(), n, "B tile must have the same column count");
+    let m = b.rows();
+    let mut tau = vec![0.0; n];
+    for j in 0..n {
+        // Reflector annihilating B[:, j] against R[j, j]. The reflector is
+        // v = [e_j; v_b]: the top part is the j-th unit vector, so only the
+        // B-part is stored.
+        let x0 = r[(j, j)];
+        let mut norm2 = x0 * x0;
+        for i in 0..m {
+            norm2 += b[(i, j)] * b[(i, j)];
+        }
+        let norm = norm2.sqrt();
+        if norm == 0.0 {
+            tau[j] = 0.0;
+            continue;
+        }
+        let beta = if x0 >= 0.0 { -norm } else { norm };
+        tau[j] = (beta - x0) / beta;
+        let scale = 1.0 / (x0 - beta);
+        for i in 0..m {
+            b[(i, j)] *= scale;
+        }
+        r[(j, j)] = beta;
+        // Apply H = I - tau·v·vᵀ to the remaining columns of the stack.
+        let t = tau[j];
+        for c in (j + 1)..n {
+            let mut w = r[(j, c)];
+            for i in 0..m {
+                w += b[(i, j)] * b[(i, c)];
+            }
+            w *= t;
+            r[(j, c)] -= w;
+            for i in 0..m {
+                let vij = b[(i, j)];
+                b[(i, c)] -= w * vij;
+            }
+        }
+    }
+    tau
+}
+
+/// Whether `tpmqrt` applies `Q` or `Qᵀ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpTrans {
+    /// Apply `Q`.
+    No,
+    /// Apply `Qᵀ`.
+    Yes,
+}
+
+/// Apply the orthogonal factor from [`tpqrt`] (stored in `v`, `tau`) to the
+/// stacked pair `[A; B]` from the left: `[A; B] ← op(Q)·[A; B]`. `a` has `n`
+/// rows (matching the triangular tile) and `b` matches `v`'s row count.
+pub fn tpmqrt(trans: TpTrans, v: &Matrix, tau: &[f64], a: &mut Matrix, b: &mut Matrix) {
+    let n = tau.len();
+    assert_eq!(v.cols(), n, "V column count must match tau");
+    assert!(a.rows() >= n, "top tile must have at least n rows");
+    assert_eq!(b.rows(), v.rows(), "bottom tile must match V rows");
+    assert_eq!(a.cols(), b.cols(), "tile pair must have equal column counts");
+    let m = v.rows();
+    let cols = a.cols();
+    let order: Box<dyn Iterator<Item = usize>> = match trans {
+        TpTrans::Yes => Box::new(0..n),
+        TpTrans::No => Box::new((0..n).rev()),
+    };
+    for j in order {
+        let t = tau[j];
+        if t == 0.0 {
+            continue;
+        }
+        for c in 0..cols {
+            // w = (vᵀ·[a; b])_c with v = [e_j; v_b].
+            let mut w = a[(j, c)];
+            for i in 0..m {
+                w += v[(i, j)] * b[(i, c)];
+            }
+            w *= t;
+            a[(j, c)] -= w;
+            for i in 0..m {
+                let vij = v[(i, j)];
+                b[(i, c)] -= w * vij;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr::geqrf;
+
+    /// Stack two matrices vertically.
+    fn vstack(top: &Matrix, bot: &Matrix) -> Matrix {
+        assert_eq!(top.cols(), bot.cols());
+        let mut s = Matrix::zeros(top.rows() + bot.rows(), top.cols());
+        s.set_sub(0, 0, top);
+        s.set_sub(top.rows(), 0, bot);
+        s
+    }
+
+    #[test]
+    fn tpqrt_matches_geqrf_r_up_to_sign() {
+        // R from tpqrt([R1; B]) must equal R from a dense QR of the stack,
+        // up to per-row sign.
+        let n = 4;
+        let mut r1 = Matrix::random(n, n, 1);
+        r1.triu_in_place();
+        let b = Matrix::random(6, n, 2);
+        let stack = vstack(&r1, &b);
+
+        let mut r = r1.clone();
+        let mut v = b.clone();
+        tpqrt(&mut r, &mut v);
+
+        let mut dense = stack.clone();
+        geqrf(&mut dense);
+        for j in 0..n {
+            for i in 0..=j {
+                let x = r[(i, j)];
+                let y = dense[(i, j)];
+                // Row signs may differ; compare magnitudes consistently by
+                // normalizing with the diagonal sign.
+                let sx = r[(i, i)].signum();
+                let sy = dense[(i, i)].signum();
+                assert!(
+                    (x * sx - y * sy).abs() < 1e-9,
+                    "R mismatch at ({i},{j}): {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tpqrt_then_apply_qt_annihilates() {
+        // Applying Qᵀ to the original stack yields [R; 0].
+        let n = 3;
+        let mut r1 = Matrix::random(n, n, 3);
+        r1.triu_in_place();
+        let b0 = Matrix::random(5, n, 4);
+
+        let mut r = r1.clone();
+        let mut v = b0.clone();
+        let tau = tpqrt(&mut r, &mut v);
+
+        let mut a_top = r1.clone();
+        let mut a_bot = b0.clone();
+        tpmqrt(TpTrans::Yes, &v, &tau, &mut a_top, &mut a_bot);
+        assert!(a_top.max_abs_diff(&r) < 1e-10, "top must become the new R");
+        assert!(a_bot.norm_fro() < 1e-10, "bottom must be annihilated");
+    }
+
+    #[test]
+    fn tpmqrt_roundtrip_identity() {
+        let n = 3;
+        let mut r1 = Matrix::random(n, n, 5);
+        r1.triu_in_place();
+        let mut v = Matrix::random(4, n, 6);
+        let mut r = r1.clone();
+        let tau = tpqrt(&mut r, &mut v);
+
+        let a0 = Matrix::random(n, 5, 7);
+        let b0 = Matrix::random(4, 5, 8);
+        let mut a = a0.clone();
+        let mut b = b0.clone();
+        tpmqrt(TpTrans::Yes, &v, &tau, &mut a, &mut b);
+        tpmqrt(TpTrans::No, &v, &tau, &mut a, &mut b);
+        assert!(a.max_abs_diff(&a0) < 1e-10);
+        assert!(b.max_abs_diff(&b0) < 1e-10);
+    }
+
+    #[test]
+    fn tpmqrt_preserves_norm() {
+        // Q is orthogonal, so the stacked column norms are preserved.
+        let n = 4;
+        let mut r1 = Matrix::random(n, n, 9);
+        r1.triu_in_place();
+        let mut v = Matrix::random(6, n, 10);
+        let mut r = r1.clone();
+        let tau = tpqrt(&mut r, &mut v);
+
+        let a0 = Matrix::random(n, 2, 11);
+        let b0 = Matrix::random(6, 2, 12);
+        let before = vstack(&a0, &b0).norm_fro();
+        let mut a = a0.clone();
+        let mut b = b0.clone();
+        tpmqrt(TpTrans::Yes, &v, &tau, &mut a, &mut b);
+        let after = vstack(&a, &b).norm_fro();
+        assert!((before - after).abs() < 1e-10);
+    }
+
+    #[test]
+    fn tsqr_pair_combine() {
+        // The TSQR tree step: combine two triangular factors [R1; R2].
+        // RᵀR of the combined factor must equal R1ᵀR1 + R2ᵀR2.
+        let n = 4;
+        let mut r1 = Matrix::random(n, n, 13);
+        r1.triu_in_place();
+        let mut r2 = Matrix::random(n, n, 14);
+        r2.triu_in_place();
+        let gram = {
+            let mut g = r1.transposed().matmul_ref(&r1);
+            let g2 = r2.transposed().matmul_ref(&r2);
+            for j in 0..n {
+                for i in 0..n {
+                    g[(i, j)] += g2[(i, j)];
+                }
+            }
+            g
+        };
+        let mut r = r1.clone();
+        let mut v = r2.clone();
+        tpqrt(&mut r, &mut v);
+        let mut rt = Matrix::zeros(n, n);
+        for j in 0..n {
+            for i in 0..=j {
+                rt[(i, j)] = r[(i, j)];
+            }
+        }
+        let g = rt.transposed().matmul_ref(&rt);
+        assert!(g.max_abs_diff(&gram) < 1e-9, "combined R Gram mismatch");
+    }
+}

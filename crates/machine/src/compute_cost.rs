@@ -1,0 +1,162 @@
+//! Analytic cost of computational kernels.
+//!
+//! A kernel's base time is `flops / (peak · efficiency)`, where efficiency
+//! depends on (a) the kernel class — `gemm` streams at near peak, triangular
+//! and factorization kernels lose efficiency to dependencies, BLAS-2 is memory
+//! bound — and (b) the problem size, through a saturation curve
+//! `eff(f) = eff_max · f / (f + f_half)`: tiny kernels are dominated by call
+//! overhead and never reach peak. This reproduces the behavior the paper leans
+//! on: Capital's recursion produces a few large near-peak kernels and many tiny
+//! inefficient ones, while SLATE's fixed tile size repeats one mid-size kernel
+//! thousands of times.
+
+use crate::params::MachineParams;
+
+/// Broad efficiency class of a computational kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelClass {
+    /// Dense matrix-matrix multiply (`gemm`): best case.
+    Gemm,
+    /// Symmetric rank-k update (`syrk`).
+    Syrk,
+    /// Triangular solve / triangular multiply (`trsm`, `trmm`).
+    Triangular,
+    /// Factorization kernels (`potrf`, `geqrf`, `tpqrt`, `trtri`): sequential
+    /// dependency chains limit vectorization.
+    Factorize,
+    /// Application of orthogonal transforms (`ormqr`, `tpmqrt`, `larfb`).
+    ApplyQ,
+    /// Memory-bound BLAS-2 / data reshuffles (packing, block-to-cyclic).
+    Blas2,
+}
+
+impl KernelClass {
+    /// Peak fraction this class can reach on large inputs.
+    pub fn max_efficiency(self) -> f64 {
+        match self {
+            KernelClass::Gemm => 0.85,
+            KernelClass::Syrk => 0.75,
+            KernelClass::Triangular => 0.60,
+            KernelClass::Factorize => 0.45,
+            KernelClass::ApplyQ => 0.70,
+            KernelClass::Blas2 => 0.06,
+        }
+    }
+
+    /// Flop count at which the class reaches half its max efficiency.
+    /// Bigger for kernels with more startup (blocked factorizations).
+    pub fn half_saturation_flops(self) -> f64 {
+        match self {
+            KernelClass::Gemm => 2.0e5,
+            KernelClass::Syrk => 2.0e5,
+            KernelClass::Triangular => 3.0e5,
+            KernelClass::Factorize => 5.0e5,
+            KernelClass::ApplyQ => 3.0e5,
+            KernelClass::Blas2 => 1.0e4,
+        }
+    }
+}
+
+/// Analytic compute-kernel cost model over [`MachineParams`].
+#[derive(Debug, Clone)]
+pub struct ComputeCostModel {
+    params: MachineParams,
+    /// Fixed per-call overhead (seconds): dispatch, packing setup.
+    call_overhead: f64,
+}
+
+impl ComputeCostModel {
+    /// Build a model over `params` with a default 0.5 µs kernel-call overhead.
+    pub fn new(params: MachineParams) -> Self {
+        ComputeCostModel { params, call_overhead: 5.0e-7 }
+    }
+
+    /// Underlying machine parameters.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Size-dependent efficiency of `class` at `flops` total work.
+    #[inline]
+    pub fn efficiency(&self, class: KernelClass, flops: f64) -> f64 {
+        let emax = class.max_efficiency();
+        let fh = class.half_saturation_flops();
+        emax * flops / (flops + fh)
+    }
+
+    /// Noise-free time for a kernel of `class` performing `flops` flops.
+    #[inline]
+    pub fn base_cost(&self, class: KernelClass, flops: f64) -> f64 {
+        if flops <= 0.0 {
+            return self.call_overhead;
+        }
+        let eff = self.efficiency(class, flops).max(1e-6);
+        self.call_overhead + flops / (self.params.peak_flops * eff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ComputeCostModel {
+        ComputeCostModel::new(MachineParams::test_machine())
+    }
+
+    #[test]
+    fn efficiency_saturates() {
+        let m = model();
+        let small = m.efficiency(KernelClass::Gemm, 1e3);
+        let large = m.efficiency(KernelClass::Gemm, 1e9);
+        assert!(small < 0.05);
+        assert!(large > 0.8);
+        assert!(large <= KernelClass::Gemm.max_efficiency());
+    }
+
+    #[test]
+    fn gemm_beats_factorize() {
+        let m = model();
+        let f = 1e8;
+        assert!(
+            m.base_cost(KernelClass::Gemm, f) < m.base_cost(KernelClass::Factorize, f),
+            "gemm should be faster per flop"
+        );
+    }
+
+    #[test]
+    fn blas2_is_memory_bound() {
+        let m = model();
+        // At the same flop count BLAS-2 should be an order of magnitude slower.
+        let f = 1e7;
+        let r = m.base_cost(KernelClass::Blas2, f) / m.base_cost(KernelClass::Gemm, f);
+        assert!(r > 5.0, "ratio {r}");
+    }
+
+    #[test]
+    fn cost_is_monotone_in_flops() {
+        let m = model();
+        let mut prev = 0.0;
+        for e in 2..10 {
+            let c = m.base_cost(KernelClass::Syrk, 10f64.powi(e));
+            assert!(c > prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn zero_flops_costs_overhead() {
+        let m = model();
+        assert_eq!(m.base_cost(KernelClass::Gemm, 0.0), m.call_overhead);
+    }
+
+    #[test]
+    fn small_kernels_dominated_by_overhead() {
+        // Many tiny kernels must be far less efficient than one big kernel of
+        // the same total flops — this drives the block-size trade-off.
+        let m = model();
+        let total = 1e8;
+        let one = m.base_cost(KernelClass::Gemm, total);
+        let many = 1e4 * m.base_cost(KernelClass::Gemm, total / 1e4);
+        assert!(many > 2.0 * one, "many {many} one {one}");
+    }
+}

@@ -1,0 +1,158 @@
+//! The full machine model: analytic costs × stochastic noise × topology.
+//!
+//! [`MachineModel`] is the single object the simulator consults for every cost.
+//! It is immutable and shared (`Arc`) across all rank threads; all state needed
+//! for determinism lives in the counters its callers supply.
+
+use std::sync::Arc;
+
+use crate::comm_cost::{CommCostModel, CommOp};
+use crate::compute_cost::{ComputeCostModel, KernelClass};
+use crate::noise::{NoiseModel, NoiseParams};
+use crate::params::MachineParams;
+use crate::topology::Topology;
+
+/// Immutable description of the simulated machine.
+#[derive(Debug, Clone)]
+pub struct MachineModel {
+    comm: CommCostModel,
+    compute: ComputeCostModel,
+    noise: NoiseModel,
+    topo: Topology,
+}
+
+impl MachineModel {
+    /// Assemble a machine from parameters, noise, rank count and allocation id.
+    pub fn new(params: MachineParams, noise: NoiseParams, ranks: usize, seed: u64, allocation: u64) -> Self {
+        let topo = Topology::new(ranks, params.ranks_per_node, allocation);
+        MachineModel {
+            comm: CommCostModel::new(params.clone()),
+            compute: ComputeCostModel::new(params),
+            noise: NoiseModel::new(noise, seed),
+            topo,
+        }
+    }
+
+    /// The paper's testbed with cluster-level noise.
+    pub fn stampede2(ranks: usize, seed: u64, allocation: u64) -> Self {
+        Self::new(MachineParams::stampede2_knl(), NoiseParams::cluster(), ranks, seed, allocation)
+    }
+
+    /// Small noiseless machine for exact unit tests.
+    pub fn test_exact(ranks: usize) -> Self {
+        Self::new(MachineParams::test_machine(), NoiseParams::none(), ranks, 0, 0)
+    }
+
+    /// Small noisy machine for statistical unit tests.
+    pub fn test_noisy(ranks: usize, seed: u64) -> Self {
+        Self::new(MachineParams::test_machine(), NoiseParams::cluster(), ranks, seed, 0)
+    }
+
+    /// Shared handle.
+    pub fn shared(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+
+    /// Rank→node topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Machine parameters.
+    pub fn params(&self) -> &MachineParams {
+        self.comm.params()
+    }
+
+    /// The noise model (exposed for re-seeding between tuning repetitions).
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Replace the noise model's seed, keeping everything else (used to model a
+    /// fresh run of the same job in a new environment sample).
+    pub fn with_noise_seed(&self, salt: u64) -> Self {
+        MachineModel {
+            comm: self.comm.clone(),
+            compute: self.compute.clone(),
+            noise: self.noise.reseeded(salt),
+            topo: self.topo.clone(),
+        }
+    }
+
+    /// Sampled execution time of a compute kernel on `rank`:
+    /// `base(class, flops) · node_factor(rank) · jitter(rank, invocation)`.
+    pub fn compute_time(&self, class: KernelClass, flops: f64, rank: usize, invocation: u64) -> f64 {
+        self.compute.base_cost(class, flops)
+            * self.noise.node_factor(&self.topo, rank)
+            * self.noise.compute_jitter(rank, invocation)
+    }
+
+    /// Noise-free compute time (the model mean up to the lognormal's mean
+    /// factor — used by analytic cross-checks and the BSP models).
+    pub fn compute_time_exact(&self, class: KernelClass, flops: f64) -> f64 {
+        self.compute.base_cost(class, flops)
+    }
+
+    /// Sampled duration of a communication operation identified by
+    /// `(channel, sequence)`. All participants must pass the same identifiers
+    /// and therefore observe the same sampled duration.
+    pub fn comm_time(&self, op: CommOp, words: usize, comm_size: usize, channel: u64, sequence: u64) -> f64 {
+        self.comm.base_cost(op, words, comm_size) * self.noise.comm_jitter(channel, sequence)
+    }
+
+    /// Noise-free communication time.
+    pub fn comm_time_exact(&self, op: CommOp, words: usize, comm_size: usize) -> f64 {
+        self.comm.base_cost(op, words, comm_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_machine_has_no_noise() {
+        let m = MachineModel::test_exact(8);
+        let a = m.compute_time(KernelClass::Gemm, 1e6, 0, 0);
+        let b = m.compute_time(KernelClass::Gemm, 1e6, 5, 99);
+        assert_eq!(a, b);
+        assert_eq!(a, m.compute_time_exact(KernelClass::Gemm, 1e6));
+    }
+
+    #[test]
+    fn noisy_machine_varies_by_invocation() {
+        let m = MachineModel::test_noisy(8, 42);
+        let a = m.compute_time(KernelClass::Gemm, 1e6, 0, 0);
+        let b = m.compute_time(KernelClass::Gemm, 1e6, 0, 1);
+        assert_ne!(a, b);
+        // But re-asking is reproducible.
+        assert_eq!(a, m.compute_time(KernelClass::Gemm, 1e6, 0, 0));
+    }
+
+    #[test]
+    fn comm_time_shared_by_participants() {
+        let m = MachineModel::test_noisy(8, 42);
+        let a = m.comm_time(CommOp::Allreduce, 1024, 8, 77, 3);
+        let b = m.comm_time(CommOp::Allreduce, 1024, 8, 77, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn allocations_differ() {
+        let m0 = MachineModel::new(MachineParams::test_machine(), NoiseParams::cluster(), 16, 5, 0);
+        let m1 = MachineModel::new(MachineParams::test_machine(), NoiseParams::cluster(), 16, 5, 1);
+        let t0 = m0.compute_time(KernelClass::Gemm, 1e7, 0, 0);
+        let t1 = m1.compute_time(KernelClass::Gemm, 1e7, 0, 0);
+        assert_ne!(t0, t1);
+    }
+
+    #[test]
+    fn noise_seed_salting() {
+        let m = MachineModel::test_noisy(8, 42);
+        let m2 = m.with_noise_seed(1);
+        assert_ne!(
+            m.compute_time(KernelClass::Gemm, 1e6, 0, 0),
+            m2.compute_time(KernelClass::Gemm, 1e6, 0, 0)
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Stochastic perturbation of modeled costs.
+//!
+//! The paper stresses that Stampede2 timings are noisy — enough that each
+//! experiment is repeated on two node allocations and each configuration five
+//! times, with the variance of five full executions used to quantify the noise
+//! floor. Critter's statistical machinery (confidence intervals, selective
+//! execution) only makes sense on noisy measurements, so the simulator must
+//! perturb every modeled cost.
+//!
+//! The model has three multiplicative components applied to a base cost `t`:
+//!
+//! * **node factor** — one lognormal draw per `(allocation, node)`: a slow node
+//!   stays slow for the whole job, which is what creates persistent load
+//!   imbalance and distinct critical paths across allocations;
+//! * **invocation jitter** — one lognormal draw per kernel invocation: OS
+//!   interference, cache state, turbo variation;
+//! * **communication jitter** — same, but with its own (typically larger)
+//!   sigma for network operations, drawn per operation.
+//!
+//! All draws are counter-based (see [`crate::rng`]), so they are reproducible
+//! under any thread schedule: the compute jitter stream is indexed by
+//! `(rank, invocation number)` and the communication stream by
+//! `(channel id, operation sequence number)`.
+
+use crate::rng::{splitmix64, stream_id, CounterRng};
+use crate::topology::Topology;
+
+/// Parameters of the multiplicative noise model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseParams {
+    /// Sigma of the per-(allocation, node) lognormal factor.
+    pub node_sigma: f64,
+    /// Sigma of the per-invocation lognormal jitter on compute kernels.
+    pub compute_sigma: f64,
+    /// Sigma of the per-operation lognormal jitter on communication.
+    pub comm_sigma: f64,
+}
+
+impl NoiseParams {
+    /// Noise levels representative of the paper's shared-cluster environment:
+    /// a few percent persistent node skew, ~5% compute jitter, ~15%
+    /// communication jitter.
+    pub fn cluster() -> Self {
+        NoiseParams { node_sigma: 0.03, compute_sigma: 0.05, comm_sigma: 0.15 }
+    }
+
+    /// No noise at all — useful for exact-cost unit tests.
+    pub fn none() -> Self {
+        NoiseParams { node_sigma: 0.0, compute_sigma: 0.0, comm_sigma: 0.0 }
+    }
+
+    /// Scale every sigma by `f` (used by the noise-amplitude ablation bench).
+    pub fn scaled(&self, f: f64) -> Self {
+        NoiseParams {
+            node_sigma: self.node_sigma * f,
+            compute_sigma: self.compute_sigma * f,
+            comm_sigma: self.comm_sigma * f,
+        }
+    }
+}
+
+impl Default for NoiseParams {
+    fn default() -> Self {
+        NoiseParams::cluster()
+    }
+}
+
+/// Deterministic noise source bound to a seed and a topology.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    params: NoiseParams,
+    seed: u64,
+}
+
+/// Internal stream labels, kept distinct so compute/comm/node draws never alias.
+const STREAM_NODE: u64 = 0x4e4f_4445; // "NODE"
+const STREAM_COMPUTE: u64 = 0x434f_4d50; // "COMP"
+const STREAM_COMM: u64 = 0x434f_4d4d; // "COMM"
+
+impl NoiseModel {
+    /// Create a noise model from `params` rooted at `seed`.
+    pub fn new(params: NoiseParams, seed: u64) -> Self {
+        NoiseModel { params, seed }
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &NoiseParams {
+        &self.params
+    }
+
+    /// Persistent slowdown factor of `rank`'s node within `topo`'s allocation.
+    ///
+    /// Lognormal with median one; identical for all ranks of a node, and
+    /// redrawn when the allocation id changes.
+    pub fn node_factor(&self, topo: &Topology, rank: usize) -> f64 {
+        if self.params.node_sigma == 0.0 {
+            return 1.0;
+        }
+        let node = topo.node_of(rank) as u64;
+        let mut rng = CounterRng::new(
+            self.seed,
+            stream_id(&[STREAM_NODE, topo.allocation(), node]),
+        );
+        rng.lognormal(0.0, self.params.node_sigma)
+    }
+
+    /// Jitter factor for the `invocation`-th compute kernel on `rank`.
+    #[inline]
+    pub fn compute_jitter(&self, rank: usize, invocation: u64) -> f64 {
+        if self.params.compute_sigma == 0.0 {
+            return 1.0;
+        }
+        let rng = CounterRng::new(self.seed, stream_id(&[STREAM_COMPUTE, rank as u64]));
+        lognormal_at(&rng, invocation, self.params.compute_sigma)
+    }
+
+    /// Jitter factor for the `sequence`-th operation on communication channel
+    /// `channel` (a hash identifying the matched communication event, shared by
+    /// all participants so that they observe the *same* perturbation).
+    #[inline]
+    pub fn comm_jitter(&self, channel: u64, sequence: u64) -> f64 {
+        if self.params.comm_sigma == 0.0 {
+            return 1.0;
+        }
+        let rng = CounterRng::new(self.seed, stream_id(&[STREAM_COMM, channel]));
+        lognormal_at(&rng, sequence, self.params.comm_sigma)
+    }
+
+    /// Derive an unrelated noise model (e.g. for a second tuning repetition).
+    pub fn reseeded(&self, salt: u64) -> Self {
+        NoiseModel { params: self.params.clone(), seed: splitmix64(self.seed ^ salt) }
+    }
+}
+
+/// Random-access lognormal draw at counter `idx`: Box–Muller on the pair of
+/// uniforms at positions `2·idx` and `2·idx + 1`.
+#[inline]
+fn lognormal_at(rng: &CounterRng, idx: u64, sigma: f64) -> f64 {
+    let u1 = ((rng.at(2 * idx) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)).max(f64::MIN_POSITIVE);
+    let u2 = (rng.at(2 * idx + 1) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    let n = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (sigma * n).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::new(16, 4, 0)
+    }
+
+    #[test]
+    fn node_factor_shared_within_node() {
+        let m = NoiseModel::new(NoiseParams::cluster(), 7);
+        let t = topo();
+        assert_eq!(m.node_factor(&t, 0), m.node_factor(&t, 3));
+        assert_ne!(m.node_factor(&t, 0), m.node_factor(&t, 4));
+    }
+
+    #[test]
+    fn node_factor_changes_with_allocation() {
+        let m = NoiseModel::new(NoiseParams::cluster(), 7);
+        let t0 = Topology::new(16, 4, 0);
+        let t1 = Topology::new(16, 4, 1);
+        assert_ne!(m.node_factor(&t0, 0), m.node_factor(&t1, 0));
+    }
+
+    #[test]
+    fn zero_sigma_is_exact() {
+        let m = NoiseModel::new(NoiseParams::none(), 7);
+        assert_eq!(m.node_factor(&topo(), 5), 1.0);
+        assert_eq!(m.compute_jitter(3, 100), 1.0);
+        assert_eq!(m.comm_jitter(9, 2), 1.0);
+    }
+
+    #[test]
+    fn jitter_is_reproducible_and_indexed() {
+        let m = NoiseModel::new(NoiseParams::cluster(), 11);
+        let a = m.compute_jitter(2, 5);
+        let b = m.compute_jitter(2, 5);
+        let c = m.compute_jitter(2, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn comm_jitter_shared_across_participants() {
+        // Participants identify the operation by (channel, seq); they therefore
+        // see the same factor no matter which rank asks.
+        let m = NoiseModel::new(NoiseParams::cluster(), 13);
+        assert_eq!(m.comm_jitter(42, 17), m.comm_jitter(42, 17));
+    }
+
+    #[test]
+    fn jitter_median_near_one() {
+        let m = NoiseModel::new(NoiseParams::cluster(), 17);
+        let mut xs: Vec<f64> = (0..10_001).map(|i| m.compute_jitter(0, i)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 1.0).abs() < 0.02, "median {median}");
+    }
+
+    #[test]
+    fn reseeded_differs() {
+        let m = NoiseModel::new(NoiseParams::cluster(), 19);
+        let m2 = m.reseeded(1);
+        assert_ne!(m.compute_jitter(0, 0), m2.compute_jitter(0, 0));
+    }
+}

@@ -1,0 +1,541 @@
+//! The central matching core: point-to-point queues, collective slots,
+//! virtual-time completion rules, deadlock detection.
+//!
+//! All rank threads share one [`SimCore`]. The lock discipline is simple and
+//! coarse — one mutex for p2p state, one for collective state, each paired
+//! with a broadcast condvar — which is correct by construction and fast
+//! enough: simulated programs are coarse-grained (each kernel is thousands of
+//! flops), so the core is never the bottleneck.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use critter_machine::rng::stream_id;
+use critter_machine::{CommOp, MachineModel};
+use parking_lot::{Condvar, Mutex};
+
+use crate::comm::Communicator;
+use crate::ctx::ReduceOp;
+
+/// Combine function for custom reductions (Critter's internal path-propagation
+/// operator). A plain `fn` pointer: every participant passes the same one.
+pub type CombineFn = fn(&[f64], &[f64]) -> Vec<f64>;
+
+/// Identifies a point-to-point matching queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct P2pKey {
+    pub comm: u64,
+    /// World rank of the sender.
+    pub src: usize,
+    /// World rank of the receiver.
+    pub dst: usize,
+    pub tag: u64,
+}
+
+impl P2pKey {
+    fn channel_hash(&self) -> u64 {
+        stream_id(&[self.comm, self.src as u64, self.dst as u64, self.tag])
+    }
+}
+
+/// Slot a rendezvous sender blocks on until the receiver matches.
+#[derive(Debug, Default)]
+pub(crate) struct SendSlot {
+    done: Mutex<Option<f64>>,
+    cv: Condvar,
+}
+
+pub(crate) struct SendEntry {
+    pub data: Vec<f64>,
+    pub post_time: f64,
+    /// Sampled transfer cost, fixed at post time (deterministic per key+seq).
+    pub cost: f64,
+    pub slot: Option<Arc<SendSlot>>,
+}
+
+#[derive(Default)]
+struct P2pState {
+    queues: HashMap<P2pKey, VecDeque<SendEntry>>,
+    send_seq: HashMap<P2pKey, u64>,
+}
+
+/// What a rank contributes to a collective.
+pub(crate) enum Contrib {
+    /// Payload data (empty for non-roots of bcast, for barrier, …).
+    Data(Vec<f64>),
+    /// `comm_split` participation.
+    Split { color: i64, key: i64, world_rank: usize },
+}
+
+/// What a rank receives back from a collective.
+pub(crate) enum Output {
+    /// Payload data.
+    Data(Vec<f64>),
+    /// Nothing (barrier; non-root of gather/reduce).
+    None,
+    /// New communicator description from `comm_split` (None for undefined color).
+    Split(Option<(u64, Arc<Vec<usize>>, usize)>),
+}
+
+/// The operation a collective slot performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CollKind {
+    Bcast,
+    Reduce(ReduceOp),
+    Allreduce(ReduceOp),
+    AllreduceCustom,
+    Allgather,
+    Gather,
+    Scatter,
+    ReduceScatter(ReduceOp),
+    Alltoall,
+    Barrier,
+    Split,
+}
+
+impl CollKind {
+    fn comm_op(self) -> CommOp {
+        match self {
+            CollKind::Bcast => CommOp::Bcast,
+            CollKind::Reduce(_) => CommOp::Reduce,
+            CollKind::Allreduce(_) | CollKind::AllreduceCustom => CommOp::Allreduce,
+            CollKind::Allgather | CollKind::Split => CommOp::Allgather,
+            CollKind::Gather => CommOp::Gather,
+            CollKind::Scatter => CommOp::Scatter,
+            CollKind::ReduceScatter(_) => CommOp::ReduceScatter,
+            CollKind::Alltoall => CommOp::Alltoall,
+            CollKind::Barrier => CommOp::Barrier,
+        }
+    }
+}
+
+struct CollSlot {
+    kind: CollKind,
+    root: usize,
+    expected: usize,
+    arrived: usize,
+    max_post: f64,
+    contribs: Vec<Option<Contrib>>,
+    combine: Option<CombineFn>,
+    /// Cost accounting: `None` = synchronize for free, `Some(None)` = charge
+    /// the actual payload words, `Some(Some(w))` = charge `w` words.
+    charge: Option<Option<usize>>,
+    /// Completion time once the last participant arrives.
+    done: Option<f64>,
+    /// Sampled operation cost (0 when uncharged), for counters.
+    cost: f64,
+    outputs: Vec<Option<Output>>,
+    taken: usize,
+}
+
+#[derive(Default)]
+struct CollState {
+    slots: HashMap<(u64, u64), CollSlot>,
+}
+
+/// Shared simulator core.
+pub struct SimCore {
+    pub(crate) machine: Arc<MachineModel>,
+    p2p: Mutex<P2pState>,
+    p2p_cv: Condvar,
+    coll: Mutex<CollState>,
+    coll_cv: Condvar,
+    pub(crate) timeout: Duration,
+    pub(crate) eager_words: usize,
+    /// Set when any rank panics, so peers stop waiting immediately.
+    poisoned: AtomicBool,
+}
+
+/// Outcome of matching a receive: payload, receiver completion time, and the
+/// components (transfer cost, idle time) for counter accounting.
+pub(crate) struct RecvOutcome {
+    pub data: Vec<f64>,
+    pub done: f64,
+    pub cost: f64,
+    pub idle: f64,
+}
+
+impl SimCore {
+    pub(crate) fn new(machine: Arc<MachineModel>, timeout: Duration, eager_words: usize) -> Self {
+        SimCore {
+            machine,
+            p2p: Mutex::new(P2pState::default()),
+            p2p_cv: Condvar::new(),
+            coll: Mutex::new(CollState::default()),
+            coll_cv: Condvar::new(),
+            timeout,
+            eager_words,
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Mark the simulation as failed (a rank panicked) and wake all waiters.
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        self.p2p_cv.notify_all();
+        self.coll_cv.notify_all();
+    }
+
+    fn check_poison(&self) {
+        if self.poisoned.load(Ordering::SeqCst) {
+            panic!("simulation aborted: a peer rank panicked");
+        }
+    }
+
+    /// Post a send. Returns `(sampled transfer cost, slot)` — the slot is
+    /// `Some` iff the message takes the rendezvous path (the caller must wait
+    /// on it for its completion time).
+    pub(crate) fn post_send(
+        &self,
+        key: P2pKey,
+        data: Vec<f64>,
+        post_time: f64,
+        force_rendezvous: bool,
+        cost_words: Option<usize>,
+    ) -> (f64, Option<Arc<SendSlot>>) {
+        let words = data.len();
+        // Cost may be overridden (Critter charges its internal piggyback
+        // messages at the compact wire size of the real implementation).
+        let cost_words = cost_words.unwrap_or(words);
+        let rendezvous = force_rendezvous || cost_words > self.eager_words;
+        let mut st = self.p2p.lock();
+        let seq = st.send_seq.entry(key).or_insert(0);
+        let this_seq = *seq;
+        *seq += 1;
+        let cost = self
+            .machine
+            .comm_time(CommOp::PointToPoint, cost_words, 2, key.channel_hash(), this_seq);
+        let slot = rendezvous.then(|| Arc::new(SendSlot::default()));
+        st.queues.entry(key).or_default().push_back(SendEntry {
+            data,
+            post_time,
+            cost,
+            slot: slot.clone(),
+        });
+        drop(st);
+        self.p2p_cv.notify_all();
+        (cost, slot)
+    }
+
+    /// Block until a send matching `key` is available; complete the pair.
+    /// `recv_post` is when the receive was posted (irecv post time, or "now"
+    /// for a blocking receive).
+    pub(crate) fn match_recv(&self, key: P2pKey, recv_post: f64) -> RecvOutcome {
+        let mut st = self.p2p.lock();
+        loop {
+            self.check_poison();
+            if let Some(q) = st.queues.get_mut(&key) {
+                if let Some(entry) = q.pop_front() {
+                    if q.is_empty() {
+                        st.queues.remove(&key);
+                    }
+                    drop(st);
+                    let start = entry.post_time.max(recv_post);
+                    let done = start + entry.cost;
+                    if let Some(slot) = &entry.slot {
+                        *slot.done.lock() = Some(done);
+                        slot.cv.notify_all();
+                    }
+                    let idle = (entry.post_time - recv_post).max(0.0);
+                    return RecvOutcome { data: entry.data, done, cost: entry.cost, idle };
+                }
+            }
+            if self
+                .p2p_cv
+                .wait_for(&mut st, self.timeout)
+                .timed_out()
+            {
+                panic!(
+                    "simulated deadlock: receive waited {:?} on comm {:#x} src {} dst {} tag {}",
+                    self.timeout, key.comm, key.src, key.dst, key.tag
+                );
+            }
+        }
+    }
+
+    /// Wait for a rendezvous send to be matched; returns sender completion time.
+    pub(crate) fn wait_send(&self, slot: &SendSlot) -> f64 {
+        let mut g = slot.done.lock();
+        loop {
+            self.check_poison();
+            if let Some(t) = *g {
+                return t;
+            }
+            if slot.cv.wait_for(&mut g, self.timeout).timed_out() {
+                panic!("simulated deadlock: rendezvous send never matched within {:?}", self.timeout);
+            }
+        }
+    }
+
+    /// Execute one collective participation. Blocks until all `expected`
+    /// members of `comm` have arrived at sequence `seq`, then returns
+    /// `(completion time, operation cost, output)`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn collective(
+        &self,
+        comm: &Communicator,
+        seq: u64,
+        kind: CollKind,
+        root: usize,
+        contrib: Contrib,
+        combine: Option<CombineFn>,
+        charge: Option<Option<usize>>,
+        post: f64,
+    ) -> (f64, f64, Output) {
+        let my_index = comm.rank();
+        let expected = comm.size();
+        let slot_key = (comm.id(), seq);
+        let mut st = self.coll.lock();
+        {
+            let slot = st.slots.entry(slot_key).or_insert_with(|| CollSlot {
+                kind,
+                root,
+                expected,
+                arrived: 0,
+                max_post: f64::NEG_INFINITY,
+                contribs: (0..expected).map(|_| None).collect(),
+                combine,
+                charge,
+                done: None,
+                cost: 0.0,
+                outputs: (0..expected).map(|_| None).collect(),
+                taken: 0,
+            });
+            assert_eq!(
+                slot.kind, kind,
+                "collective mismatch on comm {:#x} seq {seq}: {:?} vs {:?} — ranks disagree on program order",
+                comm.id(), slot.kind, kind
+            );
+            assert_eq!(slot.root, root, "collective root mismatch on comm {:#x} seq {seq}", comm.id());
+            assert!(slot.contribs[my_index].is_none(), "rank arrived twice at collective seq {seq}");
+            // Merge the charge spec across arrivals (participants may pass
+            // different capped word counts for their own payloads): the
+            // operation is charged at the largest requested size, regardless
+            // of arrival order.
+            slot.charge = match (slot.charge, charge) {
+                (None, None) => None,
+                (Some(None), Some(None)) => Some(None),
+                (Some(Some(a)), Some(Some(b))) => Some(Some(a.max(b))),
+                (a, b) => panic!("participants disagree on collective charging: {a:?} vs {b:?}"),
+            };
+            slot.contribs[my_index] = Some(contrib);
+            slot.arrived += 1;
+            slot.max_post = slot.max_post.max(post);
+            if slot.arrived == slot.expected {
+                Self::complete_collective(&self.machine, comm, seq, slot);
+                self.coll_cv.notify_all();
+            }
+        }
+        // Wait for completion, then take this rank's output.
+        loop {
+            self.check_poison();
+            {
+                let slot = st.slots.get_mut(&slot_key).expect("collective slot vanished");
+                if let Some(done) = slot.done {
+                    let cost = slot.cost;
+                    let out = slot.outputs[my_index].take().expect("output already taken");
+                    slot.taken += 1;
+                    if slot.taken == slot.expected {
+                        st.slots.remove(&slot_key);
+                    }
+                    return (done, cost, out);
+                }
+            }
+            if self.coll_cv.wait_for(&mut st, self.timeout).timed_out() {
+                let slot = st.slots.get(&slot_key);
+                panic!(
+                    "simulated deadlock: collective {:?} on comm {:#x} seq {seq} has {}/{} arrivals after {:?}",
+                    kind,
+                    comm.id(),
+                    slot.map(|s| s.arrived).unwrap_or(0),
+                    expected,
+                    self.timeout
+                );
+            }
+        }
+    }
+
+    /// All participants have arrived: compute cost, completion time, outputs.
+    fn complete_collective(machine: &MachineModel, comm: &Communicator, seq: u64, slot: &mut CollSlot) {
+        let p = slot.expected;
+        let take = |c: &mut Option<Contrib>| match c.take() {
+            Some(Contrib::Data(d)) => d,
+            Some(Contrib::Split { .. }) => panic!("split contribution in data collective"),
+            None => panic!("missing contribution"),
+        };
+        let mut contribs = std::mem::take(&mut slot.contribs);
+
+        // Words moved per the op's calling convention (per-rank for vector ops).
+        let words = match slot.kind {
+            CollKind::Bcast => contribs[slot.root].as_ref().map_or(0, contrib_len),
+            CollKind::Reduce(_) | CollKind::Allreduce(_) | CollKind::AllreduceCustom => {
+                contribs.iter().map(|c| c.as_ref().map_or(0, contrib_len)).max().unwrap_or(0)
+            }
+            CollKind::Allgather | CollKind::Gather => {
+                contribs.iter().map(|c| c.as_ref().map_or(0, contrib_len)).max().unwrap_or(0)
+            }
+            CollKind::Scatter => contribs[slot.root].as_ref().map_or(0, contrib_len) / p.max(1),
+            CollKind::ReduceScatter(_) | CollKind::Alltoall => {
+                // Per-rank chunk convention: contributions are p·chunk words.
+                contribs.iter().map(|c| c.as_ref().map_or(0, contrib_len)).max().unwrap_or(0)
+                    / p.max(1)
+            }
+            CollKind::Barrier => 0,
+            CollKind::Split => 1,
+        };
+        let cost = match slot.charge {
+            Some(override_words) => {
+                let w = override_words.unwrap_or(words);
+                machine.comm_time(slot.kind.comm_op(), w, p, stream_id(&[comm.id()]), seq)
+            }
+            None => 0.0,
+        };
+        slot.cost = cost;
+        slot.done = Some(slot.max_post + cost);
+
+        match slot.kind {
+            CollKind::Barrier => {
+                for o in slot.outputs.iter_mut() {
+                    *o = Some(Output::None);
+                }
+            }
+            CollKind::Bcast => {
+                let data = take(&mut contribs[slot.root]);
+                for o in slot.outputs.iter_mut() {
+                    *o = Some(Output::Data(data.clone()));
+                }
+            }
+            CollKind::Reduce(op) | CollKind::Allreduce(op) => {
+                let mut acc = take(&mut contribs[0]);
+                for c in contribs.iter_mut().skip(1) {
+                    let d = take(c);
+                    op.fold_into(&mut acc, &d);
+                }
+                let everyone = matches!(slot.kind, CollKind::Allreduce(_));
+                for (i, o) in slot.outputs.iter_mut().enumerate() {
+                    *o = Some(if everyone || i == slot.root {
+                        Output::Data(acc.clone())
+                    } else {
+                        Output::None
+                    });
+                }
+            }
+            CollKind::AllreduceCustom => {
+                let combine = slot.combine.expect("custom allreduce needs combine fn");
+                let mut acc = take(&mut contribs[0]);
+                for c in contribs.iter_mut().skip(1) {
+                    let d = take(c);
+                    acc = combine(&acc, &d);
+                }
+                for o in slot.outputs.iter_mut() {
+                    *o = Some(Output::Data(acc.clone()));
+                }
+            }
+            CollKind::Allgather | CollKind::Gather => {
+                let mut all = Vec::new();
+                for c in contribs.iter_mut() {
+                    all.extend_from_slice(&take(c));
+                }
+                let everyone = slot.kind == CollKind::Allgather;
+                for (i, o) in slot.outputs.iter_mut().enumerate() {
+                    *o = Some(if everyone || i == slot.root {
+                        Output::Data(all.clone())
+                    } else {
+                        Output::None
+                    });
+                }
+            }
+            CollKind::Scatter => {
+                let data = take(&mut contribs[slot.root]);
+                assert!(
+                    data.len() % p == 0,
+                    "scatter payload of {} words not divisible by {p} ranks",
+                    data.len()
+                );
+                let chunk = data.len() / p;
+                for (i, o) in slot.outputs.iter_mut().enumerate() {
+                    *o = Some(Output::Data(data[i * chunk..(i + 1) * chunk].to_vec()));
+                }
+            }
+            CollKind::ReduceScatter(op) => {
+                let mut acc = take(&mut contribs[0]);
+                for c in contribs.iter_mut().skip(1) {
+                    let d = take(c);
+                    op.fold_into(&mut acc, &d);
+                }
+                assert!(
+                    acc.len() % p == 0,
+                    "reduce_scatter payload of {} words not divisible by {p} ranks",
+                    acc.len()
+                );
+                let chunk = acc.len() / p;
+                for (i, o) in slot.outputs.iter_mut().enumerate() {
+                    *o = Some(Output::Data(acc[i * chunk..(i + 1) * chunk].to_vec()));
+                }
+            }
+            CollKind::Alltoall => {
+                let parts: Vec<Vec<f64>> = contribs.iter_mut().map(take).collect();
+                let len = parts[0].len();
+                assert!(
+                    parts.iter().all(|d| d.len() == len),
+                    "alltoall contributions must have equal length"
+                );
+                assert!(len.is_multiple_of(p), "alltoall payload of {len} words not divisible by {p} ranks");
+                let chunk = len / p;
+                for (i, o) in slot.outputs.iter_mut().enumerate() {
+                    let mut mine = Vec::with_capacity(len);
+                    for part in &parts {
+                        mine.extend_from_slice(&part[i * chunk..(i + 1) * chunk]);
+                    }
+                    *o = Some(Output::Data(mine));
+                }
+            }
+            CollKind::Split => {
+                // Group members by color; order each group by (key, world rank).
+                let mut entries: Vec<(i64, i64, usize, usize)> = contribs
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, c)| match c.take() {
+                        Some(Contrib::Split { color, key, world_rank }) => (color, key, world_rank, i),
+                        _ => panic!("non-split contribution in split collective"),
+                    })
+                    .collect();
+                entries.sort_by_key(|&(color, key, wr, _)| (color, key, wr));
+                let mut idx = 0;
+                while idx < entries.len() {
+                    let color = entries[idx].0;
+                    let mut group = Vec::new();
+                    while idx < entries.len() && entries[idx].0 == color {
+                        group.push(entries[idx]);
+                        idx += 1;
+                    }
+                    if color < 0 {
+                        // MPI_UNDEFINED: no communicator.
+                        for &(_, _, _, slot_idx) in &group {
+                            slot.outputs[slot_idx] = Some(Output::Split(None));
+                        }
+                        continue;
+                    }
+                    let members: Arc<Vec<usize>> =
+                        Arc::new(group.iter().map(|&(_, _, wr, _)| wr).collect());
+                    let mut parts = vec![comm.id(), seq, color as u64];
+                    parts.extend(members.iter().map(|&m| m as u64));
+                    let new_id = stream_id(&parts);
+                    for (pos, &(_, _, _, slot_idx)) in group.iter().enumerate() {
+                        slot.outputs[slot_idx] =
+                            Some(Output::Split(Some((new_id, Arc::clone(&members), pos))));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn contrib_len(c: &Contrib) -> usize {
+    match c {
+        Contrib::Data(d) => d.len(),
+        Contrib::Split { .. } => 1,
+    }
+}

@@ -1,0 +1,73 @@
+//! Per-rank volumetric counters.
+//!
+//! These are the *local* (per-processor) measurements — message counts, words
+//! moved, flops, and the communication/idle split — that complement the
+//! critical-path measurements Critter derives. Figure 3's BSP trade-off panels
+//! cross-check against these.
+
+/// Volumetric counters accumulated by one simulated rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankCounters {
+    /// Point-to-point sends posted.
+    pub sends: u64,
+    /// Point-to-point receives completed.
+    pub recvs: u64,
+    /// Collective operations participated in.
+    pub collectives: u64,
+    /// Words sent point-to-point.
+    pub words_sent: u64,
+    /// Words received point-to-point.
+    pub words_received: u64,
+    /// Compute kernels executed.
+    pub compute_calls: u64,
+    /// Floating-point operations performed by executed kernels.
+    pub flops: f64,
+    /// Virtual seconds spent computing.
+    pub compute_time: f64,
+    /// Virtual seconds spent in communication transfer costs.
+    pub comm_time: f64,
+    /// Virtual seconds spent idle (waiting for a peer to arrive).
+    pub idle_time: f64,
+}
+
+impl RankCounters {
+    /// Busy time: compute + communication (excludes idle).
+    pub fn busy_time(&self) -> f64 {
+        self.compute_time + self.comm_time
+    }
+
+    /// Fold another rank's counters in (for job-level summaries).
+    pub fn merge(&mut self, o: &RankCounters) {
+        self.sends += o.sends;
+        self.recvs += o.recvs;
+        self.collectives += o.collectives;
+        self.words_sent += o.words_sent;
+        self.words_received += o.words_received;
+        self.compute_calls += o.compute_calls;
+        self.flops += o.flops;
+        self.compute_time += o.compute_time;
+        self.comm_time += o.comm_time;
+        self.idle_time += o.idle_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RankCounters { sends: 1, flops: 10.0, ..Default::default() };
+        let b = RankCounters { sends: 2, recvs: 3, flops: 5.0, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.sends, 3);
+        assert_eq!(a.recvs, 3);
+        assert_eq!(a.flops, 15.0);
+    }
+
+    #[test]
+    fn busy_excludes_idle() {
+        let c = RankCounters { compute_time: 2.0, comm_time: 1.0, idle_time: 5.0, ..Default::default() };
+        assert_eq!(c.busy_time(), 3.0);
+    }
+}

@@ -1,0 +1,438 @@
+//! The per-rank execution context — the "PMPI layer" a simulated program (or
+//! the Critter interception layer above it) calls into.
+//!
+//! All operations follow MPI calling conventions: ranks are communicator-local,
+//! vector collectives take per-rank contributions, `split` with a negative
+//! color returns no communicator. Payloads are `Vec<f64>` (dense linear algebra
+//! moves matrix blocks; integer metadata is encoded as f64, which is exact for
+//! the magnitudes involved).
+
+use std::sync::Arc;
+
+use critter_machine::{KernelClass, MachineModel};
+
+use crate::comm::Communicator;
+use crate::core::{CollKind, CombineFn, Contrib, Output, P2pKey, SimCore};
+use crate::counters::RankCounters;
+use crate::request::{Request, RequestInner};
+
+/// Elementwise reduction operators for `reduce`/`allreduce`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    /// Fold `src` into `acc` elementwise. Panics on length mismatch, as MPI
+    /// would on count mismatch.
+    pub(crate) fn fold_into(self, acc: &mut [f64], src: &[f64]) {
+        assert_eq!(acc.len(), src.len(), "reduction length mismatch");
+        match self {
+            ReduceOp::Sum => acc.iter_mut().zip(src).for_each(|(a, &b)| *a += b),
+            ReduceOp::Max => acc.iter_mut().zip(src).for_each(|(a, &b)| *a = a.max(b)),
+            ReduceOp::Min => acc.iter_mut().zip(src).for_each(|(a, &b)| *a = a.min(b)),
+        }
+    }
+}
+
+/// One simulated rank's execution context.
+pub struct RankCtx {
+    rank: usize,
+    size: usize,
+    clock: f64,
+    core: Arc<SimCore>,
+    world: Communicator,
+    counters: RankCounters,
+    compute_invocations: u64,
+}
+
+impl RankCtx {
+    pub(crate) fn new(rank: usize, size: usize, core: Arc<SimCore>) -> Self {
+        let world = Communicator::world(size, rank);
+        RankCtx { rank, size, clock: 0.0, core, world, counters: RankCounters::default(), compute_invocations: 0 }
+    }
+
+    /// This rank's world rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks in the simulation.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The world communicator.
+    pub fn world(&self) -> Communicator {
+        self.world.clone()
+    }
+
+    /// Current virtual time on this rank.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Advance the local clock by `dt` virtual seconds (modeling local work
+    /// outside the kernel cost model — e.g. Critter's own bookkeeping).
+    pub fn advance(&mut self, dt: f64) {
+        assert!(dt >= 0.0, "cannot advance time backwards");
+        self.clock += dt;
+    }
+
+    /// The machine model driving all costs.
+    pub fn machine(&self) -> &MachineModel {
+        &self.core.machine
+    }
+
+    /// Volumetric counters accumulated so far.
+    pub fn counters(&self) -> &RankCounters {
+        &self.counters
+    }
+
+    /// Number of compute kernels sampled so far (the per-rank invocation
+    /// counter feeding the deterministic jitter stream).
+    pub fn compute_invocations(&self) -> u64 {
+        self.compute_invocations
+    }
+
+    /// Execute a compute kernel of `class` costing `flops`: samples its noisy
+    /// duration, advances the clock, returns the sampled time.
+    pub fn compute(&mut self, class: KernelClass, flops: f64) -> f64 {
+        let t = self.core.machine.compute_time(class, flops, self.rank, self.compute_invocations);
+        self.compute_invocations += 1;
+        self.clock += t;
+        self.counters.compute_calls += 1;
+        self.counters.flops += flops;
+        self.counters.compute_time += t;
+        t
+    }
+
+    /// Sample what a compute kernel *would* cost without executing it, still
+    /// consuming an invocation index (so that skipped kernels do not shift the
+    /// jitter stream of later ones). Used by Critter's selective execution.
+    pub fn peek_compute(&mut self, class: KernelClass, flops: f64) -> f64 {
+        let t = self.core.machine.compute_time(class, flops, self.rank, self.compute_invocations);
+        self.compute_invocations += 1;
+        t
+    }
+
+    fn key(&self, comm: &Communicator, src: usize, dst: usize, tag: u64) -> P2pKey {
+        P2pKey {
+            comm: comm.id(),
+            src: comm.world_rank_of(src),
+            dst: comm.world_rank_of(dst),
+            tag,
+        }
+    }
+
+    /// Blocking standard-mode send of `data` to communicator rank `dst`.
+    ///
+    /// Messages larger than the eager threshold synchronize with the receiver
+    /// (rendezvous); smaller ones complete locally after the transfer cost.
+    pub fn send(&mut self, comm: &Communicator, dst: usize, tag: u64, data: &[f64]) {
+        let key = self.key(comm, comm.rank(), dst, tag);
+        let words = data.len();
+        let (cost, slot) = self.core.post_send(key, data.to_vec(), self.clock, false, None);
+        let done = match slot {
+            Some(s) => {
+                let done = self.core.wait_send(&s);
+                // Rendezvous: time past our own transfer cost was spent waiting
+                // for the receiver to arrive.
+                self.counters.idle_time += (done - self.clock - cost).max(0.0);
+                done
+            }
+            None => self.clock + cost,
+        };
+        self.counters.comm_time += cost;
+        self.counters.sends += 1;
+        self.counters.words_sent += words as u64;
+        self.clock = done;
+    }
+
+    /// Blocking receive from communicator rank `src`.
+    pub fn recv(&mut self, comm: &Communicator, src: usize, tag: u64) -> Vec<f64> {
+        let key = self.key(comm, src, comm.rank(), tag);
+        let out = self.core.match_recv(key, self.clock);
+        self.counters.recvs += 1;
+        self.counters.words_received += out.data.len() as u64;
+        self.counters.comm_time += out.cost;
+        self.counters.idle_time += out.idle;
+        self.clock = out.done.max(self.clock);
+        out.data
+    }
+
+    /// Nonblocking send; completion via [`RankCtx::wait`].
+    pub fn isend(&mut self, comm: &Communicator, dst: usize, tag: u64, data: Vec<f64>) -> Request {
+        self.isend_with_cost(comm, dst, tag, data, None)
+    }
+
+    /// Nonblocking send whose transfer is charged as `cost_words` words
+    /// instead of the payload length (`None` = actual size). Critter uses
+    /// this to charge internal piggyback messages at the compact wire size of
+    /// the real implementation's profile arrays.
+    pub fn isend_with_cost(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: u64,
+        data: Vec<f64>,
+        cost_words: Option<usize>,
+    ) -> Request {
+        let key = self.key(comm, comm.rank(), dst, tag);
+        let words = data.len() as u64;
+        let post = self.clock;
+        let (cost, slot) = self.core.post_send(key, data, post, false, cost_words);
+        // Posting costs only the software overhead; transfer overlaps.
+        self.clock += self.core.machine.params().per_call_overhead;
+        match slot {
+            Some(slot) => Request(RequestInner::SendRendezvous { slot, post, words }),
+            None => Request(RequestInner::SendEager { done: post + cost, words, cost }),
+        }
+    }
+
+    /// Nonblocking receive; data is returned by [`RankCtx::wait`].
+    pub fn irecv(&mut self, comm: &Communicator, src: usize, tag: u64) -> Request {
+        let key = self.key(comm, src, comm.rank(), tag);
+        let post = self.clock;
+        self.clock += self.core.machine.params().per_call_overhead;
+        Request(RequestInner::Recv { key, post })
+    }
+
+    /// Complete a nonblocking operation. Returns the received payload for
+    /// receive requests, `None` otherwise.
+    pub fn wait(&mut self, req: Request) -> Option<Vec<f64>> {
+        match req.0 {
+            RequestInner::Done => None,
+            RequestInner::SendEager { done, words, cost } => {
+                self.counters.sends += 1;
+                self.counters.words_sent += words;
+                self.counters.comm_time += cost;
+                self.clock = self.clock.max(done);
+                None
+            }
+            RequestInner::SendRendezvous { slot, post, words } => {
+                let done = self.core.wait_send(&slot);
+                self.counters.sends += 1;
+                self.counters.words_sent += words;
+                // Attribute the span beyond our current clock to idle+transfer.
+                self.counters.idle_time += (done - self.clock.max(post)).max(0.0);
+                self.clock = self.clock.max(done);
+                None
+            }
+            RequestInner::Recv { key, post } => {
+                let out = self.core.match_recv(key, post);
+                self.counters.recvs += 1;
+                self.counters.words_received += out.data.len() as u64;
+                self.counters.comm_time += out.cost;
+                self.counters.idle_time += (out.done - self.clock - out.cost).max(0.0);
+                self.clock = self.clock.max(out.done);
+                Some(out.data)
+            }
+        }
+    }
+
+    /// Complete a set of requests in order, collecting any received payloads.
+    pub fn waitall(&mut self, reqs: Vec<Request>) -> Vec<Vec<f64>> {
+        reqs.into_iter().filter_map(|r| self.wait(r)).collect()
+    }
+
+    fn run_collective(
+        &mut self,
+        comm: &Communicator,
+        kind: CollKind,
+        root: usize,
+        contrib: Contrib,
+        combine: Option<CombineFn>,
+        charge: Option<Option<usize>>,
+    ) -> Output {
+        self.run_collective_timed(comm, kind, root, contrib, combine, charge).0
+    }
+
+    fn run_collective_timed(
+        &mut self,
+        comm: &Communicator,
+        kind: CollKind,
+        root: usize,
+        contrib: Contrib,
+        combine: Option<CombineFn>,
+        charge: Option<Option<usize>>,
+    ) -> (Output, f64) {
+        let seq = comm.next_collective_seq();
+        let post = self.clock;
+        let (done, cost, out) = self
+            .core
+            .collective(comm, seq, kind, root, contrib, combine, charge, post);
+        self.counters.collectives += 1;
+        self.counters.comm_time += cost;
+        self.counters.idle_time += (done - post - cost).max(0.0);
+        self.clock = done;
+        (out, cost)
+    }
+
+    fn expect_data(out: Output) -> Vec<f64> {
+        match out {
+            Output::Data(d) => d,
+            _ => panic!("collective returned no data where data was expected"),
+        }
+    }
+
+    /// Broadcast `data` from communicator rank `root`; on other ranks the
+    /// buffer is replaced with the root's payload.
+    pub fn bcast(&mut self, comm: &Communicator, root: usize, data: &mut Vec<f64>) {
+        let contrib = if comm.rank() == root {
+            Contrib::Data(std::mem::take(data))
+        } else {
+            Contrib::Data(Vec::new())
+        };
+        let out = self.run_collective(comm, CollKind::Bcast, root, contrib, None, Some(None));
+        *data = Self::expect_data(out);
+    }
+
+    /// Reduce `data` elementwise onto `root`; `Some(result)` at the root.
+    pub fn reduce(&mut self, comm: &Communicator, root: usize, op: ReduceOp, data: &[f64]) -> Option<Vec<f64>> {
+        let out = self.run_collective(comm, CollKind::Reduce(op), root, Contrib::Data(data.to_vec()), None, Some(None));
+        match out {
+            Output::Data(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Allreduce: every rank receives the elementwise reduction.
+    pub fn allreduce(&mut self, comm: &Communicator, op: ReduceOp, data: &[f64]) -> Vec<f64> {
+        let out = self.run_collective(comm, CollKind::Allreduce(op), 0, Contrib::Data(data.to_vec()), None, Some(None));
+        Self::expect_data(out)
+    }
+
+    /// Allreduce with a custom associative combine function (Critter's internal
+    /// path-propagation operator). When `charged` is false the operation
+    /// synchronizes clocks but adds zero cost — pure piggybacking.
+    pub fn allreduce_custom(
+        &mut self,
+        comm: &Communicator,
+        data: Vec<f64>,
+        combine: CombineFn,
+        charge: Option<Option<usize>>,
+    ) -> Vec<f64> {
+        self.allreduce_custom_timed(comm, data, combine, charge).0
+    }
+
+    /// [`RankCtx::allreduce_custom`] that also returns the operation's sampled
+    /// cost — identical on every participant, which lets the Critter layer
+    /// fold its own profiling cost into the critical-path estimate.
+    pub fn allreduce_custom_timed(
+        &mut self,
+        comm: &Communicator,
+        data: Vec<f64>,
+        combine: CombineFn,
+        charge: Option<Option<usize>>,
+    ) -> (Vec<f64>, f64) {
+        let (out, cost) =
+            self.run_collective_timed(comm, CollKind::AllreduceCustom, 0, Contrib::Data(data), Some(combine), charge);
+        (Self::expect_data(out), cost)
+    }
+
+    /// Allgather: concatenation of every rank's `data`, in rank order.
+    pub fn allgather(&mut self, comm: &Communicator, data: &[f64]) -> Vec<f64> {
+        let out = self.run_collective(comm, CollKind::Allgather, 0, Contrib::Data(data.to_vec()), None, Some(None));
+        Self::expect_data(out)
+    }
+
+    /// Gather onto `root`: `Some(concatenation)` at the root.
+    pub fn gather(&mut self, comm: &Communicator, root: usize, data: &[f64]) -> Option<Vec<f64>> {
+        let out = self.run_collective(comm, CollKind::Gather, root, Contrib::Data(data.to_vec()), None, Some(None));
+        match out {
+            Output::Data(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Scatter from `root`: the root supplies `size() * chunk` words, every
+    /// rank receives its `chunk`-word slice. Non-roots pass an empty slice.
+    pub fn scatter(&mut self, comm: &Communicator, root: usize, data: &[f64]) -> Vec<f64> {
+        let contrib = if comm.rank() == root { Contrib::Data(data.to_vec()) } else { Contrib::Data(Vec::new()) };
+        let out = self.run_collective(comm, CollKind::Scatter, root, contrib, None, Some(None));
+        Self::expect_data(out)
+    }
+
+    /// Reduce-scatter: every rank contributes `size()·chunk` words; rank `i`
+    /// receives the `i`-th `chunk`-word slice of the elementwise reduction.
+    pub fn reduce_scatter(&mut self, comm: &Communicator, op: ReduceOp, data: &[f64]) -> Vec<f64> {
+        assert_eq!(data.len() % comm.size(), 0, "reduce_scatter payload must divide by ranks");
+        let out =
+            self.run_collective(comm, CollKind::ReduceScatter(op), 0, Contrib::Data(data.to_vec()), None, Some(None));
+        Self::expect_data(out)
+    }
+
+    /// All-to-all: every rank contributes `size()·chunk` words; rank `i`
+    /// receives the concatenation of every rank's `i`-th chunk, in rank order.
+    pub fn alltoall(&mut self, comm: &Communicator, data: &[f64]) -> Vec<f64> {
+        assert_eq!(data.len() % comm.size(), 0, "alltoall payload must divide by ranks");
+        let out = self.run_collective(comm, CollKind::Alltoall, 0, Contrib::Data(data.to_vec()), None, Some(None));
+        Self::expect_data(out)
+    }
+
+    /// Synchronize all ranks of `comm`.
+    pub fn barrier(&mut self, comm: &Communicator) {
+        let _ = self.run_collective(comm, CollKind::Barrier, 0, Contrib::Data(Vec::new()), None, Some(None));
+    }
+
+    /// Split `comm` by `color` (negative = undefined → `None`), ordering the
+    /// new communicator by `(key, world rank)` as MPI does.
+    pub fn split(&mut self, comm: &Communicator, color: i64, key: i64) -> Option<Communicator> {
+        let contrib = Contrib::Split { color, key, world_rank: comm.world_rank_of(comm.rank()) };
+        let out = self.run_collective(comm, CollKind::Split, 0, contrib, None, Some(None));
+        match out {
+            Output::Split(Some((id, members, index))) => Some(Communicator::new(id, members, index)),
+            Output::Split(None) => None,
+            _ => panic!("split returned non-split output"),
+        }
+    }
+
+    /// Combined send+receive (deadlock-free exchange), as `MPI_Sendrecv`.
+    pub fn sendrecv(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        send_tag: u64,
+        data: &[f64],
+        src: usize,
+        recv_tag: u64,
+    ) -> Vec<f64> {
+        let sreq = self.isend(comm, dst, send_tag, data.to_vec());
+        let rdata = self.recv(comm, src, recv_tag);
+        self.wait(sreq);
+        rdata
+    }
+
+    pub(crate) fn into_parts(self) -> (f64, RankCounters) {
+        (self.clock, self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_ops_fold() {
+        let mut acc = vec![1.0, 5.0, -2.0];
+        ReduceOp::Sum.fold_into(&mut acc, &[1.0, 1.0, 1.0]);
+        assert_eq!(acc, vec![2.0, 6.0, -1.0]);
+        ReduceOp::Max.fold_into(&mut acc, &[0.0, 10.0, 0.0]);
+        assert_eq!(acc, vec![2.0, 10.0, 0.0]);
+        ReduceOp::Min.fold_into(&mut acc, &[3.0, 3.0, 3.0]);
+        assert_eq!(acc, vec![2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn reduce_length_mismatch_panics() {
+        let mut acc = vec![1.0];
+        ReduceOp::Sum.fold_into(&mut acc, &[1.0, 2.0]);
+    }
+}

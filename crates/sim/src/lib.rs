@@ -1,0 +1,57 @@
+//! # critter-sim
+//!
+//! A deterministic discrete-event simulator of a distributed-memory machine,
+//! standing in for the MPI runtime (the `PMPI_*` layer of the paper's Fig. 2)
+//! that the original Critter intercepts on Stampede2.
+//!
+//! ## Execution model
+//!
+//! Each simulated rank runs the user's program on its **own OS thread** and
+//! carries a **virtual clock**. Computation advances only the local clock
+//! (by a cost sampled from [`critter_machine::MachineModel`]); communication
+//! operations couple clocks through a central matching core:
+//!
+//! * a blocking point-to-point pair completes at
+//!   `max(sender post, receiver post) + α + β·words` (rendezvous) or lets the
+//!   sender run ahead (eager) below a configurable message-size threshold;
+//! * a collective completes for all participants at
+//!   `max(arrival times) + cost(op, words, p)` — the BSP view of a collective,
+//!   which is also exactly the quantity Critter's critical-path reduction
+//!   needs to observe;
+//! * nonblocking operations record their post time; `wait` applies the
+//!   completion rule with the *post* time, so communication-computation
+//!   overlap is modeled.
+//!
+//! ## Determinism
+//!
+//! Every stochastic cost draw is counter-based: it depends on the identity of
+//! the operation (channel id, per-channel sequence number), never on thread
+//! scheduling. Two runs of the same program with the same machine seed produce
+//! bit-identical virtual times. Communicator ids are likewise pure functions
+//! of (parent id, split sequence, color, members) so that independent splits
+//! racing on different threads cannot perturb them.
+//!
+//! ## What this substrate deliberately models
+//!
+//! The paper's framework consumes *per-kernel times along execution paths* and
+//! their *variability*. Both are first-class here; cache effects and real
+//! network contention are summarized by the machine's noise model instead of
+//! being simulated microscopically (see DESIGN.md, substitution table).
+
+#![deny(missing_docs)]
+
+pub mod comm;
+pub mod core;
+pub mod counters;
+pub mod ctx;
+pub mod request;
+pub mod runner;
+
+pub use comm::{ChannelMeta, Communicator};
+pub use counters::RankCounters;
+pub use ctx::{RankCtx, ReduceOp};
+pub use request::Request;
+pub use runner::{run_simulation, SimConfig, SimReport};
+
+/// Re-export of the machine-model crate the simulator is parameterized by.
+pub use critter_machine as machine;

@@ -1,0 +1,609 @@
+//! Launching simulations: one OS thread per rank, panic propagation, report.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::time::Duration;
+
+use critter_machine::MachineModel;
+
+use crate::core::SimCore;
+use crate::counters::RankCounters;
+use crate::ctx::RankCtx;
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of simulated ranks (each gets an OS thread).
+    pub ranks: usize,
+    /// Stack size per rank thread. Recursive algorithms (Capital's Cholesky)
+    /// need room; 8 MiB matches the Linux default for main threads.
+    pub stack_size: usize,
+    /// Wall-clock time a blocked operation may wait before the simulation is
+    /// declared deadlocked.
+    pub deadlock_timeout: Duration,
+    /// Messages of at most this many words take the eager path (the sender
+    /// does not synchronize with the receiver). 512 words = 4 KiB.
+    pub eager_words: usize,
+}
+
+impl SimConfig {
+    /// Default configuration for `ranks` ranks.
+    pub fn new(ranks: usize) -> Self {
+        SimConfig {
+            ranks,
+            stack_size: 8 << 20,
+            deadlock_timeout: Duration::from_secs(30),
+            eager_words: 512,
+        }
+    }
+
+    /// Override the deadlock timeout (tests of deadlock detection use a short one).
+    pub fn with_deadlock_timeout(mut self, t: Duration) -> Self {
+        self.deadlock_timeout = t;
+        self
+    }
+
+    /// Override the eager threshold (the p2p-semantics ablation uses 0 and `usize::MAX`).
+    pub fn with_eager_words(mut self, w: usize) -> Self {
+        self.eager_words = w;
+        self
+    }
+}
+
+/// Result of a simulation: per-rank outputs, virtual times, and counters.
+#[derive(Debug)]
+pub struct SimReport<R> {
+    /// Per-rank return values of the program closure.
+    pub outputs: Vec<R>,
+    /// Final virtual clock of each rank.
+    pub rank_times: Vec<f64>,
+    /// Volumetric counters of each rank.
+    pub counters: Vec<RankCounters>,
+}
+
+impl<R> SimReport<R> {
+    /// The simulated execution time: the maximum final clock over all ranks.
+    pub fn elapsed(&self) -> f64 {
+        self.rank_times.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Job-wide counter totals.
+    pub fn total_counters(&self) -> RankCounters {
+        let mut t = RankCounters::default();
+        for c in &self.counters {
+            t.merge(c);
+        }
+        t
+    }
+}
+
+/// Run `program` on every rank of a simulated machine.
+///
+/// The closure receives a mutable [`RankCtx`] and may return any `Send` value;
+/// outputs are collected in rank order. A panic on any rank poisons the core
+/// (unblocking peers) and is re-raised on the calling thread.
+pub fn run_simulation<R, F>(config: SimConfig, machine: Arc<MachineModel>, program: F) -> SimReport<R>
+where
+    R: Send,
+    F: Fn(&mut RankCtx) -> R + Send + Sync,
+{
+    assert!(config.ranks > 0, "simulation requires at least one rank");
+    assert_eq!(
+        machine.topology().ranks(),
+        config.ranks,
+        "machine model rank count must match the simulation"
+    );
+    let core = Arc::new(SimCore::new(
+        Arc::clone(&machine),
+        config.deadlock_timeout,
+        config.eager_words,
+    ));
+    let program = &program;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(config.ranks);
+        for rank in 0..config.ranks {
+            let core = Arc::clone(&core);
+            let builder = std::thread::Builder::new()
+                .name(format!("sim-rank-{rank}"))
+                .stack_size(config.stack_size);
+            let handle = builder
+                .spawn_scoped(scope, move || {
+                    let mut ctx = RankCtx::new(rank, config.ranks, Arc::clone(&core));
+                    let result =
+                        std::panic::catch_unwind(AssertUnwindSafe(|| program(&mut ctx)));
+                    match result {
+                        Ok(out) => {
+                            let (clock, counters) = ctx.into_parts();
+                            (out, clock, counters)
+                        }
+                        Err(payload) => {
+                            // Unblock peers before propagating.
+                            core.poison();
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(handle);
+        }
+
+        let mut outputs = Vec::with_capacity(config.ranks);
+        let mut rank_times = Vec::with_capacity(config.ranks);
+        let mut counters = Vec::with_capacity(config.ranks);
+        let mut panic_payload = None;
+        for handle in handles {
+            match handle.join() {
+                Ok((out, clock, ctrs)) => {
+                    outputs.push(out);
+                    rank_times.push(clock);
+                    counters.push(ctrs);
+                }
+                Err(payload) => {
+                    // Keep joining the rest (they unblock via poison), then
+                    // re-raise the root cause: prefer any panic that is not
+                    // the secondary "peer rank panicked" cascade.
+                    let is_cascade = payload
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains("a peer rank panicked"))
+                        .or_else(|| {
+                            payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.contains("a peer rank panicked"))
+                        })
+                        .unwrap_or(false);
+                    let replace = match &panic_payload {
+                        None => true,
+                        Some((_, prev_is_cascade)) => *prev_is_cascade && !is_cascade,
+                    };
+                    if replace {
+                        panic_payload = Some((payload, is_cascade));
+                    }
+                }
+            }
+        }
+        if let Some((payload, _)) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        SimReport { outputs, rank_times, counters }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::ReduceOp;
+    use critter_machine::KernelClass;
+
+    fn machine(p: usize) -> Arc<MachineModel> {
+        MachineModel::test_exact(p).shared()
+    }
+
+    #[test]
+    fn single_rank_compute_advances_clock() {
+        let report = run_simulation(SimConfig::new(1), machine(1), |ctx| {
+            let t = ctx.compute(KernelClass::Gemm, 1e6);
+            assert!(t > 0.0);
+            ctx.now()
+        });
+        assert_eq!(report.outputs.len(), 1);
+        assert!(report.elapsed() > 0.0);
+        assert_eq!(report.outputs[0], report.rank_times[0]);
+    }
+
+    #[test]
+    fn ping_pong_transfers_data_and_time() {
+        let report = run_simulation(SimConfig::new(2), machine(2), |ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 0 {
+                ctx.send(&world, 1, 7, &[1.0, 2.0, 3.0]);
+                let back = ctx.recv(&world, 1, 8);
+                assert_eq!(back, vec![6.0]);
+            } else {
+                let data = ctx.recv(&world, 0, 7);
+                assert_eq!(data, vec![1.0, 2.0, 3.0]);
+                ctx.send(&world, 0, 8, &[data.iter().sum::<f64>()]);
+            }
+            ctx.now()
+        });
+        // Both ranks end after two messages' worth of time.
+        let alpha = 1.0e-6;
+        assert!(report.elapsed() >= 2.0 * alpha);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let p = 8;
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            ctx.allreduce(&world, ReduceOp::Sum, &[ctx.rank() as f64, 1.0])
+        });
+        let expect = vec![(0..8).sum::<usize>() as f64, 8.0];
+        for out in &report.outputs {
+            assert_eq!(*out, expect);
+        }
+        // Collectives synchronize: all ranks share one completion time.
+        let t0 = report.rank_times[0];
+        for &t in &report.rank_times {
+            assert!((t - t0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn bcast_distributes_root_payload() {
+        let p = 4;
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            let mut data = if ctx.rank() == 2 { vec![9.0, 8.0] } else { Vec::new() };
+            ctx.bcast(&world, 2, &mut data);
+            data
+        });
+        for out in &report.outputs {
+            assert_eq!(*out, vec![9.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let p = 4;
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            let gathered = ctx.gather(&world, 0, &[ctx.rank() as f64]);
+            let chunk = if ctx.rank() == 0 {
+                let g = gathered.unwrap();
+                assert_eq!(g, vec![0.0, 1.0, 2.0, 3.0]);
+                ctx.scatter(&world, 0, &g.iter().map(|x| x * 10.0).collect::<Vec<_>>())
+            } else {
+                assert!(gathered.is_none());
+                ctx.scatter(&world, 0, &[])
+            };
+            chunk
+        });
+        for (r, out) in report.outputs.iter().enumerate() {
+            assert_eq!(*out, vec![r as f64 * 10.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        let p = 3;
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            ctx.allgather(&world, &[ctx.rank() as f64, -(ctx.rank() as f64)])
+        });
+        for out in &report.outputs {
+            assert_eq!(*out, vec![0.0, -0.0, 1.0, -1.0, 2.0, -2.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_distributes_reduced_slices() {
+        let p = 4;
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            // Rank r contributes [r, r, r, r] (one word per destination).
+            let contrib = vec![ctx.rank() as f64; p];
+            ctx.reduce_scatter(&world, ReduceOp::Sum, &contrib)
+        });
+        // Sum over ranks of r = 6 at every destination slice.
+        for out in &report.outputs {
+            assert_eq!(*out, vec![6.0]);
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes_chunks() {
+        let p = 3;
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            // Rank r sends value 10·r + dest to each destination.
+            let contrib: Vec<f64> = (0..p).map(|d| (10 * ctx.rank() + d) as f64).collect();
+            ctx.alltoall(&world, &contrib)
+        });
+        for (r, out) in report.outputs.iter().enumerate() {
+            let expect: Vec<f64> = (0..p).map(|src| (10 * src + r) as f64).collect();
+            assert_eq!(*out, expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn reduce_max_at_root_only() {
+        let p = 4;
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            ctx.reduce(&world, 1, ReduceOp::Max, &[ctx.rank() as f64])
+        });
+        for (r, out) in report.outputs.iter().enumerate() {
+            if r == 1 {
+                assert_eq!(out.as_deref(), Some(&[3.0][..]));
+            } else {
+                assert!(out.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn split_builds_rows_and_columns() {
+        let p = 4; // 2x2 grid
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            let row = ctx.split(&world, (ctx.rank() / 2) as i64, ctx.rank() as i64).unwrap();
+            let col = ctx.split(&world, (ctx.rank() % 2) as i64, ctx.rank() as i64).unwrap();
+            // Sum within the row, then within the column: grand total via grid.
+            let rsum = ctx.allreduce(&row, ReduceOp::Sum, &[ctx.rank() as f64]);
+            let total = ctx.allreduce(&col, ReduceOp::Sum, &rsum);
+            (row.size(), col.size(), row.meta().stride(), col.meta().stride(), total[0])
+        });
+        for (r, &(rs, cs, rstride, cstride, total)) in report.outputs.iter().enumerate() {
+            assert_eq!(rs, 2, "rank {r} row size");
+            assert_eq!(cs, 2);
+            assert_eq!(rstride, 1);
+            assert_eq!(cstride, 2);
+            assert_eq!(total, 6.0);
+        }
+    }
+
+    #[test]
+    fn split_undefined_color_returns_none() {
+        let p = 3;
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            let c = ctx.split(&world, if ctx.rank() == 0 { -1 } else { 0 }, 0);
+            c.is_none()
+        });
+        assert_eq!(report.outputs, vec![true, false, false]);
+    }
+
+    #[test]
+    fn split_ids_agree_among_members() {
+        let p = 4;
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            let sub = ctx.split(&world, (ctx.rank() % 2) as i64, 0).unwrap();
+            sub.id()
+        });
+        assert_eq!(report.outputs[0], report.outputs[2]);
+        assert_eq!(report.outputs[1], report.outputs[3]);
+        assert_ne!(report.outputs[0], report.outputs[1]);
+    }
+
+    #[test]
+    fn nonblocking_send_recv() {
+        let report = run_simulation(SimConfig::new(2), machine(2), |ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 0 {
+                let r1 = ctx.isend(&world, 1, 1, vec![1.0]);
+                let r2 = ctx.isend(&world, 1, 2, vec![2.0]);
+                ctx.wait(r1);
+                ctx.wait(r2);
+                Vec::new()
+            } else {
+                // Receive in reverse tag order: matching is by tag, not arrival.
+                let r2 = ctx.irecv(&world, 0, 2);
+                let r1 = ctx.irecv(&world, 0, 1);
+                let d2 = ctx.wait(r2).unwrap();
+                let d1 = ctx.wait(r1).unwrap();
+                vec![d1[0], d2[0]]
+            }
+        });
+        assert_eq!(report.outputs[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn nonblocking_overlap_uses_post_time() {
+        // Receiver posts irecv early, computes, then waits: completion must be
+        // driven by the early post, not the wait call — i.e. overlap works.
+        let p = 2;
+        let big = 100_000; // rendezvous-sized
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 0 {
+                ctx.send(&world, 1, 0, &vec![1.5; big]);
+                ctx.now()
+            } else {
+                let req = ctx.irecv(&world, 0, 0);
+                let compute_t = ctx.compute(KernelClass::Gemm, 5e8); // long compute
+                let before_wait = ctx.now();
+                let data = ctx.wait(req).unwrap();
+                assert_eq!(data.len(), big);
+                // If the transfer overlapped the compute, waiting is nearly free.
+                assert!(ctx.now() - before_wait < 0.5 * compute_t);
+                ctx.now()
+            }
+        });
+        assert!(report.elapsed() > 0.0);
+    }
+
+    #[test]
+    fn sendrecv_exchanges_without_deadlock() {
+        let p = 4;
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            let right = (ctx.rank() + 1) % p;
+            let left = (ctx.rank() + p - 1) % p;
+            // Everyone sends right, receives from left — classic ring shift.
+            let got = ctx.sendrecv(&world, right, 0, &[ctx.rank() as f64], left, 0);
+            got[0]
+        });
+        for (r, &g) in report.outputs.iter().enumerate() {
+            assert_eq!(g as usize, (r + p - 1) % p);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let m = MachineModel::test_noisy(4, 99).shared();
+            run_simulation(SimConfig::new(4), m, |ctx| {
+                let world = ctx.world();
+                ctx.compute(KernelClass::Gemm, 1e6 * (1 + ctx.rank()) as f64);
+                let s = ctx.allreduce(&world, ReduceOp::Sum, &[ctx.now()]);
+                ctx.compute(KernelClass::Factorize, 2e5);
+                ctx.barrier(&world);
+                (ctx.now(), s[0])
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.rank_times, b.rank_times, "virtual times must be bit-identical");
+        assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn noisy_machine_perturbs_times() {
+        let m1 = MachineModel::test_noisy(2, 1).shared();
+        let m2 = MachineModel::test_noisy(2, 2).shared();
+        let prog = |ctx: &mut RankCtx| {
+            ctx.compute(KernelClass::Gemm, 1e7);
+            ctx.now()
+        };
+        let a = run_simulation(SimConfig::new(2), m1, prog);
+        let b = run_simulation(SimConfig::new(2), m2, prog);
+        assert_ne!(a.rank_times, b.rank_times);
+    }
+
+    #[test]
+    fn counters_track_volume() {
+        let p = 2;
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 0 {
+                ctx.send(&world, 1, 0, &[0.0; 10]);
+            } else {
+                ctx.recv(&world, 0, 0);
+            }
+            ctx.barrier(&world);
+        });
+        assert_eq!(report.counters[0].sends, 1);
+        assert_eq!(report.counters[0].words_sent, 10);
+        assert_eq!(report.counters[1].recvs, 1);
+        assert_eq!(report.counters[1].words_received, 10);
+        assert_eq!(report.counters[0].collectives, 1);
+        assert!(report.total_counters().comm_time > 0.0);
+    }
+
+    #[test]
+    fn idle_time_attributed_to_late_sender() {
+        let p = 2;
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 0 {
+                ctx.compute(KernelClass::Gemm, 1e9); // slow: receiver waits
+                ctx.send(&world, 1, 0, &[1.0; 4]);
+            } else {
+                ctx.recv(&world, 0, 0);
+            }
+        });
+        assert!(report.counters[1].idle_time > 0.0, "receiver should record idle time");
+        assert!(report.counters[0].idle_time == 0.0);
+    }
+
+    #[test]
+    fn rank_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            run_simulation(SimConfig::new(2), machine(2), |ctx| {
+                if ctx.rank() == 1 {
+                    panic!("boom on rank 1");
+                }
+                // Rank 0 blocks on a recv that will never be matched; the
+                // poison must unblock it promptly.
+                let world = ctx.world();
+                ctx.recv(&world, 1, 0);
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn deadlock_detection_fires() {
+        let cfg = SimConfig::new(2).with_deadlock_timeout(Duration::from_millis(200));
+        let result = std::panic::catch_unwind(|| {
+            run_simulation(cfg, machine(2), |ctx| {
+                let world = ctx.world();
+                // Both ranks receive, nobody sends.
+                ctx.recv(&world, 1 - ctx.rank(), 0);
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn custom_allreduce_folds_in_rank_order() {
+        let p = 4;
+        fn keep_max_first(a: &[f64], b: &[f64]) -> Vec<f64> {
+            if a.first() >= b.first() {
+                a.to_vec()
+            } else {
+                b.to_vec()
+            }
+        }
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            let payload = vec![(ctx.rank() as f64 * 7.0) % 5.0, ctx.rank() as f64];
+            ctx.allreduce_custom(&world, payload, keep_max_first, Some(None))
+        });
+        // Values of first element: r0=0, r1=2, r2=4, r3=1 → winner rank 2.
+        for out in &report.outputs {
+            assert_eq!(*out, vec![4.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn uncharged_collective_synchronizes_without_cost() {
+        let p = 2;
+        fn first(a: &[f64], _b: &[f64]) -> Vec<f64> {
+            a.to_vec()
+        }
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 0 {
+                ctx.compute(KernelClass::Gemm, 1e8);
+            }
+            let before = ctx.now();
+            ctx.allreduce_custom(&world, vec![0.0], first, None);
+            (before, ctx.now())
+        });
+        // Rank 1 must be dragged to rank 0's clock (sync), but the op is free
+        // for rank 0 (no added cost).
+        let (r0_before, r0_after) = report.outputs[0];
+        let (_, r1_after) = report.outputs[1];
+        assert_eq!(r0_before, r0_after);
+        assert_eq!(r0_after, r1_after);
+    }
+
+    #[test]
+    fn eager_send_does_not_wait_for_receiver() {
+        let p = 2;
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 0 {
+                ctx.send(&world, 1, 0, &[1.0; 8]); // small → eager
+                ctx.now()
+            } else {
+                ctx.compute(KernelClass::Gemm, 1e9); // receiver is very late
+                ctx.recv(&world, 0, 0);
+                ctx.now()
+            }
+        });
+        // Sender finished long before the receiver.
+        assert!(report.outputs[0] < 0.01 * report.outputs[1]);
+    }
+
+    #[test]
+    fn rendezvous_send_waits_for_receiver() {
+        let p = 2;
+        let report = run_simulation(SimConfig::new(p), machine(p), |ctx| {
+            let world = ctx.world();
+            if ctx.rank() == 0 {
+                ctx.send(&world, 1, 0, &vec![1.0; 100_000]); // large → rendezvous
+                ctx.now()
+            } else {
+                ctx.compute(KernelClass::Gemm, 1e9);
+                ctx.recv(&world, 0, 0);
+                ctx.now()
+            }
+        });
+        // Sender completion is coupled to the receiver's arrival.
+        assert!((report.outputs[0] - report.outputs[1]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Failure-injection tests: programming errors in simulated programs must be
+//! caught loudly (panics with diagnostics), never silently corrupt state or
+//! hang forever.
+
+use std::time::Duration;
+
+use critter_machine::MachineModel;
+use critter_sim::{run_simulation, ReduceOp, SimConfig};
+
+fn expect_panic<F: FnOnce() + std::panic::UnwindSafe>(f: F, needle: &str) {
+    let result = std::panic::catch_unwind(f);
+    let err = result.expect_err("program should have panicked");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains(needle), "panic message {msg:?} should contain {needle:?}");
+}
+
+#[test]
+fn mismatched_collectives_are_detected() {
+    // Rank 0 calls a barrier while rank 1 calls an allreduce at the same
+    // sequence number: a program-order divergence, caught by the slot check.
+    expect_panic(
+        || {
+            let machine = MachineModel::test_exact(2).shared();
+            run_simulation(SimConfig::new(2), machine, |ctx| {
+                let world = ctx.world();
+                if ctx.rank() == 0 {
+                    ctx.barrier(&world);
+                } else {
+                    ctx.allreduce(&world, ReduceOp::Sum, &[1.0]);
+                }
+            });
+        },
+        "collective mismatch",
+    );
+}
+
+#[test]
+fn mismatched_reduction_lengths_are_detected() {
+    expect_panic(
+        || {
+            let machine = MachineModel::test_exact(2).shared();
+            run_simulation(SimConfig::new(2), machine, |ctx| {
+                let world = ctx.world();
+                let data = vec![1.0; 1 + ctx.rank()];
+                ctx.allreduce(&world, ReduceOp::Sum, &data);
+            });
+        },
+        "length mismatch",
+    );
+}
+
+#[test]
+fn scatter_with_indivisible_payload_is_detected() {
+    expect_panic(
+        || {
+            let machine = MachineModel::test_exact(2).shared();
+            run_simulation(SimConfig::new(2), machine, |ctx| {
+                let world = ctx.world();
+                let data = if ctx.rank() == 0 { vec![1.0; 3] } else { Vec::new() };
+                ctx.scatter(&world, 0, &data);
+            });
+        },
+        "not divisible",
+    );
+}
+
+#[test]
+fn replayed_sequence_numbers_deadlock() {
+    // One rank re-uses a communicator handle whose sequence counter was
+    // cloned before the first collective: it replays sequence 0 while its
+    // peer advances to sequence 1 — the ranks wait on different slots, which
+    // the watchdog reports as a deadlock.
+    expect_panic(
+        || {
+            let machine = MachineModel::test_exact(2).shared();
+            let cfg = SimConfig::new(2).with_deadlock_timeout(Duration::from_millis(300));
+            run_simulation(cfg, machine, |ctx| {
+                let world = ctx.world();
+                let replay = world.clone(); // clones the sequence counter
+                if ctx.rank() == 0 {
+                    ctx.barrier(&world);
+                    ctx.barrier(&replay); // replays seq 0
+                } else {
+                    ctx.barrier(&world);
+                    ctx.barrier(&world); // seq 1
+                }
+            });
+        },
+        "simulated deadlock",
+    );
+}
+
+#[test]
+fn deadlocked_collective_reports_arrival_count() {
+    expect_panic(
+        || {
+            let machine = MachineModel::test_exact(3).shared();
+            let cfg = SimConfig::new(3).with_deadlock_timeout(Duration::from_millis(300));
+            run_simulation(cfg, machine, |ctx| {
+                let world = ctx.world();
+                if ctx.rank() != 2 {
+                    ctx.barrier(&world); // rank 2 never arrives
+                }
+            });
+        },
+        "simulated deadlock",
+    );
+}
+
+#[test]
+fn wrong_peer_receive_deadlocks_with_diagnostics() {
+    expect_panic(
+        || {
+            let machine = MachineModel::test_exact(3).shared();
+            let cfg = SimConfig::new(3).with_deadlock_timeout(Duration::from_millis(300));
+            run_simulation(cfg, machine, |ctx| {
+                let world = ctx.world();
+                match ctx.rank() {
+                    0 => ctx.send(&world, 1, 5, &[1.0]),
+                    1 => {
+                        // Wrong source: message came from 0, we listen to 2.
+                        ctx.recv(&world, 2, 5);
+                    }
+                    _ => {}
+                }
+            });
+        },
+        "simulated deadlock",
+    );
+}
+
+#[test]
+fn rank_count_must_match_machine() {
+    expect_panic(
+        || {
+            let machine = MachineModel::test_exact(4).shared();
+            run_simulation(SimConfig::new(2), machine, |_ctx| {});
+        },
+        "rank count",
+    );
+}
+
+#[test]
+fn negative_time_advance_is_rejected() {
+    expect_panic(
+        || {
+            let machine = MachineModel::test_exact(1).shared();
+            run_simulation(SimConfig::new(1), machine, |ctx| {
+                ctx.advance(-1.0);
+            });
+        },
+        "backwards",
+    );
+}

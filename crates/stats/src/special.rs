@@ -1,0 +1,284 @@
+//! Special functions needed for confidence intervals, implemented in-tree.
+//!
+//! We need two quantile functions: the standard normal (for large samples and
+//! for the noise model's diagnostics) and Student's t (the paper constructs
+//! 95% confidence intervals from small numbers of kernel samples, where t ≫ z).
+//! The normal quantile uses Acklam's rational approximation (|ε| < 1.15e-9);
+//! the t CDF is computed from the regularized incomplete beta function
+//! (Numerical Recipes continued fraction) and inverted by bisection, which is
+//! plenty fast for the handful of distinct `(level, dof)` pairs a tuning run
+//! touches — and the hot pairs are cached by the caller.
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0`, `x ∈ [0,1]`.
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "incomplete_beta requires positive a, b");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the continued fraction in its region of fast convergence.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - ln_front.exp() * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Lentz's continued fraction for the incomplete beta (Numerical Recipes betacf).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3.0e-15;
+    const FPMIN: f64 = 1.0e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
+#[allow(clippy::excessive_precision)] // published coefficient table, kept verbatim
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for g=7.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut acc = COEFFS[0];
+        for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+            acc += c / (x + i as f64);
+        }
+        let t = x + 7.5;
+        0.5 * (std::f64::consts::TAU).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+    }
+}
+
+/// CDF of Student's t distribution with `dof` degrees of freedom.
+pub fn student_t_cdf(t: f64, dof: f64) -> f64 {
+    assert!(dof > 0.0, "degrees of freedom must be positive");
+    let x = dof / (dof + t * t);
+    let p = 0.5 * incomplete_beta(0.5 * dof, 0.5, x);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Two-sided critical value `t*` with `P(|T| ≤ t*) = level` for Student's t.
+///
+/// `level` in (0, 1); `dof ≥ 1`. Solved by bisection on the CDF.
+pub fn student_t_critical(level: f64, dof: f64) -> f64 {
+    assert!((0.0..1.0).contains(&level), "level must be in (0,1)");
+    assert!(dof >= 1.0, "dof must be at least 1");
+    let target = 0.5 + level / 2.0; // upper-tail CDF value
+    let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+    while student_t_cdf(hi, dof) < target {
+        hi *= 2.0;
+        if hi > 1e12 {
+            return hi; // dof=1 with extreme level — effectively unbounded
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if student_t_cdf(mid, dof) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 * (1.0 + hi) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Standard normal quantile (inverse CDF), Acklam's rational approximation.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0,1)");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// Two-sided standard-normal critical value `z*` with `P(|Z| ≤ z*) = level`.
+pub fn normal_critical(level: f64) -> f64 {
+    normal_quantile(0.5 + level / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries_and_symmetry() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a).
+        let (a, b, x) = (2.5, 1.5, 0.3);
+        let lhs = incomplete_beta(a, b, x);
+        let rhs = 1.0 - incomplete_beta(b, a, 1.0 - x);
+        assert!((lhs - rhs).abs() < 1e-12);
+        // I_x(1,1) = x (uniform).
+        assert!((incomplete_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_cdf_symmetry_and_center() {
+        assert!((student_t_cdf(0.0, 7.0) - 0.5).abs() < 1e-12);
+        let p = student_t_cdf(1.3, 4.0);
+        let q = student_t_cdf(-1.3, 4.0);
+        assert!((p + q - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_critical_matches_tables() {
+        // Classic 95% two-sided values.
+        let cases = [
+            (1.0, 12.706),
+            (2.0, 4.303),
+            (4.0, 2.776),
+            (9.0, 2.262),
+            (29.0, 2.045),
+            (100.0, 1.984),
+        ];
+        for (dof, expect) in cases {
+            let got = student_t_critical(0.95, dof);
+            assert!((got - expect).abs() < 2e-3, "dof {dof}: got {got}, want {expect}");
+        }
+    }
+
+    #[test]
+    fn t_converges_to_normal() {
+        let t = student_t_critical(0.95, 1e6);
+        let z = normal_critical(0.95);
+        assert!((t - z).abs() < 1e-3, "t {t} z {z}");
+    }
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-5);
+        assert!((normal_quantile(0.025) + 1.959_964).abs() < 1e-5);
+        assert!((normal_quantile(0.8413447) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normal_critical_95() {
+        assert!((normal_critical(0.95) - 1.959_964).abs() < 1e-5);
+        assert!((normal_critical(0.99) - 2.575_829).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..100 {
+            let q = normal_quantile(i as f64 / 100.0);
+            assert!(q > prev);
+            prev = q;
+        }
+    }
+}

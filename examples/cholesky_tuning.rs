@@ -1,0 +1,51 @@
+//! Autotune Capital's recursive 3D-grid Cholesky across block sizes and
+//! base-case strategies — the paper's first case study, at smoke scale —
+//! comparing all five selective-execution policies at a fixed tolerance.
+//!
+//! Run: `cargo run --example cholesky_tuning --release`
+
+use critter::prelude::*;
+
+fn main() {
+    let space = TuningSpace::CapitalCholesky;
+    let workloads = space.smoke();
+    let epsilon = 0.25;
+
+    println!("tuning {} configurations of {}, ε = {epsilon}\n", workloads.len(), space.name());
+    println!(
+        "{:<24} {:>12} {:>12} {:>9} {:>10} {:>9}",
+        "policy", "tuning time", "full time", "speedup", "mean err", "quality"
+    );
+    for policy in ExecutionPolicy::ALL_SELECTIVE {
+        let mut opts = TuningOptions::new(policy, epsilon);
+        opts.reset_between_configs = space.resets_between_configs();
+        let report = Autotuner::new(opts).tune(&workloads);
+        println!(
+            "{:<24} {:>12.5} {:>12.5} {:>8.2}x {:>9.2}% {:>9.3}",
+            policy.name(),
+            report.tuning_time(),
+            report.full_time(),
+            report.speedup(),
+            100.0 * report.mean_error(),
+            report.selection_quality(),
+        );
+    }
+
+    // Show what the tuner actually picks.
+    let opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, epsilon).persist_models();
+    let report = Autotuner::new(opts).tune(&workloads);
+    let truth = report.true_times();
+    let preds = report.predicted_times();
+    println!("\nper-configuration results (online propagation):");
+    for (i, c) in report.configs.iter().enumerate() {
+        let marker = if i == report.selected() { " <- selected" } else { "" };
+        println!(
+            "  {:<34} true {:.5}s  predicted {:.5}s{}",
+            c.name, truth[i], preds[i], marker
+        );
+    }
+    println!(
+        "\nselected configuration achieves {:.1}% of the optimum's performance",
+        100.0 * report.selection_quality()
+    );
+}

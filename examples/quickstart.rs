@@ -1,0 +1,70 @@
+//! Quickstart: profile a toy bulk-synchronous program with Critter and watch
+//! selective execution kick in.
+//!
+//! The program alternates a `gemm` kernel with an allreduce on a simulated
+//! 8-rank machine with cluster-level noise. Under *conditional execution*
+//! with ε = 0.25, Critter samples each kernel until its 95% confidence
+//! interval is tight enough, then stops executing it and substitutes the
+//! model mean — the run gets faster while the predicted critical-path time
+//! stays accurate.
+//!
+//! Run: `cargo run --example quickstart --release`
+
+use critter::prelude::*;
+
+fn main() {
+    let ranks = 8;
+    let steps = 40;
+
+    // A full-execution reference run (the red line of the paper's figures).
+    let full = profile(ranks, steps, CritterConfig::full());
+    // The same program under selective execution.
+    let selective = profile(
+        ranks,
+        steps,
+        CritterConfig::new(ExecutionPolicy::ConditionalExecution, 0.25),
+    );
+
+    println!("toy program: {steps} iterations of gemm + allreduce on {ranks} ranks\n");
+    println!("{:<26} {:>14} {:>14}", "", "full", "selective");
+    println!("{:<26} {:>14.6} {:>14.6}", "simulated makespan (s)", full.0, selective.0);
+    println!("{:<26} {:>14.6} {:>14.6}", "predicted path time (s)", full.1, selective.1);
+    println!("{:<26} {:>14} {:>14}", "kernels executed", full.2, selective.2);
+    println!("{:<26} {:>14} {:>14}", "kernels skipped", full.3, selective.3);
+    let err = (selective.1 - full.0).abs() / full.0;
+    println!(
+        "\nselective run was {:.2}x faster and predicted the full makespan within {:.2}%",
+        full.0 / selective.0,
+        100.0 * err
+    );
+}
+
+/// Run the toy program under `cfg`; returns
+/// (makespan, predicted time, executed, skipped).
+fn profile(ranks: usize, steps: usize, cfg: CritterConfig) -> (f64, f64, u64, u64) {
+    let machine = MachineModel::new(
+        MachineParams::stampede2_knl(),
+        NoiseParams::cluster(),
+        ranks,
+        42,
+        0,
+    )
+    .shared();
+    let report = run_simulation(SimConfig::new(ranks), machine, move |ctx: &mut RankCtx| {
+        let mut env = CritterEnv::new(ctx, cfg.clone(), KernelStore::new());
+        let world = env.world();
+        let n = 96;
+        for _ in 0..steps {
+            // One blocked matmul worth of flops per step...
+            env.kernel(ComputeOp::Gemm, n, n, n, 2.0 * (n as f64).powi(3), || {});
+            // ...then a 4 KiB allreduce.
+            env.allreduce(&world, ReduceOp::Sum, &[1.0; 512]);
+        }
+        env.finish().0
+    });
+    let elapsed = report.rank_times.iter().copied().fold(0.0, f64::max);
+    let predicted = report.outputs.iter().map(|r| r.predicted_time).fold(0.0, f64::max);
+    let executed: u64 = report.outputs.iter().map(|r| r.kernels_executed).sum();
+    let skipped: u64 = report.outputs.iter().map(|r| r.kernels_skipped).sum();
+    (elapsed, predicted, executed, skipped)
+}

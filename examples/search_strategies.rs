@@ -1,0 +1,60 @@
+//! Composing Critter with different configuration-space search strategies
+//! (§VI-A: "our framework can be applied to accelerate any configuration-space
+//! search strategy"): exhaustive search, seeded random subsampling, and
+//! successive halving that tightens the confidence tolerance round by round.
+//! Finishes with a traced profile of the chosen configuration.
+//!
+//! Run: `cargo run --example search_strategies --release`
+
+use critter::autotune::{search, SearchStrategy, TuningOptions};
+use critter::prelude::*;
+
+fn main() {
+    let space = TuningSpace::SlateCholesky;
+    let workloads = space.smoke();
+    let mut opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.125);
+    opts.reset_between_configs = space.resets_between_configs();
+
+    println!("searching {} ({} configurations)\n", space.name(), workloads.len());
+    println!(
+        "{:<22} {:>12} {:>13} {:>9} {:>8}",
+        "strategy", "evaluations", "tuning time", "speedup", "winner"
+    );
+    let strategies: [(&str, SearchStrategy); 3] = [
+        ("exhaustive", SearchStrategy::Exhaustive),
+        ("random (2 samples)", SearchStrategy::Random { samples: 2, seed: 42 }),
+        ("successive halving", SearchStrategy::SuccessiveHalving { eta: 2 }),
+    ];
+    let mut winner = 0;
+    for (name, strategy) in &strategies {
+        let out = search(&opts, &workloads, strategy);
+        println!(
+            "{:<22} {:>12} {:>13.6} {:>8.2}x {:>8}",
+            name,
+            out.evaluations(),
+            out.tuning_time,
+            out.speedup(),
+            out.best
+        );
+        if *name == "exhaustive" {
+            winner = out.best;
+        }
+    }
+
+    // Trace the winning configuration: the per-kernel profile of one run.
+    println!("\ntraced kernel profile of {} (rank 0):\n", workloads[winner].name());
+    let w = &workloads[winner];
+    let machine = MachineModel::stampede2(w.ranks(), 5, 0).shared();
+    let report = run_simulation(SimConfig::new(w.ranks()), machine, |ctx| {
+        let cfg = CritterConfig::new(ExecutionPolicy::OnlinePropagation, 0.125).with_trace();
+        let mut env = CritterEnv::new(ctx, cfg, KernelStore::new());
+        w.run(&mut env, false);
+        env.finish().0
+    });
+    print!("{}", report.outputs[0].trace.render(8));
+    println!(
+        "\n{} events recorded, {:.0}% skipped",
+        report.outputs[0].trace.len(),
+        100.0 * report.outputs[0].trace.skip_fraction()
+    );
+}

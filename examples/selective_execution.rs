@@ -1,0 +1,41 @@
+//! The accuracy/speed trade-off at the heart of the paper: sweep the
+//! confidence tolerance ε for one workload (SLATE tile Cholesky) and watch
+//! autotuning speedup fall and prediction accuracy rise as ε tightens —
+//! "prediction accuracy can be systematically improved by incrementally
+//! decreasing the confidence tolerance" (§III-A).
+//!
+//! Run: `cargo run --example selective_execution --release`
+
+use critter::prelude::*;
+
+fn main() {
+    let space = TuningSpace::SlateCholesky;
+    let workloads = space.smoke();
+    println!(
+        "selective execution on {} ({} configurations), online propagation\n",
+        space.name(),
+        workloads.len()
+    );
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>12}",
+        "epsilon", "speedup", "skip frac", "mean err", "comp err"
+    );
+    for k in 0..=8 {
+        let epsilon = 1.0 / (1u64 << k) as f64;
+        let mut opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, epsilon);
+        opts.reset_between_configs = space.resets_between_configs();
+        let report = Autotuner::new(opts).tune(&workloads);
+        println!(
+            "{:>10.5} {:>9.2}x {:>11.1}% {:>11.2}% {:>11.2}%",
+            epsilon,
+            report.speedup(),
+            100.0 * report.skip_fraction(),
+            100.0 * report.mean_error(),
+            100.0 * report.mean_comp_error(),
+        );
+    }
+    println!(
+        "\nLoose tolerances skip aggressively (fast tuning, more error); tight\n\
+         tolerances approach full execution (slow tuning, noise-floor error)."
+    );
+}
