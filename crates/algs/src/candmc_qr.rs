@@ -218,8 +218,7 @@ impl Workload for CandmcQr {
             let q_local = Matrix::from_column_major(m_loc, b, qdata);
 
             // Local trailing columns: owned panels strictly after p.
-            let trail: Vec<usize> =
-                (0..my_cols.len()).filter(|&lc| my_cols[lc] > p).collect();
+            let trail: Vec<usize> = (0..my_cols.len()).filter(|&lc| my_cols[lc] > p).collect();
             let n_trail = trail.len() * b;
             if n_trail == 0 {
                 // Still participate in the column allreduce for W.
@@ -240,17 +239,31 @@ impl Workload for CandmcQr {
             // W_partial = Qᵀ·A_trail, summed over the grid column.
             let mut wpart = Matrix::zeros(b, n_trail);
             if m_loc > 0 {
-                env.kernel(ComputeOp::Gemm, b, n_trail, m_loc, flops::gemm(b, n_trail, m_loc), || {
-                    gemm(Trans::Yes, Trans::No, 1.0, &q_local, &at, 0.0, &mut wpart);
-                });
+                env.kernel(
+                    ComputeOp::Gemm,
+                    b,
+                    n_trail,
+                    m_loc,
+                    flops::gemm(b, n_trail, m_loc),
+                    || {
+                        gemm(Trans::Yes, Trans::No, 1.0, &q_local, &at, 0.0, &mut wpart);
+                    },
+                );
             }
             let wsum = env.allreduce(&col_comm, ReduceOp::Sum, wpart.data());
             let w = Matrix::from_column_major(b, n_trail, wsum);
             // A_trail ← A_trail − Q·W.
             if m_loc > 0 {
-                env.kernel(ComputeOp::Gemm, m_loc, n_trail, b, flops::gemm(m_loc, n_trail, b), || {
-                    gemm(Trans::No, Trans::No, -1.0, &q_local, &w, 1.0, &mut at);
-                });
+                env.kernel(
+                    ComputeOp::Gemm,
+                    m_loc,
+                    n_trail,
+                    b,
+                    flops::gemm(m_loc, n_trail, b),
+                    || {
+                        gemm(Trans::No, Trans::No, -1.0, &q_local, &w, 1.0, &mut at);
+                    },
+                );
                 for (tc, &lc) in trail.iter().enumerate() {
                     for (ar, &lr) in active.iter().enumerate() {
                         for c in 0..b {
@@ -303,7 +316,10 @@ impl Workload for CandmcQr {
         }
         let world = env.world();
         let global = env.allreduce(&world, ReduceOp::Max, &[max_err]);
-        WorkloadOutput { residual: Some(global[0] / reference.norm_fro().max(1.0)), residual2: None }
+        WorkloadOutput {
+            residual: Some(global[0] / reference.norm_fro().max(1.0)),
+            residual2: None,
+        }
     }
 }
 

@@ -160,8 +160,16 @@ impl CapitalCholesky {
                 env.bcast(&grid.comm_k, 0, &mut lp);
                 env.bcast(&grid.comm_k, 0, &mut lip);
                 (
-                    DistMat { rows: n, cols: n, local: Matrix::from_column_major(n / c, n / c, lp) },
-                    DistMat { rows: n, cols: n, local: Matrix::from_column_major(n / c, n / c, lip) },
+                    DistMat {
+                        rows: n,
+                        cols: n,
+                        local: Matrix::from_column_major(n / c, n / c, lp),
+                    },
+                    DistMat {
+                        rows: n,
+                        cols: n,
+                        local: Matrix::from_column_major(n / c, n / c, lip),
+                    },
                 )
             }
             1 => {
@@ -209,8 +217,16 @@ impl CapitalCholesky {
                 env.bcast(&grid.comm_k, 0, &mut lp);
                 env.bcast(&grid.comm_k, 0, &mut lip);
                 (
-                    DistMat { rows: n, cols: n, local: Matrix::from_column_major(n / c, n / c, lp) },
-                    DistMat { rows: n, cols: n, local: Matrix::from_column_major(n / c, n / c, lip) },
+                    DistMat {
+                        rows: n,
+                        cols: n,
+                        local: Matrix::from_column_major(n / c, n / c, lp),
+                    },
+                    DistMat {
+                        rows: n,
+                        cols: n,
+                        local: Matrix::from_column_major(n / c, n / c, lip),
+                    },
                 )
             }
             s => panic!("unknown base-case strategy {s} (valid: 1, 2, 3)"),

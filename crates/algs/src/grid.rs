@@ -78,13 +78,21 @@ impl DistMat {
     /// Zero matrix.
     pub fn zeros(grid: &Grid3D, rows: usize, cols: usize) -> Self {
         let c = grid.c;
-        assert!(rows.is_multiple_of(c) && cols.is_multiple_of(c), "dims must be divisible by the grid edge");
+        assert!(
+            rows.is_multiple_of(c) && cols.is_multiple_of(c),
+            "dims must be divisible by the grid edge"
+        );
         DistMat { rows, cols, local: Matrix::zeros(rows / c, cols / c) }
     }
 
     /// Build from a global element function (every rank fills its cyclic
     /// part; no communication).
-    pub fn from_fn(grid: &Grid3D, rows: usize, cols: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+    pub fn from_fn(
+        grid: &Grid3D,
+        rows: usize,
+        cols: usize,
+        f: impl Fn(usize, usize) -> f64,
+    ) -> Self {
         let mut m = DistMat::zeros(grid, rows, cols);
         let (i, j, _) = grid.coords;
         let c = grid.c;
@@ -101,7 +109,13 @@ impl DistMat {
     /// which the recursive algorithm guarantees by construction.
     pub fn sub(&self, grid: &Grid3D, i0: usize, j0: usize, r: usize, cc: usize) -> DistMat {
         let c = grid.c;
-        assert!(i0.is_multiple_of(c) && j0.is_multiple_of(c) && r.is_multiple_of(c) && cc.is_multiple_of(c), "unaligned submatrix");
+        assert!(
+            i0.is_multiple_of(c)
+                && j0.is_multiple_of(c)
+                && r.is_multiple_of(c)
+                && cc.is_multiple_of(c),
+            "unaligned submatrix"
+        );
         DistMat { rows: r, cols: cc, local: self.local.sub(i0 / c, j0 / c, r / c, cc / c) }
     }
 
@@ -221,7 +235,8 @@ pub fn transpose3d(env: &mut CritterEnv, grid: &Grid3D, a: &DistMat, tag: u64) -
     } else {
         let partner = j + c * i; // layer rank of (j, i)
         let recv_words = (a.cols / c) * (a.rows / c);
-        let data = env.sendrecv(&grid.layer, partner, tag, t_local.data(), partner, tag, recv_words);
+        let data =
+            env.sendrecv(&grid.layer, partner, tag, t_local.data(), partner, tag, recv_words);
         Matrix::from_column_major(a.cols / c, a.rows / c, data)
     };
     DistMat { rows: a.cols, cols: a.rows, local }
@@ -250,13 +265,7 @@ mod tests {
     #[test]
     fn grid_coordinates_and_comms() {
         let outs = with_grid(|env, grid| {
-            (
-                env.rank(),
-                grid.coords,
-                grid.comm_i.size(),
-                grid.layer.size(),
-                grid.comm_k.rank(),
-            )
+            (env.rank(), grid.coords, grid.comm_i.size(), grid.layer.size(), grid.comm_k.rank())
         });
         for (r, (i, j, k), ci, lay, kr) in outs {
             assert_eq!(r, i + 2 * j + 4 * k);

@@ -122,8 +122,7 @@ impl<'w> TileRun<'w> {
             }
         }
         // Column trsm.
-        let my_panel: Vec<usize> =
-            ((k + 1)..nt).filter(|&i| self.own(i, k)).collect();
+        let my_panel: Vec<usize> = ((k + 1)..nt).filter(|&i| self.own(i, k)).collect();
         if !my_panel.is_empty() {
             let kk = if self.own(k, k) {
                 self.tiles[&(k, k)].clone()
@@ -230,7 +229,8 @@ impl Workload for SlateCholesky {
             }
         }
         let world = env.world();
-        let mut run = TileRun { w: self, rank, world, tiles, cache: HashMap::new(), pending: Vec::new() };
+        let mut run =
+            TileRun { w: self, rank, world, tiles, cache: HashMap::new(), pending: Vec::new() };
 
         if self.lookahead == 0 {
             for k in 0..nt {

@@ -191,7 +191,8 @@ impl Workload for SlateQr {
             }
         }
         let world = env.world();
-        let mut run = QrRun { w: self, rank, world, tiles, vcache: HashMap::new(), pending: Vec::new() };
+        let mut run =
+            QrRun { w: self, rank, world, tiles, vcache: HashMap::new(), pending: Vec::new() };
 
         for k in 0..nt {
             run.vcache.clear();
@@ -208,7 +209,8 @@ impl Workload for SlateQr {
                     r.triu_in_place();
                     let nxt = self.owner(k + 1, k);
                     if nxt != rank {
-                        let req = env.isend(&run.world, nxt, tag(k, k + 1, 0, 1, mt, nt), r.into_data());
+                        let req =
+                            env.isend(&run.world, nxt, tag(k, k + 1, 0, 1, mt, nt), r.into_data());
                         run.pending.push(req);
                     } else {
                         run.vcache.insert(usize::MAX, (r, Vec::new())); // local handoff
@@ -241,7 +243,8 @@ impl Workload for SlateQr {
                 run.vcache.insert(i, (run.tiles[&(i, k)].clone(), tau_i));
                 run.route_v(env, k, i, 0);
                 // Pass R on (or return it to the diagonal owner at the end).
-                let (nxt, hop) = if i + 1 < mt { (self.owner(i + 1, k), i + 1) } else { (self.owner(k, k), mt) };
+                let (nxt, hop) =
+                    if i + 1 < mt { (self.owner(i + 1, k), i + 1) } else { (self.owner(k, k), mt) };
                 if nxt == rank {
                     if i + 1 < mt {
                         run.vcache.insert(usize::MAX, (r, Vec::new()));
@@ -255,8 +258,13 @@ impl Workload for SlateQr {
             }
             // Diagonal owner receives the final R back.
             if run.own(k, k) && k + 1 < mt && self.owner(mt - 1, k) != rank {
-                let data = env.recv(&run.world, self.owner(mt - 1, k), tag(k, mt, 0, 1, mt, nt), wk * wk);
-                run.tiles.get_mut(&(k, k)).unwrap().set_sub(0, 0, &Matrix::from_column_major(wk, wk, data));
+                let data =
+                    env.recv(&run.world, self.owner(mt - 1, k), tag(k, mt, 0, 1, mt, nt), wk * wk);
+                run.tiles.get_mut(&(k, k)).unwrap().set_sub(
+                    0,
+                    0,
+                    &Matrix::from_column_major(wk, wk, data),
+                );
             }
 
             // ---- Trailing update, column by column.
@@ -271,11 +279,18 @@ impl Workload for SlateQr {
                     for s in 0..wk.div_ceil(wid) {
                         let sw = wid.min(wk - s * wid);
                         let first = s == 0;
-                        env.kernel(ComputeOp::Ormqr, self.tr(k), tj, sw, flops::ormqr(self.tr(k), tj, sw), || {
-                            if first {
-                                ormqr(Trans::Yes, &vkk, &taukk, tile);
-                            }
-                        });
+                        env.kernel(
+                            ComputeOp::Ormqr,
+                            self.tr(k),
+                            tj,
+                            sw,
+                            flops::ormqr(self.tr(k), tj, sw),
+                            || {
+                                if first {
+                                    ormqr(Trans::Yes, &vkk, &taukk, tile);
+                                }
+                            },
+                        );
                     }
                     Some(tile.clone())
                 } else {
@@ -287,8 +302,12 @@ impl Workload for SlateQr {
                     let first = self.owner(k + 1, j);
                     if first != rank {
                         let t = akj.take().expect("top tile present at chain start");
-                        let req =
-                            env.isend(&run.world, first, tag(k, k + 1, j, 2, mt, nt), t.into_data());
+                        let req = env.isend(
+                            &run.world,
+                            first,
+                            tag(k, k + 1, j, 2, mt, nt),
+                            t.into_data(),
+                        );
                         run.pending.push(req);
                     }
                 }
@@ -302,7 +321,8 @@ impl Workload for SlateQr {
                         Some(t) if prev == rank => t,
                         other => {
                             akj = other; // put back anything we should not consume
-                            let data = env.recv(&run.world, prev, tag(k, i, j, 2, mt, nt), top_words);
+                            let data =
+                                env.recv(&run.world, prev, tag(k, i, j, 2, mt, nt), top_words);
                             Matrix::from_column_major(self.tr(k), tj, data)
                         }
                     };
@@ -314,15 +334,26 @@ impl Workload for SlateQr {
                         for s in 0..wk.div_ceil(wid) {
                             let sw = wid.min(wk - s * wid);
                             let first = s == 0;
-                            env.kernel(ComputeOp::Tpmqrt, ti, sw, tj, flops::tpmqrt(ti, sw, tj), || {
-                                if first {
-                                    tpmqrt(TpTrans::Yes, &vi, &taui, &mut top, bot);
-                                }
-                            });
+                            env.kernel(
+                                ComputeOp::Tpmqrt,
+                                ti,
+                                sw,
+                                tj,
+                                flops::tpmqrt(ti, sw, tj),
+                                || {
+                                    if first {
+                                        tpmqrt(TpTrans::Yes, &vi, &taui, &mut top, bot);
+                                    }
+                                },
+                            );
                         }
                     }
                     // Pass the top tile on (or home).
-                    let (nxt, hop) = if i + 1 < mt { (self.owner(i + 1, j), i + 1) } else { (self.owner(k, j), mt) };
+                    let (nxt, hop) = if i + 1 < mt {
+                        (self.owner(i + 1, j), i + 1)
+                    } else {
+                        (self.owner(k, j), mt)
+                    };
                     if nxt == rank {
                         if i + 1 < mt {
                             akj = Some(top);
@@ -330,7 +361,8 @@ impl Workload for SlateQr {
                             *run.tiles.get_mut(&(k, j)).unwrap() = top;
                         }
                     } else {
-                        let req = env.isend(&run.world, nxt, tag(k, hop, j, 2, mt, nt), top.into_data());
+                        let req =
+                            env.isend(&run.world, nxt, tag(k, hop, j, 2, mt, nt), top.into_data());
                         run.pending.push(req);
                     }
                 }
@@ -338,7 +370,8 @@ impl Workload for SlateQr {
                 if run.own(k, j) && k + 1 < mt {
                     let last_owner = self.owner(mt - 1, j);
                     if last_owner != rank {
-                        let data = env.recv(&run.world, last_owner, tag(k, mt, j, 2, mt, nt), top_words);
+                        let data =
+                            env.recv(&run.world, last_owner, tag(k, mt, j, 2, mt, nt), top_words);
                         *run.tiles.get_mut(&(k, j)).unwrap() =
                             Matrix::from_column_major(self.tr(k), tj, data);
                     } else if let Some(t) = akj.take() {
@@ -380,7 +413,10 @@ impl Workload for SlateQr {
         }
         let world = env.world();
         let global = env.allreduce(&world, ReduceOp::Max, &[max_err]);
-        WorkloadOutput { residual: Some(global[0] / reference.norm_fro().max(1.0)), residual2: None }
+        WorkloadOutput {
+            residual: Some(global[0] / reference.norm_fro().max(1.0)),
+            residual2: None,
+        }
     }
 }
 
@@ -391,7 +427,14 @@ mod tests {
     use critter_machine::MachineModel;
     use critter_sim::{run_simulation, SimConfig};
 
-    fn run_qr(m: usize, n: usize, nb: usize, w: usize, pr: usize, pc: usize) -> Vec<WorkloadOutput> {
+    fn run_qr(
+        m: usize,
+        n: usize,
+        nb: usize,
+        w: usize,
+        pr: usize,
+        pc: usize,
+    ) -> Vec<WorkloadOutput> {
         let wl = SlateQr { m, n, nb, inner: w, pr, pc };
         let p = wl.ranks();
         let machine = MachineModel::test_exact(p).shared();

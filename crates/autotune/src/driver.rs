@@ -1,5 +1,35 @@
 //! The tuning driver: runs configuration sweeps on the simulator.
+//!
+//! ## Sweep schedule
+//!
+//! One sweep interleaves two kinds of simulated runs with very different
+//! dependency structure:
+//!
+//! * **Reference full executions** measure ground truth. Each uses fresh
+//!   [`KernelStore`]s and touches no shared state, so the set of
+//!   `(configuration, repetition)` reference runs is embarrassingly
+//!   parallel.
+//! * **Selective runs** (and the offline passes of a-priori propagation)
+//!   thread the tuning stores from one run to the next — kernel models
+//!   accumulated on configuration `i` decide what configuration `i+1` may
+//!   skip. This chain is inherently sequential.
+//!
+//! [`Autotuner::tune`] exploits exactly that split: with
+//! [`TuningOptions::workers`] > 1 the reference runs are dispatched to a
+//! bounded worker set and pipelined against the sequential chain, which the
+//! calling thread walks concurrently.
+//!
+//! ## Determinism
+//!
+//! Every simulated run draws its noise from a stream keyed by `run_index`.
+//! Indexes are a pure function of the run's identity —
+//! `allocation · 2²⁸ + (config · reps + rep) · 3 + kind` with kind
+//! 0 = reference, 1 = offline, 2 = selective — never of dispatch order, so
+//! a parallel sweep produces a [`TuningReport`] bit-identical to the serial
+//! one (asserted by `tests/parallel_determinism.rs`).
 
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use critter_algs::Workload;
@@ -37,6 +67,11 @@ pub struct TuningOptions {
     pub seed: u64,
     /// Node-allocation id (§VI-A runs every experiment on two allocations).
     pub allocation: u64,
+    /// Worker threads for the reference full executions. `1` (the default)
+    /// runs the sweep fully serially on the calling thread; larger values
+    /// pipeline the independent reference runs against the sequential
+    /// selective-run chain. The report is bit-identical either way.
+    pub workers: usize,
 }
 
 impl TuningOptions {
@@ -54,6 +89,7 @@ impl TuningOptions {
             noise: NoiseParams::cluster(),
             seed: 0xC0FFEE,
             allocation: 0,
+            workers: 1,
         }
     }
 
@@ -68,10 +104,19 @@ impl TuningOptions {
         self.params = MachineParams::test_machine();
         self
     }
+
+    /// Set the reference-run worker count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
 }
 
 /// Aggregated outcome of one simulated run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every field exactly (no tolerance): two schedules of
+/// the same sweep must agree *bit for bit*.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunRecord {
     /// Simulated makespan (the autotuner pays this).
     pub elapsed: f64,
@@ -94,7 +139,7 @@ pub struct RunRecord {
 
 /// Per-configuration results: one `(full, tuned)` record pair per repetition,
 /// plus the offline pass records for a-priori propagation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ConfigResult {
     /// Configuration label.
     pub name: String,
@@ -105,7 +150,7 @@ pub struct ConfigResult {
 }
 
 /// A full tuning sweep's results (one policy, one ε, one allocation).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TuningReport {
     /// Policy under test.
     pub policy: ExecutionPolicy,
@@ -152,21 +197,39 @@ impl Autotuner {
         )
         .with_noise_seed(run_index.wrapping_add(1))
         .shared();
-        let slots: Arc<Vec<Mutex<Option<KernelStore>>>> = Arc::new(
-            stores.drain(..).map(|s| Mutex::new(Some(s))).collect(),
-        );
+        let slots: Arc<Vec<Mutex<Option<KernelStore>>>> =
+            Arc::new(stores.drain(..).map(|s| Mutex::new(Some(s))).collect());
         let slots_in = Arc::clone(&slots);
-        let report = run_simulation(SimConfig::new(ranks), machine, move |ctx| {
-            let store = slots_in[ctx.rank()].lock().take().expect("store present");
-            let mut env = CritterEnv::new(ctx, cfg.clone(), store);
-            w.run(&mut env, false);
-            let (rep, mut store) = env.finish();
-            if capture_apriori {
-                store.capture_apriori();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_simulation(SimConfig::new(ranks), machine, move |ctx| {
+                let store = slots_in[ctx.rank()].lock().take().expect("store present");
+                let mut env = CritterEnv::new(ctx, cfg.clone(), store);
+                w.run(&mut env, false);
+                let (rep, mut store) = env.finish();
+                if capture_apriori {
+                    store.capture_apriori();
+                }
+                *slots_in[ctx.rank()].lock() = Some(store);
+                rep
+            })
+        }));
+        let report = match result {
+            Ok(report) => report,
+            Err(payload) => {
+                // A panicked rank never returned its store, so its slot is
+                // empty. Unwinding with `stores` drained would leave the
+                // sweep state corrupt for callers that catch the panic —
+                // and expecting on the empty slot would mask the real
+                // failure behind "store returned". Recover the surviving
+                // stores, backfill the dead rank's with a fresh one, and
+                // propagate the original payload.
+                *stores = slots
+                    .iter()
+                    .map(|m| m.lock().take().unwrap_or_else(KernelStore::new))
+                    .collect();
+                std::panic::resume_unwind(payload);
             }
-            *slots_in[ctx.rank()].lock() = Some(store);
-            rep
-        });
+        };
         *stores = slots.iter().map(|m| m.lock().take().expect("store returned")).collect();
 
         let mut rec = RunRecord { elapsed: report.elapsed(), ..Default::default() };
@@ -175,9 +238,8 @@ impl Autotuner {
             rec.path = rec.path.max(r.path);
             rec.max_kernel_time =
                 rec.max_kernel_time.max(r.local_comp_executed + r.local_comm_executed);
-            rec.max_kernel_predicted = rec
-                .max_kernel_predicted
-                .max(r.local_comp_predicted + r.local_comm_predicted);
+            rec.max_kernel_predicted =
+                rec.max_kernel_predicted.max(r.local_comp_predicted + r.local_comm_predicted);
             rec.kernels_executed += r.kernels_executed;
             rec.kernels_skipped += r.kernels_skipped;
             rec.internal_words += r.internal_words;
@@ -212,42 +274,160 @@ impl Autotuner {
             c
         };
 
-        let mut stores: Vec<KernelStore> = (0..ranks).map(|_| KernelStore::new()).collect();
-        let mut run_index: u64 = self.opts.allocation.wrapping_mul(0x1000_0000);
-        let mut configs = Vec::with_capacity(workloads.len());
-        for w in workloads {
-            let mut result = ConfigResult { name: w.name(), ..Default::default() };
-            // Per-configuration statistics protocol.
-            let keep = !self.opts.reset_between_configs;
-            for s in stores.iter_mut() {
-                s.start_config(keep);
-            }
-            let entry_state = stores.clone();
-            for rep in 0..self.opts.reps.max(1) {
-                if rep > 0 {
-                    stores = entry_state.clone();
+        let reps = self.opts.reps.max(1);
+        // Noise-stream index of a run, a pure function of the run's identity:
+        // `(allocation, config index, rep, kind)` with kind 0 = reference
+        // full, 1 = offline pass, 2 = selective. Dispatch order never enters,
+        // so parallel and serial schedules draw identical noise.
+        let base = self.opts.allocation.wrapping_mul(0x1000_0000);
+        let run_index = |cfg_idx: usize, rep: usize, kind: usize| -> u64 {
+            base.wrapping_add(((cfg_idx * reps + rep) * 3 + kind) as u64)
+        };
+        let reference = |cfg_idx: usize, rep: usize| -> RunRecord {
+            // Fresh measurement stores: the reference must be unperturbed,
+            // and it must not pollute the tuning model.
+            let mut ref_stores: Vec<KernelStore> = (0..ranks).map(|_| KernelStore::new()).collect();
+            self.run_once(
+                workloads[cfg_idx].as_ref(),
+                &full_cfg,
+                &mut ref_stores,
+                run_index(cfg_idx, rep, 0),
+                false,
+            )
+        };
+
+        // The independent reference runs go to a bounded worker set pulling
+        // from an atomic queue; the calling thread concurrently walks the
+        // sequential selective-run chain (stores thread from config to
+        // config). With workers == 1 the references run inline instead.
+        let total_refs = workloads.len() * reps;
+        let n_workers = self.opts.workers.max(1).min(total_refs).min(1 + total_refs / 2);
+        let parallel = self.opts.workers > 1;
+        let reference_slots: Vec<Mutex<Option<RunRecord>>> =
+            (0..total_refs).map(|_| Mutex::new(None)).collect();
+        let next_ref = AtomicUsize::new(0);
+
+        let mut configs = std::thread::scope(|scope| {
+            if parallel {
+                for _ in 0..n_workers {
+                    scope.spawn(|| loop {
+                        let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                        if i >= total_refs {
+                            break;
+                        }
+                        let rec = reference(i / reps, i % reps);
+                        *reference_slots[i].lock() = Some(rec);
+                    });
                 }
-                // Reference full execution (fresh measurement stores so the
-                // reference is unperturbed; ours must not pollute the model).
-                let mut ref_stores: Vec<KernelStore> =
-                    (0..ranks).map(|_| KernelStore::new()).collect();
-                let full = self.run_once(w.as_ref(), &full_cfg, &mut ref_stores, run_index, false);
-                run_index += 1;
-                // A-priori propagation: offline iteration on the tuning stores
-                // to capture critical-path counts.
-                if policy.needs_offline_pass() {
-                    let offline =
-                        self.run_once(w.as_ref(), &full_cfg, &mut stores, run_index, true);
-                    run_index += 1;
-                    result.offline.push(offline);
-                }
-                // The selectively-executed tuning run.
-                let tuned = self.run_once(w.as_ref(), &tuned_cfg, &mut stores, run_index, false);
-                run_index += 1;
-                result.pairs.push((full, tuned));
             }
-            configs.push(result);
+
+            let mut stores: Vec<KernelStore> = (0..ranks).map(|_| KernelStore::new()).collect();
+            let mut configs = Vec::with_capacity(workloads.len());
+            for (cfg_idx, w) in workloads.iter().enumerate() {
+                let mut result = ConfigResult { name: w.name(), ..Default::default() };
+                // Per-configuration statistics protocol.
+                let keep = !self.opts.reset_between_configs;
+                for s in stores.iter_mut() {
+                    s.start_config(keep);
+                }
+                let entry_state = stores.clone();
+                for rep in 0..reps {
+                    if rep > 0 {
+                        stores = entry_state.clone();
+                    }
+                    let full = if parallel {
+                        RunRecord::default() // backfilled after the join below
+                    } else {
+                        reference(cfg_idx, rep)
+                    };
+                    // A-priori propagation: offline iteration on the tuning
+                    // stores to capture critical-path counts.
+                    if policy.needs_offline_pass() {
+                        let offline = self.run_once(
+                            w.as_ref(),
+                            &full_cfg,
+                            &mut stores,
+                            run_index(cfg_idx, rep, 1),
+                            true,
+                        );
+                        result.offline.push(offline);
+                    }
+                    // The selectively-executed tuning run.
+                    let tuned = self.run_once(
+                        w.as_ref(),
+                        &tuned_cfg,
+                        &mut stores,
+                        run_index(cfg_idx, rep, 2),
+                        false,
+                    );
+                    result.pairs.push((full, tuned));
+                }
+                configs.push(result);
+            }
+            configs
+        });
+
+        if parallel {
+            for (cfg_idx, result) in configs.iter_mut().enumerate() {
+                for rep in 0..reps {
+                    result.pairs[rep].0 = reference_slots[cfg_idx * reps + rep]
+                        .lock()
+                        .take()
+                        .expect("reference run completed");
+                }
+            }
         }
         TuningReport { policy, epsilon: self.opts.epsilon, configs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critter_algs::WorkloadOutput;
+
+    /// A workload whose rank 0 dies mid-run: the regression fixture for
+    /// store recovery in `run_once`.
+    struct PanicOnRankZero;
+
+    impl Workload for PanicOnRankZero {
+        fn name(&self) -> String {
+            "panic-on-rank-0".into()
+        }
+
+        fn ranks(&self) -> usize {
+            2
+        }
+
+        fn run(&self, env: &mut CritterEnv, _verify: bool) -> WorkloadOutput {
+            if env.rank() == 0 {
+                panic!("injected tuning failure");
+            }
+            WorkloadOutput::default()
+        }
+    }
+
+    #[test]
+    fn run_once_recovers_stores_and_original_panic_when_a_rank_dies() {
+        let opts = TuningOptions::new(ExecutionPolicy::Full, 0.0).test_machine();
+        let tuner = Autotuner::new(opts);
+        let cfg = CritterConfig::full();
+        let mut stores: Vec<KernelStore> = (0..2).map(|_| KernelStore::new()).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            tuner.run_once(&PanicOnRankZero, &cfg, &mut stores, 7, false)
+        }));
+        let payload = result.expect_err("rank panic must propagate out of run_once");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        // Regression: the dead rank's store slot is empty; recovery must not
+        // replace the workload's panic with "store returned".
+        assert!(
+            msg.contains("injected tuning failure"),
+            "original payload must surface, got {msg:?}"
+        );
+        assert_eq!(stores.len(), 2, "sweep state must stay consistent after a failed run");
     }
 }

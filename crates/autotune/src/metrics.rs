@@ -20,10 +20,7 @@ impl TuningReport {
 
     /// Total simulated time of the full-execution sweep (the red line).
     pub fn full_time(&self) -> f64 {
-        self.configs
-            .iter()
-            .map(|c| c.pairs.iter().map(|(f, _)| f.elapsed).sum::<f64>())
-            .sum()
+        self.configs.iter().map(|c| c.pairs.iter().map(|(f, _)| f.elapsed).sum::<f64>()).sum()
     }
 
     /// Autotuning speedup: full sweep time / selective sweep time.

@@ -137,15 +137,12 @@ pub fn search(
                     survivors.iter().map(|&i| Arc::clone(&workloads[i])).collect();
                 let report = Autotuner::new(round_opts).tune(&subset);
                 // Rank by predicted time, keep the best 1/eta.
-                let mut ranked: Vec<(usize, f64)> = report
-                    .configs
-                    .iter()
-                    .enumerate()
-                    .map(|(pos, c)| (pos, mean_pred(c)))
-                    .collect();
+                let mut ranked: Vec<(usize, f64)> =
+                    report.configs.iter().enumerate().map(|(pos, c)| (pos, mean_pred(c))).collect();
                 ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN prediction"));
                 let keep = survivors.len().div_ceil(*eta).max(1);
-                let kept: Vec<usize> = ranked[..keep].iter().map(|&(pos, _)| survivors[pos]).collect();
+                let kept: Vec<usize> =
+                    ranked[..keep].iter().map(|&(pos, _)| survivors[pos]).collect();
                 for (pos, c) in report.configs.into_iter().enumerate() {
                     accumulate(&mut outcome, survivors[pos], c);
                 }
@@ -167,8 +164,7 @@ mod tests {
     use critter_core::ExecutionPolicy;
 
     fn opts() -> TuningOptions {
-        let mut o =
-            TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.25).test_machine();
+        let mut o = TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.25).test_machine();
         o.reset_between_configs = true;
         o
     }
@@ -231,7 +227,9 @@ mod tests {
                 .iter()
                 .rev()
                 .find(|(i, _)| *i == idx)
-                .map(|(_, c)| c.pairs.iter().map(|(f, _)| f.elapsed).sum::<f64>() / c.pairs.len() as f64)
+                .map(|(_, c)| {
+                    c.pairs.iter().map(|(f, _)| f.elapsed).sum::<f64>() / c.pairs.len() as f64
+                })
                 .expect("winner was evaluated")
         };
         let t_ex = truth(&exhaustive, exhaustive.best);

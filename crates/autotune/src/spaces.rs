@@ -117,8 +117,7 @@ impl TuningSpace {
                     let w = (2 << (v % 3)).min(nb);
                     let pr = (4 / (1 << (v / 21))).max(1);
                     let pc = 16 / pr;
-                    Arc::new(SlateQr { m: 512, n: 64, nb, inner: w, pr, pc })
-                        as Arc<dyn Workload>
+                    Arc::new(SlateQr { m: 512, n: 64, nb, inner: w, pr, pc }) as Arc<dyn Workload>
                 })
                 .collect(),
             // §VIII extension: p = 64 = r²·c for c ∈ {1, 4, 16},
@@ -174,14 +173,8 @@ impl TuningSpace {
                 .collect(),
             TuningSpace::SlateQr => (0..4)
                 .map(|v| {
-                    Arc::new(SlateQr {
-                        m: 64,
-                        n: 16,
-                        nb: 8,
-                        inner: 2 << (v % 2),
-                        pr: 2,
-                        pc: 2,
-                    }) as Arc<dyn Workload>
+                    Arc::new(SlateQr { m: 64, n: 16, nb: 8, inner: 2 << (v % 2), pr: 2, pc: 2 })
+                        as Arc<dyn Workload>
                 })
                 .collect(),
             TuningSpace::Summa25D => (0..4)

@@ -3,7 +3,11 @@
 use critter_autotune::{Autotuner, TuningOptions, TuningSpace};
 use critter_core::ExecutionPolicy;
 
-fn tune(space: TuningSpace, policy: ExecutionPolicy, epsilon: f64) -> critter_autotune::TuningReport {
+fn tune(
+    space: TuningSpace,
+    policy: ExecutionPolicy,
+    epsilon: f64,
+) -> critter_autotune::TuningReport {
     let mut opts = TuningOptions::new(policy, epsilon).test_machine();
     opts.reset_between_configs = space.resets_between_configs();
     Autotuner::new(opts).tune(&space.smoke())
@@ -44,11 +48,8 @@ fn apriori_pays_offline_pass() {
     }
     // Offline passes are charged, so the tuning time exceeds the pure
     // selective time.
-    let selective_only: f64 = report
-        .configs
-        .iter()
-        .map(|c| c.pairs.iter().map(|(_, t)| t.elapsed).sum::<f64>())
-        .sum();
+    let selective_only: f64 =
+        report.configs.iter().map(|c| c.pairs.iter().map(|(_, t)| t.elapsed).sum::<f64>()).sum();
     assert!(report.tuning_time() > selective_only);
 }
 

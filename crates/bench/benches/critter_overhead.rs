@@ -3,75 +3,62 @@
 //! for message-heavy QR schedules; this measures our implementation's
 //! host-side cost per intercepted call.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use critter_bench::harness::{bench, black_box};
 use critter_core::{ComputeOp, CritterConfig, CritterEnv, KernelStore};
 use critter_machine::{KernelClass, MachineModel};
 use critter_sim::{run_simulation, ReduceOp, SimConfig};
-use std::hint::black_box;
 
-fn bench_raw_vs_intercepted_collectives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("allreduce_x100_p4");
-    g.sample_size(10);
-    g.bench_function("raw", |bch| {
-        bch.iter(|| {
-            let machine = MachineModel::test_exact(4).shared();
-            let r = run_simulation(SimConfig::new(4), machine, |ctx| {
-                let world = ctx.world();
-                for _ in 0..100 {
-                    ctx.allreduce(&world, ReduceOp::Sum, &[1.0; 32]);
-                }
-            });
-            black_box(r.elapsed());
+fn bench_raw_vs_intercepted_collectives() {
+    bench("allreduce_x100_p4", "raw", 10, || {
+        let machine = MachineModel::test_exact(4).shared();
+        let r = run_simulation(SimConfig::new(4), machine, |ctx| {
+            let world = ctx.world();
+            for _ in 0..100 {
+                ctx.allreduce(&world, ReduceOp::Sum, &[1.0; 32]);
+            }
         });
+        black_box(r.elapsed());
     });
-    g.bench_function("intercepted", |bch| {
-        bch.iter(|| {
-            let machine = MachineModel::test_exact(4).shared();
-            let cfg = CritterConfig::full();
-            let r = run_simulation(SimConfig::new(4), machine, move |ctx| {
-                let mut env = CritterEnv::new(ctx, cfg.clone(), KernelStore::new());
-                let world = env.world();
-                for _ in 0..100 {
-                    env.allreduce(&world, ReduceOp::Sum, &[1.0; 32]);
-                }
-                let _ = env.finish();
-            });
-            black_box(r.elapsed());
+    bench("allreduce_x100_p4", "intercepted", 10, || {
+        let machine = MachineModel::test_exact(4).shared();
+        let cfg = CritterConfig::full();
+        let r = run_simulation(SimConfig::new(4), machine, move |ctx| {
+            let mut env = CritterEnv::new(ctx, cfg.clone(), KernelStore::new());
+            let world = env.world();
+            for _ in 0..100 {
+                env.allreduce(&world, ReduceOp::Sum, &[1.0; 32]);
+            }
+            let _ = env.finish();
         });
+        black_box(r.elapsed());
     });
-    g.finish();
 }
 
-fn bench_raw_vs_intercepted_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel_x1000_p1");
-    g.sample_size(10);
-    g.bench_function("raw", |bch| {
-        bch.iter(|| {
-            let machine = MachineModel::test_exact(1).shared();
-            let r = run_simulation(SimConfig::new(1), machine, |ctx| {
-                for _ in 0..1000 {
-                    ctx.compute(KernelClass::Gemm, 1e5);
-                }
-            });
-            black_box(r.elapsed());
+fn bench_raw_vs_intercepted_kernels() {
+    bench("kernel_x1000_p1", "raw", 10, || {
+        let machine = MachineModel::test_exact(1).shared();
+        let r = run_simulation(SimConfig::new(1), machine, |ctx| {
+            for _ in 0..1000 {
+                ctx.compute(KernelClass::Gemm, 1e5);
+            }
         });
+        black_box(r.elapsed());
     });
-    g.bench_function("intercepted", |bch| {
-        bch.iter(|| {
-            let machine = MachineModel::test_exact(1).shared();
-            let cfg = CritterConfig::full();
-            let r = run_simulation(SimConfig::new(1), machine, move |ctx| {
-                let mut env = CritterEnv::new(ctx, cfg.clone(), KernelStore::new());
-                for _ in 0..1000 {
-                    env.kernel(ComputeOp::Gemm, 32, 32, 32, 1e5, || {});
-                }
-                let _ = env.finish();
-            });
-            black_box(r.elapsed());
+    bench("kernel_x1000_p1", "intercepted", 10, || {
+        let machine = MachineModel::test_exact(1).shared();
+        let cfg = CritterConfig::full();
+        let r = run_simulation(SimConfig::new(1), machine, move |ctx| {
+            let mut env = CritterEnv::new(ctx, cfg.clone(), KernelStore::new());
+            for _ in 0..1000 {
+                env.kernel(ComputeOp::Gemm, 32, 32, 32, 1e5, || {});
+            }
+            let _ = env.finish();
         });
+        black_box(r.elapsed());
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_raw_vs_intercepted_collectives, bench_raw_vs_intercepted_kernels);
-criterion_main!(benches);
+fn main() {
+    bench_raw_vs_intercepted_collectives();
+    bench_raw_vs_intercepted_kernels();
+}

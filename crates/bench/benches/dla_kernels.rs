@@ -1,87 +1,71 @@
 //! Microbenchmarks of the sequential dense linear algebra kernels — the
 //! host-side cost of the "real numerics" the simulated workloads execute.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use critter_bench::harness::{bench, black_box};
 use critter_dla::{gemm, geqrf, potrf, tpqrt, trsm, Matrix, Side, Trans, Uplo};
-use std::hint::black_box;
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gemm");
+fn bench_gemm() {
     for &n in &[16usize, 32, 64] {
         let a = Matrix::random(n, n, 1);
         let b = Matrix::random(n, n, 2);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            let mut out = Matrix::zeros(n, n);
-            bch.iter(|| {
-                gemm(Trans::No, Trans::No, 1.0, black_box(&a), black_box(&b), 0.0, &mut out);
-            });
+        let mut out = Matrix::zeros(n, n);
+        bench("gemm", &n.to_string(), 20, || {
+            gemm(Trans::No, Trans::No, 1.0, black_box(&a), black_box(&b), 0.0, &mut out);
         });
     }
-    g.finish();
 }
 
-fn bench_potrf(c: &mut Criterion) {
-    let mut g = c.benchmark_group("potrf");
+fn bench_potrf() {
     for &n in &[16usize, 32, 64] {
         let a = Matrix::random_spd(n, 3);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            bch.iter(|| {
-                let mut l = a.clone();
-                potrf(&mut l).unwrap();
-                black_box(l);
-            });
+        bench("potrf", &n.to_string(), 20, || {
+            let mut l = a.clone();
+            potrf(&mut l).unwrap();
+            black_box(&l);
         });
     }
-    g.finish();
 }
 
-fn bench_geqrf(c: &mut Criterion) {
-    let mut g = c.benchmark_group("geqrf");
+fn bench_geqrf() {
     for &(m, n) in &[(64usize, 8usize), (64, 16), (128, 16)] {
         let a = Matrix::random(m, n, 4);
-        g.bench_with_input(BenchmarkId::new("mxn", format!("{m}x{n}")), &m, |bch, _| {
-            bch.iter(|| {
-                let mut f = a.clone();
-                black_box(geqrf(&mut f));
-            });
+        bench("geqrf", &format!("{m}x{n}"), 20, || {
+            let mut f = a.clone();
+            black_box(&geqrf(&mut f));
         });
     }
-    g.finish();
 }
 
-fn bench_tpqrt(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tpqrt");
+fn bench_tpqrt() {
     for &n in &[8usize, 16, 32] {
         let mut r0 = Matrix::random(n, n, 5);
         r0.triu_in_place();
         let b0 = Matrix::random(n, n, 6);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            bch.iter(|| {
-                let mut r = r0.clone();
-                let mut b = b0.clone();
-                black_box(tpqrt(&mut r, &mut b));
-            });
+        bench("tpqrt", &n.to_string(), 20, || {
+            let mut r = r0.clone();
+            let mut b = b0.clone();
+            black_box(&tpqrt(&mut r, &mut b));
         });
     }
-    g.finish();
 }
 
-fn bench_trsm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trsm");
+fn bench_trsm() {
     for &n in &[16usize, 32, 64] {
         let mut l = Matrix::random_spd(n, 7);
         potrf(&mut l).unwrap();
         let b0 = Matrix::random(n, n, 8);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            bch.iter(|| {
-                let mut b = b0.clone();
-                trsm(Side::Left, Uplo::Lower, Trans::No, false, 1.0, black_box(&l), &mut b);
-                black_box(b);
-            });
+        bench("trsm", &n.to_string(), 20, || {
+            let mut b = b0.clone();
+            trsm(Side::Left, Uplo::Lower, Trans::No, false, 1.0, black_box(&l), &mut b);
+            black_box(&b);
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_potrf, bench_geqrf, bench_tpqrt, bench_trsm);
-criterion_main!(benches);
+fn main() {
+    bench_gemm();
+    bench_potrf();
+    bench_geqrf();
+    bench_tpqrt();
+    bench_trsm();
+}

@@ -2,73 +2,60 @@
 //! communication and virtual-time accounting run. These bound how large a
 //! tuning sweep the harness can afford.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use critter_bench::harness::{bench, black_box};
 use critter_machine::{KernelClass, MachineModel};
 use critter_sim::{run_simulation, ReduceOp, SimConfig};
-use std::hint::black_box;
 
-fn bench_allreduce(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_allreduce_x100");
-    g.sample_size(10);
+fn bench_allreduce() {
     for &p in &[2usize, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |bch, &p| {
-            bch.iter(|| {
-                let machine = MachineModel::test_exact(p).shared();
-                let r = run_simulation(SimConfig::new(p), machine, |ctx| {
-                    let world = ctx.world();
-                    for _ in 0..100 {
-                        ctx.allreduce(&world, ReduceOp::Sum, &[1.0; 8]);
-                    }
-                    ctx.now()
-                });
-                black_box(r.elapsed());
-            });
-        });
-    }
-    g.finish();
-}
-
-fn bench_pingpong(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_pingpong_x100");
-    g.sample_size(10);
-    g.bench_function("p2", |bch| {
-        bch.iter(|| {
-            let machine = MachineModel::test_exact(2).shared();
-            let r = run_simulation(SimConfig::new(2), machine, |ctx| {
+        bench("sim_allreduce_x100", &p.to_string(), 10, || {
+            let machine = MachineModel::test_exact(p).shared();
+            let r = run_simulation(SimConfig::new(p), machine, |ctx| {
                 let world = ctx.world();
-                for i in 0..100u64 {
-                    if ctx.rank() == 0 {
-                        ctx.send(&world, 1, i, &[1.0; 16]);
-                        ctx.recv(&world, 1, i + 1000);
-                    } else {
-                        let d = ctx.recv(&world, 0, i);
-                        ctx.send(&world, 0, i + 1000, &d);
-                    }
-                }
-            });
-            black_box(r.elapsed());
-        });
-    });
-    g.finish();
-}
-
-fn bench_compute_accounting(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_compute_x1000");
-    g.sample_size(10);
-    g.bench_function("p4", |bch| {
-        bch.iter(|| {
-            let machine = MachineModel::test_noisy(4, 1).shared();
-            let r = run_simulation(SimConfig::new(4), machine, |ctx| {
-                for _ in 0..1000 {
-                    ctx.compute(KernelClass::Gemm, 1e5);
+                for _ in 0..100 {
+                    ctx.allreduce(&world, ReduceOp::Sum, &[1.0; 8]);
                 }
                 ctx.now()
             });
             black_box(r.elapsed());
         });
-    });
-    g.finish();
+    }
 }
 
-criterion_group!(benches, bench_allreduce, bench_pingpong, bench_compute_accounting);
-criterion_main!(benches);
+fn bench_pingpong() {
+    bench("sim_pingpong_x100", "p2", 10, || {
+        let machine = MachineModel::test_exact(2).shared();
+        let r = run_simulation(SimConfig::new(2), machine, |ctx| {
+            let world = ctx.world();
+            for i in 0..100u64 {
+                if ctx.rank() == 0 {
+                    ctx.send(&world, 1, i, &[1.0; 16]);
+                    ctx.recv(&world, 1, i + 1000);
+                } else {
+                    let d = ctx.recv(&world, 0, i);
+                    ctx.send(&world, 0, i + 1000, &d);
+                }
+            }
+        });
+        black_box(r.elapsed());
+    });
+}
+
+fn bench_compute_accounting() {
+    bench("sim_compute_x1000", "p4", 10, || {
+        let machine = MachineModel::test_noisy(4, 1).shared();
+        let r = run_simulation(SimConfig::new(4), machine, |ctx| {
+            for _ in 0..1000 {
+                ctx.compute(KernelClass::Gemm, 1e5);
+            }
+            ctx.now()
+        });
+        black_box(r.elapsed());
+    });
+}
+
+fn main() {
+    bench_allreduce();
+    bench_pingpong();
+    bench_compute_accounting();
+}

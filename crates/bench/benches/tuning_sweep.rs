@@ -1,46 +1,112 @@
-//! End-to-end tuning-sweep cost per policy on a smoke-sized space: the
-//! headline "how much does autotuning cost under each policy" comparison, in
-//! host time (the simulated-time comparison is what fig4/fig5 report).
+//! End-to-end tuning-sweep cost, in host time (the simulated-time comparison
+//! is what fig4/fig5 report), plus the serial-vs-parallel scheduler
+//! comparison: the same sweeps run with the single-threaded schedule and
+//! with pipelined reference runs / concurrent sweeps. Results are
+//! bit-identical across schedules (asserted), so the speedup lines measure
+//! pure scheduling gain. On a multi-core host the parallel schedule of the
+//! 8-configuration sweep should come in at ≥2× — on a single core it
+//! degenerates to ~1×, which the printed ratio makes visible.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use critter_algs::slate_chol::SlateCholesky;
+use critter_algs::Workload;
 use critter_autotune::{Autotuner, TuningOptions, TuningSpace};
+use critter_bench::harness::{bench, black_box, speedup};
+use critter_bench::parallel_map;
 use critter_core::ExecutionPolicy;
-use std::hint::black_box;
 
-fn bench_policies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("smoke_sweep_slate_chol");
-    g.sample_size(10);
+fn bench_policies() {
     let space = TuningSpace::SlateCholesky;
     let workloads = space.smoke();
     for policy in ExecutionPolicy::ALL_SELECTIVE {
-        g.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |bch, &p| {
-            bch.iter(|| {
-                let mut opts = TuningOptions::new(p, 0.25).test_machine();
-                opts.reset_between_configs = space.resets_between_configs();
-                let report = Autotuner::new(opts).tune(&workloads);
-                black_box(report.speedup());
-            });
+        bench("smoke_sweep_slate_chol", policy.name(), 5, || {
+            let mut opts = TuningOptions::new(policy, 0.25).test_machine();
+            opts.reset_between_configs = space.resets_between_configs();
+            let report = Autotuner::new(opts).tune(&workloads);
+            black_box(report.speedup());
         });
     }
-    g.finish();
 }
 
-fn bench_epsilons(c: &mut Criterion) {
-    let mut g = c.benchmark_group("smoke_sweep_candmc_eps");
-    g.sample_size(10);
+fn bench_epsilons() {
     let workloads = TuningSpace::CandmcQr.smoke();
     for &eps in &[1.0, 0.125] {
-        g.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |bch, &e| {
-            bch.iter(|| {
-                let opts =
-                    TuningOptions::new(ExecutionPolicy::OnlinePropagation, e).test_machine();
-                let report = Autotuner::new(opts).tune(&workloads);
-                black_box(report.mean_error());
-            });
+        bench("smoke_sweep_candmc_eps", &eps.to_string(), 5, || {
+            let opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, eps).test_machine();
+            let report = Autotuner::new(opts).tune(&workloads);
+            black_box(report.mean_error());
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_policies, bench_epsilons);
-criterion_main!(benches);
+/// An 8-configuration tile-Cholesky space on 4 ranks: large enough that the
+/// reference-run pipeline has work to overlap, small enough to iterate.
+fn eight_config_space() -> Vec<Arc<dyn Workload>> {
+    (0..8)
+        .map(|v| {
+            Arc::new(SlateCholesky { n: 64, tile: 8 + 8 * (v % 4), lookahead: v / 4, pr: 2, pc: 2 })
+                as Arc<dyn Workload>
+        })
+        .collect()
+}
+
+/// One sweep, serial schedule vs pipelined reference runs.
+fn bench_pipelined_tune() {
+    let workloads = eight_config_space();
+    let tune = |workers: usize| {
+        let opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, 1.0)
+            .test_machine()
+            .with_workers(workers);
+        Autotuner::new(opts).tune(&workloads)
+    };
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = threads.max(2);
+    assert_eq!(tune(1), tune(workers), "schedules must agree bit for bit");
+    let serial = bench("tune_8cfg_slate_chol", "workers=1", 5, || {
+        black_box(tune(1).speedup());
+    });
+    let parallel = bench("tune_8cfg_slate_chol", &format!("workers={workers}"), 5, || {
+        black_box(tune(workers).speedup());
+    });
+    println!(
+        "tune_8cfg_slate_chol pipeline speedup: {:.2}x on {threads} core(s)",
+        speedup(serial, parallel)
+    );
+}
+
+/// Eight independent (policy, ε) sweeps, run back to back vs fanned out.
+fn bench_sweep_level_parallelism() {
+    let workloads = eight_config_space();
+    let specs: Vec<(ExecutionPolicy, f64)> = ExecutionPolicy::ALL_SELECTIVE
+        .iter()
+        .flat_map(|&p| [(p, 1.0), (p, 0.25)])
+        .take(8)
+        .collect();
+    let run_all = |jobs: usize| {
+        parallel_map(&specs, jobs, |&(policy, eps)| {
+            let opts = TuningOptions::new(policy, eps).test_machine();
+            Autotuner::new(opts).tune(&workloads)
+        })
+    };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let jobs = cores.clamp(2, 8);
+    assert_eq!(run_all(1), run_all(jobs), "sweep fan-out must not change results");
+    let serial = bench("sweep8_slate_chol", "jobs=1", 3, || {
+        black_box(run_all(1).len());
+    });
+    let parallel = bench("sweep8_slate_chol", &format!("jobs={jobs}"), 3, || {
+        black_box(run_all(jobs).len());
+    });
+    println!(
+        "sweep8_slate_chol sweep-level speedup: {:.2}x on {cores} core(s)",
+        speedup(serial, parallel)
+    );
+}
+
+fn main() {
+    bench_policies();
+    bench_epsilons();
+    bench_pipelined_tune();
+    bench_sweep_level_parallelism();
+}

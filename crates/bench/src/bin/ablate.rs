@@ -8,14 +8,16 @@
 //! * `count-scaling` — conditional execution (no critical-path count
 //!   scaling) vs online propagation (√k-scaled intervals) convergence.
 //!
-//! Run all: `cargo run -p critter-bench --bin ablate --release`.
+//! Run all: `cargo run -p critter-bench --bin ablate --release`. Each
+//! ablation's tuning sweeps are independent and deterministic, so they fan
+//! out over `--jobs` threads; rows are emitted in the serial order.
 
-use critter_autotune::{Autotuner, TuningOptions, TuningSpace};
-use critter_bench::{f, FigOpts, Table};
-use critter_core::signature::SizeGranularity;
-use critter_core::ExecutionPolicy;
 use critter_algs::slate_chol::SlateCholesky;
 use critter_algs::Workload;
+use critter_autotune::{Autotuner, TuningOptions, TuningSpace};
+use critter_bench::{f, parallel_map, FigOpts, Table};
+use critter_core::signature::SizeGranularity;
+use critter_core::ExecutionPolicy;
 use critter_core::{CritterConfig, CritterEnv, KernelStore};
 use critter_machine::{MachineModel, NoiseParams};
 use critter_sim::{run_simulation, SimConfig};
@@ -36,19 +38,26 @@ fn base(policy: ExecutionPolicy, eps: f64, space: TuningSpace) -> TuningOptions 
     o
 }
 
+/// Split the job budget between `n` concurrent sweeps and each sweep's
+/// internal reference-run pipeline.
+fn pipeline_workers(jobs: usize, n: usize) -> usize {
+    1 + jobs / n.max(1)
+}
+
 /// Speedup/error vs noise amplitude: selective execution should skip less (and
 /// err more) on noisier machines for a fixed ε.
 fn noise_ablation(opts: &FigOpts) {
     let space = TuningSpace::SlateCholesky;
     let ws = space.bench();
-    let mut t = Table::new(
-        "ablate-noise",
-        &["noise_scale", "speedup", "mean_err", "skip_frac"],
-    );
-    for &scale in &[0.0, 0.5, 1.0, 2.0, 4.0] {
+    let mut t = Table::new("ablate-noise", &["noise_scale", "speedup", "mean_err", "skip_frac"]);
+    let scales = [0.0, 0.5, 1.0, 2.0, 4.0];
+    let reports = parallel_map(&scales, opts.jobs, |&scale| {
         let mut o = base(ExecutionPolicy::OnlinePropagation, 0.25, space);
         o.noise = NoiseParams::cluster().scaled(scale);
-        let r = Autotuner::new(o).tune(&ws);
+        o.workers = pipeline_workers(opts.jobs, scales.len());
+        Autotuner::new(o).tune(&ws)
+    });
+    for (&scale, r) in scales.iter().zip(&reports) {
         t.row(vec![f(scale), f(r.speedup()), f(r.mean_error()), f(r.skip_fraction())]);
     }
     t.emit(&opts.out_dir);
@@ -56,24 +65,26 @@ fn noise_ablation(opts: &FigOpts) {
 
 /// Charged vs free internal messages: the gap is Critter's modeled overhead.
 fn overhead_ablation(opts: &FigOpts) {
-    let mut t = Table::new(
-        "ablate-overhead",
-        &["space", "charged", "tuning_time", "full_time", "speedup"],
-    );
-    for space in [TuningSpace::CapitalCholesky, TuningSpace::CandmcQr] {
-        let ws = space.bench();
-        for charged in [true, false] {
-            let mut o = base(ExecutionPolicy::ConditionalExecution, 0.25, space);
-            o.charge_internal = charged;
-            let r = Autotuner::new(o).tune(&ws);
-            t.row(vec![
-                space.name().into(),
-                charged.to_string(),
-                f(r.tuning_time()),
-                f(r.full_time()),
-                f(r.speedup()),
-            ]);
-        }
+    let mut t =
+        Table::new("ablate-overhead", &["space", "charged", "tuning_time", "full_time", "speedup"]);
+    let specs: Vec<(TuningSpace, bool)> = [TuningSpace::CapitalCholesky, TuningSpace::CandmcQr]
+        .into_iter()
+        .flat_map(|space| [(space, true), (space, false)])
+        .collect();
+    let reports = parallel_map(&specs, opts.jobs, |&(space, charged)| {
+        let mut o = base(ExecutionPolicy::ConditionalExecution, 0.25, space);
+        o.charge_internal = charged;
+        o.workers = pipeline_workers(opts.jobs, specs.len());
+        Autotuner::new(o).tune(&space.bench())
+    });
+    for (&(space, charged), r) in specs.iter().zip(&reports) {
+        t.row(vec![
+            space.name().into(),
+            charged.to_string(),
+            f(r.tuning_time()),
+            f(r.full_time()),
+            f(r.speedup()),
+        ]);
     }
     t.emit(&opts.out_dir);
 }
@@ -87,10 +98,14 @@ fn granularity_ablation(opts: &FigOpts) {
         "ablate-granularity",
         &["granularity", "speedup", "mean_err", "skip_frac", "distinct_sig_proxy"],
     );
-    for (gran, label) in [(SizeGranularity::Exact, "exact"), (SizeGranularity::Log2, "log2")] {
+    let specs = [(SizeGranularity::Exact, "exact"), (SizeGranularity::Log2, "log2")];
+    let reports = parallel_map(&specs, opts.jobs, |&(gran, _)| {
         let mut o = base(ExecutionPolicy::OnlinePropagation, 0.25, space);
         o.granularity = gran;
-        let r = Autotuner::new(o).tune(&ws);
+        o.workers = pipeline_workers(opts.jobs, specs.len());
+        Autotuner::new(o).tune(&ws)
+    });
+    for (&(_, label), r) in specs.iter().zip(&reports) {
         let execs: u64 = r
             .configs
             .iter()
@@ -116,23 +131,31 @@ fn count_scaling_ablation(opts: &FigOpts) {
         "ablate-count-scaling",
         &["policy", "epsilon", "kernels_executed", "skip_frac", "mean_err"],
     );
-    for &eps in &[0.5, 0.125, 0.03125] {
-        for policy in [ExecutionPolicy::ConditionalExecution, ExecutionPolicy::OnlinePropagation] {
-            let o = base(policy, eps, space);
-            let r = Autotuner::new(o).tune(&ws);
-            let execs: u64 = r
-                .configs
-                .iter()
-                .map(|c| c.pairs.iter().map(|(_, t)| t.kernels_executed).sum::<u64>())
-                .sum();
-            t.row(vec![
-                policy.name().into(),
-                f(eps),
-                execs.to_string(),
-                f(r.skip_fraction()),
-                f(r.mean_error()),
-            ]);
-        }
+    let specs: Vec<(f64, ExecutionPolicy)> = [0.5, 0.125, 0.03125]
+        .into_iter()
+        .flat_map(|eps| {
+            [ExecutionPolicy::ConditionalExecution, ExecutionPolicy::OnlinePropagation]
+                .map(|p| (eps, p))
+        })
+        .collect();
+    let reports = parallel_map(&specs, opts.jobs, |&(eps, policy)| {
+        let mut o = base(policy, eps, space);
+        o.workers = pipeline_workers(opts.jobs, specs.len());
+        Autotuner::new(o).tune(&ws)
+    });
+    for (&(eps, policy), r) in specs.iter().zip(&reports) {
+        let execs: u64 = r
+            .configs
+            .iter()
+            .map(|c| c.pairs.iter().map(|(_, t)| t.kernels_executed).sum::<u64>())
+            .sum();
+        t.row(vec![
+            policy.name().into(),
+            f(eps),
+            execs.to_string(),
+            f(r.skip_fraction()),
+            f(r.mean_error()),
+        ]);
     }
     t.emit(&opts.out_dir);
 }
@@ -145,7 +168,8 @@ fn count_scaling_ablation(opts: &FigOpts) {
 fn p2p_semantics_ablation(opts: &FigOpts) {
     let w = SlateCholesky { n: 384, tile: 48, lookahead: 1, pr: 4, pc: 4 };
     let mut t = Table::new("ablate-p2p-semantics", &["eager_threshold_words", "makespan"]);
-    for (label, thresh) in [("0 (rendezvous)", 0usize), ("512 (default)", 512), ("inf (eager)", usize::MAX)] {
+    let specs = [("0 (rendezvous)", 0usize), ("512 (default)", 512), ("inf (eager)", usize::MAX)];
+    let elapsed = parallel_map(&specs, opts.jobs, |&(_, thresh)| {
         let machine = MachineModel::stampede2(w.ranks(), 99, 0).shared();
         let wl = w.clone();
         let report = run_simulation(
@@ -157,7 +181,10 @@ fn p2p_semantics_ablation(opts: &FigOpts) {
                 let _ = env.finish();
             },
         );
-        t.row(vec![label.into(), f(report.elapsed())]);
+        report.elapsed()
+    });
+    for (&(label, _), &makespan) in specs.iter().zip(&elapsed) {
+        t.row(vec![label.into(), f(makespan)]);
     }
     t.emit(&opts.out_dir);
 }
@@ -172,19 +199,22 @@ fn extrapolation_ablation(opts: &FigOpts) {
         "ablate-extrapolation",
         &["extrapolate", "epsilon", "speedup", "skip_frac", "mean_err"],
     );
-    for &eps in &[0.5, 0.125] {
-        for extrapolate in [false, true] {
-            let mut o = base(ExecutionPolicy::OnlinePropagation, eps, space);
-            o.extrapolate = extrapolate;
-            let r = Autotuner::new(o).tune(&ws);
-            t.row(vec![
-                extrapolate.to_string(),
-                f(eps),
-                f(r.speedup()),
-                f(r.skip_fraction()),
-                f(r.mean_error()),
-            ]);
-        }
+    let specs: Vec<(f64, bool)> =
+        [0.5, 0.125].into_iter().flat_map(|eps| [(eps, false), (eps, true)]).collect();
+    let reports = parallel_map(&specs, opts.jobs, |&(eps, extrapolate)| {
+        let mut o = base(ExecutionPolicy::OnlinePropagation, eps, space);
+        o.extrapolate = extrapolate;
+        o.workers = pipeline_workers(opts.jobs, specs.len());
+        Autotuner::new(o).tune(&ws)
+    });
+    for (&(eps, extrapolate), r) in specs.iter().zip(&reports) {
+        t.row(vec![
+            extrapolate.to_string(),
+            f(eps),
+            f(r.speedup()),
+            f(r.skip_fraction()),
+            f(r.mean_error()),
+        ]);
     }
     t.emit(&opts.out_dir);
 }

@@ -5,25 +5,45 @@
 //! alongside for the two algorithms the paper gives closed forms for.
 
 use critter_autotune::TuningSpace;
-use critter_bench::{f, sweep, write_json, FigOpts, Table};
+use critter_bench::{f, parallel_map, sweep, write_json, FigOpts, Table};
 use critter_core::ExecutionPolicy;
 
 fn main() {
     let opts = FigOpts::from_args();
     let mut summary = serde_json::Map::new();
-    for space in TuningSpace::PAPER {
-        // One full-execution pass per configuration measures the schedule's
-        // critical-path costs (Fig. 3 is produced from full executions).
-        let report = sweep(space, ExecutionPolicy::Full, 0.0, opts.reps, 0);
+    // One full-execution pass per configuration measures the schedule's
+    // critical-path costs (Fig. 3 is produced from full executions). The
+    // four spaces are independent: sweep them concurrently, splitting the
+    // job budget between space-level fan-out and each sweep's own
+    // reference-run pipeline.
+    let spaces: Vec<TuningSpace> = TuningSpace::PAPER.to_vec();
+    let workers = 1 + opts.jobs / spaces.len().max(1);
+    let reports = parallel_map(&spaces, opts.jobs, |&space| {
+        sweep(space, ExecutionPolicy::Full, 0.0, opts.reps, 0, workers)
+    });
+    for (&space, report) in spaces.iter().zip(&reports) {
         let mut table = Table::new(
             &format!("fig3-{}", space.name()),
-            &["v", "config", "syncs(S)", "words(W)", "flops(F)", "comp_time", "comm_time", "exec_time", "bsp_S", "bsp_W", "bsp_F"],
+            &[
+                "v",
+                "config",
+                "syncs(S)",
+                "words(W)",
+                "flops(F)",
+                "comp_time",
+                "comm_time",
+                "exec_time",
+                "bsp_S",
+                "bsp_W",
+                "bsp_F",
+            ],
         );
         let mut rows_json = Vec::new();
         for (v, cfg) in report.configs.iter().enumerate() {
             let (full, _) = &cfg.pairs[0];
             let bsp = analytic(space, v);
-            let (bs, bw, bf) = bsp.map(|b| (f(b.supersteps), f(b.words), f(b.flops))).unwrap_or_default();
+            let (bs, bw, bf) =
+                bsp.map(|b| (f(b.supersteps), f(b.words), f(b.flops))).unwrap_or_default();
             table.row(vec![
                 v.to_string(),
                 cfg.name.clone(),
@@ -55,9 +75,7 @@ fn main() {
 /// Analytic BSP cost of configuration `v`, where the paper provides a model.
 fn analytic(space: TuningSpace, v: usize) -> Option<critter_bsp::BspCost> {
     match space {
-        TuningSpace::CapitalCholesky => {
-            Some(critter_bsp::capital_cholesky(512, 64, 16 << (v % 5)))
-        }
+        TuningSpace::CapitalCholesky => Some(critter_bsp::capital_cholesky(512, 64, 16 << (v % 5))),
         TuningSpace::CandmcQr => {
             let pr = 4 << (v / 5);
             let pc = 16 / pr;

@@ -51,10 +51,8 @@ fn sweep_panel(dir: &Path, file: &str, metric: &str, title: &str, log_y: bool) {
         let (Ok(x), Ok(y)) = (r[ei].parse::<f64>(), r[yi].parse::<f64>()) else { continue };
         by_policy.entry(r[pi].clone()).or_default().push((x, y));
     }
-    let series: Vec<Series> = by_policy
-        .into_iter()
-        .map(|(label, points)| Series { label, points })
-        .collect();
+    let series: Vec<Series> =
+        by_policy.into_iter().map(|(label, points)| Series { label, points }).collect();
     let opts = PlotOpts { log_x: true, log_y, ..Default::default() };
     print!("{}", render(title, &series, &opts));
     println!();
@@ -68,10 +66,8 @@ fn fig3_panel(dir: &Path, file: &str, ycol: &str, title: &str) {
         return;
     };
     let (xi, yi) = (col(&header, "syncs(S)"), col(&header, ycol));
-    let points: Vec<(f64, f64)> = rows
-        .iter()
-        .filter_map(|r| Some((r[xi].parse().ok()?, r[yi].parse().ok()?)))
-        .collect();
+    let points: Vec<(f64, f64)> =
+        rows.iter().filter_map(|r| Some((r[xi].parse().ok()?, r[yi].parse().ok()?))).collect();
     let series = [Series { label: "configurations".into(), points }];
     let opts = PlotOpts { log_x: true, log_y: true, height: 14, ..Default::default() };
     print!("{}", render(title, &series, &opts));
@@ -99,7 +95,19 @@ fn main() {
         ("fig5-candmc-qr-sweeps.csv", "5a/5e", "CANDMC QR"),
         ("fig5-slate-qr-sweeps.csv", "5b/5f", "SLATE QR"),
     ] {
-        sweep_panel(dir, file, "tuning_time", &format!("Fig.{fig} {name}: tuning time vs ε"), false);
-        sweep_panel(dir, file, "mean_err", &format!("Fig.{fig} {name}: mean prediction error vs ε"), false);
+        sweep_panel(
+            dir,
+            file,
+            "tuning_time",
+            &format!("Fig.{fig} {name}: tuning time vs ε"),
+            false,
+        );
+        sweep_panel(
+            dir,
+            file,
+            "mean_err",
+            &format!("Fig.{fig} {name}: mean prediction error vs ε"),
+            false,
+        );
     }
 }

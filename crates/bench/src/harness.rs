@@ -1,0 +1,55 @@
+//! A small wall-clock benchmarking harness (the workspace has no registry
+//! access, so Criterion is not available offline).
+//!
+//! Each bench target is a plain `harness = false` binary that times closures
+//! with [`bench`] and prints one aligned line per case: minimum, median, and
+//! iteration count. The minimum is the headline number — for a deterministic
+//! CPU-bound workload it is the least noisy location statistic.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for bench bodies to defeat constant folding.
+pub use std::hint::black_box;
+
+/// Result of timing one case.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Median iteration.
+    pub median: Duration,
+    /// Number of timed iterations.
+    pub iters: usize,
+}
+
+/// Time `f` for `iters` iterations after one untimed warm-up run.
+pub fn time(mut f: impl FnMut(), iters: usize) -> Timing {
+    assert!(iters > 0, "at least one iteration");
+    f(); // warm-up: page in code, fill allocator caches, spawn pools
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed());
+    }
+    samples.sort_unstable();
+    Timing { min: samples[0], median: samples[samples.len() / 2], iters }
+}
+
+/// Time `f` and print one `group/case` result line.
+pub fn bench(group: &str, case: &str, iters: usize, f: impl FnMut()) -> Timing {
+    let t = time(f, iters);
+    println!(
+        "{:<44} min {:>10.3?}  median {:>10.3?}  ({} iters)",
+        format!("{group}/{case}"),
+        t.min,
+        t.median,
+        t.iters
+    );
+    t
+}
+
+/// Format a speedup ratio between two timings (a vs b: how much faster is b).
+pub fn speedup(a: Timing, b: Timing) -> f64 {
+    a.min.as_secs_f64() / b.min.as_secs_f64().max(1e-12)
+}

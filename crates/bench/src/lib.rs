@@ -15,11 +15,14 @@
 //! `results/` so EXPERIMENTS.md's paper-vs-measured entries can be refreshed
 //! mechanically. Pass `--quick` for a reduced ε grid.
 
+pub mod harness;
 pub mod plot;
 
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use critter_autotune::{Autotuner, TuningOptions, TuningReport, TuningSpace};
 use critter_core::ExecutionPolicy;
@@ -35,17 +38,27 @@ pub struct FigOpts {
     pub reps: usize,
     /// Output directory for CSV/JSON artifacts.
     pub out_dir: PathBuf,
+    /// Threads used to run independent tuning sweeps concurrently. Sweeps
+    /// are deterministic per (policy, ε, allocation), so the artifacts are
+    /// identical at any job count.
+    pub jobs: usize,
+}
+
+/// Default sweep-level job count: the host's cores, capped at 8.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
 }
 
 impl FigOpts {
     /// Parse from `std::env::args` (flags: `--quick`, `--allocations N`,
-    /// `--reps N`, `--out DIR`).
+    /// `--reps N`, `--out DIR`, `--jobs N`).
     pub fn from_args() -> Self {
         let mut opts = FigOpts {
             quick: false,
             allocations: 1,
             reps: 1,
             out_dir: PathBuf::from("results"),
+            jobs: default_jobs(),
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -63,6 +76,10 @@ impl FigOpts {
                 "--out" => {
                     i += 1;
                     opts.out_dir = PathBuf::from(&args[i]);
+                }
+                "--jobs" => {
+                    i += 1;
+                    opts.jobs = args[i].parse::<usize>().expect("--jobs N").max(1);
                 }
                 other => panic!("unknown flag {other}"),
             }
@@ -83,13 +100,56 @@ impl FigOpts {
 }
 
 /// Run one `(space, policy, ε, allocation)` tuning sweep with the paper's
-/// per-space statistics-reset protocol.
-pub fn sweep(space: TuningSpace, policy: ExecutionPolicy, epsilon: f64, reps: usize, allocation: u64) -> TuningReport {
-    let mut opts = TuningOptions::new(policy, epsilon);
+/// per-space statistics-reset protocol. `workers` > 1 pipelines the sweep's
+/// reference full executions (bit-identical result either way).
+pub fn sweep(
+    space: TuningSpace,
+    policy: ExecutionPolicy,
+    epsilon: f64,
+    reps: usize,
+    allocation: u64,
+    workers: usize,
+) -> TuningReport {
+    let mut opts = TuningOptions::new(policy, epsilon).with_workers(workers);
     opts.reset_between_configs = space.resets_between_configs();
     opts.reps = reps;
     opts.allocation = allocation;
     Autotuner::new(opts).tune(&space.bench())
+}
+
+/// Map `f` over `items` on up to `jobs` threads, preserving input order in
+/// the returned vector. Items are pulled from an atomic queue, so long and
+/// short jobs load-balance; `jobs <= 1` degenerates to a plain serial map.
+/// A panicking job propagates to the caller.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner().unwrap_or_else(|e| e.into_inner()).expect("parallel_map job completed")
+        })
+        .collect()
 }
 
 /// A CSV/table writer that accumulates rows and flushes to disk + stdout.
@@ -126,12 +186,7 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.name);
         let fmt_row = |cells: &[String], widths: &[usize]| {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
         for row in &self.rows {
@@ -194,66 +249,85 @@ pub fn run_figure(opts: &FigOpts, space_a: TuningSpace, space_b: TuningSpace, fi
         let mut sweep_table = Table::new(
             &format!("{fig}-{}-sweeps", space.name()),
             &[
-                "policy", "epsilon", "alloc", "tuning_time", "full_time", "speedup",
-                "kernel_time", "full_kernel_time", "kernel_speedup",
-                "mean_err", "mean_comp_err", "skip_frac", "sel_quality",
+                "policy",
+                "epsilon",
+                "alloc",
+                "tuning_time",
+                "full_time",
+                "speedup",
+                "kernel_time",
+                "full_kernel_time",
+                "kernel_speedup",
+                "mean_err",
+                "mean_comp_err",
+                "skip_frac",
+                "sel_quality",
             ],
         );
         let mut per_config = Table::new(
             &format!("{fig}-{}-online-per-config", space.name()),
             &["epsilon", "alloc", "v", "config", "rel_error", "true_time", "predicted"],
         );
+        // Every (allocation, policy, ε) sweep is independent and
+        // deterministic: fan them out over the job pool, then emit rows in
+        // the original order so tables and JSON match the serial harness.
+        let mut specs: Vec<(u64, ExecutionPolicy, &'static str, f64)> = Vec::new();
         for allocation in 0..opts.allocations {
             for &(policy, label) in &policies() {
                 for &eps in &opts.epsilons() {
-                    let report = sweep(space, policy, eps, opts.reps, allocation);
-                    sweep_table.row(vec![
-                        label.to_string(),
+                    specs.push((allocation, policy, label, eps));
+                }
+            }
+        }
+        let reports = parallel_map(&specs, opts.jobs, |&(allocation, policy, _, eps)| {
+            sweep(space, policy, eps, opts.reps, allocation, 1)
+        });
+        for (&(allocation, policy, label, eps), report) in specs.iter().zip(&reports) {
+            sweep_table.row(vec![
+                label.to_string(),
+                f(eps),
+                allocation.to_string(),
+                f(report.tuning_time()),
+                f(report.full_time()),
+                f(report.speedup()),
+                f(report.kernel_time()),
+                f(report.full_kernel_time()),
+                f(report.kernel_time_speedup()),
+                f(report.mean_error()),
+                f(report.mean_comp_error()),
+                f(report.skip_fraction()),
+                f(report.selection_quality()),
+            ]);
+            summary.push(serde_json::json!({
+                "space": space.name(),
+                "policy": label,
+                "epsilon": eps,
+                "allocation": allocation,
+                "tuning_time": report.tuning_time(),
+                "full_time": report.full_time(),
+                "speedup": report.speedup(),
+                "kernel_time_speedup": report.kernel_time_speedup(),
+                "mean_error": report.mean_error(),
+                "mean_comp_error": report.mean_comp_error(),
+                "selection_quality": report.selection_quality(),
+                "skip_fraction": report.skip_fraction(),
+            }));
+            // Panels g/h: per-configuration error for online freq
+            // propagation.
+            if policy == ExecutionPolicy::OnlinePropagation {
+                let errs = report.per_config_error();
+                let truth = report.true_times();
+                let preds = report.predicted_times();
+                for (v, cfg) in report.configs.iter().enumerate() {
+                    per_config.row(vec![
                         f(eps),
                         allocation.to_string(),
-                        f(report.tuning_time()),
-                        f(report.full_time()),
-                        f(report.speedup()),
-                        f(report.kernel_time()),
-                        f(report.full_kernel_time()),
-                        f(report.kernel_time_speedup()),
-                        f(report.mean_error()),
-                        f(report.mean_comp_error()),
-                        f(report.skip_fraction()),
-                        f(report.selection_quality()),
+                        v.to_string(),
+                        cfg.name.clone(),
+                        f(errs[v]),
+                        f(truth[v]),
+                        f(preds[v]),
                     ]);
-                    summary.push(serde_json::json!({
-                        "space": space.name(),
-                        "policy": label,
-                        "epsilon": eps,
-                        "allocation": allocation,
-                        "tuning_time": report.tuning_time(),
-                        "full_time": report.full_time(),
-                        "speedup": report.speedup(),
-                        "kernel_time_speedup": report.kernel_time_speedup(),
-                        "mean_error": report.mean_error(),
-                        "mean_comp_error": report.mean_comp_error(),
-                        "selection_quality": report.selection_quality(),
-                        "skip_fraction": report.skip_fraction(),
-                    }));
-                    // Panels g/h: per-configuration error for online freq
-                    // propagation.
-                    if policy == ExecutionPolicy::OnlinePropagation {
-                        let errs = report.per_config_error();
-                        let truth = report.true_times();
-                        let preds = report.predicted_times();
-                        for (v, cfg) in report.configs.iter().enumerate() {
-                            per_config.row(vec![
-                                f(eps),
-                                allocation.to_string(),
-                                v.to_string(),
-                                cfg.name.clone(),
-                                f(errs[v]),
-                                f(truth[v]),
-                                f(preds[v]),
-                            ]);
-                        }
-                    }
                 }
             }
         }
@@ -284,8 +358,17 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_preserves_order_and_runs_all() {
+        let items: Vec<usize> = (0..37).collect();
+        let serial = parallel_map(&items, 1, |&x| x * x);
+        let parallel = parallel_map(&items, 4, |&x| x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[36], 36 * 36);
+    }
+
+    #[test]
     fn epsilon_grids() {
-        let quick = FigOpts { quick: true, allocations: 1, reps: 1, out_dir: "x".into() };
+        let quick = FigOpts { quick: true, allocations: 1, reps: 1, out_dir: "x".into(), jobs: 1 };
         assert_eq!(quick.epsilons().len(), 3);
         let full = FigOpts { quick: false, ..quick };
         assert_eq!(full.epsilons().len(), 9);

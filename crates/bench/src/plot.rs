@@ -102,13 +102,10 @@ pub fn render(title: &str, series: &[Series], opts: &PlotOpts) -> String {
         let label = if i == h - 1 { fmt_axis(y0, opts.log_y) } else { String::new() };
         let _ = writeln!(out, "{label:>10} |{}", row.iter().collect::<String>());
     }
-    let _ = writeln!(
-        out,
-        "{:>10}  {}{}",
-        "",
-        fmt_axis(x0, opts.log_x),
-        format!("{:>w$}", fmt_axis(x1, opts.log_x), w = w.saturating_sub(fmt_axis(x0, opts.log_x).len()))
-    );
+    let x0_label = fmt_axis(x0, opts.log_x);
+    let x1_label =
+        format!("{:>w$}", fmt_axis(x1, opts.log_x), w = w.saturating_sub(x0_label.len()));
+    let _ = writeln!(out, "{:>10}  {x0_label}{x1_label}", "");
     for (si, s) in series.iter().enumerate() {
         let _ = writeln!(out, "{:>12} {}", MARKS[si % MARKS.len()], s.label);
     }
@@ -136,10 +133,8 @@ mod tests {
 
     #[test]
     fn log_axes_do_not_panic_on_small_values() {
-        let s = vec![Series {
-            label: "tiny".into(),
-            points: vec![(1.0 / 256.0, 1e-6), (1.0, 1e-2)],
-        }];
+        let s =
+            vec![Series { label: "tiny".into(), points: vec![(1.0 / 256.0, 1e-6), (1.0, 1e-2)] }];
         let out = render("log", &s, &PlotOpts { log_x: true, log_y: true, ..Default::default() });
         assert!(out.contains("log"));
     }

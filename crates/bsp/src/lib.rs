@@ -119,7 +119,8 @@ mod tests {
     fn capital_crossover_exists() {
         // With α dominant, large blocks win; with γ dominant, small blocks win.
         let latency_bound = MachineParams { alpha: 1e-3, ..MachineParams::test_machine() };
-        let compute_bound = MachineParams { alpha: 1e-9, peak_flops: 1e8, ..MachineParams::test_machine() };
+        let compute_bound =
+            MachineParams { alpha: 1e-9, peak_flops: 1e8, ..MachineParams::test_machine() };
         let t_small = |p: &MachineParams| capital_cholesky(512, 64, 16).seconds(p, 0.5);
         let t_large = |p: &MachineParams| capital_cholesky(512, 64, 256).seconds(p, 0.5);
         assert!(t_large(&latency_bound) < t_small(&latency_bound));

@@ -182,10 +182,8 @@ mod tests {
         // world + row + col + (row×col) — and row×col covers the machine.
         let full: Vec<&Aggregate> = r.aggregates().filter(|a| a.coverage == 16).collect();
         assert!(full.len() >= 2, "combined aggregate should cover all 16 ranks");
-        let combined = r
-            .aggregates()
-            .find(|a| a.dims == vec![(1, 4), (4, 4)])
-            .expect("row x col aggregate");
+        let combined =
+            r.aggregates().find(|a| a.dims == vec![(1, 4), (4, 4)]).expect("row x col aggregate");
         assert_eq!(combined.hash, row.shape_hash() ^ col.shape_hash());
     }
 
@@ -245,10 +243,8 @@ mod tests {
         r.register(&meta(&[0, 1]));
         r.register(&meta(&[0, 2]));
         r.register(&meta(&[0, 4]));
-        let full = r
-            .aggregates()
-            .find(|a| a.dims == vec![(1, 2), (2, 2), (4, 2)])
-            .expect("3D aggregate");
+        let full =
+            r.aggregates().find(|a| a.dims == vec![(1, 2), (2, 2), (4, 2)]).expect("3D aggregate");
         assert_eq!(full.coverage, 8);
         assert!(full.is_maximal);
     }

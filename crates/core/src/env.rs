@@ -48,17 +48,8 @@ pub struct CritterRequest {
 }
 
 enum ReqInner {
-    Send {
-        sig: KernelSig,
-        internal: Request,
-        user: Option<Request>,
-    },
-    Recv {
-        sig: KernelSig,
-        internal: Request,
-        user: Request,
-        words: usize,
-    },
+    Send { sig: KernelSig, internal: Request, user: Option<Request> },
+    Recv { sig: KernelSig, internal: Request, user: Request, words: usize },
 }
 
 /// The per-rank Critter profiling environment.
@@ -305,7 +296,15 @@ impl<'a> CritterEnv<'a> {
     /// sampled time is recorded; when skipped, `body` does not run and the
     /// kernel's modeled mean is charged to the prediction. Returns the time
     /// contributed to the path (measured or predicted).
-    pub fn kernel<F: FnOnce()>(&mut self, op: ComputeOp, m: usize, n: usize, k: usize, flops: f64, body: F) -> f64 {
+    pub fn kernel<F: FnOnce()>(
+        &mut self,
+        op: ComputeOp,
+        m: usize,
+        n: usize,
+        k: usize,
+        flops: f64,
+        body: F,
+    ) -> f64 {
         let sig = KernelSig::compute(op, m, n, k);
         self.store.schedule(&sig);
         let mut extrapolated = None;
@@ -499,7 +498,13 @@ impl<'a> CritterEnv<'a> {
     }
 
     /// Intercepted reduce (result at `root`).
-    pub fn reduce(&mut self, comm: &Communicator, root: usize, op: ReduceOp, data: &[f64]) -> Option<Vec<f64>> {
+    pub fn reduce(
+        &mut self,
+        comm: &Communicator,
+        root: usize,
+        op: ReduceOp,
+        data: &[f64],
+    ) -> Option<Vec<f64>> {
         let (sig, execute, xmean) = self.pre_collective(CommOp::Reduce, comm, data.len());
         if execute {
             let t0 = self.ctx.now();
@@ -545,7 +550,13 @@ impl<'a> CritterEnv<'a> {
 
     /// Intercepted scatter from `root`: the root supplies `size()·chunk`
     /// words; every rank receives `chunk` words.
-    pub fn scatter(&mut self, comm: &Communicator, root: usize, data: &[f64], chunk: usize) -> Vec<f64> {
+    pub fn scatter(
+        &mut self,
+        comm: &Communicator,
+        root: usize,
+        data: &[f64],
+        chunk: usize,
+    ) -> Vec<f64> {
         if comm.rank() == root {
             assert_eq!(data.len(), chunk * comm.size(), "scatter root payload size");
         }
@@ -708,7 +719,13 @@ impl<'a> CritterEnv<'a> {
     /// Intercepted nonblocking send. The sender's vote alone governs
     /// execution (the deadlock-free default protocol for nonblocking
     /// communication, §IV-A).
-    pub fn isend(&mut self, comm: &Communicator, dst: usize, tag: u64, data: Vec<f64>) -> CritterRequest {
+    pub fn isend(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: u64,
+        data: Vec<f64>,
+    ) -> CritterRequest {
         assert!(tag < TAG_S2R, "user tags must stay below the internal tag space");
         let sig = self.p2p_sig(comm, dst, data.len());
         self.store.schedule(&sig);
@@ -733,7 +750,13 @@ impl<'a> CritterEnv<'a> {
     }
 
     /// Intercepted nonblocking receive of `words` words.
-    pub fn irecv(&mut self, comm: &Communicator, src: usize, tag: u64, words: usize) -> CritterRequest {
+    pub fn irecv(
+        &mut self,
+        comm: &Communicator,
+        src: usize,
+        tag: u64,
+        words: usize,
+    ) -> CritterRequest {
         assert!(tag < TAG_S2R, "user tags must stay below the internal tag space");
         let sig = self.p2p_sig(comm, src, words);
         let internal = self.ctx.irecv(comm, src, tag + TAG_S2R);
@@ -825,12 +848,7 @@ impl<'a> CritterEnv<'a> {
         // one small sum+max reduction, charged like the other internals.
         let busy = self.report.local_comp_executed + self.report.local_comm_executed;
         let charge = self.internal_charge(2);
-        let sums = self.ctx.allreduce_custom(
-            &world,
-            vec![busy, busy, 1.0],
-            combine_busy,
-            charge,
-        );
+        let sums = self.ctx.allreduce_custom(&world, vec![busy, busy, 1.0], combine_busy, charge);
         self.report.mean_busy = sums[0] / sums[2].max(1.0);
         self.report.max_busy = sums[1];
         // The winning path's per-kernel profile, labeled where known locally.

@@ -217,7 +217,13 @@ mod tests {
         InternalMsg {
             vote,
             exec_time: t,
-            metrics: PathMetrics { comm_words: t * 2.0, syncs: 1.0, flops: 10.0, comp_time: t, comm_time: 0.0 },
+            metrics: PathMetrics {
+                comm_words: t * 2.0,
+                syncs: 1.0,
+                flops: 10.0,
+                comp_time: t,
+                comm_time: 0.0,
+            },
             path: vec![(1, 3, 0.5), (9, 1, 0.1)],
             eager: vec![],
             user_words: 0,

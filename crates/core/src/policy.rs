@@ -190,7 +190,8 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let mut names: Vec<&str> = ExecutionPolicy::ALL_SELECTIVE.iter().map(|p| p.name()).collect();
+        let mut names: Vec<&str> =
+            ExecutionPolicy::ALL_SELECTIVE.iter().map(|p| p.name()).collect();
         names.push(ExecutionPolicy::Full.name());
         let n = names.len();
         names.sort();

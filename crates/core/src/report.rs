@@ -107,7 +107,8 @@ mod tests {
 
     #[test]
     fn metrics_roundtrip_array() {
-        let m = PathMetrics { comm_words: 1.0, syncs: 2.0, flops: 3.0, comp_time: 4.0, comm_time: 5.0 };
+        let m =
+            PathMetrics { comm_words: 1.0, syncs: 2.0, flops: 3.0, comp_time: 4.0, comm_time: 5.0 };
         assert_eq!(PathMetrics::from_array(m.to_array()), m);
     }
 

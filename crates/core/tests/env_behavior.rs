@@ -18,31 +18,22 @@ fn run_env<R: Send>(
         let (rep, _store) = env.finish();
         (out, rep)
     });
-    report
-        .outputs
-        .into_iter()
-        .zip(report.rank_times)
-        .map(|((out, rep), t)| (out, rep, t))
-        .collect()
+    report.outputs.into_iter().zip(report.rank_times).map(|((out, rep), t)| (out, rep, t)).collect()
 }
 
 #[test]
 fn full_policy_prediction_matches_clock() {
     // With no skipping and uncharged internals, P.exec_time must track the
     // virtual clock exactly for a compute+allreduce program.
-    let out = run_env(
-        4,
-        MachineModel::test_exact(4),
-        CritterConfig::full().without_overhead(),
-        |env| {
+    let out =
+        run_env(4, MachineModel::test_exact(4), CritterConfig::full().without_overhead(), |env| {
             let world = env.world();
             for _ in 0..5 {
                 env.kernel(ComputeOp::Gemm, 32, 32, 32, 2.0 * 32f64.powi(3), || {});
                 env.allreduce(&world, ReduceOp::Sum, &[1.0; 64]);
             }
             env.exec_time()
-        },
-    );
+        });
     for (pred, rep, clock) in &out {
         assert!((pred - clock).abs() < 1e-9 * clock, "pred {pred} clock {clock}");
         assert_eq!(rep.kernels_skipped, 0);
@@ -181,19 +172,15 @@ fn comm_kernel_skips_require_unanimity() {
 fn path_time_propagates_to_idle_ranks() {
     // Rank 0 computes a lot; rank 1 computes nothing. After the allreduce the
     // longest-path estimate on rank 1 must reflect rank 0's compute time.
-    let out = run_env(
-        2,
-        MachineModel::test_exact(2),
-        CritterConfig::full().without_overhead(),
-        |env| {
+    let out =
+        run_env(2, MachineModel::test_exact(2), CritterConfig::full().without_overhead(), |env| {
             let world = env.world();
             if env.rank() == 0 {
                 env.kernel(ComputeOp::Gemm, 128, 128, 128, 2.0 * 128f64.powi(3), || {});
             }
             env.allreduce(&world, ReduceOp::Sum, &[1.0]);
             env.exec_time()
-        },
-    );
+        });
     let (p0, _, _) = &out[0];
     let (p1, _, _) = &out[1];
     assert!((p0 - p1).abs() < 1e-12, "exec_time must agree after propagation");
@@ -299,16 +286,11 @@ fn skipped_bcast_zeroes_non_root_buffers() {
 
 #[test]
 fn custom_kernel_is_profiled() {
-    let out = run_env(
-        1,
-        MachineModel::test_exact(1),
-        CritterConfig::full(),
-        |env| {
-            env.custom_kernel(1, 1000, 5e4, || {});
-            env.custom_kernel(1, 1000, 5e4, || {});
-            env.store().local.len()
-        },
-    );
+    let out = run_env(1, MachineModel::test_exact(1), CritterConfig::full(), |env| {
+        env.custom_kernel(1, 1000, 5e4, || {});
+        env.custom_kernel(1, 1000, 5e4, || {});
+        env.store().local.len()
+    });
     assert_eq!(out[0].0, 1, "one distinct custom kernel signature");
     assert_eq!(out[0].1.kernels_executed, 2);
 }
@@ -329,8 +311,11 @@ fn apriori_counts_enable_scaling_from_start() {
         store.capture_apriori();
         store.start_config(true);
         // Tuning pass under a-priori propagation.
-        let mut env =
-            CritterEnv::new(ctx, CritterConfig::new(ExecutionPolicy::APrioriPropagation, 0.05), store);
+        let mut env = CritterEnv::new(
+            ctx,
+            CritterConfig::new(ExecutionPolicy::APrioriPropagation, 0.05),
+            store,
+        );
         for _ in 0..reps {
             env.kernel(ComputeOp::Gemm, 24, 24, 24, 3e5, || {});
         }
@@ -345,16 +330,11 @@ fn apriori_counts_enable_scaling_from_start() {
 
 #[test]
 fn internal_traffic_is_accounted() {
-    let out = run_env(
-        4,
-        MachineModel::test_exact(4),
-        CritterConfig::full(),
-        |env| {
-            let world = env.world();
-            env.allreduce(&world, ReduceOp::Sum, &[1.0; 4]);
-            env.barrier(&world);
-        },
-    );
+    let out = run_env(4, MachineModel::test_exact(4), CritterConfig::full(), |env| {
+        let world = env.world();
+        env.allreduce(&world, ReduceOp::Sum, &[1.0; 4]);
+        env.barrier(&world);
+    });
     for (_, rep, _) in &out {
         assert!(rep.internal_words > 0, "piggyback payloads must be measured");
     }
@@ -368,18 +348,9 @@ fn charged_internals_slow_the_run() {
             env.allreduce(&world, ReduceOp::Sum, &[1.0; 8]);
         }
     };
-    let charged = run_env(
-        2,
-        MachineModel::test_exact(2),
-        CritterConfig::full(),
-        prog,
-    );
-    let free = run_env(
-        2,
-        MachineModel::test_exact(2),
-        CritterConfig::full().without_overhead(),
-        prog,
-    );
+    let charged = run_env(2, MachineModel::test_exact(2), CritterConfig::full(), prog);
+    let free =
+        run_env(2, MachineModel::test_exact(2), CritterConfig::full().without_overhead(), prog);
     assert!(charged[0].2 > free[0].2, "profiling overhead must be visible when charged");
 }
 
@@ -400,7 +371,8 @@ fn extrapolation_skips_unseen_sizes_accurately() {
         .remove(0)
     };
     let baseline = run(CritterConfig::new(ExecutionPolicy::OnlinePropagation, 0.25));
-    let extrap = run(CritterConfig::new(ExecutionPolicy::OnlinePropagation, 0.25).with_extrapolation());
+    let extrap =
+        run(CritterConfig::new(ExecutionPolicy::OnlinePropagation, 0.25).with_extrapolation());
     assert_eq!(baseline.1.kernels_skipped, 0, "distinct sizes cannot converge per-signature");
     assert!(
         extrap.1.kernels_skipped > 20,
@@ -449,14 +421,9 @@ fn trace_records_all_interceptions() {
 
 #[test]
 fn trace_disabled_is_empty() {
-    let out = run_env(
-        1,
-        MachineModel::test_exact(1),
-        CritterConfig::full(),
-        |env| {
-            env.kernel(ComputeOp::Gemm, 16, 16, 16, 1e5, || {});
-        },
-    );
+    let out = run_env(1, MachineModel::test_exact(1), CritterConfig::full(), |env| {
+        env.kernel(ComputeOp::Gemm, 16, 16, 16, 1e5, || {});
+    });
     assert!(out[0].1.trace.is_empty());
 }
 
@@ -492,7 +459,8 @@ fn reduce_scatter_semantics_under_full_execution() {
         let world = env.world();
         let contrib = vec![1.0; p];
         let rs = env.reduce_scatter(&world, ReduceOp::Sum, &contrib);
-        let a2a = env.alltoall(&world, &(0..p).map(|d| (env.rank() * 10 + d) as f64).collect::<Vec<_>>());
+        let a2a =
+            env.alltoall(&world, &(0..p).map(|d| (env.rank() * 10 + d) as f64).collect::<Vec<_>>());
         (rs, a2a)
     });
     for (r, (rs, a2a)) in out.iter().map(|(o, _, _)| o).enumerate() {

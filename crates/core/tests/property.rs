@@ -35,7 +35,13 @@ fn arb_msg() -> impl Strategy<Value = InternalMsg> {
             let path = path.into_iter().collect();
             let eager = eager_raw
                 .into_iter()
-                .map(|(key, count, mean, m2, coverage)| EagerEntry { key, count, mean, m2, coverage })
+                .map(|(key, count, mean, m2, coverage)| EagerEntry {
+                    key,
+                    count,
+                    mean,
+                    m2,
+                    coverage,
+                })
                 .collect();
             InternalMsg { vote, exec_time, metrics, path, eager, user_words, reply_expected: reply }
         })

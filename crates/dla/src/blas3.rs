@@ -131,10 +131,7 @@ pub fn trsm(side: Side, uplo: Uplo, ta: Trans, unit: bool, alpha: f64, a: &Matri
         }
     }
     // Effective triangle after transposition.
-    let lower = matches!(
-        (uplo, ta),
-        (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes)
-    );
+    let lower = matches!((uplo, ta), (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes));
     let diag = |a: &Matrix, i: usize| if unit { 1.0 } else { a[(i, i)] };
     match side {
         Side::Left => {
@@ -191,10 +188,7 @@ pub fn trsm(side: Side, uplo: Uplo, ta: Trans, unit: bool, alpha: f64, a: &Matri
 pub fn trmm(side: Side, uplo: Uplo, ta: Trans, unit: bool, alpha: f64, a: &Matrix, b: &mut Matrix) {
     assert_eq!(a.rows(), a.cols(), "triangular matrix must be square");
     let n = a.rows();
-    let lower = matches!(
-        (uplo, ta),
-        (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes)
-    );
+    let lower = matches!((uplo, ta), (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes));
     let diag = |a: &Matrix, i: usize| if unit { 1.0 } else { a[(i, i)] };
     match side {
         Side::Left => {

@@ -158,11 +158,7 @@ impl Matrix {
     pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
         assert_eq!(self.rows, other.rows);
         assert_eq!(self.cols, other.cols);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// Naive reference product (tests only — O(n³) with no blocking).
@@ -188,7 +184,12 @@ impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[j * self.rows + i]
     }
 }
@@ -196,7 +197,12 @@ impl std::ops::Index<(usize, usize)> for Matrix {
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[j * self.rows + i]
     }
 }
@@ -258,7 +264,7 @@ mod tests {
         b.triu_in_place();
         assert_eq!(a[(0, 2)], 0.0);
         assert_eq!(b[(2, 0)], 0.0);
-        assert_eq!(a[(1, 1)] , b[(1, 1)]);
+        assert_eq!(a[(1, 1)], b[(1, 1)]);
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub fn ormqr(trans: Trans, v: &Matrix, tau: &[f64], c: &mut Matrix) {
     assert!(k <= v.cols(), "more tau factors than reflector columns");
     assert_eq!(c.rows(), m, "ormqr dimension mismatch");
     let order: Box<dyn Iterator<Item = usize>> = match trans {
-        Trans::Yes => Box::new(0..k),        // Qᵀ = H_{k-1}···H_0 applied left to right
+        Trans::Yes => Box::new(0..k), // Qᵀ = H_{k-1}···H_0 applied left to right
         Trans::No => Box::new((0..k).rev()), // Q  = H_0···H_{k-1}
     };
     for j in order {

@@ -143,10 +143,7 @@ mod tests {
                 // normalizing with the diagonal sign.
                 let sx = r[(i, i)].signum();
                 let sy = dense[(i, i)].signum();
-                assert!(
-                    (x * sx - y * sy).abs() < 1e-9,
-                    "R mismatch at ({i},{j}): {x} vs {y}"
-                );
+                assert!((x * sx - y * sy).abs() < 1e-9, "R mismatch at ({i},{j}): {x} vs {y}");
             }
         }
     }

@@ -1,7 +1,9 @@
 //! Property-based tests of the dense linear algebra kernels: algebraic
 //! identities that must hold for random inputs.
 
-use critter_dla::{gemm, geqrf, ormqr, potrf, syrk, tpqrt, trmm, trsm, trtri, Matrix, Side, Trans, Uplo};
+use critter_dla::{
+    gemm, geqrf, ormqr, potrf, syrk, tpqrt, trmm, trsm, trtri, Matrix, Side, Trans, Uplo,
+};
 use proptest::prelude::*;
 
 fn well_conditioned_lower(n: usize, seed: u64) -> Matrix {

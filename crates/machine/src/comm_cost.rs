@@ -207,9 +207,7 @@ mod tests {
         let m = model();
         let n = 4096;
         let p = 32;
-        assert!(
-            m.base_cost(CommOp::Allreduce, n, p) >= m.base_cost(CommOp::Reduce, n, p) * 0.99
-        );
+        assert!(m.base_cost(CommOp::Allreduce, n, p) >= m.base_cost(CommOp::Reduce, n, p) * 0.99);
     }
 
     #[test]

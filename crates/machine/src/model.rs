@@ -23,7 +23,13 @@ pub struct MachineModel {
 
 impl MachineModel {
     /// Assemble a machine from parameters, noise, rank count and allocation id.
-    pub fn new(params: MachineParams, noise: NoiseParams, ranks: usize, seed: u64, allocation: u64) -> Self {
+    pub fn new(
+        params: MachineParams,
+        noise: NoiseParams,
+        ranks: usize,
+        seed: u64,
+        allocation: u64,
+    ) -> Self {
         let topo = Topology::new(ranks, params.ranks_per_node, allocation);
         MachineModel {
             comm: CommCostModel::new(params.clone()),
@@ -81,7 +87,13 @@ impl MachineModel {
 
     /// Sampled execution time of a compute kernel on `rank`:
     /// `base(class, flops) · node_factor(rank) · jitter(rank, invocation)`.
-    pub fn compute_time(&self, class: KernelClass, flops: f64, rank: usize, invocation: u64) -> f64 {
+    pub fn compute_time(
+        &self,
+        class: KernelClass,
+        flops: f64,
+        rank: usize,
+        invocation: u64,
+    ) -> f64 {
         self.compute.base_cost(class, flops)
             * self.noise.node_factor(&self.topo, rank)
             * self.noise.compute_jitter(rank, invocation)
@@ -96,7 +108,14 @@ impl MachineModel {
     /// Sampled duration of a communication operation identified by
     /// `(channel, sequence)`. All participants must pass the same identifiers
     /// and therefore observe the same sampled duration.
-    pub fn comm_time(&self, op: CommOp, words: usize, comm_size: usize, channel: u64, sequence: u64) -> f64 {
+    pub fn comm_time(
+        &self,
+        op: CommOp,
+        words: usize,
+        comm_size: usize,
+        channel: u64,
+        sequence: u64,
+    ) -> f64 {
         self.comm.base_cost(op, words, comm_size) * self.noise.comm_jitter(channel, sequence)
     }
 

@@ -97,10 +97,8 @@ impl NoiseModel {
             return 1.0;
         }
         let node = topo.node_of(rank) as u64;
-        let mut rng = CounterRng::new(
-            self.seed,
-            stream_id(&[STREAM_NODE, topo.allocation(), node]),
-        );
+        let mut rng =
+            CounterRng::new(self.seed, stream_id(&[STREAM_NODE, topo.allocation(), node]));
         rng.lognormal(0.0, self.params.node_sigma)
     }
 

@@ -103,10 +103,7 @@ impl ChannelMeta {
         if self.irregular || other.irregular {
             return false;
         }
-        !self
-            .dims
-            .iter()
-            .any(|(s, _)| other.dims.iter().any(|(t, _)| s == t))
+        !self.dims.iter().any(|(s, _)| other.dims.iter().any(|(t, _)| s == t))
     }
 }
 

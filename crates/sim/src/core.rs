@@ -204,9 +204,13 @@ impl SimCore {
         let seq = st.send_seq.entry(key).or_insert(0);
         let this_seq = *seq;
         *seq += 1;
-        let cost = self
-            .machine
-            .comm_time(CommOp::PointToPoint, cost_words, 2, key.channel_hash(), this_seq);
+        let cost = self.machine.comm_time(
+            CommOp::PointToPoint,
+            cost_words,
+            2,
+            key.channel_hash(),
+            this_seq,
+        );
         let slot = rendezvous.then(|| Arc::new(SendSlot::default()));
         st.queues.entry(key).or_default().push_back(SendEntry {
             data,
@@ -242,11 +246,7 @@ impl SimCore {
                     return RecvOutcome { data: entry.data, done, cost: entry.cost, idle };
                 }
             }
-            if self
-                .p2p_cv
-                .wait_for(&mut st, self.timeout)
-                .timed_out()
-            {
+            if self.p2p_cv.wait_for(&mut st, self.timeout).timed_out() {
                 panic!(
                     "simulated deadlock: receive waited {:?} on comm {:#x} src {} dst {} tag {}",
                     self.timeout, key.comm, key.src, key.dst, key.tag
@@ -264,7 +264,10 @@ impl SimCore {
                 return t;
             }
             if slot.cv.wait_for(&mut g, self.timeout).timed_out() {
-                panic!("simulated deadlock: rendezvous send never matched within {:?}", self.timeout);
+                panic!(
+                    "simulated deadlock: rendezvous send never matched within {:?}",
+                    self.timeout
+                );
             }
         }
     }
@@ -288,6 +291,22 @@ impl SimCore {
         let expected = comm.size();
         let slot_key = (comm.id(), seq);
         let mut st = self.coll.lock();
+        // A completed instance of this (comm, seq) may still be in the map
+        // while its participants drain their outputs; an arrival now is a
+        // replayed sequence number and must not join (or index into) the
+        // finished slot. Wait for the drain, then post a fresh arrival —
+        // which the watchdog below will report as a deadlock.
+        while st.slots.get(&slot_key).is_some_and(|s| s.done.is_some()) {
+            self.check_poison();
+            if self.coll_cv.wait_for(&mut st, self.timeout).timed_out() {
+                panic!(
+                    "simulated deadlock: collective {:?} on comm {:#x} replayed sequence {seq} \
+                     while the completed instance was still being drained",
+                    kind,
+                    comm.id(),
+                );
+            }
+        }
         {
             let slot = st.slots.entry(slot_key).or_insert_with(|| CollSlot {
                 kind,
@@ -308,8 +327,16 @@ impl SimCore {
                 "collective mismatch on comm {:#x} seq {seq}: {:?} vs {:?} — ranks disagree on program order",
                 comm.id(), slot.kind, kind
             );
-            assert_eq!(slot.root, root, "collective root mismatch on comm {:#x} seq {seq}", comm.id());
-            assert!(slot.contribs[my_index].is_none(), "rank arrived twice at collective seq {seq}");
+            assert_eq!(
+                slot.root,
+                root,
+                "collective root mismatch on comm {:#x} seq {seq}",
+                comm.id()
+            );
+            assert!(
+                slot.contribs[my_index].is_none(),
+                "rank arrived twice at collective seq {seq}"
+            );
             // Merge the charge spec across arrivals (participants may pass
             // different capped word counts for their own payloads): the
             // operation is charged at the largest requested size, regardless
@@ -339,6 +366,9 @@ impl SimCore {
                     slot.taken += 1;
                     if slot.taken == slot.expected {
                         st.slots.remove(&slot_key);
+                        // A replayed arrival may be parked waiting for this
+                        // slot to drain; let it re-check promptly.
+                        self.coll_cv.notify_all();
                     }
                     return (done, cost, out);
                 }
@@ -358,7 +388,12 @@ impl SimCore {
     }
 
     /// All participants have arrived: compute cost, completion time, outputs.
-    fn complete_collective(machine: &MachineModel, comm: &Communicator, seq: u64, slot: &mut CollSlot) {
+    fn complete_collective(
+        machine: &MachineModel,
+        comm: &Communicator,
+        seq: u64,
+        slot: &mut CollSlot,
+    ) {
         let p = slot.expected;
         let take = |c: &mut Option<Contrib>| match c.take() {
             Some(Contrib::Data(d)) => d,
@@ -482,7 +517,10 @@ impl SimCore {
                     parts.iter().all(|d| d.len() == len),
                     "alltoall contributions must have equal length"
                 );
-                assert!(len.is_multiple_of(p), "alltoall payload of {len} words not divisible by {p} ranks");
+                assert!(
+                    len.is_multiple_of(p),
+                    "alltoall payload of {len} words not divisible by {p} ranks"
+                );
                 let chunk = len / p;
                 for (i, o) in slot.outputs.iter_mut().enumerate() {
                     let mut mine = Vec::with_capacity(len);
@@ -498,7 +536,9 @@ impl SimCore {
                     .iter_mut()
                     .enumerate()
                     .map(|(i, c)| match c.take() {
-                        Some(Contrib::Split { color, key, world_rank }) => (color, key, world_rank, i),
+                        Some(Contrib::Split { color, key, world_rank }) => {
+                            (color, key, world_rank, i)
+                        }
                         _ => panic!("non-split contribution in split collective"),
                     })
                     .collect();

@@ -67,7 +67,12 @@ mod tests {
 
     #[test]
     fn busy_excludes_idle() {
-        let c = RankCounters { compute_time: 2.0, comm_time: 1.0, idle_time: 5.0, ..Default::default() };
+        let c = RankCounters {
+            compute_time: 2.0,
+            comm_time: 1.0,
+            idle_time: 5.0,
+            ..Default::default()
+        };
         assert_eq!(c.busy_time(), 3.0);
     }
 }

@@ -54,7 +54,15 @@ pub struct RankCtx {
 impl RankCtx {
     pub(crate) fn new(rank: usize, size: usize, core: Arc<SimCore>) -> Self {
         let world = Communicator::world(size, rank);
-        RankCtx { rank, size, clock: 0.0, core, world, counters: RankCounters::default(), compute_invocations: 0 }
+        RankCtx {
+            rank,
+            size,
+            clock: 0.0,
+            core,
+            world,
+            counters: RankCounters::default(),
+            compute_invocations: 0,
+        }
     }
 
     /// This rank's world rank.
@@ -122,12 +130,7 @@ impl RankCtx {
     }
 
     fn key(&self, comm: &Communicator, src: usize, dst: usize, tag: u64) -> P2pKey {
-        P2pKey {
-            comm: comm.id(),
-            src: comm.world_rank_of(src),
-            dst: comm.world_rank_of(dst),
-            tag,
-        }
+        P2pKey { comm: comm.id(), src: comm.world_rank_of(src), dst: comm.world_rank_of(dst), tag }
     }
 
     /// Blocking standard-mode send of `data` to communicator rank `dst`.
@@ -264,9 +267,8 @@ impl RankCtx {
     ) -> (Output, f64) {
         let seq = comm.next_collective_seq();
         let post = self.clock;
-        let (done, cost, out) = self
-            .core
-            .collective(comm, seq, kind, root, contrib, combine, charge, post);
+        let (done, cost, out) =
+            self.core.collective(comm, seq, kind, root, contrib, combine, charge, post);
         self.counters.collectives += 1;
         self.counters.comm_time += cost;
         self.counters.idle_time += (done - post - cost).max(0.0);
@@ -294,8 +296,21 @@ impl RankCtx {
     }
 
     /// Reduce `data` elementwise onto `root`; `Some(result)` at the root.
-    pub fn reduce(&mut self, comm: &Communicator, root: usize, op: ReduceOp, data: &[f64]) -> Option<Vec<f64>> {
-        let out = self.run_collective(comm, CollKind::Reduce(op), root, Contrib::Data(data.to_vec()), None, Some(None));
+    pub fn reduce(
+        &mut self,
+        comm: &Communicator,
+        root: usize,
+        op: ReduceOp,
+        data: &[f64],
+    ) -> Option<Vec<f64>> {
+        let out = self.run_collective(
+            comm,
+            CollKind::Reduce(op),
+            root,
+            Contrib::Data(data.to_vec()),
+            None,
+            Some(None),
+        );
         match out {
             Output::Data(d) => Some(d),
             _ => None,
@@ -304,7 +319,14 @@ impl RankCtx {
 
     /// Allreduce: every rank receives the elementwise reduction.
     pub fn allreduce(&mut self, comm: &Communicator, op: ReduceOp, data: &[f64]) -> Vec<f64> {
-        let out = self.run_collective(comm, CollKind::Allreduce(op), 0, Contrib::Data(data.to_vec()), None, Some(None));
+        let out = self.run_collective(
+            comm,
+            CollKind::Allreduce(op),
+            0,
+            Contrib::Data(data.to_vec()),
+            None,
+            Some(None),
+        );
         Self::expect_data(out)
     }
 
@@ -331,20 +353,40 @@ impl RankCtx {
         combine: CombineFn,
         charge: Option<Option<usize>>,
     ) -> (Vec<f64>, f64) {
-        let (out, cost) =
-            self.run_collective_timed(comm, CollKind::AllreduceCustom, 0, Contrib::Data(data), Some(combine), charge);
+        let (out, cost) = self.run_collective_timed(
+            comm,
+            CollKind::AllreduceCustom,
+            0,
+            Contrib::Data(data),
+            Some(combine),
+            charge,
+        );
         (Self::expect_data(out), cost)
     }
 
     /// Allgather: concatenation of every rank's `data`, in rank order.
     pub fn allgather(&mut self, comm: &Communicator, data: &[f64]) -> Vec<f64> {
-        let out = self.run_collective(comm, CollKind::Allgather, 0, Contrib::Data(data.to_vec()), None, Some(None));
+        let out = self.run_collective(
+            comm,
+            CollKind::Allgather,
+            0,
+            Contrib::Data(data.to_vec()),
+            None,
+            Some(None),
+        );
         Self::expect_data(out)
     }
 
     /// Gather onto `root`: `Some(concatenation)` at the root.
     pub fn gather(&mut self, comm: &Communicator, root: usize, data: &[f64]) -> Option<Vec<f64>> {
-        let out = self.run_collective(comm, CollKind::Gather, root, Contrib::Data(data.to_vec()), None, Some(None));
+        let out = self.run_collective(
+            comm,
+            CollKind::Gather,
+            root,
+            Contrib::Data(data.to_vec()),
+            None,
+            Some(None),
+        );
         match out {
             Output::Data(d) => Some(d),
             _ => None,
@@ -354,7 +396,11 @@ impl RankCtx {
     /// Scatter from `root`: the root supplies `size() * chunk` words, every
     /// rank receives its `chunk`-word slice. Non-roots pass an empty slice.
     pub fn scatter(&mut self, comm: &Communicator, root: usize, data: &[f64]) -> Vec<f64> {
-        let contrib = if comm.rank() == root { Contrib::Data(data.to_vec()) } else { Contrib::Data(Vec::new()) };
+        let contrib = if comm.rank() == root {
+            Contrib::Data(data.to_vec())
+        } else {
+            Contrib::Data(Vec::new())
+        };
         let out = self.run_collective(comm, CollKind::Scatter, root, contrib, None, Some(None));
         Self::expect_data(out)
     }
@@ -363,8 +409,14 @@ impl RankCtx {
     /// receives the `i`-th `chunk`-word slice of the elementwise reduction.
     pub fn reduce_scatter(&mut self, comm: &Communicator, op: ReduceOp, data: &[f64]) -> Vec<f64> {
         assert_eq!(data.len() % comm.size(), 0, "reduce_scatter payload must divide by ranks");
-        let out =
-            self.run_collective(comm, CollKind::ReduceScatter(op), 0, Contrib::Data(data.to_vec()), None, Some(None));
+        let out = self.run_collective(
+            comm,
+            CollKind::ReduceScatter(op),
+            0,
+            Contrib::Data(data.to_vec()),
+            None,
+            Some(None),
+        );
         Self::expect_data(out)
     }
 
@@ -372,13 +424,27 @@ impl RankCtx {
     /// receives the concatenation of every rank's `i`-th chunk, in rank order.
     pub fn alltoall(&mut self, comm: &Communicator, data: &[f64]) -> Vec<f64> {
         assert_eq!(data.len() % comm.size(), 0, "alltoall payload must divide by ranks");
-        let out = self.run_collective(comm, CollKind::Alltoall, 0, Contrib::Data(data.to_vec()), None, Some(None));
+        let out = self.run_collective(
+            comm,
+            CollKind::Alltoall,
+            0,
+            Contrib::Data(data.to_vec()),
+            None,
+            Some(None),
+        );
         Self::expect_data(out)
     }
 
     /// Synchronize all ranks of `comm`.
     pub fn barrier(&mut self, comm: &Communicator) {
-        let _ = self.run_collective(comm, CollKind::Barrier, 0, Contrib::Data(Vec::new()), None, Some(None));
+        let _ = self.run_collective(
+            comm,
+            CollKind::Barrier,
+            0,
+            Contrib::Data(Vec::new()),
+            None,
+            Some(None),
+        );
     }
 
     /// Split `comm` by `color` (negative = undefined → `None`), ordering the
@@ -387,7 +453,9 @@ impl RankCtx {
         let contrib = Contrib::Split { color, key, world_rank: comm.world_rank_of(comm.rank()) };
         let out = self.run_collective(comm, CollKind::Split, 0, contrib, None, Some(None));
         match out {
-            Output::Split(Some((id, members, index))) => Some(Communicator::new(id, members, index)),
+            Output::Split(Some((id, members, index))) => {
+                Some(Communicator::new(id, members, index))
+            }
             Output::Split(None) => None,
             _ => panic!("split returned non-split output"),
         }

@@ -44,12 +44,14 @@ pub mod comm;
 pub mod core;
 pub mod counters;
 pub mod ctx;
+pub mod pool;
 pub mod request;
 pub mod runner;
 
 pub use comm::{ChannelMeta, Communicator};
 pub use counters::RankCounters;
 pub use ctx::{RankCtx, ReduceOp};
+pub use pool::SimPool;
 pub use request::Request;
 pub use runner::{run_simulation, SimConfig, SimReport};
 

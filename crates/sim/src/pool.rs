@@ -1,0 +1,364 @@
+//! Reusable rank-thread pools.
+//!
+//! A tuning sweep calls [`crate::run_simulation`] hundreds of times; spawning
+//! and joining one OS thread per rank per call costs thousands of
+//! spawn/join cycles per sweep. A [`SimPool`] keeps the rank threads alive
+//! between simulations: each `run` dispatches one job per rank to the
+//! pool's persistent workers and blocks until every rank reports back.
+//!
+//! Panic-poisoning and deadlock-timeout semantics are identical to the old
+//! spawn-per-run runner:
+//!
+//! * a panic on any rank poisons the shared [`SimCore`] (waking blocked
+//!   peers, which then panic with a "peer rank panicked" cascade) and is
+//!   re-raised on the calling thread, preferring the root-cause payload
+//!   over cascades;
+//! * a rank blocked longer than [`crate::SimConfig::deadlock_timeout`]
+//!   panics with a deadlock diagnostic, which propagates the same way.
+//!
+//! Workers never unwind across the job boundary (each job catches its
+//! rank's panic), so a pool survives failed simulations and can be reused.
+//!
+//! [`crate::run_simulation`] checks pools out of a process-wide registry
+//! keyed by `(ranks, stack_size)`, so callers — including concurrent
+//! tuning-sweep workers, each of which gets its *own* pool — reuse threads
+//! transparently.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, OnceLock};
+
+use critter_machine::MachineModel;
+use parking_lot::{Condvar, Mutex};
+
+use crate::core::SimCore;
+use crate::counters::RankCounters;
+use crate::ctx::RankCtx;
+use crate::runner::{SimConfig, SimReport};
+
+/// A type-erased unit of rank work.
+type Job = Box<dyn FnOnce() + Send>;
+
+/// What one rank produced: its program output, final clock, and counters —
+/// or the panic payload that aborted it.
+type RankResult<R> = Result<(R, f64, RankCounters), Box<dyn Any + Send>>;
+
+/// A pool of persistent rank threads, one per simulated rank.
+pub struct SimPool {
+    ranks: usize,
+    stack_size: usize,
+    senders: Vec<mpsc::Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    runs: AtomicU64,
+}
+
+/// Per-run shared state the rank jobs report into.
+struct RunState<R> {
+    slots: Vec<Mutex<Option<RankResult<R>>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl SimPool {
+    /// Spawn a pool of `ranks` worker threads with the given stack size.
+    pub fn new(ranks: usize, stack_size: usize) -> Self {
+        static POOL_SEQ: AtomicU64 = AtomicU64::new(0);
+        let id = POOL_SEQ.fetch_add(1, Ordering::Relaxed);
+        assert!(ranks > 0, "a pool needs at least one rank thread");
+        let mut senders = Vec::with_capacity(ranks);
+        let mut handles = Vec::with_capacity(ranks);
+        for rank in 0..ranks {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let handle = std::thread::Builder::new()
+                .name(format!("sim-pool-{id}-rank-{rank}"))
+                .stack_size(stack_size)
+                .spawn(move || {
+                    // Jobs catch their own panics, so this loop only exits
+                    // when the pool drops its sender.
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("failed to spawn pool rank thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        SimPool { ranks, stack_size, senders, handles, runs: AtomicU64::new(0) }
+    }
+
+    /// Number of rank threads in the pool.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Stack size the rank threads were spawned with.
+    pub fn stack_size(&self) -> usize {
+        self.stack_size
+    }
+
+    /// How many simulations this pool has completed (reuse observability).
+    pub fn runs_completed(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Run `program` on every rank of a simulated machine, reusing this
+    /// pool's threads. Semantics match [`crate::run_simulation`].
+    pub fn run<R, F>(
+        &self,
+        config: &SimConfig,
+        machine: Arc<MachineModel>,
+        program: &F,
+    ) -> SimReport<R>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        assert_eq!(config.ranks, self.ranks, "pool size must match the simulation");
+        assert_eq!(
+            machine.topology().ranks(),
+            config.ranks,
+            "machine model rank count must match the simulation"
+        );
+        let core = Arc::new(SimCore::new(
+            Arc::clone(&machine),
+            config.deadlock_timeout,
+            config.eager_words,
+        ));
+        let state: RunState<R> = RunState {
+            slots: (0..self.ranks).map(|_| Mutex::new(None)).collect(),
+            remaining: Mutex::new(self.ranks),
+            done: Condvar::new(),
+        };
+        let state_ref = &state;
+
+        for rank in 0..self.ranks {
+            let core = Arc::clone(&core);
+            let ranks = self.ranks;
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let mut ctx = RankCtx::new(rank, ranks, Arc::clone(&core));
+                    let out = program(&mut ctx);
+                    let (clock, counters) = ctx.into_parts();
+                    (out, clock, counters)
+                }));
+                if result.is_err() {
+                    // Unblock peers before reporting, exactly as the
+                    // spawn-per-run runner did before propagating.
+                    core.poison();
+                }
+                *state_ref.slots[rank].lock() = Some(result);
+                let mut remaining = state_ref.remaining.lock();
+                *remaining -= 1;
+                if *remaining == 0 {
+                    state_ref.done.notify_all();
+                }
+            });
+            // SAFETY: the job borrows `program` and `state`, which outlive it
+            // because this function blocks on `state.remaining == 0` below —
+            // every dispatched job has fully run (including its final store
+            // into `state`) before `run` returns or unwinds. Nothing between
+            // dispatch and the wait can panic: `send` only fails if a worker
+            // thread died, and workers cannot die (jobs catch all panics).
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+            self.senders[rank].send(job).expect("pool worker alive");
+        }
+
+        {
+            let mut remaining = state.remaining.lock();
+            while *remaining > 0 {
+                state.done.wait(&mut remaining);
+            }
+        }
+        self.runs.fetch_add(1, Ordering::Relaxed);
+
+        let mut outputs = Vec::with_capacity(self.ranks);
+        let mut rank_times = Vec::with_capacity(self.ranks);
+        let mut counters = Vec::with_capacity(self.ranks);
+        let mut panic_payload: Option<(Box<dyn Any + Send>, bool)> = None;
+        for slot in &state.slots {
+            match slot.lock().take().expect("rank reported") {
+                Ok((out, clock, ctrs)) => {
+                    outputs.push(out);
+                    rank_times.push(clock);
+                    counters.push(ctrs);
+                }
+                Err(payload) => {
+                    // Re-raise the root cause: prefer any panic that is not
+                    // the secondary "peer rank panicked" cascade.
+                    let is_cascade = payload
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains("a peer rank panicked"))
+                        .or_else(|| {
+                            payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.contains("a peer rank panicked"))
+                        })
+                        .unwrap_or(false);
+                    let replace = match &panic_payload {
+                        None => true,
+                        Some((_, prev_is_cascade)) => *prev_is_cascade && !is_cascade,
+                    };
+                    if replace {
+                        panic_payload = Some((payload, is_cascade));
+                    }
+                }
+            }
+        }
+        if let Some((payload, _)) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        SimReport { outputs, rank_times, counters }
+    }
+}
+
+impl Drop for SimPool {
+    fn drop(&mut self) {
+        // Closing the channels ends the worker loops; join so thread
+        // resources are reclaimed deterministically.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for SimPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimPool")
+            .field("ranks", &self.ranks)
+            .field("stack_size", &self.stack_size)
+            .field("runs_completed", &self.runs_completed())
+            .finish()
+    }
+}
+
+/// Idle pools parked for reuse, keyed by `(ranks, stack_size)`.
+type PoolRegistry = Mutex<HashMap<(usize, usize), Vec<SimPool>>>;
+
+/// Process-wide registry of idle pools, keyed by `(ranks, stack_size)`.
+fn registry() -> &'static PoolRegistry {
+    static REGISTRY: OnceLock<PoolRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// An exclusive lease on a pooled [`SimPool`]; returns the pool to the
+/// registry on drop (including on unwind, so a panicking simulation does
+/// not leak its threads).
+pub struct PoolLease {
+    pool: Option<SimPool>,
+}
+
+impl PoolLease {
+    /// Check a pool out of the registry, spawning one if none is idle.
+    pub fn checkout(ranks: usize, stack_size: usize) -> Self {
+        let pooled = registry().lock().get_mut(&(ranks, stack_size)).and_then(Vec::pop);
+        PoolLease { pool: Some(pooled.unwrap_or_else(|| SimPool::new(ranks, stack_size))) }
+    }
+
+    /// The leased pool.
+    pub fn pool(&self) -> &SimPool {
+        self.pool.as_ref().expect("pool held until drop")
+    }
+}
+
+impl Drop for PoolLease {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            registry().lock().entry((pool.ranks, pool.stack_size)).or_default().push(pool);
+        }
+    }
+}
+
+/// Number of idle pools currently parked in the registry (test/diagnostic
+/// visibility into reuse behavior).
+pub fn idle_pools() -> usize {
+    registry().lock().values().map(Vec::len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::ReduceOp;
+
+    fn machine(p: usize) -> Arc<MachineModel> {
+        MachineModel::test_exact(p).shared()
+    }
+
+    #[test]
+    fn pool_runs_count_and_threads_are_stable() {
+        let pool = SimPool::new(3, 1 << 20);
+        assert_eq!(pool.ranks(), 3);
+        assert_eq!(pool.runs_completed(), 0);
+        let cfg = SimConfig::new(3);
+        let ids1 = pool.run(&cfg, machine(3), &|_ctx: &mut RankCtx| std::thread::current().id());
+        let ids2 = pool.run(&cfg, machine(3), &|_ctx: &mut RankCtx| std::thread::current().id());
+        assert_eq!(ids1.outputs, ids2.outputs, "rank threads must persist across runs");
+        assert_eq!(pool.runs_completed(), 2);
+    }
+
+    #[test]
+    fn pool_results_match_rank_order_and_communicate() {
+        let pool = SimPool::new(4, 1 << 20);
+        let cfg = SimConfig::new(4);
+        let report = pool.run(&cfg, machine(4), &|ctx: &mut RankCtx| {
+            let world = ctx.world();
+            let sum = ctx.allreduce(&world, ReduceOp::Sum, &[ctx.rank() as f64]);
+            (ctx.rank(), sum[0])
+        });
+        for (i, &(rank, sum)) in report.outputs.iter().enumerate() {
+            assert_eq!(rank, i, "outputs must be collected in rank order");
+            assert_eq!(sum, 6.0);
+        }
+    }
+
+    #[test]
+    fn pool_survives_panicked_run() {
+        let pool = SimPool::new(2, 1 << 20);
+        let cfg = SimConfig::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&cfg, machine(2), &|ctx: &mut RankCtx| {
+                if ctx.rank() == 1 {
+                    panic!("rank 1 exploded");
+                }
+                let world = ctx.world();
+                ctx.recv(&world, 1, 0);
+            })
+        }));
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("rank 1 exploded"),
+            "root cause, not the peer cascade, must be re-raised; got {msg:?}"
+        );
+        // Same pool, fresh core: the next run must succeed.
+        let ok = pool.run(&cfg, machine(2), &|ctx: &mut RankCtx| ctx.rank() * 10);
+        assert_eq!(ok.outputs, vec![0, 10]);
+    }
+
+    #[test]
+    fn lease_checkout_spawns_then_reuses() {
+        // Unique shape → private registry slot, immune to sibling tests.
+        let (ranks, stack) = (2, (1 << 20) + 0x1EA5E);
+        let first_pool_runs;
+        {
+            let lease = PoolLease::checkout(ranks, stack);
+            lease.pool().run(&SimConfig::new(ranks), machine(ranks), &|_ctx: &mut RankCtx| ());
+            first_pool_runs = lease.pool().runs_completed();
+        }
+        {
+            let lease = PoolLease::checkout(ranks, stack);
+            assert_eq!(
+                lease.pool().runs_completed(),
+                first_pool_runs,
+                "second checkout must return the pool the first lease parked"
+            );
+        }
+    }
+}

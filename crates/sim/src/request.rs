@@ -24,11 +24,7 @@ pub(crate) enum RequestInner {
         cost: f64,
     },
     /// Rendezvous nonblocking send: completion determined by the receiver.
-    SendRendezvous {
-        slot: Arc<SendSlot>,
-        post: f64,
-        words: u64,
-    },
+    SendRendezvous { slot: Arc<SendSlot>, post: f64, words: u64 },
     /// Nonblocking receive: matched at wait time using the posted time.
     Recv { key: P2pKey, post: f64 },
     /// Already-completed request (returned when an operation degenerates).

@@ -1,14 +1,13 @@
-//! Launching simulations: one OS thread per rank, panic propagation, report.
+//! Launching simulations: pooled rank threads, panic propagation, report.
 
-use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::time::Duration;
 
 use critter_machine::MachineModel;
 
-use crate::core::SimCore;
 use crate::counters::RankCounters;
 use crate::ctx::RankCtx;
+use crate::pool::PoolLease;
 
 /// Configuration of a simulation run.
 #[derive(Debug, Clone)]
@@ -48,6 +47,14 @@ impl SimConfig {
         self.eager_words = w;
         self
     }
+
+    /// Override the per-rank stack size. Pools are keyed by
+    /// `(ranks, stack_size)`, so simulations with different stack sizes
+    /// never share rank threads.
+    pub fn with_stack_size(mut self, s: usize) -> Self {
+        self.stack_size = s;
+        self
+    }
 }
 
 /// Result of a simulation: per-rank outputs, virtual times, and counters.
@@ -82,91 +89,24 @@ impl<R> SimReport<R> {
 /// The closure receives a mutable [`RankCtx`] and may return any `Send` value;
 /// outputs are collected in rank order. A panic on any rank poisons the core
 /// (unblocking peers) and is re-raised on the calling thread.
-pub fn run_simulation<R, F>(config: SimConfig, machine: Arc<MachineModel>, program: F) -> SimReport<R>
+///
+/// Rank threads come from a process-wide pool (see [`crate::pool`]): the
+/// first simulation of a given `(ranks, stack_size)` shape spawns them, and
+/// subsequent runs — including runs after a panicked simulation — reuse
+/// them. Concurrent calls check out distinct pools, so simulations never
+/// share threads while in flight.
+pub fn run_simulation<R, F>(
+    config: SimConfig,
+    machine: Arc<MachineModel>,
+    program: F,
+) -> SimReport<R>
 where
     R: Send,
     F: Fn(&mut RankCtx) -> R + Send + Sync,
 {
     assert!(config.ranks > 0, "simulation requires at least one rank");
-    assert_eq!(
-        machine.topology().ranks(),
-        config.ranks,
-        "machine model rank count must match the simulation"
-    );
-    let core = Arc::new(SimCore::new(
-        Arc::clone(&machine),
-        config.deadlock_timeout,
-        config.eager_words,
-    ));
-    let program = &program;
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(config.ranks);
-        for rank in 0..config.ranks {
-            let core = Arc::clone(&core);
-            let builder = std::thread::Builder::new()
-                .name(format!("sim-rank-{rank}"))
-                .stack_size(config.stack_size);
-            let handle = builder
-                .spawn_scoped(scope, move || {
-                    let mut ctx = RankCtx::new(rank, config.ranks, Arc::clone(&core));
-                    let result =
-                        std::panic::catch_unwind(AssertUnwindSafe(|| program(&mut ctx)));
-                    match result {
-                        Ok(out) => {
-                            let (clock, counters) = ctx.into_parts();
-                            (out, clock, counters)
-                        }
-                        Err(payload) => {
-                            // Unblock peers before propagating.
-                            core.poison();
-                            std::panic::resume_unwind(payload);
-                        }
-                    }
-                })
-                .expect("failed to spawn rank thread");
-            handles.push(handle);
-        }
-
-        let mut outputs = Vec::with_capacity(config.ranks);
-        let mut rank_times = Vec::with_capacity(config.ranks);
-        let mut counters = Vec::with_capacity(config.ranks);
-        let mut panic_payload = None;
-        for handle in handles {
-            match handle.join() {
-                Ok((out, clock, ctrs)) => {
-                    outputs.push(out);
-                    rank_times.push(clock);
-                    counters.push(ctrs);
-                }
-                Err(payload) => {
-                    // Keep joining the rest (they unblock via poison), then
-                    // re-raise the root cause: prefer any panic that is not
-                    // the secondary "peer rank panicked" cascade.
-                    let is_cascade = payload
-                        .downcast_ref::<String>()
-                        .map(|s| s.contains("a peer rank panicked"))
-                        .or_else(|| {
-                            payload
-                                .downcast_ref::<&str>()
-                                .map(|s| s.contains("a peer rank panicked"))
-                        })
-                        .unwrap_or(false);
-                    let replace = match &panic_payload {
-                        None => true,
-                        Some((_, prev_is_cascade)) => *prev_is_cascade && !is_cascade,
-                    };
-                    if replace {
-                        panic_payload = Some((payload, is_cascade));
-                    }
-                }
-            }
-        }
-        if let Some((payload, _)) = panic_payload {
-            std::panic::resume_unwind(payload);
-        }
-        SimReport { outputs, rank_times, counters }
-    })
+    let lease = PoolLease::checkout(config.ranks, config.stack_size);
+    lease.pool().run(&config, machine, &program)
 }
 
 #[cfg(test)]
@@ -174,6 +114,7 @@ mod tests {
     use super::*;
     use crate::ctx::ReduceOp;
     use critter_machine::KernelClass;
+    use std::panic::AssertUnwindSafe;
 
     fn machine(p: usize) -> Arc<MachineModel> {
         MachineModel::test_exact(p).shared()
@@ -587,6 +528,40 @@ mod tests {
         });
         // Sender finished long before the receiver.
         assert!(report.outputs[0] < 0.01 * report.outputs[1]);
+    }
+
+    #[test]
+    fn pooled_threads_are_reused_across_consecutive_runs() {
+        // A stack size no other test uses keys a private registry slot, so
+        // consecutive runs here deterministically lease the same pool even
+        // with the rest of the suite running in parallel.
+        let cfg = SimConfig::new(2).with_stack_size((1 << 20) + 0x5EED);
+        let run = || run_simulation(cfg.clone(), machine(2), |_ctx| std::thread::current().id());
+        let first = run();
+        let second = run();
+        assert_eq!(
+            first.outputs, second.outputs,
+            "consecutive simulations of the same shape must reuse rank threads"
+        );
+    }
+
+    #[test]
+    fn simulation_recovers_after_panicked_run_on_same_pool() {
+        let cfg = SimConfig::new(2).with_stack_size((1 << 20) + 0xFA11);
+        let m = machine(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_simulation(cfg.clone(), Arc::clone(&m), |ctx| {
+                if ctx.rank() == 0 {
+                    panic!("deliberate failure");
+                }
+                let world = ctx.world();
+                ctx.recv(&world, 0, 0);
+            })
+        }));
+        assert!(result.is_err());
+        // The pool the panicked run used must come back clean.
+        let ok = run_simulation(cfg, m, |ctx| ctx.rank());
+        assert_eq!(ok.outputs, vec![0, 1]);
     }
 
     #[test]

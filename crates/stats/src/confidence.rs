@@ -37,7 +37,10 @@ pub struct ConfidenceLevel {
 impl ConfidenceLevel {
     /// A new confidence level, e.g. `0.95` for the paper's experiments.
     pub fn new(level: f64) -> Self {
-        assert!((0.0..1.0).contains(&level), "confidence level must be in (0,1)");
+        assert!(
+            level > 0.0 && level < 1.0,
+            "confidence level must be in the open interval (0,1), got {level}"
+        );
         ConfidenceLevel { level, z: normal_critical(level), cache: Mutex::new(HashMap::new()) }
     }
 
@@ -56,12 +59,11 @@ impl ConfidenceLevel {
         if dof >= 200 {
             return self.z;
         }
-        if let Some(&t) = self.cache.lock().get(&dof) {
-            return t;
-        }
-        let t = student_t_critical(self.level, dof as f64);
-        self.cache.lock().insert(dof, t);
-        t
+        // One guard for the whole lookup-or-compute: taking the lock twice
+        // would both recompute the bisection under contention (TOCTOU) and
+        // pay two acquisitions on every miss.
+        let mut cache = self.cache.lock();
+        *cache.entry(dof).or_insert_with(|| student_t_critical(self.level, dof as f64))
     }
 }
 
@@ -227,6 +229,45 @@ mod tests {
         assert!((path_variance(&s, 4) - 1.0).abs() < 1e-12);
         assert_eq!(path_variance(&s, 0), 0.0);
         assert_eq!(path_variance(&stats_of(&[1.0]), 5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "open interval")]
+    fn zero_level_is_rejected() {
+        // Regression: `(0.0..1.0).contains(&0.0)` accepted level == 0.0, and
+        // `normal_critical(0.0)` then yields a degenerate interval.
+        let _ = ConfidenceLevel::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "open interval")]
+    fn unit_level_is_rejected() {
+        let _ = ConfidenceLevel::new(1.0);
+    }
+
+    #[test]
+    fn boundary_adjacent_levels_are_accepted() {
+        assert!(ConfidenceLevel::new(1e-9).level() > 0.0);
+        assert!(ConfidenceLevel::new(1.0 - 1e-9).level() < 1.0);
+    }
+
+    #[test]
+    fn critical_cache_is_race_free_under_contention() {
+        // The cache must produce one consistent value per dof when hammered
+        // from many threads at once (single-guard entry API, no TOCTOU).
+        let level = std::sync::Arc::new(ConfidenceLevel::new(0.95));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let level = std::sync::Arc::clone(&level);
+                std::thread::spawn(move || {
+                    (2..32u64).map(|n| level.critical(n)).collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<f64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for other in &results[1..] {
+            assert_eq!(&results[0], other);
+        }
     }
 
     #[test]

@@ -39,10 +39,7 @@ fn main() {
     println!("\nper-configuration results (online propagation):");
     for (i, c) in report.configs.iter().enumerate() {
         let marker = if i == report.selected() { " <- selected" } else { "" };
-        println!(
-            "  {:<34} true {:.5}s  predicted {:.5}s{}",
-            c.name, truth[i], preds[i], marker
-        );
+        println!("  {:<34} true {:.5}s  predicted {:.5}s{}", c.name, truth[i], preds[i], marker);
     }
     println!(
         "\nselected configuration achieves {:.1}% of the optimum's performance",

@@ -27,11 +27,12 @@ fn main() {
         )
         .shared();
         let wl = w.clone();
-        let report = run_simulation(SimConfig::new(w.ranks()), machine, move |ctx: &mut RankCtx| {
-            let mut env = CritterEnv::new(ctx, CritterConfig::full(), KernelStore::new());
-            wl.run(&mut env, false);
-            env.finish().0
-        });
+        let report =
+            run_simulation(SimConfig::new(w.ranks()), machine, move |ctx: &mut RankCtx| {
+                let mut env = CritterEnv::new(ctx, CritterConfig::full(), KernelStore::new());
+                wl.run(&mut env, false);
+                env.finish().0
+            });
         let path = report
             .outputs
             .iter()

@@ -19,11 +19,8 @@ fn main() {
     // A full-execution reference run (the red line of the paper's figures).
     let full = profile(ranks, steps, CritterConfig::full());
     // The same program under selective execution.
-    let selective = profile(
-        ranks,
-        steps,
-        CritterConfig::new(ExecutionPolicy::ConditionalExecution, 0.25),
-    );
+    let selective =
+        profile(ranks, steps, CritterConfig::new(ExecutionPolicy::ConditionalExecution, 0.25));
 
     println!("toy program: {steps} iterations of gemm + allreduce on {ranks} ranks\n");
     println!("{:<26} {:>14} {:>14}", "", "full", "selective");
@@ -42,14 +39,9 @@ fn main() {
 /// Run the toy program under `cfg`; returns
 /// (makespan, predicted time, executed, skipped).
 fn profile(ranks: usize, steps: usize, cfg: CritterConfig) -> (f64, f64, u64, u64) {
-    let machine = MachineModel::new(
-        MachineParams::stampede2_knl(),
-        NoiseParams::cluster(),
-        ranks,
-        42,
-        0,
-    )
-    .shared();
+    let machine =
+        MachineModel::new(MachineParams::stampede2_knl(), NoiseParams::cluster(), ranks, 42, 0)
+            .shared();
     let report = run_simulation(SimConfig::new(ranks), machine, move |ctx: &mut RankCtx| {
         let mut env = CritterEnv::new(ctx, cfg.clone(), KernelStore::new());
         let world = env.world();

@@ -198,15 +198,12 @@ fn main() {
         // clean profile.
         let w = &workloads[best];
         let machine = MachineModel::stampede2(w.ranks(), 7, args.allocation).shared();
-        let rep = critter::sim::run_simulation(
-            critter::sim::SimConfig::new(w.ranks()),
-            machine,
-            |ctx| {
+        let rep =
+            critter::sim::run_simulation(critter::sim::SimConfig::new(w.ranks()), machine, |ctx| {
                 let mut env = CritterEnv::new(ctx, CritterConfig::full(), KernelStore::new());
                 w.run(&mut env, false);
                 env.finish().0
-            },
-        );
+            });
         let winner = rep
             .outputs
             .iter()
@@ -216,9 +213,6 @@ fn main() {
         for (label, count, time) in &winner.top_kernels {
             println!("{label:<28} {count:>8} {time:>14.6}");
         }
-        println!(
-            "\nload imbalance (max/mean busy time): {:.3}",
-            winner.imbalance()
-        );
+        println!("\nload imbalance (max/mean busy time): {:.3}", winner.imbalance());
     }
 }

@@ -27,22 +27,22 @@
 
 #![deny(missing_docs)]
 
-/// Machine model: α-β-γ costs, noise, counter-based RNG.
-pub use critter_machine as machine;
-/// Single-pass statistics and confidence intervals.
-pub use critter_stats as stats;
-/// The distributed-memory simulator (MPI substrate).
-pub use critter_sim as sim;
-/// Sequential dense linear algebra kernels.
-pub use critter_dla as dla;
-/// The Critter profiler: path analysis + selective execution.
-pub use critter_core as core;
-/// Analytic BSP cost models.
-pub use critter_bsp as bsp;
 /// The four factorization workloads.
 pub use critter_algs as algs;
 /// The autotuning driver, spaces, and metrics.
 pub use critter_autotune as autotune;
+/// Analytic BSP cost models.
+pub use critter_bsp as bsp;
+/// The Critter profiler: path analysis + selective execution.
+pub use critter_core as core;
+/// Sequential dense linear algebra kernels.
+pub use critter_dla as dla;
+/// Machine model: α-β-γ costs, noise, counter-based RNG.
+pub use critter_machine as machine;
+/// The distributed-memory simulator (MPI substrate).
+pub use critter_sim as sim;
+/// Single-pass statistics and confidence intervals.
+pub use critter_stats as stats;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {

@@ -9,7 +9,9 @@ use critter::prelude::*;
 /// full execution (the substrate is real, not mocked).
 #[test]
 fn all_workloads_factor_correctly() {
-    use critter::algs::{candmc_qr::CandmcQr, capital::CapitalCholesky, slate_chol::SlateCholesky, slate_qr::SlateQr};
+    use critter::algs::{
+        candmc_qr::CandmcQr, capital::CapitalCholesky, slate_chol::SlateCholesky, slate_qr::SlateQr,
+    };
     let workloads: Vec<Box<dyn Workload>> = vec![
         Box::new(CapitalCholesky { n: 32, block: 8, strategy: 2, ranks: 8 }),
         Box::new(SlateCholesky { n: 64, tile: 16, lookahead: 1, pr: 2, pc: 2 }),
@@ -50,24 +52,41 @@ fn every_policy_tunes_every_space() {
 
 /// The headline qualitative result (§VI-B): selective execution accelerates
 /// autotuning, and eager propagation is the fastest method at loose ε on a
-/// bulk-synchronous Cholesky.
+/// bulk-synchronous Cholesky. A single noisy sweep can land either side of a
+/// small timing margin, so the claim is checked on the mean over three node
+/// allocations (mirroring the paper's repeat-per-allocation protocol) plus
+/// the noise-independent structural fact that eager skips at least as many
+/// kernels as conditional on every allocation.
 #[test]
 fn eager_beats_conditional_beats_full_on_capital() {
     let space = TuningSpace::CapitalCholesky;
     let ws = space.smoke();
-    let run = |policy| {
+    let run = |policy, alloc: u64| {
         let mut opts = TuningOptions::new(policy, 1.0);
         opts.reset_between_configs = false;
+        opts.allocation = alloc;
         Autotuner::new(opts).tune(&ws)
     };
-    let cond = run(ExecutionPolicy::ConditionalExecution);
-    let eager = run(ExecutionPolicy::EagerPropagation);
-    assert!(cond.speedup() > 1.0, "conditional {}", cond.speedup());
+    let mut eager_total = 0.0;
+    let mut cond_total = 0.0;
+    for alloc in 0..3 {
+        let cond = run(ExecutionPolicy::ConditionalExecution, alloc);
+        let eager = run(ExecutionPolicy::EagerPropagation, alloc);
+        assert!(cond.speedup() > 1.0, "conditional speedup {} on alloc {alloc}", cond.speedup());
+        assert!(
+            eager.skip_fraction() >= cond.skip_fraction(),
+            "eager must not skip less than conditional on alloc {alloc}: {} vs {}",
+            eager.skip_fraction(),
+            cond.skip_fraction()
+        );
+        eager_total += eager.tuning_time();
+        cond_total += cond.tuning_time();
+    }
     assert!(
-        eager.tuning_time() < cond.tuning_time() * 1.05,
-        "eager {} vs conditional {}",
-        eager.tuning_time(),
-        cond.tuning_time()
+        eager_total < cond_total,
+        "eager mean tuning time {} vs conditional {}",
+        eager_total / 3.0,
+        cond_total / 3.0
     );
 }
 

@@ -1,0 +1,294 @@
+//! Minimal offline stand-in for the `serde_json` crate.
+//!
+//! Provides the subset the bench harness uses: [`Value`], [`Map`], the
+//! [`json!`] macro for flat object literals, and [`to_string_pretty`].
+//! No deserialization, no serde integration — just a well-formed JSON
+//! writer for result artifacts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integral values print without `.`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (keys sorted, matching serde_json's default `BTreeMap`).
+    Object(Map),
+}
+
+/// A JSON object: string keys → values, iterated in sorted key order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: BTreeMap<String, Value>,
+}
+
+impl Map {
+    /// An empty object.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Insert `value` at `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.entries.insert(key, value)
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter()
+    }
+}
+
+/// Conversion into [`Value`] by reference — the `json!` macro takes every
+/// interpolated expression by `&`, so only reference impls are needed.
+pub trait IntoJson {
+    /// Convert to a JSON value.
+    fn into_json(self) -> Value;
+}
+
+impl IntoJson for &Value {
+    fn into_json(self) -> Value {
+        self.clone()
+    }
+}
+
+impl IntoJson for &&str {
+    fn into_json(self) -> Value {
+        Value::String((*self).to_string())
+    }
+}
+
+impl IntoJson for &String {
+    fn into_json(self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl IntoJson for &bool {
+    fn into_json(self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_into_json_num {
+    ($($t:ty),*) => {$(
+        impl IntoJson for &$t {
+            fn into_json(self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+impl_into_json_num!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl IntoJson for &Vec<Value> {
+    fn into_json(self) -> Value {
+        Value::Array(self.clone())
+    }
+}
+
+impl IntoJson for &Vec<f64> {
+    fn into_json(self) -> Value {
+        Value::Array(self.iter().map(|&x| Value::Number(x)).collect())
+    }
+}
+
+impl<const N: usize> IntoJson for &[f64; N] {
+    fn into_json(self) -> Value {
+        Value::Array(self.iter().map(|&x| Value::Number(x)).collect())
+    }
+}
+
+impl IntoJson for &&[f64] {
+    fn into_json(self) -> Value {
+        Value::Array(self.iter().map(|&x| Value::Number(x)).collect())
+    }
+}
+
+/// Build a [`Value`] from a JSON-like literal. Supports `null`, nested
+/// `[..]` / `{..}` literals with string-literal keys, and arbitrary
+/// expressions for leaf values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::json!($elem)),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        let mut map = $crate::Map::new();
+        $( map.insert($key.to_string(), $crate::json!($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::IntoJson::into_json(&$other) };
+}
+
+/// Error type for the writer (it cannot actually fail).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_to_string(x: f64) -> String {
+    if x.is_finite() && x.fract() == 0.0 && x.abs() < 9.0e15 {
+        format!("{}", x as i64)
+    } else if x.is_finite() {
+        format!("{x}")
+    } else {
+        // JSON has no Inf/NaN; serde_json emits null for non-finite floats.
+        "null".to_string()
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    let pad = |out: &mut String, level: usize| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..level {
+                out.push_str("  ");
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(x) => out.push_str(&number_to_string(*x)),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                write_value(out, item, indent + 1, pretty);
+            }
+            pad(out, indent);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                escape_into(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, val, indent + 1, pretty);
+            }
+            pad(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+/// Serialize with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, true);
+    Ok(out)
+}
+
+/// Serialize compactly.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, false);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let name = String::from("gemm");
+        let v = json!({ "name": name, "time": 1.5, "count": 3u64, "ok": true });
+        match &v {
+            Value::Object(m) => {
+                assert_eq!(m.get("name"), Some(&Value::String("gemm".into())));
+                assert_eq!(m.get("time"), Some(&Value::Number(1.5)));
+                assert_eq!(m.get("count"), Some(&Value::Number(3.0)));
+                assert_eq!(m.get("ok"), Some(&Value::Bool(true)));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        // `name` was taken by reference — still usable.
+        assert_eq!(name, "gemm");
+    }
+
+    #[test]
+    fn pretty_output_is_valid_json() {
+        let v = json!({ "a": [1.0, 2.0], "b": "x\"y" });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"a\": [\n"));
+        assert!(s.contains("\\\"y\""));
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":[1,2],"b":"x\"y"}"#);
+    }
+
+    #[test]
+    fn integers_print_without_decimal_point() {
+        assert_eq!(number_to_string(5.0), "5");
+        assert_eq!(number_to_string(1.25), "1.25");
+        assert_eq!(number_to_string(f64::NAN), "null");
+    }
+}
