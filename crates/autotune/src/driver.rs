@@ -35,7 +35,7 @@ use std::sync::Arc;
 use critter_algs::Workload;
 use critter_core::{CritterConfig, CritterEnv, ExecutionPolicy, KernelStore, PathMetrics};
 use critter_machine::{MachineModel, MachineParams, NoiseParams};
-use critter_sim::{run_simulation, SimConfig};
+use critter_sim::{run_simulation, PerturbParams, SimConfig};
 use parking_lot::Mutex;
 
 /// Options of one tuning sweep.
@@ -72,6 +72,11 @@ pub struct TuningOptions {
     /// pipeline the independent reference runs against the sequential
     /// selective-run chain. The report is bit-identical either way.
     pub workers: usize,
+    /// Test-only schedule perturbation: inject wall-clock yields/sleeps into
+    /// every simulated run to shake the real thread interleaving. Virtual
+    /// results must not move — the testkit fuzzer asserts the report stays
+    /// bit-identical to an unperturbed sweep.
+    pub perturb: Option<PerturbParams>,
 }
 
 impl TuningOptions {
@@ -90,6 +95,7 @@ impl TuningOptions {
             seed: 0xC0FFEE,
             allocation: 0,
             workers: 1,
+            perturb: None,
         }
     }
 
@@ -108,6 +114,12 @@ impl TuningOptions {
     /// Set the reference-run worker count (clamped to at least 1).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Inject schedule perturbation into every simulated run (testing only).
+    pub fn with_perturb(mut self, perturb: PerturbParams) -> Self {
+        self.perturb = Some(perturb);
         self
     }
 }
@@ -200,8 +212,14 @@ impl Autotuner {
         let slots: Arc<Vec<Mutex<Option<KernelStore>>>> =
             Arc::new(stores.drain(..).map(|s| Mutex::new(Some(s))).collect());
         let slots_in = Arc::clone(&slots);
+        let mut sim_config = SimConfig::new(ranks);
+        if let Some(p) = self.opts.perturb {
+            // Vary the perturbation stream per run so no two runs of a sweep
+            // see the same yield/sleep pattern.
+            sim_config = sim_config.with_perturb(PerturbParams { seed: p.seed ^ run_index, ..p });
+        }
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            run_simulation(SimConfig::new(ranks), machine, move |ctx| {
+            run_simulation(sim_config, machine, move |ctx| {
                 let store = slots_in[ctx.rank()].lock().take().expect("store present");
                 let mut env = CritterEnv::new(ctx, cfg.clone(), store);
                 w.run(&mut env, false);

@@ -1,0 +1,88 @@
+//! Canonical JSON rendering of tuning reports.
+//!
+//! Built on the deterministic writer in `serde_json` (sorted object keys,
+//! shortest-round-trip float formatting): two bit-identical reports always
+//! serialize to byte-identical text. That property is what the testkit's
+//! golden-report snapshots diff against — any behavioral drift in the
+//! simulator, the noise model, or the sweep schedule shows up as a textual
+//! diff of a committed fixture.
+
+use crate::driver::{ConfigResult, RunRecord, TuningReport};
+use serde_json::Value;
+
+impl RunRecord {
+    /// JSON object with one key per field.
+    pub fn to_json(&self) -> Value {
+        serde_json::json!({
+            "elapsed": self.elapsed,
+            "internal_words": self.internal_words,
+            "kernels_executed": self.kernels_executed,
+            "kernels_skipped": self.kernels_skipped,
+            "max_kernel_predicted": self.max_kernel_predicted,
+            "max_kernel_time": self.max_kernel_time,
+            "path": self.path.to_json(),
+            "predicted": self.predicted,
+        })
+    }
+}
+
+impl ConfigResult {
+    /// JSON object: name, `(full, tuned)` pairs, offline passes.
+    pub fn to_json(&self) -> Value {
+        let pairs: Vec<Value> = self
+            .pairs
+            .iter()
+            .map(|(full, tuned)| serde_json::json!({ "full": full.to_json(), "tuned": tuned.to_json() }))
+            .collect();
+        let offline: Vec<Value> = self.offline.iter().map(RunRecord::to_json).collect();
+        serde_json::json!({
+            "name": self.name.as_str(),
+            "offline": offline,
+            "pairs": pairs,
+        })
+    }
+}
+
+impl TuningReport {
+    /// Canonical JSON rendering of the whole sweep.
+    pub fn to_json(&self) -> Value {
+        let configs: Vec<Value> = self.configs.iter().map(ConfigResult::to_json).collect();
+        serde_json::json!({
+            "configs": configs,
+            "epsilon": self.epsilon,
+            "policy": self.policy.name(),
+        })
+    }
+
+    /// The canonical pretty-printed snapshot text (trailing newline included).
+    pub fn to_json_string(&self) -> String {
+        let mut s = serde_json::to_string_pretty(&self.to_json()).expect("json writer is total");
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critter_core::ExecutionPolicy;
+
+    #[test]
+    fn equal_reports_serialize_identically() {
+        let rec = RunRecord { elapsed: 1.5, kernels_executed: 7, ..Default::default() };
+        let report = TuningReport {
+            policy: ExecutionPolicy::LocalPropagation,
+            epsilon: 0.1,
+            configs: vec![ConfigResult {
+                name: "pr2pc2".into(),
+                pairs: vec![(rec.clone(), rec.clone())],
+                offline: vec![],
+            }],
+        };
+        assert_eq!(report.to_json_string(), report.clone().to_json_string());
+        let text = report.to_json_string();
+        assert!(text.contains("\"policy\": \"local propagation\""));
+        assert!(text.contains("\"epsilon\": 0.1"));
+        assert!(text.ends_with('\n'));
+    }
+}

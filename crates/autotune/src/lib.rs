@@ -17,6 +17,7 @@
 #![deny(missing_docs)]
 
 pub mod driver;
+pub mod json;
 pub mod metrics;
 pub mod search;
 pub mod spaces;

@@ -22,6 +22,15 @@ pub struct Timing {
     pub iters: usize,
 }
 
+/// Reduce raw per-iteration samples to a [`Timing`]. The median is the
+/// upper median (index `n/2` of the sorted samples); `iters` is the sample
+/// count.
+pub fn summarize(mut samples: Vec<Duration>) -> Timing {
+    assert!(!samples.is_empty(), "at least one sample");
+    samples.sort_unstable();
+    Timing { min: samples[0], median: samples[samples.len() / 2], iters: samples.len() }
+}
+
 /// Time `f` for `iters` iterations after one untimed warm-up run.
 pub fn time(mut f: impl FnMut(), iters: usize) -> Timing {
     assert!(iters > 0, "at least one iteration");
@@ -32,8 +41,7 @@ pub fn time(mut f: impl FnMut(), iters: usize) -> Timing {
         f();
         samples.push(start.elapsed());
     }
-    samples.sort_unstable();
-    Timing { min: samples[0], median: samples[samples.len() / 2], iters }
+    summarize(samples)
 }
 
 /// Time `f` and print one `group/case` result line.

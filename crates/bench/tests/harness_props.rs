@@ -1,0 +1,83 @@
+//! Tests of the bench harness's own measurement machinery: the sample
+//! summarizer must report correct order statistics on known inputs, and
+//! `parallel_map` must preserve input order and run every item exactly once
+//! at any job count — the figure binaries rely on both when they fan sweeps
+//! out over a thread pool and zip results back against the spec list.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use critter_bench::harness::{speedup, summarize, time, Timing};
+use critter_bench::parallel_map;
+use proptest::prelude::*;
+
+#[test]
+fn summarize_reports_min_median_and_count_on_known_samples() {
+    let ms = |n: u64| Duration::from_millis(n);
+    // Odd count: median is the middle element.
+    let t = summarize(vec![ms(5), ms(1), ms(9)]);
+    assert_eq!(t.min, ms(1));
+    assert_eq!(t.median, ms(5));
+    assert_eq!(t.iters, 3);
+    // Even count: upper median (index n/2 of the sorted samples).
+    let t = summarize(vec![ms(4), ms(2), ms(8), ms(6)]);
+    assert_eq!(t.min, ms(2));
+    assert_eq!(t.median, ms(6));
+    assert_eq!(t.iters, 4);
+    // A single sample is its own min and median.
+    let t = summarize(vec![ms(7)]);
+    assert_eq!((t.min, t.median, t.iters), (ms(7), ms(7), 1));
+}
+
+#[test]
+fn speedup_is_ratio_of_minima() {
+    let t = |min_us: u64| Timing {
+        min: Duration::from_micros(min_us),
+        median: Duration::from_micros(min_us * 2),
+        iters: 3,
+    };
+    let s = speedup(t(800), t(200));
+    assert!((s - 4.0).abs() < 1e-9, "expected 4x, got {s}");
+}
+
+#[test]
+fn time_runs_warmup_plus_iters() {
+    let calls = AtomicUsize::new(0);
+    let t = time(
+        || {
+            calls.fetch_add(1, Ordering::Relaxed);
+        },
+        5,
+    );
+    assert_eq!(t.iters, 5);
+    assert_eq!(calls.load(Ordering::Relaxed), 6, "one warm-up + five timed iterations");
+}
+
+proptest! {
+    /// Order preservation and exactly-once execution at any job count,
+    /// including jobs > items and the serial fast path.
+    #[test]
+    fn parallel_map_matches_serial_map(len in 0usize..65, jobs in 1usize..9) {
+        let items: Vec<usize> = (0..len).collect();
+        let calls = AtomicUsize::new(0);
+        let mapped = parallel_map(&items, jobs, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x.wrapping_mul(31) ^ 7
+        });
+        let expected: Vec<usize> = items.iter().map(|&x| x.wrapping_mul(31) ^ 7).collect();
+        prop_assert_eq!(mapped, expected);
+        prop_assert_eq!(calls.load(Ordering::Relaxed), len);
+    }
+
+    /// `summarize` against a reference computation on arbitrary samples.
+    #[test]
+    fn summarize_matches_reference_order_statistics(raw in collection::vec(0u64..10_000, 1..50)) {
+        let samples: Vec<Duration> = raw.iter().map(|&n| Duration::from_nanos(n)).collect();
+        let t = summarize(samples.clone());
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        prop_assert_eq!(t.min, sorted[0]);
+        prop_assert_eq!(t.median, sorted[sorted.len() / 2]);
+        prop_assert_eq!(t.iters, sorted.len());
+    }
+}

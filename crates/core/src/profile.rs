@@ -123,7 +123,7 @@ impl KernelStore {
     pub fn path_profile(&self) -> Vec<(u64, u64, f64)> {
         let mut v: Vec<(u64, u64, f64)> =
             self.path_counts.iter().map(|(&k, &(c, t))| (k, c, t)).collect();
-        v.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        v.sort_by(|a, b| b.2.total_cmp(&a.2));
         v
     }
 

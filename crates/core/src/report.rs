@@ -29,6 +29,18 @@ impl PathMetrics {
         PathMetrics { comm_words: a[0], syncs: a[1], flops: a[2], comp_time: a[3], comm_time: a[4] }
     }
 
+    /// JSON object with one key per metric (sorted keys, deterministic
+    /// shortest-round-trip float formatting).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "comm_time": self.comm_time,
+            "comm_words": self.comm_words,
+            "comp_time": self.comp_time,
+            "flops": self.flops,
+            "syncs": self.syncs,
+        })
+    }
+
     /// Elementwise maximum (the independent-max propagation rule).
     pub fn max(self, o: PathMetrics) -> PathMetrics {
         PathMetrics {
@@ -42,7 +54,12 @@ impl PathMetrics {
 }
 
 /// What one rank reports at the end of a profiled run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` is bit-exact on the float fields — the determinism contract
+/// (counter-based noise keyed by operation identity, never thread schedule)
+/// promises identical reports across reruns, and the testkit's perturbation
+/// fuzzer asserts exactly that.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CritterReport {
     /// Predicted critical-path execution time (`P.exec_time` after the final
     /// propagation): executed kernels contribute measured time, skipped ones
@@ -99,6 +116,38 @@ impl CritterReport {
             self.kernels_skipped as f64 / total as f64
         }
     }
+
+    /// Structured JSON rendering of the report — the golden-snapshot surface.
+    ///
+    /// Keys are sorted and floats print in shortest-round-trip form, so equal
+    /// reports serialize to byte-identical text. The per-event trace is
+    /// summarized by its length rather than dumped (traces are a debugging
+    /// aid, not part of the stable report surface).
+    pub fn to_json(&self) -> serde_json::Value {
+        let kernels: Vec<serde_json::Value> = self
+            .top_kernels
+            .iter()
+            .map(|&(ref label, count, time)| {
+                serde_json::json!({ "count": count, "label": label.as_str(), "path_time": time })
+            })
+            .collect();
+        serde_json::json!({
+            "distinct_kernels": self.distinct_kernels,
+            "internal_words": self.internal_words,
+            "kernels_executed": self.kernels_executed,
+            "kernels_skipped": self.kernels_skipped,
+            "local_comm_executed": self.local_comm_executed,
+            "local_comm_predicted": self.local_comm_predicted,
+            "local_comp_executed": self.local_comp_executed,
+            "local_comp_predicted": self.local_comp_predicted,
+            "max_busy": self.max_busy,
+            "mean_busy": self.mean_busy,
+            "path": self.path.to_json(),
+            "predicted_time": self.predicted_time,
+            "top_kernels": kernels,
+            "trace_events": self.trace.len(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -119,6 +168,24 @@ mod tests {
         let m = a.max(b);
         assert_eq!(m.comm_words, 5.0);
         assert_eq!(m.syncs, 9.0);
+    }
+
+    #[test]
+    fn to_json_is_deterministic_and_sorted() {
+        let r = CritterReport {
+            predicted_time: 1.25,
+            kernels_executed: 3,
+            top_kernels: vec![("gemm[8x8x8]".into(), 4, 0.5)],
+            ..Default::default()
+        };
+        let a = serde_json::to_string_pretty(&r.to_json()).unwrap();
+        let b = serde_json::to_string_pretty(&r.clone().to_json()).unwrap();
+        assert_eq!(a, b);
+        // Keys emerge sorted, so the serialization is canonical.
+        let i_pred = a.find("\"predicted_time\"").unwrap();
+        let i_kern = a.find("\"kernels_executed\"").unwrap();
+        assert!(i_kern < i_pred);
+        assert!(a.contains("\"gemm[8x8x8]\""));
     }
 
     #[test]

@@ -74,7 +74,7 @@ impl Trace {
             .into_iter()
             .map(|(label, (n, ex, d, p))| (label.to_string(), n, ex, d, p))
             .collect();
-        v.sort_by(|a, b| b.4.partial_cmp(&a.4).unwrap_or(std::cmp::Ordering::Equal));
+        v.sort_by(|a, b| b.4.total_cmp(&a.4));
         v
     }
 
@@ -129,6 +129,25 @@ mod tests {
         let gemm = agg.iter().find(|a| a.0.starts_with("gemm")).unwrap();
         assert_eq!(gemm.1, 2);
         assert_eq!(gemm.3, 3.0);
+    }
+
+    #[test]
+    fn by_kernel_tolerates_nan_predictions() {
+        // Regression: a NaN predicted time (e.g. a degenerate model mean)
+        // previously made the sort comparator non-transitive via
+        // `partial_cmp(..).unwrap_or(Equal)`. With `total_cmp`, NaN has a
+        // defined position and all finite entries stay correctly sorted.
+        let mut t = Trace::new();
+        t.push(TraceEvent { predicted: f64::NAN, ..ev("nan", 0.0, 0.0, true) });
+        t.push(ev("small", 0.0, 1.0, true));
+        t.push(ev("big", 0.0, 5.0, true));
+        let v = t.by_kernel();
+        assert_eq!(v.len(), 3);
+        let finite: Vec<&str> =
+            v.iter().filter(|x| x.4.is_finite()).map(|x| x.0.as_str()).collect();
+        assert_eq!(finite, ["big", "small"]);
+        // NaN (positive bit pattern) sorts above +5.0 in descending total order.
+        assert_eq!(v[0].0, "nan");
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Property tests of the aggregate-channel registry (§III-B): the algebra of
+//! channel combination must not depend on registration order, `disjoint`
+//! must be symmetric, no aggregate may claim more ranks than the machine
+//! has, and maximality flags must agree with the subset order on dimension
+//! sets.
+
+use critter_core::channels::{Aggregate, ChannelRegistry};
+use critter_sim::ChannelMeta;
+use proptest::prelude::*;
+
+/// A stride-`s` fiber of `k` ranks starting at 0: `{0, s, 2s, ...}`.
+fn fiber(stride: usize, size: usize) -> ChannelMeta {
+    let ranks: Vec<usize> = (0..size).map(|i| i * stride).collect();
+    ChannelMeta::from_sorted_ranks(&ranks)
+}
+
+/// Decode a list of generated `(stride_exp, size_exp)` pairs into channels
+/// that fit a `2^world_exp`-rank machine.
+fn channels(world_exp: u32, picks: &[(u32, u32)]) -> (usize, Vec<ChannelMeta>) {
+    let world = 1usize << world_exp;
+    let metas = picks
+        .iter()
+        .map(|&(se, ke)| {
+            let stride = 1usize << (se % world_exp);
+            let size = 1usize << (1 + ke % 2); // 2 or 4 ranks per fiber
+            let size = size.min(world / stride);
+            fiber(stride, size.max(1))
+        })
+        .filter(|m| m.size > 1)
+        .collect();
+    (world, metas)
+}
+
+fn registry_with(world: usize, metas: &[ChannelMeta]) -> ChannelRegistry {
+    let mut r = ChannelRegistry::new(world);
+    for m in metas {
+        r.register(m);
+    }
+    r
+}
+
+/// Canonical row: (hash, fiber dims, coverage, is_maximal).
+type ChannelRow = (u64, Vec<(usize, usize)>, usize, bool);
+
+/// Canonical summary of a registry's aggregate set, sorted for comparison.
+fn summary(r: &ChannelRegistry) -> Vec<ChannelRow> {
+    let mut v: Vec<_> =
+        r.aggregates().map(|a| (a.hash, a.dims.clone(), a.coverage, a.is_maximal)).collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    /// Combination is commutative: any rotation of the registration order
+    /// builds the identical aggregate set (hashes, dims, coverage, and
+    /// maximality all match).
+    #[test]
+    fn registration_order_is_irrelevant(
+        world_exp in 2u32..5,
+        picks in collection::vec((0u32..8, 0u32..8), 1..6),
+        rot in 0usize..6,
+    ) {
+        let (world, metas) = channels(world_exp, &picks);
+        let base = registry_with(world, &metas);
+        let mut rotated = metas.clone();
+        if !rotated.is_empty() {
+            let mid = rot % rotated.len();
+            rotated.rotate_left(mid);
+        }
+        let permuted = registry_with(world, &rotated);
+        prop_assert_eq!(summary(&base), summary(&permuted));
+    }
+
+    /// `disjoint` is symmetric, and combination never claims more ranks than
+    /// the machine has.
+    #[test]
+    fn disjoint_symmetric_and_coverage_bounded(
+        world_exp in 2u32..5,
+        picks in collection::vec((0u32..8, 0u32..8), 1..6),
+    ) {
+        let (world, metas) = channels(world_exp, &picks);
+        let r = registry_with(world, &metas);
+        let aggs: Vec<&Aggregate> = r.aggregates().collect();
+        for a in &aggs {
+            prop_assert!(a.coverage <= world, "aggregate covers {} > {} ranks", a.coverage, world);
+            prop_assert!(a.coverage >= 1);
+            for b in &aggs {
+                prop_assert_eq!(a.disjoint(b), b.disjoint(a));
+            }
+            // An aggregate is never disjoint from itself (it shares every
+            // stride), except the degenerate single-rank case.
+            if !a.dims.is_empty() {
+                prop_assert!(!a.disjoint(a));
+            }
+        }
+    }
+
+    /// Maximality agrees with the subset order on dimension sets: an
+    /// aggregate is non-maximal iff a strictly larger aggregate contains all
+    /// its dimensions — and full machine coverage always implies maximality.
+    #[test]
+    fn maximality_is_consistent_with_coverage(
+        world_exp in 2u32..5,
+        picks in collection::vec((0u32..8, 0u32..8), 1..6),
+    ) {
+        let (world, metas) = channels(world_exp, &picks);
+        let r = registry_with(world, &metas);
+        let aggs: Vec<&Aggregate> = r.aggregates().collect();
+        for a in &aggs {
+            let has_super = aggs.iter().any(|b| {
+                b.hash != a.hash
+                    && b.coverage > a.coverage
+                    && a.dims.iter().all(|d| b.dims.contains(d))
+            });
+            prop_assert_eq!(!a.is_maximal, has_super);
+            if a.coverage == world {
+                prop_assert!(a.is_maximal, "full-coverage aggregate must be maximal");
+            }
+        }
+    }
+}

@@ -195,7 +195,7 @@ mod tests {
     fn jitter_median_near_one() {
         let m = NoiseModel::new(NoiseParams::cluster(), 17);
         let mut xs: Vec<f64> = (0..10_001).map(|i| m.compute_jitter(0, i)).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(f64::total_cmp);
         let median = xs[xs.len() / 2];
         assert!((median - 1.0).abs() < 0.02, "median {median}");
     }

@@ -144,6 +144,9 @@ pub struct SimCore {
     coll_cv: Condvar,
     pub(crate) timeout: Duration,
     pub(crate) eager_words: usize,
+    /// Schedule perturbation injected by rank contexts at interception
+    /// points (testkit determinism fuzzing; `None` in normal runs).
+    pub(crate) perturb: Option<crate::runner::PerturbParams>,
     /// Set when any rank panics, so peers stop waiting immediately.
     poisoned: AtomicBool,
 }
@@ -158,7 +161,12 @@ pub(crate) struct RecvOutcome {
 }
 
 impl SimCore {
-    pub(crate) fn new(machine: Arc<MachineModel>, timeout: Duration, eager_words: usize) -> Self {
+    pub(crate) fn new(
+        machine: Arc<MachineModel>,
+        timeout: Duration,
+        eager_words: usize,
+        perturb: Option<crate::runner::PerturbParams>,
+    ) -> Self {
         SimCore {
             machine,
             p2p: Mutex::new(P2pState::default()),
@@ -167,6 +175,7 @@ impl SimCore {
             coll_cv: Condvar::new(),
             timeout,
             eager_words,
+            perturb,
             poisoned: AtomicBool::new(false),
         }
     }

@@ -9,7 +9,8 @@
 
 use std::sync::Arc;
 
-use critter_machine::{KernelClass, MachineModel};
+use critter_machine::rng::stream_id;
+use critter_machine::{CounterRng, KernelClass, MachineModel};
 
 use crate::comm::Communicator;
 use crate::core::{CollKind, CombineFn, Contrib, Output, P2pKey, SimCore};
@@ -49,6 +50,7 @@ pub struct RankCtx {
     world: Communicator,
     counters: RankCounters,
     compute_invocations: u64,
+    perturb_points: u64,
 }
 
 impl RankCtx {
@@ -62,6 +64,28 @@ impl RankCtx {
             world,
             counters: RankCounters::default(),
             compute_invocations: 0,
+            perturb_points: 0,
+        }
+    }
+
+    /// Schedule-perturbation point (no-op unless [`crate::SimConfig::perturb`]
+    /// is set): randomly yield and/or sleep this OS thread to shake the real
+    /// interleaving of rank threads. Draws are counter-based per `(seed,
+    /// rank)`, and nothing here touches the virtual clock — the determinism
+    /// fuzzer asserts that simulated results are identical anyway.
+    #[inline]
+    fn perturb_point(&mut self) {
+        let Some(p) = self.core.perturb else { return };
+        let rng = CounterRng::new(p.seed, stream_id(&[0x5045_5254, self.rank as u64])); // "PERT"
+        let idx = self.perturb_points;
+        self.perturb_points += 1;
+        let to_unit = |bits: u64| (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if to_unit(rng.at(3 * idx)) < p.yield_prob {
+            std::thread::yield_now();
+        }
+        if p.max_sleep_us > 0 && to_unit(rng.at(3 * idx + 1)) < p.sleep_prob {
+            let us = rng.at(3 * idx + 2) % p.max_sleep_us;
+            std::thread::sleep(std::time::Duration::from_micros(us));
         }
     }
 
@@ -111,6 +135,7 @@ impl RankCtx {
     /// Execute a compute kernel of `class` costing `flops`: samples its noisy
     /// duration, advances the clock, returns the sampled time.
     pub fn compute(&mut self, class: KernelClass, flops: f64) -> f64 {
+        self.perturb_point();
         let t = self.core.machine.compute_time(class, flops, self.rank, self.compute_invocations);
         self.compute_invocations += 1;
         self.clock += t;
@@ -138,6 +163,7 @@ impl RankCtx {
     /// Messages larger than the eager threshold synchronize with the receiver
     /// (rendezvous); smaller ones complete locally after the transfer cost.
     pub fn send(&mut self, comm: &Communicator, dst: usize, tag: u64, data: &[f64]) {
+        self.perturb_point();
         let key = self.key(comm, comm.rank(), dst, tag);
         let words = data.len();
         let (cost, slot) = self.core.post_send(key, data.to_vec(), self.clock, false, None);
@@ -159,6 +185,7 @@ impl RankCtx {
 
     /// Blocking receive from communicator rank `src`.
     pub fn recv(&mut self, comm: &Communicator, src: usize, tag: u64) -> Vec<f64> {
+        self.perturb_point();
         let key = self.key(comm, src, comm.rank(), tag);
         let out = self.core.match_recv(key, self.clock);
         self.counters.recvs += 1;
@@ -186,6 +213,7 @@ impl RankCtx {
         data: Vec<f64>,
         cost_words: Option<usize>,
     ) -> Request {
+        self.perturb_point();
         let key = self.key(comm, comm.rank(), dst, tag);
         let words = data.len() as u64;
         let post = self.clock;
@@ -200,6 +228,7 @@ impl RankCtx {
 
     /// Nonblocking receive; data is returned by [`RankCtx::wait`].
     pub fn irecv(&mut self, comm: &Communicator, src: usize, tag: u64) -> Request {
+        self.perturb_point();
         let key = self.key(comm, src, comm.rank(), tag);
         let post = self.clock;
         self.clock += self.core.machine.params().per_call_overhead;
@@ -209,6 +238,7 @@ impl RankCtx {
     /// Complete a nonblocking operation. Returns the received payload for
     /// receive requests, `None` otherwise.
     pub fn wait(&mut self, req: Request) -> Option<Vec<f64>> {
+        self.perturb_point();
         match req.0 {
             RequestInner::Done => None,
             RequestInner::SendEager { done, words, cost } => {
@@ -265,6 +295,7 @@ impl RankCtx {
         combine: Option<CombineFn>,
         charge: Option<Option<usize>>,
     ) -> (Output, f64) {
+        self.perturb_point();
         let seq = comm.next_collective_seq();
         let post = self.clock;
         let (done, cost, out) =

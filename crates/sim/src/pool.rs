@@ -125,6 +125,7 @@ impl SimPool {
             Arc::clone(&machine),
             config.deadlock_timeout,
             config.eager_words,
+            config.perturb,
         ));
         let state: RunState<R> = RunState {
             slots: (0..self.ranks).map(|_| Mutex::new(None)).collect(),

@@ -9,6 +9,29 @@ use crate::counters::RankCounters;
 use crate::ctx::RankCtx;
 use crate::pool::PoolLease;
 
+/// Wall-clock schedule perturbation injected at the simulator's interception
+/// points (test-only configuration).
+///
+/// The simulator's determinism contract is that *virtual* results — clocks,
+/// noise draws, reports — are a pure function of the program and the machine,
+/// never of how the OS interleaves the rank threads. The testkit's
+/// schedule-perturbation fuzzer stresses exactly that contract: it randomly
+/// yields and sleeps rank threads (perturbing the real interleaving as an
+/// adversarial scheduler would) and asserts the reports are bit-identical to
+/// an unperturbed run. Perturbation draws come from a counter-based stream
+/// keyed by `(seed, rank)`, so the fuzzer itself is reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerturbParams {
+    /// Seed of the per-rank perturbation stream.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a perturbation point yields the OS thread.
+    pub yield_prob: f64,
+    /// Probability in `[0, 1]` that a perturbation point sleeps.
+    pub sleep_prob: f64,
+    /// Upper bound (exclusive) of the wall-clock sleep, in microseconds.
+    pub max_sleep_us: u64,
+}
+
 /// Configuration of a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -23,6 +46,8 @@ pub struct SimConfig {
     /// Messages of at most this many words take the eager path (the sender
     /// does not synchronize with the receiver). 512 words = 4 KiB.
     pub eager_words: usize,
+    /// Schedule perturbation injected at interception points (`None` off).
+    pub perturb: Option<PerturbParams>,
 }
 
 impl SimConfig {
@@ -33,6 +58,7 @@ impl SimConfig {
             stack_size: 8 << 20,
             deadlock_timeout: Duration::from_secs(30),
             eager_words: 512,
+            perturb: None,
         }
     }
 
@@ -53,6 +79,12 @@ impl SimConfig {
     /// never share rank threads.
     pub fn with_stack_size(mut self, s: usize) -> Self {
         self.stack_size = s;
+        self
+    }
+
+    /// Enable schedule perturbation (the testkit's determinism fuzzer).
+    pub fn with_perturb(mut self, p: PerturbParams) -> Self {
+        self.perturb = Some(p);
         self
     }
 }
@@ -388,6 +420,29 @@ mod tests {
         let b = run();
         assert_eq!(a.rank_times, b.rank_times, "virtual times must be bit-identical");
         assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn schedule_perturbation_leaves_virtual_results_unchanged() {
+        // The determinism contract the testkit fuzzer stresses at scale:
+        // yields/sleeps injected at interception points shake the real
+        // thread interleaving but must not move any virtual result.
+        let prog = |ctx: &mut RankCtx| {
+            let world = ctx.world();
+            ctx.compute(KernelClass::Gemm, 1e5 * (1 + ctx.rank()) as f64);
+            let s = ctx.allreduce(&world, ReduceOp::Sum, &[ctx.now()]);
+            let right = (ctx.rank() + 1) % 4;
+            let left = (ctx.rank() + 3) % 4;
+            let got = ctx.sendrecv(&world, right, 0, &[ctx.rank() as f64], left, 0);
+            (ctx.now(), s[0], got[0])
+        };
+        let m = || MachineModel::test_noisy(4, 5).shared();
+        let base = run_simulation(SimConfig::new(4), m(), prog);
+        let perturb =
+            PerturbParams { seed: 99, yield_prob: 0.7, sleep_prob: 0.5, max_sleep_us: 50 };
+        let shaken = run_simulation(SimConfig::new(4).with_perturb(perturb), m(), prog);
+        assert_eq!(base.rank_times, shaken.rank_times);
+        assert_eq!(base.outputs, shaken.outputs);
     }
 
     #[test]

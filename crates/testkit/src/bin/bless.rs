@@ -1,0 +1,18 @@
+//! Regenerate the golden-report fixtures under `crates/testkit/fixtures/`.
+//!
+//! Run after an *intentional* behavioral change, then commit the diff:
+//!
+//! ```text
+//! cargo run -p critter-testkit --bin bless
+//! ```
+//!
+//! Equivalent: `CRITTER_BLESS=1 cargo test -p critter-testkit --test
+//! golden_reports`.
+
+fn main() {
+    for tune in critter_testkit::golden_tunes() {
+        let text = tune.run().to_json_string();
+        let path = critter_testkit::golden::bless(tune.name, &text);
+        println!("blessed {}", path.display());
+    }
+}

@@ -1,0 +1,220 @@
+//! # critter-testkit
+//!
+//! Executable conformance oracles for the critter-rs stack. Where the unit
+//! tests of the individual crates check local contracts, this crate checks
+//! the *statistical* claims the paper's framework rests on, end to end
+//! against the real simulator and autotuner:
+//!
+//! * **CI coverage** (`tests/ci_coverage.rs`) — the per-kernel confidence
+//!   intervals must cover the noise model's true mean at their nominal rate;
+//! * **√k scaling** (`tests/sqrt_k_scaling.rs`) — inflating the critical-path
+//!   count `k` must cut samples-to-convergence like `1/k`;
+//! * **policy conformance** (`tests/policy_conformance.rs`) — every selective
+//!   policy must land within the ε-derived bound of the Full-policy winner,
+//!   and skip fractions must respect the paper's policy ordering;
+//! * **schedule-perturbation fuzzing** (`tests/perturbation_fuzz.rs`) —
+//!   random wall-clock yields/delays in the rank threads must leave every
+//!   report bit-identical, plus metamorphic symmetries (rank relabeling,
+//!   grid-dimension permutation) under a noise-free machine;
+//! * **golden reports** (`tests/golden_reports.rs`) — small Cholesky/QR
+//!   tunes serialized against committed JSON fixtures, regenerated with
+//!   `CRITTER_BLESS=1` or `cargo run -p critter-testkit --bin bless`.
+//!
+//! This library crate holds the shared machinery: kernel-sample collection
+//! through the real interception layer, the noise model's analytic truth,
+//! the golden-tune definitions, and the snapshot check/bless helper.
+
+#![deny(missing_docs)]
+
+use std::sync::Arc;
+
+use critter_algs::Workload;
+use critter_autotune::{Autotuner, TuningOptions, TuningReport, TuningSpace};
+use critter_core::{ComputeOp, CritterConfig, CritterEnv, ExecutionPolicy, KernelStore};
+use critter_machine::{KernelClass, MachineModel, MachineParams, NoiseParams};
+use critter_sim::{run_simulation, SimConfig};
+
+/// The probe kernel every sampling helper uses: a square GEMM tile.
+pub const PROBE_M: usize = 16;
+/// Probe tile width.
+pub const PROBE_N: usize = 16;
+/// Probe tile depth.
+pub const PROBE_K: usize = 16;
+
+/// Flop count of the probe kernel.
+pub fn probe_flops() -> f64 {
+    2.0 * (PROBE_M * PROBE_N * PROBE_K) as f64
+}
+
+/// The single-rank noisy machine the statistical oracles sample from.
+pub fn probe_machine(seed: u64) -> MachineModel {
+    MachineModel::new(MachineParams::test_machine(), NoiseParams::cluster(), 1, seed, 0)
+}
+
+/// Collect `n` measured execution times of the probe kernel by running a
+/// one-rank simulation through the full interception layer (`CritterEnv`
+/// under the Full policy): every sample passes through `RankCtx::compute`,
+/// the store's Welford accumulator, and the report plumbing — exactly the
+/// path a tuning run takes.
+pub fn sample_kernel_times(seed: u64, n: usize) -> Vec<f64> {
+    let machine = probe_machine(seed).shared();
+    let report = run_simulation(SimConfig::new(1), machine, move |ctx| {
+        let mut env = CritterEnv::new(ctx, CritterConfig::full(), KernelStore::new());
+        let samples: Vec<f64> = (0..n)
+            .map(|_| env.kernel(ComputeOp::Gemm, PROBE_M, PROBE_N, PROBE_K, probe_flops(), || {}))
+            .collect();
+        let _ = env.finish();
+        samples
+    });
+    report.outputs.into_iter().next().expect("one rank")
+}
+
+/// The analytic mean of the probe kernel's sampled time on `seed`'s machine:
+/// `base_cost · node_factor(rank 0) · E[lognormal(0, σ)]`, with
+/// `E[lognormal(0, σ)] = exp(σ²/2)`. This is the "truth" the CI-coverage
+/// oracle checks the intervals against.
+pub fn true_kernel_mean(seed: u64) -> f64 {
+    let machine = probe_machine(seed);
+    let base = machine.compute_time_exact(KernelClass::Gemm, probe_flops());
+    let node = machine.noise().node_factor(machine.topology(), 0);
+    let sigma = machine.noise().params().compute_sigma;
+    base * node * (sigma * sigma / 2.0).exp()
+}
+
+/// One golden-tune definition: a named, fully pinned tuning sweep.
+pub struct GoldenTune {
+    /// Fixture stem (`fixtures/<name>.json`).
+    pub name: &'static str,
+    /// The configuration space swept.
+    pub space: TuningSpace,
+    /// Selective policy under test.
+    pub policy: ExecutionPolicy,
+    /// Confidence tolerance ε.
+    pub epsilon: f64,
+}
+
+impl GoldenTune {
+    /// Run the sweep. Everything is pinned (test machine, cluster noise,
+    /// fixed seed, one repetition, serial schedule), so the resulting
+    /// [`TuningReport`] — and therefore its canonical JSON — is a pure
+    /// function of the codebase.
+    pub fn run(&self) -> TuningReport {
+        let mut opts = TuningOptions::new(self.policy, self.epsilon).test_machine();
+        opts.reset_between_configs = self.space.resets_between_configs();
+        let workloads: Vec<Arc<dyn Workload>> = self.space.smoke();
+        Autotuner::new(opts).tune(&workloads)
+    }
+}
+
+/// The committed golden tunes: one small Cholesky sweep and one small QR
+/// sweep, on different policies so both the local and online propagation
+/// paths are pinned.
+pub fn golden_tunes() -> Vec<GoldenTune> {
+    vec![
+        GoldenTune {
+            name: "cholesky-local-eps25",
+            space: TuningSpace::SlateCholesky,
+            policy: ExecutionPolicy::LocalPropagation,
+            epsilon: 0.25,
+        },
+        GoldenTune {
+            name: "qr-online-eps25",
+            space: TuningSpace::SlateQr,
+            policy: ExecutionPolicy::OnlinePropagation,
+            epsilon: 0.25,
+        },
+    ]
+}
+
+/// Golden-snapshot bookkeeping.
+pub mod golden {
+    use std::path::PathBuf;
+
+    /// Directory the committed fixtures live in.
+    pub fn fixtures_dir() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+    }
+
+    /// Whether the caller asked to regenerate fixtures instead of checking.
+    pub fn blessing() -> bool {
+        std::env::var("CRITTER_BLESS").map(|v| v == "1").unwrap_or(false)
+    }
+
+    /// Write `text` as the new fixture for `name`.
+    pub fn bless(name: &str, text: &str) -> PathBuf {
+        let dir = fixtures_dir();
+        std::fs::create_dir_all(&dir).expect("create fixtures dir");
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, text).expect("write fixture");
+        path
+    }
+
+    /// Compare `text` byte-for-byte against the committed fixture, or
+    /// rewrite the fixture when `CRITTER_BLESS=1`. Panics with a contextual
+    /// diff summary on mismatch.
+    pub fn check_or_bless(name: &str, text: &str) {
+        if blessing() {
+            let path = bless(name, text);
+            eprintln!("blessed {}", path.display());
+            return;
+        }
+        let path = fixtures_dir().join(format!("{name}.json"));
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden fixture {} ({e}); regenerate with \
+                 `cargo run -p critter-testkit --bin bless`",
+                path.display()
+            )
+        });
+        if committed != text {
+            let diff_line = committed
+                .lines()
+                .zip(text.lines())
+                .position(|(a, b)| a != b)
+                .map(|i| i + 1)
+                .unwrap_or_else(|| committed.lines().count().min(text.lines().count()) + 1);
+            panic!(
+                "golden report `{name}` drifted from {} (first differing line: {diff_line}).\n\
+                 If the change is intentional, regenerate fixtures with\n\
+                 `cargo run -p critter-testkit --bin bless` (or CRITTER_BLESS=1) and\n\
+                 commit the diff.",
+                path.display()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = sample_kernel_times(7, 6);
+        let b = sample_kernel_times(7, 6);
+        let c = sample_kernel_times(8, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn true_mean_tracks_the_empirical_mean() {
+        // Law-of-large-numbers sanity on the analytic truth: the empirical
+        // mean of many simulator samples converges to `true_kernel_mean`.
+        let samples = sample_kernel_times(3, 4000);
+        let emp = samples.iter().sum::<f64>() / samples.len() as f64;
+        let truth = true_kernel_mean(3);
+        let rel = (emp - truth).abs() / truth;
+        assert!(rel < 0.01, "empirical {emp} vs analytic {truth} (rel err {rel})");
+    }
+
+    #[test]
+    fn golden_tunes_are_pure_functions_of_the_code() {
+        for tune in golden_tunes() {
+            let a = tune.run().to_json_string();
+            let b = tune.run().to_json_string();
+            assert_eq!(a, b, "golden tune {} must be deterministic", tune.name);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! CI-coverage oracle (§III-A): across many independent noise seeds, the
+//! fraction of per-kernel confidence intervals that cover the noise model's
+//! *true* mean must sit in a binomial tolerance band around the nominal
+//! level 1−α.
+//!
+//! The samples are collected through the real stack — a one-rank simulation,
+//! `CritterEnv` interception, Welford statistics — and the truth is the
+//! analytic lognormal mean of the machine's noise model, so this test pins
+//! the whole chain: sampler → accumulator → Student-t critical value →
+//! interval endpoints.
+//!
+//! ## Sensitivity (the acceptance criterion)
+//!
+//! The oracle must actually be able to fail. `coverage_detects_perturbed_
+//! critical_values` documents that shrinking every interval's half-width by
+//! 10% — exactly what a 10% error in `ConfidenceLevel::critical` would do —
+//! drops the observed coverage below the tolerance band, so a regression in
+//! the t-quantile bisection, the Welford variance, or the interval assembly
+//! is caught, not absorbed.
+
+use critter_stats::{ConfidenceInterval, ConfidenceLevel, OnlineStats};
+use critter_testkit::{sample_kernel_times, true_kernel_mean};
+
+/// Samples per trial: small enough that the Student-t correction matters
+/// (dof = 11), large enough that the lognormal's skew doesn't distort
+/// nominal coverage.
+const SAMPLES_PER_TRIAL: usize = 12;
+
+/// Nominal two-sided level.
+const LEVEL: f64 = 0.95;
+
+/// Binomial tolerance band half-width for the default trial count: with
+/// T = 1500 Bernoulli(0.95) trials the standard error of the observed
+/// coverage is √(0.95·0.05/1500) ≈ 0.0056, so ±0.014 is ≈ 2.5σ — wide
+/// enough that the (deterministic) nominal run sits comfortably inside,
+/// tight enough that the 10%-perturbed run (expected coverage ≈ 0.93,
+/// ≈ 4σ below nominal) falls outside.
+const BAND: f64 = 0.014;
+
+/// Observed coverage over `trials` seeds, with every half-width scaled by
+/// `hw_scale` (1.0 = the intervals as produced; 0.9 = the intervals a 10%
+/// under-estimate of the critical value would produce).
+fn coverage(trials: u64, hw_scale: f64) -> f64 {
+    let level = ConfidenceLevel::new(LEVEL);
+    let mut covered = 0u64;
+    for t in 0..trials {
+        // Seeds are disjoint from the other oracles' (arbitrary fixed base).
+        let seed = 0xC1C0 + t;
+        let stats = OnlineStats::from_slice(&sample_kernel_times(seed, SAMPLES_PER_TRIAL));
+        let ci = ConfidenceInterval::from_stats(&stats, &level);
+        let scaled = ConfidenceInterval { mean: ci.mean, half_width: ci.half_width * hw_scale };
+        let truth = true_kernel_mean(seed);
+        if scaled.lo() <= truth && truth <= scaled.hi() {
+            covered += 1;
+        }
+    }
+    covered as f64 / trials as f64
+}
+
+#[test]
+fn coverage_matches_nominal_level() {
+    let obs = coverage(1500, 1.0);
+    assert!(
+        (obs - LEVEL).abs() <= BAND,
+        "CI coverage {obs:.4} outside nominal band {} ± {BAND}",
+        LEVEL
+    );
+}
+
+#[test]
+fn coverage_detects_perturbed_critical_values() {
+    // The same trials with every half-width cut by 10%: the oracle's
+    // tolerance band must reject this, i.e. the band is tight enough to
+    // catch a 10% error in `ConfidenceLevel::critical`.
+    let obs = coverage(1500, 0.9);
+    assert!(
+        obs < LEVEL - BAND,
+        "perturbed coverage {obs:.4} still inside the band — oracle has no teeth"
+    );
+}
+
+/// Deep mode: 6× the trials shrink the binomial noise to ≈ 0.0023 σ; the
+/// band scales down with it.
+#[test]
+#[ignore = "deep verification: run with --include-ignored"]
+fn coverage_matches_nominal_level_deep() {
+    let obs = coverage(9000, 1.0);
+    assert!((obs - LEVEL).abs() <= 0.008, "deep CI coverage {obs:.4} outside 0.95 ± 0.008");
+    let perturbed = coverage(9000, 0.9);
+    assert!(perturbed < LEVEL - 0.008, "deep perturbed coverage {perturbed:.4} not rejected");
+}

@@ -1,0 +1,149 @@
+//! Policy-conformance oracles (§IV, §VI): every selective policy must tune
+//! to a configuration whose *true* cost is within the ε-derived bound of the
+//! Full-policy winner, and the skip fractions must respect the paper's
+//! policy ordering — each propagation refinement makes the criterion easier
+//! to meet, so it can only skip more.
+//!
+//! The ε-derived bound: a selective run's critical-path estimate carries a
+//! relative error of at most ≈ ε, so the worst mis-ranking picks a
+//! configuration whose true time is within a factor `(1+ε)/(1−ε)` of the
+//! optimum — i.e. `selection_quality() ≥ (1−ε)/(1+ε)`, minus slack for the
+//! run-to-run noise the paper itself quantifies with repeated full
+//! executions.
+
+use std::sync::Arc;
+
+use critter_algs::Workload;
+use critter_autotune::{Autotuner, TuningOptions, TuningReport, TuningSpace};
+use critter_core::ExecutionPolicy;
+
+const EPSILON: f64 = 0.25;
+/// Noise slack on the ε-derived quality bound: covers the same-order
+/// run-to-run variation a full execution itself shows under cluster noise.
+const QUALITY_SLACK: f64 = 0.10;
+/// Additive tolerance on skip-fraction ordering comparisons.
+const SKIP_TOL: f64 = 0.02;
+
+fn tune(space: TuningSpace, policy: ExecutionPolicy, allocation: u64) -> TuningReport {
+    let mut opts = TuningOptions::new(policy, EPSILON).test_machine();
+    opts.reset_between_configs = space.resets_between_configs();
+    opts.allocation = allocation;
+    let workloads: Vec<Arc<dyn Workload>> = space.smoke();
+    Autotuner::new(opts).tune(&workloads)
+}
+
+/// Mean skip fraction of `policy` over two allocations.
+fn mean_skip(space: TuningSpace, policy: ExecutionPolicy) -> f64 {
+    (tune(space, policy, 0).skip_fraction() + tune(space, policy, 1).skip_fraction()) / 2.0
+}
+
+#[test]
+fn every_selective_policy_lands_within_epsilon_of_the_full_winner() {
+    let quality_bound = (1.0 - EPSILON) / (1.0 + EPSILON) - QUALITY_SLACK;
+    for space in [TuningSpace::SlateCholesky, TuningSpace::SlateQr] {
+        let reference = tune(space, ExecutionPolicy::Full, 0);
+        let full_winner_time = reference.true_times()[reference.selected()];
+        for policy in ExecutionPolicy::ALL_SELECTIVE {
+            let report = tune(space, policy, 0);
+            // Selection quality: true time of the overall optimum over true
+            // time of the configuration this policy selected.
+            let q = report.selection_quality();
+            assert!(
+                q >= quality_bound,
+                "{} on {} selected a configuration of quality {q:.3} < {quality_bound:.3}",
+                policy.name(),
+                space.name()
+            );
+            // And the selected configuration's true cost is within the
+            // ε-derived factor of the Full policy's winner.
+            let t = report.true_times()[report.selected()];
+            let bound = full_winner_time * ((1.0 + EPSILON) / (1.0 - EPSILON) + QUALITY_SLACK);
+            assert!(
+                t <= bound,
+                "{} on {} picked a config with true time {t:.6} > bound {bound:.6}",
+                policy.name(),
+                space.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn skip_fractions_respect_the_policy_ordering() {
+    for space in [TuningSpace::SlateCholesky, TuningSpace::SlateQr] {
+        // Full never skips — by definition, not by tolerance.
+        assert_eq!(tune(space, ExecutionPolicy::Full, 0).skip_fraction(), 0.0);
+
+        // §IV's refinement chain: conditional execution has no count
+        // scaling, local propagation scales by the locally observed count,
+        // online propagation adopts the (larger) critical-path count — each
+        // step meets the criterion sooner, so skips at least as much.
+        let cond = mean_skip(space, ExecutionPolicy::ConditionalExecution);
+        let local = mean_skip(space, ExecutionPolicy::LocalPropagation);
+        let online = mean_skip(space, ExecutionPolicy::OnlinePropagation);
+        assert!(
+            cond <= local + SKIP_TOL,
+            "{}: conditional ({cond:.3}) should not out-skip local ({local:.3})",
+            space.name()
+        );
+        assert!(
+            local <= online + SKIP_TOL,
+            "{}: local ({local:.3}) should not out-skip online ({online:.3})",
+            space.name()
+        );
+
+        // Every selective policy skips a sane fraction.
+        for policy in ExecutionPolicy::ALL_SELECTIVE {
+            let s = mean_skip(space, policy);
+            assert!((0.0..=1.0).contains(&s), "{} skip fraction {s} out of range", policy.name());
+        }
+    }
+}
+
+#[test]
+fn tighter_epsilon_never_increases_skipping() {
+    // ε is the knob the paper sweeps: a tighter tolerance can only make the
+    // criterion harder, so the skip fraction must not grow.
+    for &policy in &[ExecutionPolicy::LocalPropagation, ExecutionPolicy::OnlinePropagation] {
+        let skip_at = |eps: f64| {
+            let mut opts = TuningOptions::new(policy, eps).test_machine();
+            opts.reset_between_configs = true;
+            let workloads: Vec<Arc<dyn Workload>> = TuningSpace::SlateCholesky.smoke();
+            Autotuner::new(opts).tune(&workloads).skip_fraction()
+        };
+        let loose = skip_at(0.5);
+        let tight = skip_at(0.05);
+        assert!(
+            tight <= loose + SKIP_TOL,
+            "{}: skip at ε=0.05 ({tight:.3}) exceeds skip at ε=0.5 ({loose:.3})",
+            policy.name()
+        );
+    }
+}
+
+/// Deep mode: the same conformance bounds over both allocations and with
+/// repetitions, exercising the statistics-reset protocol.
+#[test]
+#[ignore = "deep verification: run with --include-ignored"]
+fn policy_conformance_deep() {
+    let quality_bound = (1.0 - EPSILON) / (1.0 + EPSILON) - QUALITY_SLACK;
+    for space in [TuningSpace::SlateCholesky, TuningSpace::SlateQr] {
+        for allocation in 0..2 {
+            for policy in ExecutionPolicy::ALL_SELECTIVE {
+                let mut opts = TuningOptions::new(policy, EPSILON).test_machine();
+                opts.reset_between_configs = space.resets_between_configs();
+                opts.allocation = allocation;
+                opts.reps = 2;
+                let workloads: Vec<Arc<dyn Workload>> = space.smoke();
+                let report = Autotuner::new(opts).tune(&workloads);
+                let q = report.selection_quality();
+                assert!(
+                    q >= quality_bound,
+                    "{} on {} alloc {allocation}: quality {q:.3} < {quality_bound:.3}",
+                    policy.name(),
+                    space.name()
+                );
+            }
+        }
+    }
+}

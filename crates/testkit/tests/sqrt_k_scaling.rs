@@ -1,0 +1,87 @@
+//! √k-scaling oracle (§III-A): a kernel appearing `k` times along the
+//! critical path has its relative criterion divided by √k, so the number of
+//! samples needed to reach a fixed tolerance ε must shrink like `1/k`.
+//!
+//! The sample streams come from the real simulator (see
+//! [`critter_testkit::sample_kernel_times`]) and convergence is decided by
+//! the production criterion `ConfidenceInterval::relative_scaled(k) ≤ ε` —
+//! the same call sites the selective policies use — so this oracle pins the
+//! interaction of the Welford accumulator, the t critical value, and the
+//! path-count scaling, not a re-derivation of it.
+//!
+//! The analytic expectation: the relative half-width after `n` samples is
+//! ≈ `2·t*·(s/x̄)/√n`, so the first `n` meeting `ε·√k` satisfies
+//! `n*(k) ≈ (2·t*·cv/ε)²/k` — quadrupling `k` should cut samples-to-
+//! convergence by ≈ 4 (modulo the discreteness of `n` and the drift of
+//! `t*(n)`).
+
+use critter_stats::{ConfidenceInterval, ConfidenceLevel, OnlineStats};
+use critter_testkit::sample_kernel_times;
+
+const EPSILON: f64 = 0.02;
+
+/// Samples-to-convergence: the smallest prefix of the stream whose
+/// path-scaled relative criterion meets ε (the paper's stopping rule).
+fn samples_to_convergence(samples: &[f64], k: u64, level: &ConfidenceLevel) -> usize {
+    let mut stats = OnlineStats::new();
+    for (i, &x) in samples.iter().enumerate() {
+        stats.push(x);
+        let ci = ConfidenceInterval::from_stats(&stats, level);
+        if ci.predictable(EPSILON, k) {
+            return i + 1;
+        }
+    }
+    panic!("criterion never met within {} samples (k = {k})", samples.len());
+}
+
+/// Mean samples-to-convergence over `seeds` independent streams.
+fn mean_convergence(seeds: std::ops::Range<u64>, k: u64) -> f64 {
+    let level = ConfidenceLevel::new(0.95);
+    let n = (seeds.end - seeds.start) as f64;
+    seeds
+        .map(|s| samples_to_convergence(&sample_kernel_times(0x5AD0 + s, 400), k, &level) as f64)
+        .sum::<f64>()
+        / n
+}
+
+#[test]
+fn path_count_cuts_samples_to_convergence_like_one_over_k() {
+    let n1 = mean_convergence(0..24, 1);
+    let n4 = mean_convergence(0..24, 4);
+    let n16 = mean_convergence(0..24, 16);
+
+    // Strict monotonicity: more path occurrences, fewer samples.
+    assert!(n1 > n4 && n4 > n16, "expected n1 > n4 > n16, got {n1} > {n4} > {n16}");
+
+    // Quantitative 1/k scaling, with slack for the discreteness of n (n16
+    // sits near the n ≥ 2 floor where t* is far above its asymptote, which
+    // biases the small-n ratios downward).
+    let r14 = n1 / n4;
+    let r416 = n4 / n16;
+    assert!((2.5..=6.0).contains(&r14), "n1/n4 = {r14} not ≈ 4 (n1 {n1}, n4 {n4})");
+    assert!((2.0..=6.0).contains(&r416), "n4/n16 = {r416} not ≈ 4 (n4 {n4}, n16 {n16})");
+}
+
+#[test]
+fn k_zero_falls_back_to_unscaled_criterion() {
+    // A kernel not on the path (k = 0) must behave exactly like k = 1: the
+    // scaling has a fall-back, not a divide-by-zero.
+    let level = ConfidenceLevel::new(0.95);
+    let samples = sample_kernel_times(0x5AD0, 400);
+    let n0 = samples_to_convergence(&samples, 0, &level);
+    let n1 = samples_to_convergence(&samples, 1, &level);
+    assert_eq!(n0, n1);
+}
+
+/// Deep mode: more streams, plus the k = 64 point of the scaling curve.
+#[test]
+#[ignore = "deep verification: run with --include-ignored"]
+fn sqrt_k_scaling_deep() {
+    let n1 = mean_convergence(0..96, 1);
+    let n4 = mean_convergence(0..96, 4);
+    let n16 = mean_convergence(0..96, 16);
+    let n64 = mean_convergence(0..96, 64);
+    assert!(n1 > n4 && n4 > n16 && n16 > n64);
+    let r = n1 / n4;
+    assert!((2.5..=6.0).contains(&r), "n1/n4 = {r}");
+}

@@ -6,9 +6,20 @@
 //! `any::<bool>()`, and the `prop_assert*` / `prop_assume!` macros.
 //!
 //! Differences from upstream: inputs are drawn from a deterministic
-//! per-test RNG (seeded from the test name), and failing cases are
-//! reported without shrinking. That trades minimal counterexamples for
-//! zero dependencies — acceptable for an offline build environment.
+//! per-case RNG (seeded from the test name and case index), and failing
+//! cases are reported without shrinking. That trades minimal
+//! counterexamples for zero dependencies — acceptable for an offline
+//! build environment.
+//!
+//! Two upstream behaviors *are* supported because the workspace's CI
+//! relies on them:
+//!
+//! * the `PROPTEST_CASES` environment variable overrides the default
+//!   case count (explicit `with_cases(n)` still pins it, as upstream);
+//! * failing case seeds persist to `proptest-regressions/<file>.txt`
+//!   under the test crate's manifest directory, and persisted seeds are
+//!   replayed before fresh cases on subsequent runs. Committing those
+//!   files makes failures replay deterministically in CI.
 
 use std::fmt::Debug;
 
@@ -42,8 +53,16 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, overridable via the `PROPTEST_CASES` environment variable
+    /// (upstream semantics: the env var changes the *default*; an explicit
+    /// `with_cases(n)` still pins the count).
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
@@ -180,6 +199,8 @@ pub mod collection {
 /// The deterministic case runner behind [`proptest!`]-generated tests.
 pub mod runner {
     use super::*;
+    use std::io::Write as _;
+    use std::path::{Path, PathBuf};
 
     fn fnv1a(s: &str) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -190,7 +211,105 @@ pub mod runner {
         h
     }
 
-    /// Run `f` on `config.cases` accepted inputs drawn from `strat`.
+    /// SplitMix64 finalizer: decorrelates sequential attempt indexes into
+    /// well-spread per-case RNG seeds.
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The RNG seed of one generated case: a pure function of the test name
+    /// and the attempt index, so a failing case is identified by its seed
+    /// alone and can be replayed from the regression file.
+    fn case_seed(base: u64, attempt: u64) -> u64 {
+        mix(base ^ attempt.wrapping_mul(0x2545_f491_4f6c_dd1d))
+    }
+
+    /// Regression-file location of a `proptest!` block, captured at the macro
+    /// call site so the file lands in the *test* crate's source tree (as
+    /// upstream: `proptest-regressions/<source file stem>.txt`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Persistence {
+        /// `env!("CARGO_MANIFEST_DIR")` of the crate defining the test.
+        pub manifest_dir: &'static str,
+        /// `file!()` of the `proptest!` invocation.
+        pub source_file: &'static str,
+    }
+
+    impl Persistence {
+        fn path(&self) -> PathBuf {
+            let stem =
+                Path::new(self.source_file).file_stem().and_then(|s| s.to_str()).unwrap_or("tests");
+            Path::new(self.manifest_dir).join("proptest-regressions").join(format!("{stem}.txt"))
+        }
+
+        /// Seeds previously persisted for `name`, oldest first.
+        fn load(&self, name: &str) -> Vec<u64> {
+            let Ok(text) = std::fs::read_to_string(self.path()) else {
+                return Vec::new();
+            };
+            text.lines()
+                .filter_map(|line| {
+                    let mut parts = line.split_whitespace();
+                    (parts.next() == Some("cc") && parts.next() == Some(name))
+                        .then(|| parts.next())
+                        .flatten()
+                        .and_then(|s| s.strip_prefix("0x"))
+                        .and_then(|s| u64::from_str_radix(s, 16).ok())
+                })
+                .collect()
+        }
+
+        /// Append the seed of a fresh failure (idempotent: already-recorded
+        /// seeds are not duplicated). Best-effort — persistence must never
+        /// mask the original test failure.
+        fn save(&self, name: &str, seed: u64) {
+            if self.load(name).contains(&seed) {
+                return;
+            }
+            let path = self.path();
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let new_file = !path.exists();
+            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+                if new_file {
+                    let _ = writeln!(
+                        f,
+                        "# Seeds for failure cases proptest has generated in the past.\n\
+                         # It is recommended to check this file in to source control so that\n\
+                         # everyone who runs the test benefits from these saved cases.\n\
+                         # Format: cc <test name> 0x<case seed>"
+                    );
+                }
+                let _ = writeln!(f, "cc {name} {seed:#018x}");
+            }
+        }
+    }
+
+    /// One attempt at the given seed. `Ok(true)` = accepted, `Ok(false)` =
+    /// rejected by `prop_assume!`; `Err` carries the failure message plus the
+    /// rendered input.
+    fn run_case<S: Strategy>(
+        seed: u64,
+        strat: &S,
+        f: &impl Fn(S::Value) -> TestCaseResult,
+    ) -> Result<bool, (String, String)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = strat.sample(&mut rng);
+        let shown = format!("{value:?}");
+        match f(value) {
+            Ok(()) => Ok(true),
+            Err(TestCaseError::Reject(_)) => Ok(false),
+            Err(TestCaseError::Fail(msg)) => Err((msg, shown)),
+        }
+    }
+
+    /// Run `f` on `config.cases` accepted inputs drawn from `strat`, without
+    /// regression persistence (direct callers; the [`crate::proptest!`] macro
+    /// uses [`run_persisted`]).
     ///
     /// Panics (failing the enclosing `#[test]`) on the first failing case,
     /// printing the generated input. Rejections (`prop_assume!`) are retried
@@ -201,7 +320,31 @@ pub mod runner {
         strat: &S,
         f: impl Fn(S::Value) -> TestCaseResult,
     ) {
-        let mut rng = StdRng::seed_from_u64(fnv1a(name));
+        run_persisted(name, None, config, strat, f);
+    }
+
+    /// [`run`], replaying any seeds persisted under `persist` first and
+    /// recording the seed of a fresh failure before panicking.
+    pub fn run_persisted<S: Strategy>(
+        name: &str,
+        persist: Option<&Persistence>,
+        config: &ProptestConfig,
+        strat: &S,
+        f: impl Fn(S::Value) -> TestCaseResult,
+    ) {
+        // Persisted failures replay before any fresh generation: a fix is
+        // validated against the exact historical counterexample.
+        if let Some(p) = persist {
+            for seed in p.load(name) {
+                if let Err((msg, shown)) = run_case(seed, strat, &f) {
+                    panic!(
+                        "proptest '{name}' failed (persisted regression {seed:#018x}): \
+                         {msg}\n    input: {shown}"
+                    );
+                }
+            }
+        }
+        let base = fnv1a(name);
         let mut accepted = 0u32;
         let mut attempts = 0u64;
         let max_attempts = (config.cases as u64).max(1) * 40;
@@ -212,12 +355,14 @@ pub mod runner {
                 "proptest '{name}': too many rejected cases ({attempts} attempts for {} accepted)",
                 accepted
             );
-            let value = strat.sample(&mut rng);
-            let shown = format!("{value:?}");
-            match f(value) {
-                Ok(()) => accepted += 1,
-                Err(TestCaseError::Reject(_)) => continue,
-                Err(TestCaseError::Fail(msg)) => {
+            let seed = case_seed(base, attempts);
+            match run_case(seed, strat, &f) {
+                Ok(true) => accepted += 1,
+                Ok(false) => continue,
+                Err((msg, shown)) => {
+                    if let Some(p) = persist {
+                        p.save(name, seed);
+                    }
                     panic!("proptest '{name}' failed: {msg}\n    input: {shown}")
                 }
             }
@@ -247,8 +392,13 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
                 let strategies = ($($strat,)*);
-                $crate::runner::run(
+                let persistence = $crate::runner::Persistence {
+                    manifest_dir: env!("CARGO_MANIFEST_DIR"),
+                    source_file: file!(),
+                };
+                $crate::runner::run_persisted(
                     stringify!($name),
+                    Some(&persistence),
                     &config,
                     &strategies,
                     |($($arg,)*)| {
@@ -364,5 +514,83 @@ mod tests {
         crate::runner::run("always_fails", &ProptestConfig::with_cases(4), &(0u64..10,), |(_x,)| {
             Err(TestCaseError::Fail("nope".into()))
         });
+    }
+
+    #[test]
+    fn with_cases_pins_count_regardless_of_env() {
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+
+    #[test]
+    fn failure_seed_persists_and_replays() {
+        let dir = std::env::temp_dir().join(format!("shim-proptest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest: &'static str = Box::leak(dir.to_str().unwrap().to_string().into_boxed_str());
+        let persist =
+            crate::runner::Persistence { manifest_dir: manifest, source_file: "tests/demo.rs" };
+
+        // A test failing on large inputs records the failing case's seed...
+        let fails_large = |(x,): (u64,)| {
+            if x >= 5 {
+                Err(TestCaseError::Fail(format!("too big: {x}")))
+            } else {
+                Ok(())
+            }
+        };
+        let first = std::panic::catch_unwind(|| {
+            crate::runner::run_persisted(
+                "persist_demo",
+                Some(&persist),
+                &ProptestConfig::with_cases(64),
+                &(0u64..10,),
+                fails_large,
+            )
+        });
+        assert!(first.is_err(), "the property must fail");
+        let file = dir.join("proptest-regressions").join("demo.txt");
+        let text = std::fs::read_to_string(&file).expect("regression file written");
+        assert!(text.lines().any(|l| l.starts_with("cc persist_demo 0x")), "{text}");
+
+        // ...and the persisted seed replays (and still fails) before any
+        // fresh generation, even with zero fresh cases requested.
+        let replay = std::panic::catch_unwind(|| {
+            crate::runner::run_persisted(
+                "persist_demo",
+                Some(&persist),
+                &ProptestConfig::with_cases(1),
+                &(0u64..10,),
+                |(x,)| {
+                    if x >= 5 {
+                        Err(TestCaseError::Fail("still too big".into()))
+                    } else {
+                        Ok(())
+                    }
+                },
+            )
+        });
+        let payload = replay.expect_err("persisted seed must replay");
+        let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("persisted regression"), "{msg}");
+
+        // A second identical failure does not duplicate the line.
+        let _ = std::panic::catch_unwind(|| {
+            crate::runner::run_persisted(
+                "persist_demo",
+                Some(&persist),
+                &ProptestConfig::with_cases(64),
+                &(0u64..10,),
+                fails_large,
+            )
+        });
+        let text2 = std::fs::read_to_string(&file).unwrap();
+        let count = text2.lines().filter(|l| l.starts_with("cc persist_demo")).count();
+        assert!(count >= 1);
+        let seeds: std::collections::HashSet<&str> = text2
+            .lines()
+            .filter(|l| l.starts_with("cc persist_demo"))
+            .filter_map(|l| l.split_whitespace().nth(2))
+            .collect();
+        assert_eq!(seeds.len(), count, "no duplicated seeds: {text2}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
