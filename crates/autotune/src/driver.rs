@@ -35,6 +35,7 @@ use std::sync::Arc;
 use critter_algs::Workload;
 use critter_core::{CritterConfig, CritterEnv, ExecutionPolicy, KernelStore, PathMetrics};
 use critter_machine::{MachineModel, MachineParams, NoiseParams};
+use critter_obs::{ObsReport, RankTrace};
 use critter_sim::{run_simulation, PerturbParams, SimConfig};
 use parking_lot::Mutex;
 
@@ -77,6 +78,11 @@ pub struct TuningOptions {
     /// results must not move — the testkit fuzzer asserts the report stays
     /// bit-identical to an unperturbed sweep.
     pub perturb: Option<PerturbParams>,
+    /// Record a structured observability trace of the sweep
+    /// ([`TuningReport::obs`]): every simulated run's per-rank events and
+    /// metrics, assembled into one globally ordered timeline. Deterministic
+    /// regardless of `workers` (see `docs/OBSERVABILITY.md`).
+    pub observe: bool,
 }
 
 impl TuningOptions {
@@ -96,6 +102,7 @@ impl TuningOptions {
             allocation: 0,
             workers: 1,
             perturb: None,
+            observe: false,
         }
     }
 
@@ -120,6 +127,12 @@ impl TuningOptions {
     /// Inject schedule perturbation into every simulated run (testing only).
     pub fn with_perturb(mut self, perturb: PerturbParams) -> Self {
         self.perturb = Some(perturb);
+        self
+    }
+
+    /// Record the sweep's observability timeline ([`TuningReport::obs`]).
+    pub fn with_observe(mut self) -> Self {
+        self.observe = true;
         self
     }
 }
@@ -170,6 +183,11 @@ pub struct TuningReport {
     pub epsilon: f64,
     /// Per-configuration results, in sweep order.
     pub configs: Vec<ConfigResult>,
+    /// Observability timeline and metrics (only with
+    /// [`TuningOptions::observe`]): one [`critter_obs::TimelineRun`] per
+    /// simulated run, ordered by run index — a pure function of run identity,
+    /// never of dispatch order.
+    pub obs: Option<ObsReport>,
 }
 
 /// The exhaustive-search autotuner.
@@ -189,7 +207,8 @@ impl Autotuner {
     }
 
     /// Execute one simulated run of `w` under `cfg`, threading the per-rank
-    /// kernel stores through the rank threads.
+    /// kernel stores through the rank threads. Returns the aggregated record
+    /// plus, when `cfg.obs` is set, the per-rank observability traces.
     fn run_once(
         &self,
         w: &dyn Workload,
@@ -197,7 +216,7 @@ impl Autotuner {
         stores: &mut Vec<KernelStore>,
         run_index: u64,
         capture_apriori: bool,
-    ) -> RunRecord {
+    ) -> (RunRecord, Option<Vec<RankTrace>>) {
         let ranks = w.ranks();
         assert_eq!(stores.len(), ranks, "store count mismatch");
         let machine = MachineModel::new(
@@ -262,7 +281,10 @@ impl Autotuner {
             rec.kernels_skipped += r.kernels_skipped;
             rec.internal_words += r.internal_words;
         }
-        rec
+        let obs = cfg
+            .obs
+            .then(|| report.outputs.into_iter().map(|r| r.obs.unwrap_or_default()).collect());
+        (rec, obs)
     }
 
     /// Tune over `workloads` (one sweep): for each configuration, a reference
@@ -280,6 +302,7 @@ impl Autotuner {
             let mut c = CritterConfig::new(policy, self.opts.epsilon);
             c.charge_internal = self.opts.charge_internal;
             c.granularity = self.opts.granularity;
+            c.obs = self.opts.observe;
             if self.opts.extrapolate {
                 c = c.with_extrapolation();
             }
@@ -289,6 +312,7 @@ impl Autotuner {
             let mut c = CritterConfig::full();
             c.charge_internal = self.opts.charge_internal;
             c.granularity = self.opts.granularity;
+            c.obs = self.opts.observe;
             c
         };
 
@@ -301,7 +325,7 @@ impl Autotuner {
         let run_index = |cfg_idx: usize, rep: usize, kind: usize| -> u64 {
             base.wrapping_add(((cfg_idx * reps + rep) * 3 + kind) as u64)
         };
-        let reference = |cfg_idx: usize, rep: usize| -> RunRecord {
+        let reference = |cfg_idx: usize, rep: usize| -> (RunRecord, Option<Vec<RankTrace>>) {
             // Fresh measurement stores: the reference must be unperturbed,
             // and it must not pollute the tuning model.
             let mut ref_stores: Vec<KernelStore> = (0..ranks).map(|_| KernelStore::new()).collect();
@@ -321,9 +345,13 @@ impl Autotuner {
         let total_refs = workloads.len() * reps;
         let n_workers = self.opts.workers.max(1).min(total_refs).min(1 + total_refs / 2);
         let parallel = self.opts.workers > 1;
-        let reference_slots: Vec<Mutex<Option<RunRecord>>> =
+        type RefOutcome = (RunRecord, Option<Vec<RankTrace>>);
+        let reference_slots: Vec<Mutex<Option<RefOutcome>>> =
             (0..total_refs).map(|_| Mutex::new(None)).collect();
         let next_ref = AtomicUsize::new(0);
+        // Every observed run's traces, keyed by run index; sorted before
+        // assembly so the timeline never reflects dispatch order.
+        let mut obs_runs: Vec<(u64, String, Vec<RankTrace>)> = Vec::new();
 
         let mut configs = std::thread::scope(|scope| {
             if parallel {
@@ -356,28 +384,50 @@ impl Autotuner {
                     let full = if parallel {
                         RunRecord::default() // backfilled after the join below
                     } else {
-                        reference(cfg_idx, rep)
+                        let (full, full_obs) = reference(cfg_idx, rep);
+                        if let Some(tr) = full_obs {
+                            obs_runs.push((
+                                run_index(cfg_idx, rep, 0),
+                                format!("{}/rep{}/full", result.name, rep),
+                                tr,
+                            ));
+                        }
+                        full
                     };
                     // A-priori propagation: offline iteration on the tuning
                     // stores to capture critical-path counts.
                     if policy.needs_offline_pass() {
-                        let offline = self.run_once(
+                        let (offline, offline_obs) = self.run_once(
                             w.as_ref(),
                             &full_cfg,
                             &mut stores,
                             run_index(cfg_idx, rep, 1),
                             true,
                         );
+                        if let Some(tr) = offline_obs {
+                            obs_runs.push((
+                                run_index(cfg_idx, rep, 1),
+                                format!("{}/rep{}/offline", result.name, rep),
+                                tr,
+                            ));
+                        }
                         result.offline.push(offline);
                     }
                     // The selectively-executed tuning run.
-                    let tuned = self.run_once(
+                    let (tuned, tuned_obs) = self.run_once(
                         w.as_ref(),
                         &tuned_cfg,
                         &mut stores,
                         run_index(cfg_idx, rep, 2),
                         false,
                     );
+                    if let Some(tr) = tuned_obs {
+                        obs_runs.push((
+                            run_index(cfg_idx, rep, 2),
+                            format!("{}/rep{}/tuned", result.name, rep),
+                            tr,
+                        ));
+                    }
                     result.pairs.push((full, tuned));
                 }
                 configs.push(result);
@@ -388,14 +438,34 @@ impl Autotuner {
         if parallel {
             for (cfg_idx, result) in configs.iter_mut().enumerate() {
                 for rep in 0..reps {
-                    result.pairs[rep].0 = reference_slots[cfg_idx * reps + rep]
+                    let (full, full_obs) = reference_slots[cfg_idx * reps + rep]
                         .lock()
                         .take()
                         .expect("reference run completed");
+                    if let Some(tr) = full_obs {
+                        obs_runs.push((
+                            run_index(cfg_idx, rep, 0),
+                            format!("{}/rep{}/full", result.name, rep),
+                            tr,
+                        ));
+                    }
+                    result.pairs[rep].0 = full;
                 }
             }
         }
-        TuningReport { policy, epsilon: self.opts.epsilon, configs }
+        let obs = self.opts.observe.then(|| {
+            // Sorting by run index makes the timeline a pure function of the
+            // sweep's identity: serial and parallel schedules (which discover
+            // the reference runs in different orders) assemble byte-identical
+            // reports.
+            obs_runs.sort_by_key(|&(id, _, _)| id);
+            let mut report = ObsReport::new();
+            for (id, label, ranks) in obs_runs {
+                report.add_run(id, label, ranks);
+            }
+            report
+        });
+        TuningReport { policy, epsilon: self.opts.epsilon, configs, obs }
     }
 }
 

@@ -45,13 +45,24 @@ impl ConfigResult {
 
 impl TuningReport {
     /// Canonical JSON rendering of the whole sweep.
+    ///
+    /// When the sweep was observed ([`crate::TuningOptions::observe`]) the
+    /// aggregated metrics registry rides along under `obs_metrics`;
+    /// unobserved sweeps serialize exactly as before, which keeps the
+    /// golden-report fixtures stable.
     pub fn to_json(&self) -> Value {
         let configs: Vec<Value> = self.configs.iter().map(ConfigResult::to_json).collect();
-        serde_json::json!({
+        let mut v = serde_json::json!({
             "configs": configs,
             "epsilon": self.epsilon,
             "policy": self.policy.name(),
-        })
+        });
+        if let Some(obs) = &self.obs {
+            if let Value::Object(m) = &mut v {
+                m.insert("obs_metrics".into(), obs.metrics.to_json());
+            }
+        }
+        v
     }
 
     /// The canonical pretty-printed snapshot text (trailing newline included).
@@ -78,6 +89,7 @@ mod tests {
                 pairs: vec![(rec.clone(), rec.clone())],
                 offline: vec![],
             }],
+            obs: None,
         };
         assert_eq!(report.to_json_string(), report.clone().to_json_string());
         let text = report.to_json_string();

@@ -178,6 +178,7 @@ mod tests {
                     offline: vec![record(8.0, 0.0)],
                 },
             ],
+            obs: None,
         }
     }
 

@@ -51,7 +51,9 @@ fn eight_config_space() -> Vec<Arc<dyn Workload>> {
         .collect()
 }
 
-/// One sweep, serial schedule vs pipelined reference runs.
+/// One sweep, serial schedule vs pipelined reference runs. With
+/// `--trace-out`/`--metrics-out`, the schedule-agreement check additionally
+/// runs observed and exports the sweep's timeline artifacts.
 fn bench_pipelined_tune() {
     let workloads = eight_config_space();
     let tune = |workers: usize| {
@@ -63,6 +65,7 @@ fn bench_pipelined_tune() {
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let workers = threads.max(2);
     assert_eq!(tune(1), tune(workers), "schedules must agree bit for bit");
+    export_observed_sweep(&workloads, workers);
     let serial = bench("tune_8cfg_slate_chol", "workers=1", 5, || {
         black_box(tune(1).speedup());
     });
@@ -102,6 +105,45 @@ fn bench_sweep_level_parallelism() {
         "sweep8_slate_chol sweep-level speedup: {:.2}x on {cores} core(s)",
         speedup(serial, parallel)
     );
+}
+
+/// Honor `--trace-out FILE` / `--metrics-out FILE` (as in the figure
+/// binaries): rerun the 8-configuration sweep observed, serial and pipelined,
+/// assert the timelines agree byte for byte, and write the artifacts.
+fn export_observed_sweep(workloads: &[Arc<dyn Workload>], workers: usize) {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| args.get(i + 1).unwrap_or_else(|| panic!("{name} FILE")).clone())
+    };
+    let (trace_out, metrics_out) = (flag("--trace-out"), flag("--metrics-out"));
+    if trace_out.is_none() && metrics_out.is_none() {
+        return;
+    }
+    let tune = |workers: usize| {
+        let opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, 1.0)
+            .test_machine()
+            .with_workers(workers)
+            .with_observe();
+        Autotuner::new(opts).tune(workloads)
+    };
+    let obs = tune(workers).obs.expect("observed sweep");
+    let chrome = obs.timeline.to_chrome_string();
+    let serial = tune(1).obs.expect("observed sweep");
+    assert_eq!(
+        chrome,
+        serial.timeline.to_chrome_string(),
+        "observed timelines must agree byte for byte across schedules"
+    );
+    if let Some(path) = trace_out {
+        std::fs::write(&path, chrome).expect("write trace");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, obs.metrics_string()).expect("write metrics");
+        eprintln!("wrote {path}");
+    }
 }
 
 fn main() {

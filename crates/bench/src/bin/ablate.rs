@@ -11,31 +11,58 @@
 //! Run all: `cargo run -p critter-bench --bin ablate --release`. Each
 //! ablation's tuning sweeps are independent and deterministic, so they fan
 //! out over `--jobs` threads; rows are emitted in the serial order.
+//!
+//! With `--trace-out`/`--folded-out`/`--metrics-out`, every tuning sweep is
+//! observed and the per-ablation timelines are stitched (in the fixed serial
+//! order, never the dispatch order) into one combined artifact.
 
 use critter_algs::slate_chol::SlateCholesky;
 use critter_algs::Workload;
 use critter_autotune::{Autotuner, TuningOptions, TuningSpace};
-use critter_bench::{f, parallel_map, FigOpts, Table};
+use critter_bench::{emit_obs, f, parallel_map, FigOpts, Table};
 use critter_core::signature::SizeGranularity;
 use critter_core::ExecutionPolicy;
 use critter_core::{CritterConfig, CritterEnv, KernelStore};
 use critter_machine::{MachineModel, NoiseParams};
+use critter_obs::ObsReport;
 use critter_sim::{run_simulation, SimConfig};
 
 fn main() {
     let opts = FigOpts::from_args();
-    noise_ablation(&opts);
-    overhead_ablation(&opts);
-    granularity_ablation(&opts);
-    count_scaling_ablation(&opts);
+    let mut obs = opts.observe().then(ObsReport::new);
+    noise_ablation(&opts, &mut obs);
+    overhead_ablation(&opts, &mut obs);
+    granularity_ablation(&opts, &mut obs);
+    count_scaling_ablation(&opts, &mut obs);
     p2p_semantics_ablation(&opts);
-    extrapolation_ablation(&opts);
+    extrapolation_ablation(&opts, &mut obs);
+    if let Some(obs) = &obs {
+        emit_obs(&opts, obs);
+    }
 }
 
 fn base(policy: ExecutionPolicy, eps: f64, space: TuningSpace) -> TuningOptions {
     let mut o = TuningOptions::new(policy, eps);
     o.reset_between_configs = space.resets_between_configs();
     o
+}
+
+/// Fold each sweep's timeline into the combined ablation report, prefixing
+/// run labels with the ablation variant. Reports arrive in the serial spec
+/// order (`parallel_map` preserves input order), keeping the combined
+/// artifact schedule-independent.
+fn absorb_obs(
+    obs: &mut Option<ObsReport>,
+    reports: Vec<critter_autotune::TuningReport>,
+    prefixes: impl IntoIterator<Item = String>,
+) {
+    if let Some(combined) = obs {
+        for (report, prefix) in reports.into_iter().zip(prefixes) {
+            if let Some(o) = report.obs {
+                combined.absorb(o, &prefix);
+            }
+        }
+    }
 }
 
 /// Split the job budget between `n` concurrent sweeps and each sweep's
@@ -46,7 +73,7 @@ fn pipeline_workers(jobs: usize, n: usize) -> usize {
 
 /// Speedup/error vs noise amplitude: selective execution should skip less (and
 /// err more) on noisier machines for a fixed ε.
-fn noise_ablation(opts: &FigOpts) {
+fn noise_ablation(opts: &FigOpts, obs: &mut Option<ObsReport>) {
     let space = TuningSpace::SlateCholesky;
     let ws = space.bench();
     let mut t = Table::new("ablate-noise", &["noise_scale", "speedup", "mean_err", "skip_frac"]);
@@ -55,16 +82,18 @@ fn noise_ablation(opts: &FigOpts) {
         let mut o = base(ExecutionPolicy::OnlinePropagation, 0.25, space);
         o.noise = NoiseParams::cluster().scaled(scale);
         o.workers = pipeline_workers(opts.jobs, scales.len());
+        o.observe = opts.observe();
         Autotuner::new(o).tune(&ws)
     });
     for (&scale, r) in scales.iter().zip(&reports) {
         t.row(vec![f(scale), f(r.speedup()), f(r.mean_error()), f(r.skip_fraction())]);
     }
     t.emit(&opts.out_dir);
+    absorb_obs(obs, reports, scales.iter().map(|&s| format!("noise/{s}")));
 }
 
 /// Charged vs free internal messages: the gap is Critter's modeled overhead.
-fn overhead_ablation(opts: &FigOpts) {
+fn overhead_ablation(opts: &FigOpts, obs: &mut Option<ObsReport>) {
     let mut t =
         Table::new("ablate-overhead", &["space", "charged", "tuning_time", "full_time", "speedup"]);
     let specs: Vec<(TuningSpace, bool)> = [TuningSpace::CapitalCholesky, TuningSpace::CandmcQr]
@@ -75,6 +104,7 @@ fn overhead_ablation(opts: &FigOpts) {
         let mut o = base(ExecutionPolicy::ConditionalExecution, 0.25, space);
         o.charge_internal = charged;
         o.workers = pipeline_workers(opts.jobs, specs.len());
+        o.observe = opts.observe();
         Autotuner::new(o).tune(&space.bench())
     });
     for (&(space, charged), r) in specs.iter().zip(&reports) {
@@ -87,11 +117,16 @@ fn overhead_ablation(opts: &FigOpts) {
         ]);
     }
     t.emit(&opts.out_dir);
+    absorb_obs(
+        obs,
+        reports,
+        specs.iter().map(|&(space, charged)| format!("overhead/{}/{charged}", space.name())),
+    );
 }
 
 /// Exact vs log2-bucketed communication signatures: coarser pooling converges
 /// faster but mixes distinct message behaviors (more error).
-fn granularity_ablation(opts: &FigOpts) {
+fn granularity_ablation(opts: &FigOpts, obs: &mut Option<ObsReport>) {
     let space = TuningSpace::CandmcQr;
     let ws = space.bench();
     let mut t = Table::new(
@@ -103,6 +138,7 @@ fn granularity_ablation(opts: &FigOpts) {
         let mut o = base(ExecutionPolicy::OnlinePropagation, 0.25, space);
         o.granularity = gran;
         o.workers = pipeline_workers(opts.jobs, specs.len());
+        o.observe = opts.observe();
         Autotuner::new(o).tune(&ws)
     });
     for (&(_, label), r) in specs.iter().zip(&reports) {
@@ -120,11 +156,12 @@ fn granularity_ablation(opts: &FigOpts) {
         ]);
     }
     t.emit(&opts.out_dir);
+    absorb_obs(obs, reports, specs.iter().map(|&(_, label)| format!("granularity/{label}")));
 }
 
 /// Conditional (k = 1) vs online (√k scaling): the paper's §III-A claim that
 /// path counts cut the samples needed for a fixed tolerance.
-fn count_scaling_ablation(opts: &FigOpts) {
+fn count_scaling_ablation(opts: &FigOpts, obs: &mut Option<ObsReport>) {
     let space = TuningSpace::SlateCholesky;
     let ws = space.bench();
     let mut t = Table::new(
@@ -141,6 +178,7 @@ fn count_scaling_ablation(opts: &FigOpts) {
     let reports = parallel_map(&specs, opts.jobs, |&(eps, policy)| {
         let mut o = base(policy, eps, space);
         o.workers = pipeline_workers(opts.jobs, specs.len());
+        o.observe = opts.observe();
         Autotuner::new(o).tune(&ws)
     });
     for (&(eps, policy), r) in specs.iter().zip(&reports) {
@@ -158,6 +196,11 @@ fn count_scaling_ablation(opts: &FigOpts) {
         ]);
     }
     t.emit(&opts.out_dir);
+    absorb_obs(
+        obs,
+        reports,
+        specs.iter().map(|&(eps, policy)| format!("count-scaling/{}/{eps}", policy.name())),
+    );
 }
 
 /// Eager vs rendezvous point-to-point time semantics (DESIGN.md §4.1): run
@@ -192,7 +235,7 @@ fn p2p_semantics_ablation(opts: &FigOpts) {
 /// The §VIII extension on the workload the paper names as its beneficiary:
 /// CANDMC QR's gradually shrinking trailing matrix yields many under-sampled
 /// signatures; per-family line fits let them be skipped.
-fn extrapolation_ablation(opts: &FigOpts) {
+fn extrapolation_ablation(opts: &FigOpts, obs: &mut Option<ObsReport>) {
     let space = TuningSpace::CandmcQr;
     let ws = space.bench();
     let mut t = Table::new(
@@ -205,6 +248,7 @@ fn extrapolation_ablation(opts: &FigOpts) {
         let mut o = base(ExecutionPolicy::OnlinePropagation, eps, space);
         o.extrapolate = extrapolate;
         o.workers = pipeline_workers(opts.jobs, specs.len());
+        o.observe = opts.observe();
         Autotuner::new(o).tune(&ws)
     });
     for (&(eps, extrapolate), r) in specs.iter().zip(&reports) {
@@ -217,4 +261,9 @@ fn extrapolation_ablation(opts: &FigOpts) {
         ]);
     }
     t.emit(&opts.out_dir);
+    absorb_obs(
+        obs,
+        reports,
+        specs.iter().map(|&(eps, extrapolate)| format!("extrapolation/{extrapolate}/{eps}")),
+    );
 }

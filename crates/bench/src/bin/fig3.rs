@@ -1,101 +1,8 @@
-//! Figure 3 (panels a–l): per-configuration critical-path costs for the four
-//! workloads — BSP communication vs synchronization (a–d), BSP computation vs
-//! synchronization (e–h), and critical-path execution time (i–l) — measured
-//! on full executions, with the analytic BSP models of `critter-bsp` printed
-//! alongside for the two algorithms the paper gives closed forms for.
+//! Figure 3 entry point; the implementation lives in `critter_bench::fig3`
+//! so the testkit's trace-determinism oracle can drive the same pipeline.
 
-use critter_autotune::TuningSpace;
-use critter_bench::{f, parallel_map, sweep, write_json, FigOpts, Table};
-use critter_core::ExecutionPolicy;
+use critter_bench::{fig3, FigOpts};
 
 fn main() {
-    let opts = FigOpts::from_args();
-    let mut summary = serde_json::Map::new();
-    // One full-execution pass per configuration measures the schedule's
-    // critical-path costs (Fig. 3 is produced from full executions). The
-    // four spaces are independent: sweep them concurrently, splitting the
-    // job budget between space-level fan-out and each sweep's own
-    // reference-run pipeline.
-    let spaces: Vec<TuningSpace> = TuningSpace::PAPER.to_vec();
-    let workers = 1 + opts.jobs / spaces.len().max(1);
-    let reports = parallel_map(&spaces, opts.jobs, |&space| {
-        sweep(space, ExecutionPolicy::Full, 0.0, opts.reps, 0, workers)
-    });
-    for (&space, report) in spaces.iter().zip(&reports) {
-        let mut table = Table::new(
-            &format!("fig3-{}", space.name()),
-            &[
-                "v",
-                "config",
-                "syncs(S)",
-                "words(W)",
-                "flops(F)",
-                "comp_time",
-                "comm_time",
-                "exec_time",
-                "bsp_S",
-                "bsp_W",
-                "bsp_F",
-            ],
-        );
-        let mut rows_json = Vec::new();
-        for (v, cfg) in report.configs.iter().enumerate() {
-            let (full, _) = &cfg.pairs[0];
-            let bsp = analytic(space, v);
-            let (bs, bw, bf) =
-                bsp.map(|b| (f(b.supersteps), f(b.words), f(b.flops))).unwrap_or_default();
-            table.row(vec![
-                v.to_string(),
-                cfg.name.clone(),
-                f(full.path.syncs),
-                f(full.path.comm_words),
-                f(full.path.flops),
-                f(full.path.comp_time),
-                f(full.path.comm_time),
-                f(full.elapsed),
-                bs,
-                bw,
-                bf,
-            ]);
-            rows_json.push(serde_json::json!({
-                "v": v,
-                "config": cfg.name,
-                "syncs": full.path.syncs,
-                "words": full.path.comm_words,
-                "flops": full.path.flops,
-                "exec_time": full.elapsed,
-            }));
-        }
-        table.emit(&opts.out_dir);
-        summary.insert(space.name().to_string(), serde_json::Value::Array(rows_json));
-    }
-    write_json(&opts.out_dir, "fig3", &serde_json::Value::Object(summary));
-}
-
-/// Analytic BSP cost of configuration `v`, where the paper provides a model.
-fn analytic(space: TuningSpace, v: usize) -> Option<critter_bsp::BspCost> {
-    match space {
-        TuningSpace::CapitalCholesky => Some(critter_bsp::capital_cholesky(512, 64, 16 << (v % 5))),
-        TuningSpace::CandmcQr => {
-            let pr = 4 << (v / 5);
-            let pc = 16 / pr;
-            let (m, n) = (512, 128);
-            let mut b = 2 << (v % 5);
-            while b > 1 && (m % (b * pr) != 0 || n % (b * pc) != 0) {
-                b /= 2;
-            }
-            Some(critter_bsp::candmc_qr(m, n, pr, pc, b))
-        }
-        TuningSpace::SlateCholesky => {
-            Some(critter_bsp::slate_cholesky(384, 4, 4, 16 + 8 * (v / 2), v % 2))
-        }
-        TuningSpace::SlateQr => {
-            let nb = 8 + 4 * ((v / 3) % 7);
-            let w = (2 << (v % 3)).min(nb);
-            let pr: usize = (4 / (1 << (v / 21))).max(1);
-            let pc = 16 / pr;
-            Some(critter_bsp::slate_qr(512, 64, pr, pc, nb, w))
-        }
-        _ => None, // extension spaces have no paper-provided closed form
-    }
+    fig3::run(&FigOpts::from_args());
 }

@@ -2,7 +2,7 @@
 //! access, so Criterion is not available offline).
 //!
 //! Each bench target is a plain `harness = false` binary that times closures
-//! with [`bench`] and prints one aligned line per case: minimum, median, and
+//! with [`fn@bench`] and prints one aligned line per case: minimum, median, and
 //! iteration count. The minimum is the headline number — for a deterministic
 //! CPU-bound workload it is the least noisy location statistic.
 

@@ -15,6 +15,7 @@
 //! `results/` so EXPERIMENTS.md's paper-vs-measured entries can be refreshed
 //! mechanically. Pass `--quick` for a reduced ε grid.
 
+pub mod fig3;
 pub mod harness;
 pub mod plot;
 
@@ -26,6 +27,7 @@ use std::sync::Mutex;
 
 use critter_autotune::{Autotuner, TuningOptions, TuningReport, TuningSpace};
 use critter_core::ExecutionPolicy;
+use critter_obs::ObsReport;
 
 /// Command-line options shared by the figure binaries.
 #[derive(Debug, Clone)]
@@ -42,6 +44,14 @@ pub struct FigOpts {
     /// are deterministic per (policy, ε, allocation), so the artifacts are
     /// identical at any job count.
     pub jobs: usize,
+    /// Write a Chrome/Perfetto trace-event JSON of every simulated run here
+    /// (`--trace-out`). Byte-identical at any `--jobs` level.
+    pub trace_out: Option<PathBuf>,
+    /// Write a folded-stack flamegraph file here (`--folded-out`).
+    pub folded_out: Option<PathBuf>,
+    /// Write the aggregated metrics registry (canonical JSON) here
+    /// (`--metrics-out`).
+    pub metrics_out: Option<PathBuf>,
 }
 
 /// Default sweep-level job count: the host's cores, capped at 8.
@@ -51,7 +61,8 @@ pub fn default_jobs() -> usize {
 
 impl FigOpts {
     /// Parse from `std::env::args` (flags: `--quick`, `--allocations N`,
-    /// `--reps N`, `--out DIR`, `--jobs N`).
+    /// `--reps N`, `--out DIR`, `--jobs N`, `--trace-out FILE`,
+    /// `--folded-out FILE`, `--metrics-out FILE`).
     pub fn from_args() -> Self {
         let mut opts = FigOpts {
             quick: false,
@@ -59,6 +70,9 @@ impl FigOpts {
             reps: 1,
             out_dir: PathBuf::from("results"),
             jobs: default_jobs(),
+            trace_out: None,
+            folded_out: None,
+            metrics_out: None,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -81,6 +95,18 @@ impl FigOpts {
                     i += 1;
                     opts.jobs = args[i].parse::<usize>().expect("--jobs N").max(1);
                 }
+                "--trace-out" => {
+                    i += 1;
+                    opts.trace_out = Some(PathBuf::from(&args[i]));
+                }
+                "--folded-out" => {
+                    i += 1;
+                    opts.folded_out = Some(PathBuf::from(&args[i]));
+                }
+                "--metrics-out" => {
+                    i += 1;
+                    opts.metrics_out = Some(PathBuf::from(&args[i]));
+                }
                 other => panic!("unknown flag {other}"),
             }
             i += 1;
@@ -97,6 +123,36 @@ impl FigOpts {
             (0..=8).map(|k| 1.0 / (1u64 << k) as f64).collect()
         }
     }
+
+    /// Whether any observability export was requested.
+    pub fn observe(&self) -> bool {
+        self.trace_out.is_some() || self.folded_out.is_some() || self.metrics_out.is_some()
+    }
+}
+
+/// Write the requested observability artifacts (Chrome trace, folded stacks,
+/// metrics JSON) for an assembled [`ObsReport`]. Creates parent directories
+/// as needed; paths come from `--trace-out` / `--folded-out` /
+/// `--metrics-out`.
+pub fn emit_obs(opts: &FigOpts, obs: &ObsReport) {
+    let write = |path: &Path, text: String| {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).expect("create trace output dir");
+            }
+        }
+        fs::write(path, text).expect("write observability artifact");
+        eprintln!("wrote {}", path.display());
+    };
+    if let Some(path) = &opts.trace_out {
+        write(path, obs.timeline.to_chrome_string());
+    }
+    if let Some(path) = &opts.folded_out {
+        write(path, obs.timeline.to_folded());
+    }
+    if let Some(path) = &opts.metrics_out {
+        write(path, obs.metrics_string());
+    }
 }
 
 /// Run one `(space, policy, ε, allocation)` tuning sweep with the paper's
@@ -110,11 +166,31 @@ pub fn sweep(
     allocation: u64,
     workers: usize,
 ) -> TuningReport {
+    sweep_with(space, policy, epsilon, reps, allocation, workers, false, false)
+}
+
+/// [`sweep`] with the observability and configuration-space knobs exposed:
+/// `observe` records the sweep's trace/metrics timeline into
+/// [`TuningReport::obs`]; `smoke` tunes over the space's reduced smoke-test
+/// configurations instead of the full benchmark grid.
+#[allow(clippy::too_many_arguments)] // a flat sweep-spec, mirroring `sweep`
+pub fn sweep_with(
+    space: TuningSpace,
+    policy: ExecutionPolicy,
+    epsilon: f64,
+    reps: usize,
+    allocation: u64,
+    workers: usize,
+    observe: bool,
+    smoke: bool,
+) -> TuningReport {
     let mut opts = TuningOptions::new(policy, epsilon).with_workers(workers);
     opts.reset_between_configs = space.resets_between_configs();
     opts.reps = reps;
     opts.allocation = allocation;
-    Autotuner::new(opts).tune(&space.bench())
+    opts.observe = observe;
+    let workloads = if smoke { space.smoke() } else { space.bench() };
+    Autotuner::new(opts).tune(&workloads)
 }
 
 /// Map `f` over `items` on up to `jobs` threads, preserving input order in
@@ -368,7 +444,16 @@ mod tests {
 
     #[test]
     fn epsilon_grids() {
-        let quick = FigOpts { quick: true, allocations: 1, reps: 1, out_dir: "x".into(), jobs: 1 };
+        let quick = FigOpts {
+            quick: true,
+            allocations: 1,
+            reps: 1,
+            out_dir: "x".into(),
+            jobs: 1,
+            trace_out: None,
+            folded_out: None,
+            metrics_out: None,
+        };
         assert_eq!(quick.epsilons().len(), 3);
         let full = FigOpts { quick: false, ..quick };
         assert_eq!(full.epsilons().len(), 9);

@@ -21,6 +21,7 @@
 //! under [`ExecutionPolicy::Full`].
 
 use critter_machine::CommOp;
+use critter_obs::{Event, EventKind, RankRecorder, TraceSink};
 use critter_sim::{Communicator, RankCtx, ReduceOp, Request};
 
 use crate::channels::ChannelRegistry;
@@ -64,6 +65,10 @@ pub struct CritterEnv<'a> {
     exec_time: f64,
     metrics: PathMetrics,
     report: CritterReport,
+    /// Structured observability recorder (`cfg.obs`): events stamped with
+    /// the virtual clock plus the rank's metrics registry. `None` keeps the
+    /// recording entirely out of the hot path.
+    obs: Option<RankRecorder>,
 }
 
 impl<'a> CritterEnv<'a> {
@@ -72,6 +77,7 @@ impl<'a> CritterEnv<'a> {
     pub fn new(ctx: &'a mut RankCtx, cfg: CritterConfig, store: KernelStore) -> Self {
         let registry = ChannelRegistry::new(ctx.size());
         let level = cfg.level();
+        let obs = cfg.obs.then(|| RankRecorder::new(ctx.rank()));
         CritterEnv {
             ctx,
             cfg,
@@ -81,6 +87,7 @@ impl<'a> CritterEnv<'a> {
             exec_time: 0.0,
             metrics: PathMetrics::default(),
             report: CritterReport::default(),
+            obs,
         }
     }
 
@@ -118,6 +125,35 @@ impl<'a> CritterEnv<'a> {
     /// Current predicted critical-path execution time.
     pub fn exec_time(&self) -> f64 {
         self.exec_time
+    }
+
+    // ------------------------------------------------------------------
+    // Observability recording (cfg.obs)
+    // ------------------------------------------------------------------
+
+    /// Whether the structured observability recorder is active. Call sites
+    /// guard on this before building event labels, keeping the obs-off hot
+    /// path free of allocation.
+    fn observing(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    fn obs_event(&mut self, kind: EventKind, label: String, start: f64, dur: f64, arg: f64) {
+        if let Some(rec) = &mut self.obs {
+            rec.record(Event { kind, label, start, dur, arg });
+        }
+    }
+
+    fn obs_count(&mut self, name: &str, by: u64) {
+        if let Some(rec) = &mut self.obs {
+            rec.metrics_mut().incr(name, by);
+        }
+    }
+
+    fn obs_observe(&mut self, name: &str, x: f64) {
+        if let Some(rec) = &mut self.obs {
+            rec.metrics_mut().observe(name, x);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -159,7 +195,15 @@ impl<'a> CritterEnv<'a> {
             return true;
         }
         let ci = m.interval(level);
-        !ci.predictable(epsilon, k)
+        let predictable = ci.predictable(epsilon, k);
+        if self.observing() {
+            let rel = ci.relative_scaled(k);
+            let now = self.ctx.now();
+            self.obs_observe("ci_rel_width", rel);
+            self.obs_count(if predictable { "decisions_skip" } else { "decisions_execute" }, 1);
+            self.obs_event(EventKind::Decision, sig.label(), now, 0.0, rel);
+        }
+        !predictable
     }
 
     fn model_mean(&self, key: u64) -> f64 {
@@ -247,6 +291,12 @@ impl<'a> CritterEnv<'a> {
     /// metric maxima, eager statistics aggregation.
     fn absorb(&mut self, merged: &InternalMsg, comm_meta: Option<&critter_sim::ChannelMeta>) {
         if merged.exec_time > self.exec_time {
+            if self.observing() {
+                let delta = merged.exec_time - self.exec_time;
+                let now = self.ctx.now();
+                self.obs_count("path_adoptions", 1);
+                self.obs_event(EventKind::PathAdopt, "path_adopt".to_string(), now, 0.0, delta);
+            }
             if self.cfg.policy.adopts_remote_path() {
                 self.store.adopt_path(merged.path.iter().copied());
             }
@@ -353,6 +403,16 @@ impl<'a> CritterEnv<'a> {
                 is_comm: false,
             });
         }
+        if self.observing() {
+            let end = self.ctx.now();
+            let (kind, counter) = if execute {
+                (EventKind::KernelExec, "samples_taken")
+            } else {
+                (EventKind::KernelSkip, "samples_skipped")
+            };
+            self.obs_count(counter, 1);
+            self.obs_event(kind, sig.label(), start, end - start, charged);
+        }
         charged
     }
 
@@ -400,6 +460,7 @@ impl<'a> CritterEnv<'a> {
         let payload = msg.encode();
         self.report.internal_words += payload.len() as u64;
         let charge = self.internal_charge(payload.len());
+        let t0 = self.ctx.now();
         let (merged_raw, internal_cost) =
             self.ctx.allreduce_custom_timed(comm, payload, combine_internal, charge);
         let merged = InternalMsg::decode(&merged_raw);
@@ -409,6 +470,11 @@ impl<'a> CritterEnv<'a> {
         self.exec_time += internal_cost;
         self.metrics.syncs += 1.0;
         self.metrics.comm_words += words as f64;
+        if self.observing() {
+            let now = self.ctx.now();
+            self.obs_count(&format!("propagate[{}]", meta.label()), 1);
+            self.obs_event(EventKind::Propagate, sig.label(), t0, now - t0, internal_cost);
+        }
         (sig, merged.vote, extrapolated)
     }
 
@@ -438,6 +504,11 @@ impl<'a> CritterEnv<'a> {
                 is_comm: true,
             });
         }
+        if self.observing() {
+            let now = self.ctx.now();
+            self.obs_count("samples_taken", 1);
+            self.obs_event(EventKind::CommExec, sig.label(), now - t, t, t);
+        }
     }
 
     fn post_skipped_comm(&mut self, sig: &KernelSig) {
@@ -461,6 +532,11 @@ impl<'a> CritterEnv<'a> {
                 executed: false,
                 is_comm: true,
             });
+        }
+        if self.observing() {
+            let now = self.ctx.now();
+            self.obs_count("samples_skipped", 1);
+            self.obs_event(EventKind::CommSkip, sig.label(), now, 0.0, mean);
         }
     }
 
@@ -626,6 +702,13 @@ impl<'a> CritterEnv<'a> {
         let new = self.ctx.split(comm, color, key);
         if let Some(c) = &new {
             self.registry.register(c.meta());
+            if self.observing() {
+                let label = c.meta().label();
+                let size = c.size() as f64;
+                let now = self.ctx.now();
+                self.obs_count("channels_registered", 1);
+                self.obs_event(EventKind::Channel, label, now, 0.0, size);
+            }
         }
         new
     }
@@ -652,15 +735,22 @@ impl<'a> CritterEnv<'a> {
         let payload = msg.encode();
         self.report.internal_words += payload.len() as u64;
         let cost = self.internal_p2p_cost(payload.len());
+        let t0 = self.ctx.now();
         let ireq = self.ctx.isend_with_cost(comm, dst, tag + TAG_S2R, payload, cost);
         let reply_raw = self.ctx.recv(comm, dst, tag + TAG_R2S);
         self.ctx.wait(ireq);
         let reply_len = reply_raw.len();
         let merged = msg.combine(&InternalMsg::decode(&reply_raw));
         self.absorb(&merged, None);
-        self.exec_time += self.internal_p2p_time(reply_len);
+        let internal_time = self.internal_p2p_time(reply_len);
+        self.exec_time += internal_time;
         self.metrics.syncs += 1.0;
         self.metrics.comm_words += data.len() as f64;
+        if self.observing() {
+            let now = self.ctx.now();
+            self.obs_count("propagate[p2p]", 1);
+            self.obs_event(EventKind::Propagate, sig.label(), t0, now - t0, internal_time);
+        }
         if merged.vote {
             let t0 = self.ctx.now();
             self.ctx.send(comm, dst, tag, data);
@@ -679,6 +769,7 @@ impl<'a> CritterEnv<'a> {
         let sig = self.p2p_sig(comm, src, words);
         self.store.schedule(&sig);
         let vote = self.want_execute(&sig);
+        let t0 = self.ctx.now();
         let their_raw = self.ctx.recv(comm, src, tag + TAG_S2R);
         let their = InternalMsg::decode(&their_raw);
         let (merged, execute) = if their.reply_expected {
@@ -700,9 +791,15 @@ impl<'a> CritterEnv<'a> {
             (mine.combine(&their), ex)
         };
         self.absorb(&merged, None);
-        self.exec_time += self.internal_p2p_time(their_raw.len());
+        let internal_time = self.internal_p2p_time(their_raw.len());
+        self.exec_time += internal_time;
         self.metrics.syncs += 1.0;
         self.metrics.comm_words += words as f64;
+        if self.observing() {
+            let now = self.ctx.now();
+            self.obs_count("propagate[p2p]", 1);
+            self.obs_event(EventKind::Propagate, sig.label(), t0, now - t0, internal_time);
+        }
         if execute {
             let t0 = self.ctx.now();
             let data = self.ctx.recv(comm, src, tag);
@@ -736,9 +833,15 @@ impl<'a> CritterEnv<'a> {
         self.report.internal_words += payload.len() as u64;
         let cost = self.internal_p2p_cost(payload.len());
         let internal = self.ctx.isend_with_cost(comm, dst, tag + TAG_S2R, payload, cost);
-        self.exec_time += self.ctx.machine().params().per_call_overhead;
+        let overhead = self.ctx.machine().params().per_call_overhead;
+        self.exec_time += overhead;
         self.metrics.syncs += 1.0;
         self.metrics.comm_words += words as f64;
+        if self.observing() {
+            let now = self.ctx.now();
+            self.obs_count("propagate[p2p]", 1);
+            self.obs_event(EventKind::Propagate, sig.label(), now, 0.0, overhead);
+        }
         let user = if vote {
             Some(self.ctx.isend(comm, dst, tag, data))
         } else {
@@ -779,6 +882,7 @@ impl<'a> CritterEnv<'a> {
             }
             ReqInner::Recv { sig, internal, user, words } => {
                 self.store.schedule(&sig);
+                let t0 = self.ctx.now();
                 let their_raw = self.ctx.wait(internal).expect("internal message missing");
                 let their = InternalMsg::decode(&their_raw);
                 assert!(
@@ -789,9 +893,15 @@ impl<'a> CritterEnv<'a> {
                 let mine = self.build_internal(vote, words as u64, false, None);
                 let merged = mine.combine(&their);
                 self.absorb(&merged, None);
-                self.exec_time += self.internal_p2p_time(their_raw.len());
+                let internal_time = self.internal_p2p_time(their_raw.len());
+                self.exec_time += internal_time;
                 self.metrics.syncs += 1.0;
                 self.metrics.comm_words += words as f64;
+                if self.observing() {
+                    let now = self.ctx.now();
+                    self.obs_count("propagate[p2p]", 1);
+                    self.obs_event(EventKind::Propagate, sig.label(), t0, now - t0, internal_time);
+                }
                 if their.vote {
                     let t0 = self.ctx.now();
                     let data = self.ctx.wait(user).expect("user payload missing");
@@ -869,6 +979,31 @@ impl<'a> CritterEnv<'a> {
         self.report.predicted_time = self.exec_time;
         self.report.path = self.metrics;
         self.report.distinct_kernels = self.store.local.len() as u64;
+        if self.observing() {
+            let kernels_executed = self.report.kernels_executed;
+            let kernels_skipped = self.report.kernels_skipped;
+            let internal_words = self.report.internal_words;
+            let distinct_kernels = self.report.distinct_kernels;
+            let c = *self.ctx.counters();
+            if let Some(rec) = &mut self.obs {
+                let m = rec.metrics_mut();
+                m.incr("kernels_executed", kernels_executed);
+                m.incr("kernels_skipped", kernels_skipped);
+                m.incr("internal_words", internal_words);
+                m.incr("distinct_kernels", distinct_kernels);
+                m.incr("sim_sends", c.sends);
+                m.incr("sim_recvs", c.recvs);
+                m.incr("sim_collectives", c.collectives);
+                m.incr("sim_words_sent", c.words_sent);
+                m.incr("sim_words_received", c.words_received);
+                m.incr("sim_compute_calls", c.compute_calls);
+                m.add_sum("sim_flops", c.flops);
+                m.add_sum("sim_compute_time", c.compute_time);
+                m.add_sum("sim_comm_time", c.comm_time);
+                m.add_sum("sim_idle_time", c.idle_time);
+            }
+        }
+        self.report.obs = self.obs.take().map(RankRecorder::into_trace);
         (self.report, self.store)
     }
 }

@@ -5,8 +5,25 @@ use critter_stats::ConfidenceLevel;
 use crate::extrapolate::ExtrapolationConfig;
 use crate::signature::SizeGranularity;
 
-/// The kernel-execution policies the paper evaluates, plus the full-execution
-/// baseline.
+/// The kernel-execution policies the paper evaluates (§IV-B), plus the
+/// full-execution baseline.
+///
+/// # Examples
+///
+/// ```
+/// use critter_core::ExecutionPolicy;
+///
+/// // Only online propagation adopts the remote winner's path counts during
+/// // the longest-path reduction (besides the full/offline recording pass).
+/// assert!(ExecutionPolicy::OnlinePropagation.adopts_remote_path());
+/// assert!(!ExecutionPolicy::LocalPropagation.adopts_remote_path());
+///
+/// // A-priori propagation pays an extra offline full execution up front.
+/// assert!(ExecutionPolicy::APrioriPropagation.needs_offline_pass());
+///
+/// // The paper evaluates five selective policies against the baseline.
+/// assert_eq!(ExecutionPolicy::ALL_SELECTIVE.len(), 5);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecutionPolicy {
     /// Execute everything; collect statistics and paths but never skip.
@@ -79,6 +96,27 @@ impl ExecutionPolicy {
 }
 
 /// Configuration of the Critter environment.
+///
+/// # Examples
+///
+/// ```
+/// use critter_core::{CritterConfig, ExecutionPolicy};
+///
+/// // The paper's defaults: 95% confidence, two samples minimum, internal
+/// // messages charged at their compact wire size.
+/// let cfg = CritterConfig::new(ExecutionPolicy::OnlinePropagation, 0.25);
+/// assert_eq!(cfg.confidence, 0.95);
+/// assert_eq!(cfg.min_samples, 2);
+/// assert!(cfg.charge_internal);
+///
+/// // Builders toggle the ablation switches and the observability layer.
+/// let cfg = cfg.without_overhead().with_obs();
+/// assert!(!cfg.charge_internal);
+/// assert!(cfg.obs);
+///
+/// // The full-execution baseline never skips, so ε is irrelevant.
+/// assert_eq!(CritterConfig::full().policy, ExecutionPolicy::Full);
+/// ```
 #[derive(Debug, Clone)]
 pub struct CritterConfig {
     /// The selective-execution policy.
@@ -109,6 +147,12 @@ pub struct CritterConfig {
     /// Record a per-rank chronological event trace (offline analysis /
     /// debugging; adds memory proportional to the number of interceptions).
     pub trace: bool,
+    /// Record structured observability events and metrics (`critter-obs`):
+    /// every interception point emits a virtual-clock-stamped event into a
+    /// per-rank buffer that surfaces as `CritterReport::obs`. Deterministic
+    /// (see `docs/OBSERVABILITY.md`); adds memory proportional to the
+    /// number of interceptions.
+    pub obs: bool,
 }
 
 impl CritterConfig {
@@ -124,12 +168,20 @@ impl CritterConfig {
             granularity: SizeGranularity::Exact,
             extrapolate: None,
             trace: false,
+            obs: false,
         }
     }
 
     /// Enable per-rank event tracing.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Enable structured observability recording (`critter-obs` events and
+    /// metrics in `CritterReport::obs`).
+    pub fn with_obs(mut self) -> Self {
+        self.obs = true;
         self
     }
 

@@ -90,6 +90,12 @@ pub struct CritterReport {
     pub top_kernels: Vec<(String, u64, f64)>,
     /// Per-rank chronological event trace (only when tracing is enabled).
     pub trace: crate::trace::Trace,
+    /// Structured observability trace and metrics (only when
+    /// [`crate::CritterConfig::obs`] is set). Like `trace`, this is a
+    /// debugging/analysis surface and is intentionally excluded from
+    /// [`CritterReport::to_json`]; the autotuner assembles per-run traces
+    /// into a global timeline instead (`critter_obs::ObsReport`).
+    pub obs: Option<critter_obs::RankTrace>,
     /// Mean over ranks of locally executed kernel time (busy time).
     pub mean_busy: f64,
     /// Maximum over ranks of locally executed kernel time.

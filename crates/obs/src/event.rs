@@ -1,0 +1,119 @@
+//! The event taxonomy: one variant per interception point of the Critter
+//! layer (`critter-core`'s `CritterEnv`, the paper's Fig. 2 PMPI shim).
+
+/// What kind of interception produced an event.
+///
+/// The taxonomy mirrors the decision structure of selective execution
+/// (§IV-B of the paper): kernels either execute (a sample is taken) or are
+/// skipped (the model mean is charged), every intercepted communication
+/// piggybacks a path-propagation reduction, and the longest-path combine
+/// may adopt a remote rank's critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A computation kernel executed; `arg` is the measured time charged to
+    /// the path.
+    KernelExec,
+    /// A computation kernel skipped; `arg` is the modeled mean charged.
+    KernelSkip,
+    /// A communication kernel executed; `arg` is the measured time.
+    CommExec,
+    /// A communication kernel skipped; `arg` is the modeled mean.
+    CommSkip,
+    /// A path-propagation piggyback exchange (the internal `K̃`/vote
+    /// message); `arg` is the internal cost charged to the predicted path.
+    Propagate,
+    /// The longest-path combine adopted a remote rank's path; `arg` is the
+    /// execution-time gap to the adopted path.
+    PathAdopt,
+    /// A skip/execute policy decision consulted a confidence interval;
+    /// `arg` is the path-count-scaled relative CI width compared against ε.
+    Decision,
+    /// A communicator split registered a new aggregate channel; `arg` is
+    /// the channel size.
+    Channel,
+}
+
+impl EventKind {
+    /// Stable snake-case name (the Chrome trace `cat` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::KernelExec => "kernel_exec",
+            EventKind::KernelSkip => "kernel_skip",
+            EventKind::CommExec => "comm_exec",
+            EventKind::CommSkip => "comm_skip",
+            EventKind::Propagate => "propagate",
+            EventKind::PathAdopt => "path_adopt",
+            EventKind::Decision => "decision",
+            EventKind::Channel => "channel",
+        }
+    }
+
+    /// Whether `arg` is a time charged to the critical-path prediction
+    /// (these kinds carry weight in the folded-stack export).
+    pub fn charges_path(self) -> bool {
+        matches!(
+            self,
+            EventKind::KernelExec
+                | EventKind::KernelSkip
+                | EventKind::CommExec
+                | EventKind::CommSkip
+                | EventKind::Propagate
+        )
+    }
+}
+
+/// One interception event on one rank.
+///
+/// All fields are *virtual* quantities: `start` and `dur` come from the
+/// rank's virtual clock, `arg` is a kind-specific scalar (see
+/// [`EventKind`]). No wall-clock value ever enters an event, which is what
+/// makes exported traces bit-reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Which interception point fired.
+    pub kind: EventKind,
+    /// Kernel-signature or channel label (e.g. `gemm[64x64x64]`,
+    /// `bcast[w=512,p=4,s=1]`).
+    pub label: String,
+    /// Virtual time at which the interception began (seconds).
+    pub start: f64,
+    /// Virtual duration of the interception (seconds; 0 for instantaneous
+    /// events such as decisions and skips).
+    pub dur: f64,
+    /// Kind-specific scalar (charged time, CI width, channel size, …).
+    pub arg: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct_and_stable() {
+        let kinds = [
+            EventKind::KernelExec,
+            EventKind::KernelSkip,
+            EventKind::CommExec,
+            EventKind::CommSkip,
+            EventKind::Propagate,
+            EventKind::PathAdopt,
+            EventKind::Decision,
+            EventKind::Channel,
+        ];
+        let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n);
+        assert_eq!(EventKind::KernelExec.name(), "kernel_exec");
+    }
+
+    #[test]
+    fn path_charging_kinds() {
+        assert!(EventKind::KernelSkip.charges_path());
+        assert!(EventKind::Propagate.charges_path());
+        assert!(!EventKind::Decision.charges_path());
+        assert!(!EventKind::Channel.charges_path());
+        assert!(!EventKind::PathAdopt.charges_path());
+    }
+}

@@ -1,0 +1,296 @@
+//! The globally ordered timeline and its export formats.
+//!
+//! Per-rank buffers drain into a [`Timeline`] of runs; each run's rank
+//! traces are kept in ascending rank order and each rank's events in its
+//! program order. Exports iterate runs in ascending run-id order, so the
+//! serialized output is a pure function of the recorded virtual events —
+//! never of the schedule that produced them.
+
+use crate::metrics::MetricsRegistry;
+use crate::sink::RankTrace;
+use serde_json::Value;
+
+/// One simulated run's traces: an id (the autotuner's deterministic run
+/// index), a human-readable label, and the per-rank traces.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimelineRun {
+    /// Deterministic run id (doubles as the Chrome trace `pid`).
+    pub id: u64,
+    /// Label, e.g. `pr4pc4nb16/rep0/tuned`.
+    pub label: String,
+    /// Per-rank traces, ascending by rank.
+    pub ranks: Vec<RankTrace>,
+}
+
+/// An ordered collection of runs ready for export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    runs: Vec<TimelineRun>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Append one run's rank traces. Ranks are sorted into ascending rank
+    /// order so the export order never depends on collection order.
+    pub fn add_run(&mut self, id: u64, label: impl Into<String>, mut ranks: Vec<RankTrace>) {
+        ranks.sort_by_key(|r| r.rank);
+        self.runs.push(TimelineRun { id, label: label.into(), ranks });
+    }
+
+    /// The recorded runs.
+    pub fn runs(&self) -> &[TimelineRun] {
+        &self.runs
+    }
+
+    /// Number of runs recorded.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True when no run was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total events across all runs and ranks.
+    pub fn event_count(&self) -> usize {
+        self.runs.iter().map(|r| r.ranks.iter().map(|t| t.events.len()).sum::<usize>()).sum()
+    }
+
+    /// Runs in ascending id order (the canonical export order).
+    fn ordered(&self) -> Vec<&TimelineRun> {
+        let mut v: Vec<&TimelineRun> = self.runs.iter().collect();
+        v.sort_by_key(|r| r.id);
+        v
+    }
+
+    /// Chrome/Perfetto trace-event JSON (the `{"traceEvents": [...]}`
+    /// envelope). Each run becomes one process (`pid` = run id, named by a
+    /// `process_name` metadata event), each rank one thread; events are
+    /// complete (`"X"`) spans with microsecond virtual timestamps.
+    pub fn to_chrome(&self) -> Value {
+        let mut events: Vec<Value> = Vec::new();
+        for run in self.ordered() {
+            let name_args = serde_json::json!({ "name": run.label.as_str() });
+            events.push(serde_json::json!({
+                "args": name_args,
+                "cat": "__metadata",
+                "name": "process_name",
+                "ph": "M",
+                "pid": run.id,
+                "tid": 0u64,
+                "ts": 0.0,
+            }));
+            for trace in &run.ranks {
+                let rank_args = serde_json::json!({ "name": format!("rank {}", trace.rank) });
+                events.push(serde_json::json!({
+                    "args": rank_args,
+                    "cat": "__metadata",
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": run.id,
+                    "tid": trace.rank,
+                    "ts": 0.0,
+                }));
+                for e in &trace.events {
+                    let args = serde_json::json!({ "arg": e.arg });
+                    events.push(serde_json::json!({
+                        "args": args,
+                        "cat": e.kind.name(),
+                        "dur": e.dur * 1e6,
+                        "name": e.label.as_str(),
+                        "ph": "X",
+                        "pid": run.id,
+                        "tid": trace.rank,
+                        "ts": e.start * 1e6,
+                    }));
+                }
+            }
+        }
+        let events = Value::Array(events);
+        serde_json::json!({ "displayTimeUnit": "ms", "traceEvents": events })
+    }
+
+    /// The Chrome trace as canonical pretty-printed text (trailing
+    /// newline included) — the byte surface the determinism oracles and
+    /// the golden trace fixture compare.
+    pub fn to_chrome_string(&self) -> String {
+        let mut s = serde_json::to_string_pretty(&self.to_chrome()).expect("json writer is total");
+        s.push('\n');
+        s
+    }
+
+    /// Folded-stack output for flamegraph tools: one line per distinct
+    /// `run;rank;category;label` stack, weighted by the summed charged
+    /// path time in integer nanoseconds. Only path-charging event kinds
+    /// ([`crate::EventKind::charges_path`]) contribute. Lines are sorted,
+    /// so equal timelines fold to byte-identical text.
+    pub fn to_folded(&self) -> String {
+        use std::collections::BTreeMap;
+        let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+        for run in self.ordered() {
+            for trace in &run.ranks {
+                for e in &trace.events {
+                    if !e.kind.charges_path() {
+                        continue;
+                    }
+                    let ns = (e.arg * 1e9).round();
+                    // Drop non-positive and NaN weights alike.
+                    if ns.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                        continue;
+                    }
+                    let stack =
+                        format!("{};rank {};{};{}", run.label, trace.rank, e.kind.name(), e.label);
+                    *stacks.entry(stack).or_insert(0) += ns as u64;
+                }
+            }
+        }
+        let mut out = String::new();
+        for (stack, weight) in stacks {
+            out.push_str(&stack);
+            out.push(' ');
+            out.push_str(&weight.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A timeline bundled with the metrics aggregated over its runs — what a
+/// tuning sweep attaches to its `TuningReport` and what the figure drivers
+/// write behind `--trace-out`/`--folded-out`/`--metrics-out`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsReport {
+    /// The ordered trace timeline.
+    pub timeline: Timeline,
+    /// Metrics merged over all runs and ranks in `(run, rank)` order.
+    pub metrics: MetricsRegistry,
+}
+
+impl ObsReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        ObsReport::default()
+    }
+
+    /// Add one run: its rank traces join the timeline and their registries
+    /// are folded into the aggregate metrics in ascending rank order.
+    /// Callers must add runs in ascending id order (or sort before
+    /// exporting — the timeline does) and fold metrics exactly once.
+    pub fn add_run(&mut self, id: u64, label: impl Into<String>, ranks: Vec<RankTrace>) {
+        let mut ranks = ranks;
+        ranks.sort_by_key(|r| r.rank);
+        for r in &ranks {
+            self.metrics.merge(&r.metrics);
+        }
+        self.timeline.add_run(id, label, ranks);
+    }
+
+    /// Fold another report in, re-basing its run ids after this report's
+    /// and prefixing its run labels with `prefix/`. Metrics merge once
+    /// (they were already aggregated per report). Used by the figure
+    /// drivers to combine independent sweeps in serial order, which keeps
+    /// the combined export independent of `--jobs`.
+    pub fn absorb(&mut self, other: ObsReport, prefix: &str) {
+        let base = self.timeline.runs.len() as u64;
+        let mut runs = other.timeline.runs;
+        runs.sort_by_key(|r| r.id);
+        for (i, run) in runs.into_iter().enumerate() {
+            self.timeline.add_run(base + i as u64, format!("{prefix}/{}", run.label), run.ranks);
+        }
+        self.metrics.merge(&other.metrics);
+    }
+
+    /// Canonical pretty-printed metrics JSON (trailing newline included).
+    pub fn metrics_string(&self) -> String {
+        let mut s =
+            serde_json::to_string_pretty(&self.metrics.to_json()).expect("json writer is total");
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+    use crate::sink::RankRecorder;
+    use crate::sink::TraceSink;
+
+    fn trace(rank: usize, label: &str, start: f64, arg: f64) -> RankTrace {
+        let mut r = RankRecorder::new(rank);
+        r.record(Event { kind: EventKind::KernelExec, label: label.into(), start, dur: arg, arg });
+        r.metrics_mut().incr("samples_taken", 1);
+        r.into_trace()
+    }
+
+    #[test]
+    fn chrome_export_is_deterministic_and_ordered() {
+        let mut a = Timeline::new();
+        a.add_run(1, "run-b", vec![trace(1, "gemm", 1.0, 0.5), trace(0, "trsm", 0.0, 0.25)]);
+        a.add_run(0, "run-a", vec![trace(0, "potrf", 0.0, 0.125)]);
+        let s1 = a.to_chrome_string();
+        let s2 = a.clone().to_chrome_string();
+        assert_eq!(s1, s2);
+        // Runs export in id order regardless of insertion order.
+        assert!(s1.find("run-a").unwrap() < s1.find("run-b").unwrap());
+        // Ranks export in rank order regardless of collection order.
+        assert!(s1.find("trsm").unwrap() < s1.find("gemm").unwrap());
+        assert!(s1.contains("\"ph\": \"X\""));
+        assert!(s1.contains("\"traceEvents\""));
+        assert_eq!(a.event_count(), 3);
+    }
+
+    #[test]
+    fn folded_weights_sum_per_stack() {
+        let mut t = Timeline::new();
+        let mut r = RankRecorder::new(0);
+        for _ in 0..2 {
+            r.record(Event {
+                kind: EventKind::KernelExec,
+                label: "gemm".into(),
+                start: 0.0,
+                dur: 1e-6,
+                arg: 1e-6,
+            });
+        }
+        // A decision event must not contribute weight.
+        r.record(Event {
+            kind: EventKind::Decision,
+            label: "gemm".into(),
+            start: 0.0,
+            dur: 0.0,
+            arg: 0.5,
+        });
+        t.add_run(0, "sweep", vec![r.into_trace()]);
+        let folded = t.to_folded();
+        assert_eq!(folded, "sweep;rank 0;kernel_exec;gemm 2000\n");
+    }
+
+    #[test]
+    fn obs_report_aggregates_metrics_once() {
+        let mut a = ObsReport::new();
+        a.add_run(0, "r0", vec![trace(0, "gemm", 0.0, 1.0), trace(1, "gemm", 0.0, 1.0)]);
+        assert_eq!(a.metrics.counter("samples_taken"), 2);
+        let mut b = ObsReport::new();
+        b.add_run(0, "r0", vec![trace(0, "trsm", 0.0, 1.0)]);
+        a.absorb(b, "space");
+        assert_eq!(a.metrics.counter("samples_taken"), 3);
+        assert_eq!(a.timeline.len(), 2);
+        assert_eq!(a.timeline.runs()[1].label, "space/r0");
+        // Rebased id continues after the existing runs.
+        assert_eq!(a.timeline.runs()[1].id, 1);
+    }
+
+    #[test]
+    fn empty_exports() {
+        let t = Timeline::new();
+        assert!(t.is_empty());
+        assert_eq!(t.to_folded(), "");
+        assert!(t.to_chrome_string().contains("\"traceEvents\": []"));
+    }
+}

@@ -97,6 +97,19 @@ impl ChannelMeta {
         stream_id(&parts)
     }
 
+    /// Compact human-readable label, e.g. `ch[p=4,s=1,o=0]` for a regular
+    /// channel of 4 members at stride 1 from offset 0, or `ch[p=5,irr]` for
+    /// a group with no product structure. Used to key per-channel
+    /// propagation counters in the observability metrics registry, so the
+    /// label is a pure function of the channel shape.
+    pub fn label(&self) -> String {
+        if self.irregular {
+            format!("ch[p={},irr]", self.size)
+        } else {
+            format!("ch[p={},s={},o={}]", self.size, self.stride(), self.offset)
+        }
+    }
+
     /// Whether `self` and `other` together tile a cartesian grid dimension-wise
     /// (disjoint stride sets — the condition for combining aggregates).
     pub fn disjoint_dims(&self, other: &ChannelMeta) -> bool {
@@ -182,6 +195,15 @@ impl Communicator {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn labels_describe_channel_shape() {
+        let regular = ChannelMeta::from_sorted_ranks(&[2, 4, 6, 8]);
+        assert_eq!(regular.label(), "ch[p=4,s=2,o=2]");
+        let irregular = ChannelMeta::from_sorted_ranks(&[0, 1, 3]);
+        assert!(irregular.irregular);
+        assert_eq!(irregular.label(), "ch[p=3,irr]");
+    }
 
     #[test]
     fn contiguous_group() {

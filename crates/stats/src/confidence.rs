@@ -85,6 +85,27 @@ impl Default for ConfidenceLevel {
 }
 
 /// A computed two-sided confidence interval on a kernel's mean time.
+///
+/// # Examples
+///
+/// ```
+/// use critter_stats::{ConfidenceInterval, ConfidenceLevel, OnlineStats};
+///
+/// let stats = OnlineStats::from_slice(&[9.0, 10.0, 11.0, 10.0]);
+/// let level = ConfidenceLevel::new(0.95);
+/// let ci = ConfidenceInterval::from_stats(&stats, &level);
+/// assert!(ci.lo() < 10.0 && 10.0 < ci.hi());
+///
+/// // The paper's relative criterion ε̃ = CI size / mean, and its
+/// // path-count-scaled variant: k occurrences on the critical path tighten
+/// // the effective criterion by √k (§III-A).
+/// assert!(ci.relative() > ci.relative_scaled(4));
+/// assert!((ci.relative_scaled(4) - ci.relative() / 2.0).abs() < 1e-12);
+///
+/// // Too few samples ⇒ an infinite interval: never predictable.
+/// let one = ConfidenceInterval::from_stats(&OnlineStats::from_slice(&[1.0]), &level);
+/// assert!(!one.predictable(0.5, 1));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceInterval {
     /// Sample mean the interval is centred on.

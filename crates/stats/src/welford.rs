@@ -7,6 +7,28 @@
 //! eager-propagation policy combine statistics gathered on different ranks.
 
 /// Single-pass accumulator of count, mean, and variance.
+///
+/// # Examples
+///
+/// ```
+/// use critter_stats::OnlineStats;
+///
+/// // One observation at a time, no samples stored (§III-A's requirement).
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12);
+///
+/// // Chan's merge combines accumulators as if their samples interleaved —
+/// // what eager propagation does with statistics from different ranks.
+/// let mut a = OnlineStats::from_slice(&[1.0, 2.0]);
+/// a.merge(&OnlineStats::from_slice(&[3.0, 4.0]));
+/// assert_eq!(a.count(), s.count());
+/// assert_eq!(a.mean(), s.mean());
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct OnlineStats {
     count: u64,

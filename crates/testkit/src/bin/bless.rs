@@ -15,4 +15,7 @@ fn main() {
         let path = critter_testkit::golden::bless(tune.name, &text);
         println!("blessed {}", path.display());
     }
+    let trace = critter_testkit::golden_trace();
+    let path = critter_testkit::golden::bless(critter_testkit::GOLDEN_TRACE_NAME, &trace);
+    println!("blessed {}", path.display());
 }

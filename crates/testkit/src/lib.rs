@@ -106,6 +106,25 @@ impl GoldenTune {
     }
 }
 
+/// Name of the committed golden trace fixture
+/// (`fixtures/trace-cholesky-online-eps25.json`).
+pub const GOLDEN_TRACE_NAME: &str = "trace-cholesky-online-eps25";
+
+/// The pinned observed sweep behind the golden trace fixture: a smoke-sized
+/// SLATE-Cholesky tune under online propagation at ε = 0.25 with
+/// observability recording on, serialized as a Chrome trace-event JSON.
+/// Everything is pinned (test machine, cluster noise, fixed seed, serial
+/// schedule), so the bytes are a pure function of the codebase — the trace
+/// counterpart of the golden reports.
+pub fn golden_trace() -> String {
+    let mut opts =
+        TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.25).test_machine().with_observe();
+    let space = TuningSpace::SlateCholesky;
+    opts.reset_between_configs = space.resets_between_configs();
+    let report = Autotuner::new(opts).tune(&space.smoke());
+    report.obs.expect("observed sweep").timeline.to_chrome_string()
+}
+
 /// The committed golden tunes: one small Cholesky sweep and one small QR
 /// sweep, on different policies so both the local and online propagation
 /// paths are pinned.

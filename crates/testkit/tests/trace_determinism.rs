@@ -1,0 +1,100 @@
+//! Determinism oracles for the `critter-obs` observability layer.
+//!
+//! The contract (docs/OBSERVABILITY.md): with a fixed seed, the exported
+//! trace is **byte-identical** across reruns, across `--jobs`/worker levels,
+//! and under the testkit's wall-clock schedule perturbation. These tests
+//! assert exactly that, end to end:
+//!
+//! * the full `fig3 --trace-out` pipeline at `--jobs 1` vs `--jobs 4`
+//!   (the ISSUE's acceptance criterion);
+//! * an observed `Autotuner` sweep with serial vs pipelined reference runs;
+//! * an observed sweep with and without injected yields/sleeps;
+//! * the committed golden trace fixture round-trip.
+
+use critter_autotune::{Autotuner, TuningOptions, TuningReport, TuningSpace};
+use critter_bench::{fig3, FigOpts};
+use critter_core::ExecutionPolicy;
+use critter_sim::PerturbParams;
+use critter_testkit::golden;
+
+fn observed_sweep(workers: usize, perturb: Option<PerturbParams>) -> TuningReport {
+    let mut opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.25)
+        .test_machine()
+        .with_workers(workers)
+        .with_observe();
+    if let Some(p) = perturb {
+        opts = opts.with_perturb(p);
+    }
+    let space = TuningSpace::SlateCholesky;
+    opts.reset_between_configs = space.resets_between_configs();
+    Autotuner::new(opts).tune(&space.smoke())
+}
+
+/// A scratch directory under the target dir, wiped at entry.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/trace-determinism")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn fig3_trace_is_byte_identical_across_job_levels() {
+    let mut artifacts = Vec::new();
+    for jobs in [1usize, 4] {
+        let dir = scratch(&format!("fig3-jobs{jobs}"));
+        let opts = FigOpts {
+            quick: true,
+            allocations: 1,
+            reps: 1,
+            out_dir: dir.clone(),
+            jobs,
+            trace_out: Some(dir.join("trace.json")),
+            folded_out: Some(dir.join("trace.folded")),
+            metrics_out: Some(dir.join("metrics.json")),
+        };
+        fig3::run_with(&opts, &[TuningSpace::SlateCholesky, TuningSpace::SlateQr], true);
+        let read = |p: &std::path::Path| std::fs::read(p).expect("artifact written");
+        artifacts.push((
+            read(&dir.join("trace.json")),
+            read(&dir.join("trace.folded")),
+            read(&dir.join("metrics.json")),
+        ));
+    }
+    assert_eq!(artifacts[0].0, artifacts[1].0, "chrome trace must not depend on --jobs");
+    assert_eq!(artifacts[0].1, artifacts[1].1, "folded stacks must not depend on --jobs");
+    assert_eq!(artifacts[0].2, artifacts[1].2, "metrics must not depend on --jobs");
+    assert!(!artifacts[0].0.is_empty() && !artifacts[0].1.is_empty());
+}
+
+#[test]
+fn observed_sweep_is_schedule_independent() {
+    let serial = observed_sweep(1, None);
+    let parallel = observed_sweep(4, None);
+    assert_eq!(serial, parallel, "whole reports must agree bit for bit");
+    let a = serial.obs.expect("observed");
+    let b = parallel.obs.expect("observed");
+    assert_eq!(a.timeline.to_chrome_string(), b.timeline.to_chrome_string());
+    assert_eq!(a.timeline.to_folded(), b.timeline.to_folded());
+    assert_eq!(a.metrics_string(), b.metrics_string());
+    assert!(a.timeline.event_count() > 0, "an observed sweep must record events");
+}
+
+#[test]
+fn observed_trace_survives_schedule_perturbation() {
+    let calm = observed_sweep(2, None);
+    let shaken = observed_sweep(
+        2,
+        Some(PerturbParams { seed: 0xF00D, yield_prob: 0.2, sleep_prob: 0.05, max_sleep_us: 120 }),
+    );
+    let a = calm.obs.expect("observed").timeline.to_chrome_string();
+    let b = shaken.obs.expect("observed").timeline.to_chrome_string();
+    assert_eq!(a, b, "wall-clock perturbation must not move the virtual trace");
+}
+
+#[test]
+fn golden_trace_fixture_round_trips() {
+    golden::check_or_bless(critter_testkit::GOLDEN_TRACE_NAME, &critter_testkit::golden_trace());
+}
