@@ -35,12 +35,14 @@ use std::sync::Arc;
 use critter_algs::Workload;
 use critter_core::{CritterConfig, CritterEnv, ExecutionPolicy, KernelStore, PathMetrics};
 use critter_machine::{MachineModel, MachineParams, NoiseParams};
-use critter_obs::{ObsReport, RankTrace};
-use critter_sim::{run_simulation, PerturbParams, SimConfig};
+use critter_obs::{Event, EventKind, ObsReport, RankTrace};
+use critter_session::SessionConfig;
+use critter_sim::{run_simulation, FaultPlan, PerturbParams, SimConfig};
 use parking_lot::Mutex;
 
 /// Options of one tuning sweep.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct TuningOptions {
     /// Selective-execution policy under test.
     pub policy: ExecutionPolicy,
@@ -83,6 +85,16 @@ pub struct TuningOptions {
     /// metrics, assembled into one globally ordered timeline. Deterministic
     /// regardless of `workers` (see `docs/OBSERVABILITY.md`).
     pub observe: bool,
+    /// Deterministic fault injection: every simulated run draws from this
+    /// plan (reseeded per run and per retry attempt). Armed plans route the
+    /// sweep through the fault-tolerant session engine, which retries
+    /// killed runs and quarantines configurations that exhaust
+    /// [`TuningOptions::max_retries`].
+    pub faults: Option<FaultPlan>,
+    /// Retry budget per simulated run when faults are armed (a run is
+    /// attempted `max_retries + 1` times before its configuration is
+    /// quarantined).
+    pub max_retries: usize,
 }
 
 impl TuningOptions {
@@ -103,19 +115,85 @@ impl TuningOptions {
             workers: 1,
             perturb: None,
             observe: false,
+            faults: None,
+            max_retries: 2,
         }
     }
 
-    /// Persist kernel models across configurations (Capital protocol).
-    pub fn persist_models(mut self) -> Self {
-        self.reset_between_configs = false;
+    /// Persist kernel models across configurations when `persist` is true
+    /// (the Capital protocol; the default resets between configurations).
+    pub fn with_persist_models(mut self, persist: bool) -> Self {
+        self.reset_between_configs = !persist;
         self
     }
 
     /// Use the small test machine parameters (unit tests).
-    pub fn test_machine(mut self) -> Self {
+    pub fn with_test_machine(mut self) -> Self {
         self.params = MachineParams::test_machine();
         self
+    }
+
+    /// Set the repetition count of each configuration's run group.
+    pub fn with_reps(mut self, reps: usize) -> Self {
+        self.reps = reps.max(1);
+        self
+    }
+
+    /// Set the base seed of the machine noise streams.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the node-allocation id.
+    pub fn with_allocation(mut self, allocation: u64) -> Self {
+        self.allocation = allocation;
+        self
+    }
+
+    /// Set whether Critter's internal piggyback messages are charged.
+    pub fn with_internal_charging(mut self, charge: bool) -> Self {
+        self.charge_internal = charge;
+        self
+    }
+
+    /// Set the message-size granularity of communication signatures.
+    pub fn with_granularity(
+        mut self,
+        granularity: critter_core::signature::SizeGranularity,
+    ) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Arm deterministic fault injection for every simulated run.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Set the per-run retry budget used when faults are armed.
+    pub fn with_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Persist kernel models across configurations (Capital protocol).
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `with_persist_models(true)` — part of the unified `with_*` builder surface"
+    )]
+    pub fn persist_models(self) -> Self {
+        self.with_persist_models(true)
+    }
+
+    /// Use the small test machine parameters (unit tests).
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `with_test_machine()` — part of the unified `with_*` builder surface"
+    )]
+    pub fn test_machine(self) -> Self {
+        self.with_test_machine()
     }
 
     /// Set the reference-run worker count (clamped to at least 1).
@@ -172,6 +250,10 @@ pub struct ConfigResult {
     pub pairs: Vec<(RunRecord, RunRecord)>,
     /// Offline full passes (a-priori propagation only), charged to tuning time.
     pub offline: Vec<RunRecord>,
+    /// The configuration exhausted its fault-retry budget and was abandoned:
+    /// any remaining repetitions were skipped and the selection metrics
+    /// exclude it. Only ever true in fault-injected sweeps.
+    pub quarantined: bool,
 }
 
 /// A full tuning sweep's results (one policy, one ε, one allocation).
@@ -216,6 +298,7 @@ impl Autotuner {
         stores: &mut Vec<KernelStore>,
         run_index: u64,
         capture_apriori: bool,
+        faults: Option<FaultPlan>,
     ) -> (RunRecord, Option<Vec<RankTrace>>) {
         let ranks = w.ranks();
         assert_eq!(stores.len(), ranks, "store count mismatch");
@@ -236,6 +319,9 @@ impl Autotuner {
             // Vary the perturbation stream per run so no two runs of a sweep
             // see the same yield/sleep pattern.
             sim_config = sim_config.with_perturb(PerturbParams { seed: p.seed ^ run_index, ..p });
+        }
+        if let Some(f) = faults {
+            sim_config = sim_config.with_faults(f);
         }
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             run_simulation(sim_config, machine, move |ctx| {
@@ -290,7 +376,16 @@ impl Autotuner {
     /// Tune over `workloads` (one sweep): for each configuration, a reference
     /// full execution directly prior to the selective one, repeated
     /// `reps` times; a-priori propagation additionally pays an offline pass.
+    ///
+    /// Serial sweeps (`workers == 1`) and fault-injected sweeps route
+    /// through the session engine ([`Autotuner::tune_session`]) with an
+    /// ephemeral [`SessionConfig`]; the reports are bit-identical either way.
     pub fn tune(&self, workloads: &[Arc<dyn Workload>]) -> TuningReport {
+        if self.opts.workers <= 1 || self.opts.faults.is_some() {
+            return self
+                .tune_session(workloads, &SessionConfig::new())
+                .expect("ephemeral sessions cannot fail");
+        }
         assert!(!workloads.is_empty(), "empty configuration space");
         let ranks = workloads[0].ranks();
         assert!(
@@ -335,6 +430,7 @@ impl Autotuner {
                 &mut ref_stores,
                 run_index(cfg_idx, rep, 0),
                 false,
+                None,
             )
         };
 
@@ -403,6 +499,7 @@ impl Autotuner {
                             &mut stores,
                             run_index(cfg_idx, rep, 1),
                             true,
+                            None,
                         );
                         if let Some(tr) = offline_obs {
                             obs_runs.push((
@@ -420,6 +517,7 @@ impl Autotuner {
                         &mut stores,
                         run_index(cfg_idx, rep, 2),
                         false,
+                        None,
                     );
                     if let Some(tr) = tuned_obs {
                         obs_runs.push((
@@ -467,6 +565,426 @@ impl Autotuner {
         });
         TuningReport { policy, epsilon: self.opts.epsilon, configs, obs }
     }
+
+    /// Fingerprint binding a checkpoint or profile to the sweep that wrote
+    /// it: a 52-bit FNV digest over the canonical JSON of every option that
+    /// changes simulated results, plus the workload names in sweep order.
+    pub fn fingerprint(&self, workloads: &[Arc<dyn Workload>]) -> u64 {
+        let names: Vec<String> = workloads.iter().map(|w| w.name()).collect();
+        let doc = serde_json::json!({
+            "allocation": self.opts.allocation,
+            "charge_internal": self.opts.charge_internal,
+            "epsilon": self.opts.epsilon,
+            "extrapolate": self.opts.extrapolate,
+            "granularity": format!("{:?}", self.opts.granularity),
+            "policy": self.opts.policy.name(),
+            "reps": self.opts.reps.max(1) as u64,
+            "reset_between_configs": self.opts.reset_between_configs,
+            "seed": self.opts.seed,
+            "workloads": names.join(";"),
+        });
+        critter_core::fnv::fnv_hash(&serde_json::to_string(&doc).expect("json writer is total"))
+            & ((1 << 52) - 1)
+    }
+
+    /// Execute one simulated run with the fault-retry protocol: without an
+    /// armed [`TuningOptions::faults`] plan this is exactly [`Self::run_once`];
+    /// with one, each attempt draws a per-`(run, attempt)` reseeded plan, a
+    /// killed attempt rolls the stores back to the pre-attempt snapshot, and
+    /// `None` is returned once the retry budget is spent (the caller
+    /// quarantines the configuration).
+    #[allow(clippy::too_many_arguments)]
+    fn run_with_retry(
+        &self,
+        w: &dyn Workload,
+        cfg: &CritterConfig,
+        stores: &mut Vec<KernelStore>,
+        run_index: u64,
+        capture_apriori: bool,
+        label: &str,
+        session_events: &mut Vec<Event>,
+    ) -> Option<(RunRecord, Option<Vec<RankTrace>>)> {
+        let Some(base_plan) = self.opts.faults else {
+            return Some(self.run_once(w, cfg, stores, run_index, capture_apriori, None));
+        };
+        let attempts = self.opts.max_retries as u64 + 1;
+        for attempt in 0..attempts {
+            let plan = base_plan.reseeded(run_index.wrapping_mul(0x1_0000).wrapping_add(attempt));
+            let snapshot = stores.clone();
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                self.run_once(w, cfg, stores, run_index, capture_apriori, Some(plan))
+            }));
+            match outcome {
+                Ok(done) => return Some(done),
+                Err(_) => {
+                    // The failed attempt may have polluted (or only
+                    // partially returned) the stores; the retry must see
+                    // exactly the pre-attempt state.
+                    *stores = snapshot;
+                    session_events.push(Event {
+                        kind: EventKind::Fault,
+                        label: label.to_string(),
+                        start: 0.0,
+                        dur: 0.0,
+                        arg: run_index as f64,
+                    });
+                    if attempt + 1 < attempts {
+                        session_events.push(Event {
+                            kind: EventKind::Retry,
+                            label: label.to_string(),
+                            start: 0.0,
+                            dur: 0.0,
+                            arg: (attempt + 1) as f64,
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Persist the sweep state after a completed `(config, rep)` unit.
+    #[allow(clippy::too_many_arguments)]
+    fn write_checkpoint(
+        &self,
+        path: &std::path::Path,
+        fingerprint: u64,
+        units_done: usize,
+        configs: &[ConfigResult],
+        stores: &[KernelStore],
+        entry_state: &[KernelStore],
+        obs_runs: &[(u64, String, Vec<RankTrace>)],
+        session_events: &[Event],
+    ) -> critter_core::Result<()> {
+        let configs_json: Vec<serde_json::Value> =
+            configs.iter().map(ConfigResult::to_json).collect();
+        let events: Vec<serde_json::Value> = session_events.iter().map(Event::to_json).collect();
+        let runs: Vec<serde_json::Value> = obs_runs
+            .iter()
+            .map(|(id, label, ranks)| {
+                critter_obs::TimelineRun { id: *id, label: label.clone(), ranks: ranks.clone() }
+                    .to_json()
+            })
+            .collect();
+        let stores_json = critter_core::snapshot::stores_to_json(stores);
+        let entry_json = critter_core::snapshot::stores_to_json(entry_state);
+        let payload = serde_json::json!({
+            "configs": configs_json,
+            "entry_stores": entry_json,
+            "obs_runs": runs,
+            "session_events": events,
+            "stores": stores_json,
+            "units_done": units_done as u64,
+        });
+        let doc = critter_session::envelope::seal("checkpoint", fingerprint, payload);
+        critter_session::store::write_value(path, &doc)
+    }
+
+    /// Tune with session semantics: checkpoint/resume, warm-start, profile
+    /// persistence, and fault-tolerant retry — the fault-tolerant twin of
+    /// [`Autotuner::tune`].
+    ///
+    /// The sweep runs serially (sessions checkpoint the sequential chain
+    /// state, so [`TuningOptions::workers`] is ignored here) and produces a
+    /// report bit-identical to `tune`'s whenever no fault actually fires.
+    /// With checkpointing enabled, a killed sweep resumed from its
+    /// checkpoint directory finishes to the *byte-identical* report and obs
+    /// timeline the uninterrupted sweep produces — the contract
+    /// `critter-testkit`'s kill/resume oracle asserts.
+    ///
+    /// Checkpoint, restore, and warm-start lifecycle decisions are logged to
+    /// `session.log` in the checkpoint directory (they are session facts,
+    /// not sweep facts, and must not perturb the report); fault, retry, and
+    /// quarantine decisions enter the report's obs timeline as a final
+    /// synthetic `session` run, because they *are* part of what the sweep
+    /// computed.
+    pub fn tune_session(
+        &self,
+        workloads: &[Arc<dyn Workload>],
+        session: &SessionConfig,
+    ) -> critter_core::Result<TuningReport> {
+        assert!(!workloads.is_empty(), "empty configuration space");
+        let ranks = workloads[0].ranks();
+        assert!(
+            workloads.iter().all(|w| w.ranks() == ranks),
+            "all configurations of a sweep must use the same rank count"
+        );
+        let policy = self.opts.policy;
+        let tuned_cfg = {
+            let mut c = CritterConfig::new(policy, self.opts.epsilon);
+            c.charge_internal = self.opts.charge_internal;
+            c.granularity = self.opts.granularity;
+            c.obs = self.opts.observe;
+            if self.opts.extrapolate {
+                c = c.with_extrapolation();
+            }
+            c
+        };
+        let full_cfg = {
+            let mut c = CritterConfig::full();
+            c.charge_internal = self.opts.charge_internal;
+            c.granularity = self.opts.granularity;
+            c.obs = self.opts.observe;
+            c
+        };
+        let reps = self.opts.reps.max(1);
+        let base = self.opts.allocation.wrapping_mul(0x1000_0000);
+        let run_index = |cfg_idx: usize, rep: usize, kind: usize| -> u64 {
+            base.wrapping_add(((cfg_idx * reps + rep) * 3 + kind) as u64)
+        };
+
+        let fingerprint = self.fingerprint(workloads);
+        if let Some(dir) = &session.checkpoint_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| critter_core::CritterError::io(dir.as_path(), e))?;
+        }
+        let ckpt_path = session.checkpoint_path();
+        let log = session.log_path().map(critter_session::SessionLog::at);
+        let cadence = session.cadence() as usize;
+
+        // Sweep state, possibly replaced wholesale by a checkpoint below.
+        let mut stores: Vec<KernelStore> = (0..ranks).map(|_| KernelStore::new()).collect();
+        let mut entry_state: Vec<KernelStore> = stores.clone();
+        let mut configs: Vec<ConfigResult> = Vec::new();
+        let mut obs_runs: Vec<(u64, String, Vec<RankTrace>)> = Vec::new();
+        let mut session_events: Vec<Event> = Vec::new();
+        let mut units_done: usize = 0;
+
+        let schema = |what: String| critter_core::CritterError::schema("checkpoint", what);
+        let resumed = match &ckpt_path {
+            Some(path) if path.exists() => {
+                let doc = critter_session::store::read_value(path)?;
+                let payload =
+                    critter_session::envelope::open(&doc, "checkpoint", Some(fingerprint))?;
+                let field =
+                    |key: &str| payload.get(key).ok_or_else(|| schema(format!("bad key `{key}`")));
+                units_done = field("units_done")?
+                    .as_u64()
+                    .ok_or_else(|| schema("bad key `units_done`".into()))?
+                    as usize;
+                stores = critter_core::snapshot::stores_from_json(field("stores")?)?;
+                entry_state = critter_core::snapshot::stores_from_json(field("entry_stores")?)?;
+                configs = field("configs")?
+                    .as_array()
+                    .ok_or_else(|| schema("bad key `configs`".into()))?
+                    .iter()
+                    .map(ConfigResult::from_json)
+                    .collect::<critter_core::Result<_>>()?;
+                session_events = field("session_events")?
+                    .as_array()
+                    .ok_or_else(|| schema("bad key `session_events`".into()))?
+                    .iter()
+                    .map(|v| Event::from_json(v).map_err(schema))
+                    .collect::<critter_core::Result<_>>()?;
+                obs_runs = field("obs_runs")?
+                    .as_array()
+                    .ok_or_else(|| schema("bad key `obs_runs`".into()))?
+                    .iter()
+                    .map(|v| {
+                        let run = critter_obs::TimelineRun::from_json(v).map_err(&schema)?;
+                        Ok((run.id, run.label, run.ranks))
+                    })
+                    .collect::<critter_core::Result<_>>()?;
+                if stores.len() != ranks || entry_state.len() != ranks {
+                    return Err(critter_core::CritterError::mismatch(format!(
+                        "checkpoint holds {} rank stores but the sweep uses {ranks} ranks",
+                        stores.len()
+                    )));
+                }
+                true
+            }
+            _ => false,
+        };
+        if resumed {
+            if let Some(log) = &log {
+                log.record(EventKind::Restore, "checkpoint", units_done as f64)?;
+            }
+        } else if let Some(path) = &session.warm_start {
+            // Warm-start only on a fresh session: a checkpoint already has
+            // the (possibly warm-started) chain state baked in.
+            if self.opts.reset_between_configs {
+                // start_config(keep = false) would wipe the seeded models at
+                // the first configuration boundary; refuse rather than
+                // silently ignore the profile.
+                return Err(critter_core::CritterError::mismatch(
+                    "warm-start requires the persist-models protocol \
+                     (with_persist_models(true)); the per-config reset would \
+                     discard the seeded models",
+                ));
+            }
+            let (seeded, models) =
+                critter_session::profile::warm_start(path, ranks, &session.staleness)?;
+            stores = seeded;
+            entry_state = stores.clone();
+            if let Some(log) = &log {
+                log.record(EventKind::WarmStart, &path.display().to_string(), models as f64)?;
+            }
+        }
+
+        let keep = !self.opts.reset_between_configs;
+        for (cfg_idx, w) in workloads.iter().enumerate() {
+            if units_done >= (cfg_idx + 1) * reps {
+                continue; // completed (or quarantined) before the checkpoint
+            }
+            let first_rep = units_done.saturating_sub(cfg_idx * reps);
+            if first_rep == 0 {
+                for s in stores.iter_mut() {
+                    s.start_config(keep);
+                }
+                entry_state = stores.clone();
+                configs.push(ConfigResult { name: w.name(), ..Default::default() });
+            }
+            let name = configs.last().expect("config entry exists").name.clone();
+            let mut quarantined = false;
+            for rep in first_rep..reps {
+                if rep > 0 {
+                    stores = entry_state.clone();
+                }
+                // Reference full execution on fresh measurement stores.
+                let full_label = format!("{name}/rep{rep}/full");
+                let mut ref_stores: Vec<KernelStore> =
+                    (0..ranks).map(|_| KernelStore::new()).collect();
+                let Some((full, full_obs)) = self.run_with_retry(
+                    w.as_ref(),
+                    &full_cfg,
+                    &mut ref_stores,
+                    run_index(cfg_idx, rep, 0),
+                    false,
+                    &full_label,
+                    &mut session_events,
+                ) else {
+                    quarantined = true;
+                    break;
+                };
+                // A-priori propagation's offline pass.
+                let mut offline_unit = None;
+                if policy.needs_offline_pass() {
+                    let offline_label = format!("{name}/rep{rep}/offline");
+                    let Some((offline, offline_obs)) = self.run_with_retry(
+                        w.as_ref(),
+                        &full_cfg,
+                        &mut stores,
+                        run_index(cfg_idx, rep, 1),
+                        true,
+                        &offline_label,
+                        &mut session_events,
+                    ) else {
+                        quarantined = true;
+                        break;
+                    };
+                    offline_unit = Some((offline, offline_obs, offline_label));
+                }
+                // The selectively-executed tuning run.
+                let tuned_label = format!("{name}/rep{rep}/tuned");
+                let Some((tuned, tuned_obs)) = self.run_with_retry(
+                    w.as_ref(),
+                    &tuned_cfg,
+                    &mut stores,
+                    run_index(cfg_idx, rep, 2),
+                    false,
+                    &tuned_label,
+                    &mut session_events,
+                ) else {
+                    quarantined = true;
+                    break;
+                };
+
+                // Commit the completed unit.
+                let result = configs.last_mut().expect("config entry exists");
+                if let Some(tr) = full_obs {
+                    obs_runs.push((run_index(cfg_idx, rep, 0), full_label, tr));
+                }
+                if let Some((offline, offline_obs, offline_label)) = offline_unit {
+                    if let Some(tr) = offline_obs {
+                        obs_runs.push((run_index(cfg_idx, rep, 1), offline_label, tr));
+                    }
+                    result.offline.push(offline);
+                }
+                if let Some(tr) = tuned_obs {
+                    obs_runs.push((run_index(cfg_idx, rep, 2), tuned_label, tr));
+                }
+                result.pairs.push((full, tuned));
+                units_done = cfg_idx * reps + rep + 1;
+
+                if let Some(path) = &ckpt_path {
+                    let boundary = rep + 1 == reps;
+                    if boundary || units_done.is_multiple_of(cadence) {
+                        self.write_checkpoint(
+                            path,
+                            fingerprint,
+                            units_done,
+                            &configs,
+                            &stores,
+                            &entry_state,
+                            &obs_runs,
+                            &session_events,
+                        )?;
+                        if let Some(log) = &log {
+                            log.record(EventKind::Checkpoint, &name, units_done as f64)?;
+                        }
+                    }
+                }
+            }
+            if quarantined {
+                // Abandon the configuration: drop the partial repetition,
+                // restore the chain state the next configuration expects,
+                // and record the decision.
+                let result = configs.last_mut().expect("config entry exists");
+                result.quarantined = true;
+                session_events.push(Event {
+                    kind: EventKind::Quarantine,
+                    label: name.clone(),
+                    start: 0.0,
+                    dur: 0.0,
+                    arg: (self.opts.max_retries + 1) as f64,
+                });
+                stores = entry_state.clone();
+                units_done = (cfg_idx + 1) * reps;
+                if let Some(path) = &ckpt_path {
+                    self.write_checkpoint(
+                        path,
+                        fingerprint,
+                        units_done,
+                        &configs,
+                        &stores,
+                        &entry_state,
+                        &obs_runs,
+                        &session_events,
+                    )?;
+                    if let Some(log) = &log {
+                        log.record(EventKind::Checkpoint, &name, units_done as f64)?;
+                    }
+                }
+            }
+        }
+
+        if let Some(path) = &session.profile_out {
+            critter_session::profile::save(path, fingerprint, &stores)?;
+        }
+        let obs = self.opts.observe.then(|| {
+            obs_runs.sort_by_key(|&(id, _, _)| id);
+            let mut report = ObsReport::new();
+            for (id, label, run_ranks) in obs_runs {
+                report.add_run(id, label, run_ranks);
+            }
+            if !session_events.is_empty() {
+                // Fault/retry/quarantine decisions are part of what the
+                // sweep computed; they ride along as a final synthetic run
+                // (u64::MAX sorts after every real run index).
+                report.add_run(
+                    u64::MAX,
+                    "session",
+                    vec![RankTrace {
+                        rank: 0,
+                        events: session_events.clone(),
+                        metrics: Default::default(),
+                    }],
+                );
+            }
+            report
+        });
+        Ok(TuningReport { policy, epsilon: self.opts.epsilon, configs, obs })
+    }
 }
 
 #[cfg(test)]
@@ -497,12 +1015,12 @@ mod tests {
 
     #[test]
     fn run_once_recovers_stores_and_original_panic_when_a_rank_dies() {
-        let opts = TuningOptions::new(ExecutionPolicy::Full, 0.0).test_machine();
+        let opts = TuningOptions::new(ExecutionPolicy::Full, 0.0).with_test_machine();
         let tuner = Autotuner::new(opts);
         let cfg = CritterConfig::full();
         let mut stores: Vec<KernelStore> = (0..2).map(|_| KernelStore::new()).collect();
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            tuner.run_once(&PanicOnRankZero, &cfg, &mut stores, 7, false)
+            tuner.run_once(&PanicOnRankZero, &cfg, &mut stores, 7, false, None)
         }));
         let payload = result.expect_err("rank panic must propagate out of run_once");
         let msg = payload
@@ -517,5 +1035,33 @@ mod tests {
             "original payload must surface, got {msg:?}"
         );
         assert_eq!(stores.len(), 2, "sweep state must stay consistent after a failed run");
+    }
+
+    /// The pre-0.6 builder names must keep compiling (and behaving) behind
+    /// their deprecation shims for one release cycle.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builder_shims_still_work() {
+        let old = TuningOptions::new(ExecutionPolicy::Full, 0.1).persist_models().test_machine();
+        let new = TuningOptions::new(ExecutionPolicy::Full, 0.1)
+            .with_persist_models(true)
+            .with_test_machine();
+        assert_eq!(old.reset_between_configs, new.reset_between_configs);
+        assert!(!old.reset_between_configs);
+        assert_eq!(old.params, new.params);
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_changing_options_only() {
+        let w = crate::TuningSpace::SlateCholesky.smoke();
+        let opts = TuningOptions::new(ExecutionPolicy::LocalPropagation, 0.25).with_test_machine();
+        let base = Autotuner::new(opts.clone()).fingerprint(&w);
+        assert_eq!(Autotuner::new(opts.clone()).fingerprint(&w), base);
+        // Worker count is a scheduling knob, not a result: same fingerprint.
+        assert_eq!(Autotuner::new(opts.clone().with_workers(4)).fingerprint(&w), base);
+        // Seed changes the noise streams: different fingerprint.
+        assert_ne!(Autotuner::new(opts.clone().with_seed(99)).fingerprint(&w), base);
+        assert_ne!(Autotuner::new(opts.with_allocation(1)).fingerprint(&w), base);
+        assert_eq!(base & !((1 << 52) - 1), 0, "fingerprint must fit canonical JSON integers");
     }
 }

@@ -8,6 +8,7 @@
 //! diff of a committed fixture.
 
 use crate::driver::{ConfigResult, RunRecord, TuningReport};
+use critter_core::{CritterError, PathMetrics, Result};
 use serde_json::Value;
 
 impl RunRecord {
@@ -24,10 +25,29 @@ impl RunRecord {
             "predicted": self.predicted,
         })
     }
+
+    /// Restore a record bit-exactly from [`RunRecord::to_json`] output.
+    pub fn from_json(v: &Value) -> Result<RunRecord> {
+        let bad = |key: &str| CritterError::schema("run record", format!("bad key `{key}`"));
+        let f64_field = |key: &str| v.get(key).and_then(Value::as_f64).ok_or_else(|| bad(key));
+        let u64_field = |key: &str| v.get(key).and_then(Value::as_u64).ok_or_else(|| bad(key));
+        Ok(RunRecord {
+            elapsed: f64_field("elapsed")?,
+            predicted: f64_field("predicted")?,
+            path: PathMetrics::from_json(v.get("path").ok_or_else(|| bad("path"))?)?,
+            max_kernel_time: f64_field("max_kernel_time")?,
+            max_kernel_predicted: f64_field("max_kernel_predicted")?,
+            kernels_executed: u64_field("kernels_executed")?,
+            kernels_skipped: u64_field("kernels_skipped")?,
+            internal_words: u64_field("internal_words")?,
+        })
+    }
 }
 
 impl ConfigResult {
-    /// JSON object: name, `(full, tuned)` pairs, offline passes.
+    /// JSON object: name, `(full, tuned)` pairs, offline passes. The
+    /// `quarantined` key is emitted only when set, so fault-free reports
+    /// (and the committed golden fixtures) keep their historical shape.
     pub fn to_json(&self) -> Value {
         let pairs: Vec<Value> = self
             .pairs
@@ -35,11 +55,43 @@ impl ConfigResult {
             .map(|(full, tuned)| serde_json::json!({ "full": full.to_json(), "tuned": tuned.to_json() }))
             .collect();
         let offline: Vec<Value> = self.offline.iter().map(RunRecord::to_json).collect();
-        serde_json::json!({
+        let mut v = serde_json::json!({
             "name": self.name.as_str(),
             "offline": offline,
             "pairs": pairs,
-        })
+        });
+        if self.quarantined {
+            if let Value::Object(m) = &mut v {
+                m.insert("quarantined".into(), Value::Bool(true));
+            }
+        }
+        v
+    }
+
+    /// Restore a configuration result bit-exactly from
+    /// [`ConfigResult::to_json`] output (an absent `quarantined` key reads
+    /// back as `false`).
+    pub fn from_json(v: &Value) -> Result<ConfigResult> {
+        let bad = |key: &str| CritterError::schema("config result", format!("bad key `{key}`"));
+        let arr = |key: &str| v.get(key).and_then(Value::as_array).ok_or_else(|| bad(key));
+        let name = v.get("name").and_then(Value::as_str).ok_or_else(|| bad("name"))?.to_string();
+        let pairs = arr("pairs")?
+            .iter()
+            .map(|p| {
+                let full = RunRecord::from_json(p.get("full").ok_or_else(|| bad("pairs.full"))?)?;
+                let tuned =
+                    RunRecord::from_json(p.get("tuned").ok_or_else(|| bad("pairs.tuned"))?)?;
+                Ok((full, tuned))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let offline =
+            arr("offline")?.iter().map(RunRecord::from_json).collect::<Result<Vec<_>>>()?;
+        let quarantined = match v.get("quarantined") {
+            None => false,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err(bad("quarantined")),
+        };
+        Ok(ConfigResult { name, pairs, offline, quarantined })
     }
 }
 
@@ -71,6 +123,28 @@ impl TuningReport {
         s.push('\n');
         s
     }
+
+    /// Restore the scalar surface of a report from [`TuningReport::to_json`]
+    /// output: policy, ε, and every configuration result round-trip
+    /// bit-exactly. The obs timeline is *not* reconstructed (`to_json`
+    /// serializes only its aggregated metrics), so `obs` reads back as
+    /// `None`.
+    pub fn from_json(v: &Value) -> Result<TuningReport> {
+        let bad = |key: &str| CritterError::schema("tuning report", format!("bad key `{key}`"));
+        let policy_name = v.get("policy").and_then(Value::as_str).ok_or_else(|| bad("policy"))?;
+        let policy = critter_core::ExecutionPolicy::from_name(policy_name).ok_or_else(|| {
+            CritterError::schema("tuning report", format!("unknown policy `{policy_name}`"))
+        })?;
+        let epsilon = v.get("epsilon").and_then(Value::as_f64).ok_or_else(|| bad("epsilon"))?;
+        let configs = v
+            .get("configs")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("configs"))?
+            .iter()
+            .map(ConfigResult::from_json)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(TuningReport { policy, epsilon, configs, obs: None })
+    }
 }
 
 #[cfg(test)]
@@ -88,6 +162,7 @@ mod tests {
                 name: "pr2pc2".into(),
                 pairs: vec![(rec.clone(), rec.clone())],
                 offline: vec![],
+                quarantined: false,
             }],
             obs: None,
         };
@@ -95,6 +170,38 @@ mod tests {
         let text = report.to_json_string();
         assert!(text.contains("\"policy\": \"local propagation\""));
         assert!(text.contains("\"epsilon\": 0.1"));
+        assert!(!text.contains("\"quarantined\""));
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn report_round_trips_bit_exactly() {
+        let rec = RunRecord {
+            elapsed: 0.1 + 0.2, // no short decimal form
+            predicted: 1.0 / 3.0,
+            kernels_executed: 11,
+            kernels_skipped: 5,
+            internal_words: 96,
+            ..Default::default()
+        };
+        let report = TuningReport {
+            policy: ExecutionPolicy::APrioriPropagation,
+            epsilon: 0.05,
+            configs: vec![
+                ConfigResult {
+                    name: "pr2pc2".into(),
+                    pairs: vec![(rec.clone(), rec.clone())],
+                    offline: vec![rec.clone()],
+                    quarantined: false,
+                },
+                ConfigResult { name: "pr4pc1".into(), quarantined: true, ..Default::default() },
+            ],
+            obs: None,
+        };
+        let back = TuningReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json_string(), report.to_json_string());
+        assert!(report.to_json_string().contains("\"quarantined\": true"));
+        assert!(TuningReport::from_json(&serde_json::json!({"policy": "nope"})).is_err());
     }
 }

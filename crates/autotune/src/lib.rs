@@ -22,6 +22,7 @@ pub mod metrics;
 pub mod search;
 pub mod spaces;
 
+pub use critter_session::{SessionConfig, StalenessPolicy};
 pub use driver::{Autotuner, ConfigResult, RunRecord, TuningOptions, TuningReport};
 pub use search::{search, SearchOutcome, SearchStrategy};
 pub use spaces::TuningSpace;

@@ -112,13 +112,18 @@ impl TuningReport {
     }
 
     /// Index of the configuration the tuner selects (minimum prediction).
+    ///
+    /// Quarantined configurations are excluded: they have no completed
+    /// repetitions, so their "mean" would read as 0.0 and spuriously win
+    /// the argmin.
     pub fn selected(&self) -> usize {
-        argmin(&self.predicted_times())
+        argmin_live(&self.predicted_times(), &self.configs)
     }
 
-    /// Index of the truly optimal configuration (minimum reference time).
+    /// Index of the truly optimal configuration (minimum reference time,
+    /// quarantined configurations excluded).
     pub fn optimal(&self) -> usize {
-        argmin(&self.true_times())
+        argmin_live(&self.true_times(), &self.configs)
     }
 
     /// Selection quality: optimal true time / selected configuration's true
@@ -145,12 +150,14 @@ impl TuningReport {
     }
 }
 
-fn argmin(xs: &[f64]) -> usize {
+/// Argmin over configurations that actually completed (not quarantined).
+fn argmin_live(xs: &[f64], configs: &[crate::driver::ConfigResult]) -> usize {
     xs.iter()
         .enumerate()
+        .filter(|&(i, _)| !configs[i].quarantined)
         .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in times"))
         .map(|(i, _)| i)
-        .expect("empty slice")
+        .expect("every configuration was quarantined")
 }
 
 #[cfg(test)]
@@ -171,11 +178,13 @@ mod tests {
                     name: "a".into(),
                     pairs: vec![(record(10.0, 0.0), record(4.0, 11.0))],
                     offline: vec![],
+                    quarantined: false,
                 },
                 ConfigResult {
                     name: "b".into(),
                     pairs: vec![(record(8.0, 0.0), record(2.0, 7.6))],
                     offline: vec![record(8.0, 0.0)],
+                    quarantined: false,
                 },
             ],
             obs: None,
@@ -204,6 +213,21 @@ mod tests {
         let r = report();
         assert_eq!(r.optimal(), 1); // true times 10 vs 8
         assert_eq!(r.selected(), 1); // predictions 11 vs 7.6
+        assert_eq!(r.selection_quality(), 1.0);
+    }
+
+    #[test]
+    fn quarantined_configs_never_win_selection() {
+        let mut r = report();
+        // An abandoned configuration has no pairs; its mean predicted/true
+        // time reads as 0.0, which must not win the argmin.
+        r.configs.push(ConfigResult {
+            name: "dead".into(),
+            quarantined: true,
+            ..Default::default()
+        });
+        assert_eq!(r.optimal(), 1);
+        assert_eq!(r.selected(), 1);
         assert_eq!(r.selection_quality(), 1.0);
     }
 

@@ -164,7 +164,8 @@ mod tests {
     use critter_core::ExecutionPolicy;
 
     fn opts() -> TuningOptions {
-        let mut o = TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.25).test_machine();
+        let mut o =
+            TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.25).with_test_machine();
         o.reset_between_configs = true;
         o
     }

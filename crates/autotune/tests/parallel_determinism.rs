@@ -35,7 +35,7 @@ fn tune_with_workers(
     allocation: u64,
     workers: usize,
 ) -> critter_autotune::TuningReport {
-    let mut opts = TuningOptions::new(policy, epsilon).test_machine().with_workers(workers);
+    let mut opts = TuningOptions::new(policy, epsilon).with_test_machine().with_workers(workers);
     opts.reps = reps;
     opts.reset_between_configs = reset;
     opts.allocation = allocation;

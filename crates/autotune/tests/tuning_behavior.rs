@@ -8,7 +8,7 @@ fn tune(
     policy: ExecutionPolicy,
     epsilon: f64,
 ) -> critter_autotune::TuningReport {
-    let mut opts = TuningOptions::new(policy, epsilon).test_machine();
+    let mut opts = TuningOptions::new(policy, epsilon).with_test_machine();
     opts.reset_between_configs = space.resets_between_configs();
     Autotuner::new(opts).tune(&space.smoke())
 }
@@ -55,7 +55,7 @@ fn apriori_pays_offline_pass() {
 
 #[test]
 fn eager_persists_models_across_configs() {
-    let mut opts = TuningOptions::new(ExecutionPolicy::EagerPropagation, 0.5).test_machine();
+    let mut opts = TuningOptions::new(ExecutionPolicy::EagerPropagation, 0.5).with_test_machine();
     opts.reset_between_configs = false;
     let report = Autotuner::new(opts).tune(&TuningSpace::CapitalCholesky.smoke());
     // Later configurations reuse converged models: the final config must skip
@@ -78,7 +78,7 @@ fn selection_quality_is_high_under_loose_tolerance() {
 
 #[test]
 fn repetitions_are_recorded() {
-    let mut opts = TuningOptions::new(ExecutionPolicy::LocalPropagation, 0.5).test_machine();
+    let mut opts = TuningOptions::new(ExecutionPolicy::LocalPropagation, 0.5).with_test_machine();
     opts.reps = 2;
     let report = Autotuner::new(opts).tune(&TuningSpace::SlateQr.smoke());
     for c in &report.configs {

@@ -21,7 +21,7 @@ fn bench_policies() {
     let workloads = space.smoke();
     for policy in ExecutionPolicy::ALL_SELECTIVE {
         bench("smoke_sweep_slate_chol", policy.name(), 5, || {
-            let mut opts = TuningOptions::new(policy, 0.25).test_machine();
+            let mut opts = TuningOptions::new(policy, 0.25).with_test_machine();
             opts.reset_between_configs = space.resets_between_configs();
             let report = Autotuner::new(opts).tune(&workloads);
             black_box(report.speedup());
@@ -33,7 +33,8 @@ fn bench_epsilons() {
     let workloads = TuningSpace::CandmcQr.smoke();
     for &eps in &[1.0, 0.125] {
         bench("smoke_sweep_candmc_eps", &eps.to_string(), 5, || {
-            let opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, eps).test_machine();
+            let opts =
+                TuningOptions::new(ExecutionPolicy::OnlinePropagation, eps).with_test_machine();
             let report = Autotuner::new(opts).tune(&workloads);
             black_box(report.mean_error());
         });
@@ -58,7 +59,7 @@ fn bench_pipelined_tune() {
     let workloads = eight_config_space();
     let tune = |workers: usize| {
         let opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, 1.0)
-            .test_machine()
+            .with_test_machine()
             .with_workers(workers);
         Autotuner::new(opts).tune(&workloads)
     };
@@ -88,7 +89,7 @@ fn bench_sweep_level_parallelism() {
         .collect();
     let run_all = |jobs: usize| {
         parallel_map(&specs, jobs, |&(policy, eps)| {
-            let opts = TuningOptions::new(policy, eps).test_machine();
+            let opts = TuningOptions::new(policy, eps).with_test_machine();
             Autotuner::new(opts).tune(&workloads)
         })
     };
@@ -123,7 +124,7 @@ fn export_observed_sweep(workloads: &[Arc<dyn Workload>], workers: usize) {
     }
     let tune = |workers: usize| {
         let opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, 1.0)
-            .test_machine()
+            .with_test_machine()
             .with_workers(workers)
             .with_observe();
         Autotuner::new(opts).tune(workloads)

@@ -25,7 +25,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use critter_autotune::{Autotuner, TuningOptions, TuningReport, TuningSpace};
+use critter_autotune::{Autotuner, SessionConfig, TuningOptions, TuningReport, TuningSpace};
 use critter_core::ExecutionPolicy;
 use critter_obs::ObsReport;
 
@@ -52,6 +52,26 @@ pub struct FigOpts {
     /// Write the aggregated metrics registry (canonical JSON) here
     /// (`--metrics-out`).
     pub metrics_out: Option<PathBuf>,
+    /// Base directory for per-sweep checkpoints (`--checkpoint-dir`). Each
+    /// `(space, policy, ε, allocation)` sweep checkpoints into its own
+    /// subdirectory.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from existing checkpoints (`--resume`). Without it, stale
+    /// per-sweep checkpoint directories are cleared so every sweep starts
+    /// fresh.
+    pub resume: bool,
+    /// Kernel-model profile to warm-start every sweep from (`--warm-start`).
+    pub warm_start: Option<PathBuf>,
+    /// Base directory for per-sweep kernel-model profiles (`--profile-out`).
+    pub profile_out: Option<PathBuf>,
+    /// Rank-panic probability per fault point (`--faults P`): arms
+    /// deterministic fault injection, routing sweeps through the
+    /// fault-tolerant session engine.
+    pub faults: Option<f64>,
+    /// Seed of the fault stream (`--fault-seed N`).
+    pub fault_seed: u64,
+    /// Retry budget per simulated run when faults are armed (`--retries N`).
+    pub retries: usize,
 }
 
 /// Default sweep-level job count: the host's cores, capped at 8.
@@ -60,11 +80,9 @@ pub fn default_jobs() -> usize {
 }
 
 impl FigOpts {
-    /// Parse from `std::env::args` (flags: `--quick`, `--allocations N`,
-    /// `--reps N`, `--out DIR`, `--jobs N`, `--trace-out FILE`,
-    /// `--folded-out FILE`, `--metrics-out FILE`).
-    pub fn from_args() -> Self {
-        let mut opts = FigOpts {
+    /// The flag defaults (what a bare binary invocation runs with).
+    pub fn defaults() -> Self {
+        FigOpts {
             quick: false,
             allocations: 1,
             reps: 1,
@@ -73,7 +91,23 @@ impl FigOpts {
             trace_out: None,
             folded_out: None,
             metrics_out: None,
-        };
+            checkpoint_dir: None,
+            resume: false,
+            warm_start: None,
+            profile_out: None,
+            faults: None,
+            fault_seed: 0xFA17,
+            retries: 2,
+        }
+    }
+
+    /// Parse from `std::env::args` (flags: `--quick`, `--allocations N`,
+    /// `--reps N`, `--out DIR`, `--jobs N`, `--trace-out FILE`,
+    /// `--folded-out FILE`, `--metrics-out FILE`, `--checkpoint-dir DIR`,
+    /// `--resume`, `--warm-start FILE`, `--profile-out DIR`, `--faults P`,
+    /// `--fault-seed N`, `--retries N`).
+    pub fn from_args() -> Self {
+        let mut opts = Self::defaults();
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -107,6 +141,31 @@ impl FigOpts {
                     i += 1;
                     opts.metrics_out = Some(PathBuf::from(&args[i]));
                 }
+                "--checkpoint-dir" => {
+                    i += 1;
+                    opts.checkpoint_dir = Some(PathBuf::from(&args[i]));
+                }
+                "--resume" => opts.resume = true,
+                "--warm-start" => {
+                    i += 1;
+                    opts.warm_start = Some(PathBuf::from(&args[i]));
+                }
+                "--profile-out" => {
+                    i += 1;
+                    opts.profile_out = Some(PathBuf::from(&args[i]));
+                }
+                "--faults" => {
+                    i += 1;
+                    opts.faults = Some(args[i].parse().expect("--faults PANIC_PROB"));
+                }
+                "--fault-seed" => {
+                    i += 1;
+                    opts.fault_seed = args[i].parse().expect("--fault-seed N");
+                }
+                "--retries" => {
+                    i += 1;
+                    opts.retries = args[i].parse().expect("--retries N");
+                }
                 other => panic!("unknown flag {other}"),
             }
             i += 1;
@@ -127,6 +186,17 @@ impl FigOpts {
     /// Whether any observability export was requested.
     pub fn observe(&self) -> bool {
         self.trace_out.is_some() || self.folded_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Whether any session feature (checkpoints, warm-start, profile
+    /// persistence, fault injection) was requested: such sweeps route
+    /// through the fault-tolerant session engine instead of the plain
+    /// in-memory driver.
+    pub fn session(&self) -> bool {
+        self.checkpoint_dir.is_some()
+            || self.warm_start.is_some()
+            || self.profile_out.is_some()
+            || self.faults.is_some()
     }
 }
 
@@ -191,6 +261,64 @@ pub fn sweep_with(
     opts.observe = observe;
     let workloads = if smoke { space.smoke() } else { space.bench() };
     Autotuner::new(opts).tune(&workloads)
+}
+
+/// Filesystem-safe slug identifying one sweep (used to key per-sweep
+/// checkpoint directories and profile files).
+pub fn sweep_slug(
+    space: TuningSpace,
+    policy: ExecutionPolicy,
+    epsilon: f64,
+    allocation: u64,
+) -> String {
+    format!("{}-{}-eps{epsilon}-a{allocation}", space.name(), policy.name().replace(' ', "-"))
+}
+
+/// One `(space, policy, ε, allocation)` sweep through the session engine,
+/// honoring the session flags: per-sweep checkpoint directory (cleared
+/// unless `--resume`), warm-start profile, per-sweep profile output, and
+/// fault injection with the configured retry budget.
+pub fn session_sweep(
+    opts: &FigOpts,
+    space: TuningSpace,
+    policy: ExecutionPolicy,
+    epsilon: f64,
+    allocation: u64,
+) -> TuningReport {
+    let mut topts = TuningOptions::new(policy, epsilon);
+    topts.reset_between_configs = space.resets_between_configs();
+    topts.reps = opts.reps;
+    topts.allocation = allocation;
+    if let Some(p) = opts.faults {
+        topts = topts
+            .with_faults(critter_sim::FaultPlan::new(opts.fault_seed).with_rank_panics(p))
+            .with_retries(opts.retries);
+    }
+    let slug = sweep_slug(space, policy, epsilon, allocation);
+    let mut session = SessionConfig::new();
+    if let Some(base) = &opts.checkpoint_dir {
+        let dir = base.join(&slug);
+        if !opts.resume {
+            let _ = fs::remove_dir_all(&dir);
+        }
+        session = session.with_checkpoint_dir(dir);
+    }
+    if let Some(profile) = &opts.warm_start {
+        // Warm-start requires the persist-models protocol; sweeps that reset
+        // statistics between configurations (SLATE, CANDMC) would refuse it.
+        if topts.reset_between_configs {
+            eprintln!("note: {slug} resets models per config; ignoring --warm-start");
+        } else {
+            session = session.with_warm_start(profile);
+        }
+    }
+    if let Some(base) = &opts.profile_out {
+        fs::create_dir_all(base).expect("create profile output dir");
+        session = session.with_profile_out(base.join(format!("{slug}.json")));
+    }
+    Autotuner::new(topts)
+        .tune_session(&space.bench(), &session)
+        .unwrap_or_else(|e| panic!("session sweep {slug} failed: {e}"))
 }
 
 /// Map `f` over `items` on up to `jobs` threads, preserving input order in
@@ -356,7 +484,11 @@ pub fn run_figure(opts: &FigOpts, space_a: TuningSpace, space_b: TuningSpace, fi
             }
         }
         let reports = parallel_map(&specs, opts.jobs, |&(allocation, policy, _, eps)| {
-            sweep(space, policy, eps, opts.reps, allocation, 1)
+            if opts.session() {
+                session_sweep(opts, space, policy, eps, allocation)
+            } else {
+                sweep(space, policy, eps, opts.reps, allocation, 1)
+            }
         });
         for (&(allocation, policy, label, eps), report) in specs.iter().zip(&reports) {
             sweep_table.row(vec![
@@ -444,19 +576,24 @@ mod tests {
 
     #[test]
     fn epsilon_grids() {
-        let quick = FigOpts {
-            quick: true,
-            allocations: 1,
-            reps: 1,
-            out_dir: "x".into(),
-            jobs: 1,
-            trace_out: None,
-            folded_out: None,
-            metrics_out: None,
-        };
+        let quick = FigOpts { quick: true, ..FigOpts::defaults() };
         assert_eq!(quick.epsilons().len(), 3);
         let full = FigOpts { quick: false, ..quick };
         assert_eq!(full.epsilons().len(), 9);
         assert_eq!(full.epsilons()[8], 1.0 / 256.0);
+    }
+
+    #[test]
+    fn session_flags_route_through_the_session_engine() {
+        let plain = FigOpts::defaults();
+        assert!(!plain.session());
+        let faulted = FigOpts { faults: Some(1e-4), ..FigOpts::defaults() };
+        assert!(faulted.session());
+        let ckpt = FigOpts { checkpoint_dir: Some("ck".into()), ..FigOpts::defaults() };
+        assert!(ckpt.session());
+        assert_eq!(
+            sweep_slug(TuningSpace::SlateCholesky, ExecutionPolicy::LocalPropagation, 0.25, 1),
+            format!("{}-local-propagation-eps0.25-a1", TuningSpace::SlateCholesky.name())
+        );
     }
 }

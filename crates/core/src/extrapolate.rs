@@ -86,6 +86,33 @@ impl LineFit {
         (self.min_x, self.max_x)
     }
 
+    /// The raw accumulator moments `(n, Σx, Σy, Σx², Σxy, Σy²)`, the
+    /// persisted form of the fit. Together with [`x_range`](Self::x_range)
+    /// and [`from_parts`](Self::from_parts) they round-trip a fit exactly.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64, f64) {
+        (self.n, self.sx, self.sy, self.sxx, self.sxy, self.syy)
+    }
+
+    /// Rebuild a fit from persisted raw moments and `x` range, the inverse
+    /// of [`raw_parts`](Self::raw_parts). An `n` of zero restores the empty
+    /// fit (with its ±∞ range sentinels) regardless of the other arguments.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        n: u64,
+        sx: f64,
+        sy: f64,
+        sxx: f64,
+        sxy: f64,
+        syy: f64,
+        min_x: f64,
+        max_x: f64,
+    ) -> Self {
+        if n == 0 {
+            return Self::default();
+        }
+        LineFit { n, sx, sy, sxx, sxy, syy, min_x, max_x }
+    }
+
     /// Residual standard deviation of the fit (`√(SS_res/(n−2))`);
     /// `None` when degenerate or fewer than three points.
     pub fn residual_sd(&self) -> Option<f64> {
@@ -259,6 +286,27 @@ impl ExtrapolationTable {
         self.comm_fits.get(&(op, comm_size, stride))
     }
 
+    /// Iterate over all compute-family fits (arbitrary map order; callers
+    /// that need determinism — e.g. the profile snapshot — must sort).
+    pub fn fits(&self) -> impl Iterator<Item = (&ComputeOp, &LineFit)> {
+        self.fits.iter()
+    }
+
+    /// Iterate over all communication-family fits (arbitrary map order).
+    pub fn comm_fits(&self) -> impl Iterator<Item = (&(CommOp, u64, u64), &LineFit)> {
+        self.comm_fits.iter()
+    }
+
+    /// Install a compute-family fit wholesale (profile restore path).
+    pub fn insert_fit(&mut self, op: ComputeOp, fit: LineFit) {
+        self.fits.insert(op, fit);
+    }
+
+    /// Install a communication-family fit wholesale (profile restore path).
+    pub fn insert_comm_fit(&mut self, op: CommOp, comm_size: u64, stride: u64, fit: LineFit) {
+        self.comm_fits.insert((op, comm_size, stride), fit);
+    }
+
     /// Drop all observations (per-configuration reset).
     pub fn clear(&mut self) {
         self.fits.clear();
@@ -282,6 +330,25 @@ mod tests {
         assert!((b - 2.0).abs() < 1e-9);
         assert!((f.r_squared().unwrap() - 1.0).abs() < 1e-12);
         assert!((f.predict(100.0).unwrap() - 203.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn line_fit_raw_parts_round_trip() {
+        let mut f = LineFit::new();
+        for i in 1..9 {
+            f.push(i as f64 * 1e3, 2e-6 + 3e-10 * i as f64);
+        }
+        let (n, sx, sy, sxx, sxy, syy) = f.raw_parts();
+        let (lo, hi) = f.x_range();
+        let g = LineFit::from_parts(n, sx, sy, sxx, sxy, syy, lo, hi);
+        assert_eq!(g.count(), f.count());
+        assert_eq!(g.x_range(), f.x_range());
+        assert_eq!(g.line(), f.line());
+        assert_eq!(g.raw_parts(), f.raw_parts());
+        // Empty fits restore with their sentinels intact.
+        let e = LineFit::from_parts(0, 1.0, 2.0, 3.0, 4.0, 5.0, 0.0, 0.0);
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.x_range(), (f64::INFINITY, f64::NEG_INFINITY));
     }
 
     #[test]

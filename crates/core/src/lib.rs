@@ -30,16 +30,20 @@
 
 pub mod channels;
 pub mod env;
+pub mod error;
 pub mod extrapolate;
 pub mod fnv;
 pub mod message;
 pub mod policy;
+pub mod prelude;
 pub mod profile;
 pub mod report;
 pub mod signature;
+pub mod snapshot;
 pub mod trace;
 
 pub use env::CritterEnv;
+pub use error::{CritterError, Result};
 pub use extrapolate::{ExtrapolationConfig, ExtrapolationTable};
 pub use policy::{CritterConfig, ExecutionPolicy};
 pub use profile::KernelStore;

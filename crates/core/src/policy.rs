@@ -71,6 +71,20 @@ impl ExecutionPolicy {
         }
     }
 
+    /// Parse a [`name`](Self::name) back to the policy (reports and CLI
+    /// flags round-trip through this).
+    pub fn from_name(s: &str) -> Option<ExecutionPolicy> {
+        Some(match s {
+            "full execution" => ExecutionPolicy::Full,
+            "conditional execution" => ExecutionPolicy::ConditionalExecution,
+            "local propagation" => ExecutionPolicy::LocalPropagation,
+            "online propagation" => ExecutionPolicy::OnlinePropagation,
+            "a priori propagation" => ExecutionPolicy::APrioriPropagation,
+            "eager propagation" => ExecutionPolicy::EagerPropagation,
+            _ => return None,
+        })
+    }
+
     /// Whether this policy adopts the remote winner's `K̃` during the
     /// longest-path reduction (only *online propagation* does, plus the
     /// full/offline pass that records a-priori counts).
@@ -109,8 +123,10 @@ impl ExecutionPolicy {
 /// assert_eq!(cfg.min_samples, 2);
 /// assert!(cfg.charge_internal);
 ///
-/// // Builders toggle the ablation switches and the observability layer.
-/// let cfg = cfg.without_overhead().with_obs();
+/// // `with_*` builders toggle the ablation switches and the observability
+/// // layer — the one builder vocabulary shared with `TuningOptions` and
+/// // `SessionConfig`.
+/// let cfg = cfg.with_internal_charging(false).with_obs();
 /// assert!(!cfg.charge_internal);
 /// assert!(cfg.obs);
 ///
@@ -118,6 +134,7 @@ impl ExecutionPolicy {
 /// assert_eq!(CritterConfig::full().policy, ExecutionPolicy::Full);
 /// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct CritterConfig {
     /// The selective-execution policy.
     pub policy: ExecutionPolicy,
@@ -196,10 +213,32 @@ impl CritterConfig {
         CritterConfig::new(ExecutionPolicy::Full, 0.0)
     }
 
-    /// Turn internal-message charging off.
-    pub fn without_overhead(mut self) -> Self {
-        self.charge_internal = false;
+    /// Set whether internal (profiling) messages are charged communication
+    /// time. `false` is the overhead ablation.
+    pub fn with_internal_charging(mut self, charge: bool) -> Self {
+        self.charge_internal = charge;
         self
+    }
+
+    /// Set the confidence level of the per-kernel intervals (paper: 0.95).
+    pub fn with_confidence(mut self, confidence: f64) -> Self {
+        self.confidence = confidence;
+        self
+    }
+
+    /// Set the minimum samples before a kernel may be deemed predictable.
+    pub fn with_min_samples(mut self, min_samples: u64) -> Self {
+        self.min_samples = min_samples;
+        self
+    }
+
+    /// Turn internal-message charging off.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `with_internal_charging(false)` — part of the unified `with_*` builder surface"
+    )]
+    pub fn without_overhead(self) -> Self {
+        self.with_internal_charging(false)
     }
 
     /// Use log2 message-size buckets (granularity ablation).
@@ -237,7 +276,24 @@ mod tests {
         assert_eq!(c.confidence, 0.95);
         assert_eq!(c.min_samples, 2);
         assert!(c.charge_internal);
-        assert!(!c.without_overhead().charge_internal);
+        assert!(!c.with_internal_charging(false).charge_internal);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builder_shims_still_work() {
+        let c = CritterConfig::new(ExecutionPolicy::OnlinePropagation, 0.25).without_overhead();
+        assert!(!c.charge_internal);
+    }
+
+    #[test]
+    fn policy_names_invert() {
+        let mut all = ExecutionPolicy::ALL_SELECTIVE.to_vec();
+        all.push(ExecutionPolicy::Full);
+        for p in all {
+            assert_eq!(ExecutionPolicy::from_name(p.name()), Some(p));
+        }
+        assert_eq!(ExecutionPolicy::from_name("bogus"), None);
     }
 
     #[test]

@@ -1,0 +1,24 @@
+//! One-stop import for the session-facing surface of the stack.
+//!
+//! Pulls in the configuration, policy, profile, report, and error types a
+//! caller needs to drive tuning sessions — the types that cross the
+//! `critter-session` / `critter-autotune` boundary.
+//!
+//! # Examples
+//!
+//! ```
+//! use critter_core::prelude::*;
+//!
+//! let cfg = CritterConfig::new(ExecutionPolicy::OnlinePropagation, 0.25).with_obs();
+//! let store = KernelStore::new();
+//! let _doc = snapshot::store_to_json(&store);
+//! assert_eq!(cfg.policy.name(), "online propagation");
+//! ```
+
+pub use crate::error::{CritterError, Result};
+pub use crate::extrapolate::{ExtrapolationConfig, ExtrapolationTable, LineFit};
+pub use crate::policy::{CritterConfig, ExecutionPolicy};
+pub use crate::profile::{KernelModel, KernelStore};
+pub use crate::report::{CritterReport, PathMetrics};
+pub use crate::signature::{ComputeOp, KernelSig, SizeGranularity};
+pub use crate::snapshot;

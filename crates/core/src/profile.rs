@@ -31,7 +31,9 @@ pub struct KernelModel {
 }
 
 impl KernelModel {
-    fn new(sig: KernelSig) -> Self {
+    /// A fresh (sample-less) model of `sig` — the state every entry of `K̄`
+    /// starts from, and the base the profile-restore path fills in.
+    pub fn from_sig(sig: KernelSig) -> Self {
         KernelModel {
             sig,
             stats: OnlineStats::new(),
@@ -41,6 +43,10 @@ impl KernelModel {
             eager_off: false,
             eager_strides: Vec::new(),
         }
+    }
+
+    fn new(sig: KernelSig) -> Self {
+        Self::from_sig(sig)
     }
 
     /// Confidence interval on the mean under `level`.

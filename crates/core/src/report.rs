@@ -1,5 +1,7 @@
 //! Path metrics and per-run reports.
 
+use crate::error::{CritterError, Result};
+
 /// Cost metrics accumulated along a rank's current sub-critical path and
 /// propagated by elementwise maximum at every intercepted communication —
 /// the independent-max counterpart of the winner-takes-all execution-time
@@ -38,6 +40,22 @@ impl PathMetrics {
             "comp_time": self.comp_time,
             "flops": self.flops,
             "syncs": self.syncs,
+        })
+    }
+
+    /// Restore metrics bit-exactly from [`PathMetrics::to_json`] output.
+    pub fn from_json(v: &serde_json::Value) -> Result<PathMetrics> {
+        let get = |key: &str| {
+            v.get(key)
+                .and_then(serde_json::Value::as_f64)
+                .ok_or_else(|| CritterError::schema("path metrics", format!("bad key `{key}`")))
+        };
+        Ok(PathMetrics {
+            comm_words: get("comm_words")?,
+            syncs: get("syncs")?,
+            flops: get("flops")?,
+            comp_time: get("comp_time")?,
+            comm_time: get("comm_time")?,
         })
     }
 
@@ -165,6 +183,21 @@ mod tests {
         let m =
             PathMetrics { comm_words: 1.0, syncs: 2.0, flops: 3.0, comp_time: 4.0, comm_time: 5.0 };
         assert_eq!(PathMetrics::from_array(m.to_array()), m);
+    }
+
+    #[test]
+    fn metrics_roundtrip_json_bit_exactly() {
+        let m = PathMetrics {
+            comm_words: 1024.0,
+            syncs: 17.0,
+            flops: 3.5e9,
+            comp_time: 0.1 + 0.2, // a value with no short decimal form
+            comm_time: 1.0 / 3.0,
+        };
+        let text = serde_json::to_string(&m.to_json()).unwrap();
+        let back = PathMetrics::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+        assert!(PathMetrics::from_json(&serde_json::json!({ "syncs": 1.0 })).is_err());
     }
 
     #[test]

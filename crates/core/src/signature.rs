@@ -64,6 +64,38 @@ impl ComputeOp {
         }
     }
 
+    /// Canonical, invertible serialization name: like [`name`](Self::name)
+    /// but `Custom` kernels keep their annotation id (`custom:7`). The
+    /// inverse is [`from_name`](Self::from_name).
+    pub fn canonical_name(self) -> String {
+        match self {
+            ComputeOp::Custom(id) => format!("custom:{id}"),
+            other => other.name().to_string(),
+        }
+    }
+
+    /// Parse a [`canonical_name`](Self::canonical_name) back to the routine.
+    pub fn from_name(s: &str) -> Option<ComputeOp> {
+        Some(match s {
+            "gemm" => ComputeOp::Gemm,
+            "syrk" => ComputeOp::Syrk,
+            "trsm" => ComputeOp::Trsm,
+            "trmm" => ComputeOp::Trmm,
+            "potrf" => ComputeOp::Potrf,
+            "trtri" => ComputeOp::Trtri,
+            "geqrf" => ComputeOp::Geqrf,
+            "ormqr" => ComputeOp::Ormqr,
+            "larft" => ComputeOp::Larft,
+            "tpqrt" => ComputeOp::Tpqrt,
+            "tpmqrt" => ComputeOp::Tpmqrt,
+            "getrf" => ComputeOp::Getrf,
+            _ => {
+                let id = s.strip_prefix("custom:")?.parse().ok()?;
+                ComputeOp::Custom(id)
+            }
+        })
+    }
+
     /// Efficiency class of the routine for the machine's compute-cost model.
     pub fn class(self) -> KernelClass {
         match self {
@@ -239,6 +271,31 @@ mod tests {
         let s = KernelSig::compute(ComputeOp::Tpqrt, 1 << 20, 1 << 10, 0);
         let k = s.key();
         assert_eq!(k as f64 as u64, k, "key must round-trip through f64");
+    }
+
+    #[test]
+    fn names_invert() {
+        let ops = [
+            ComputeOp::Gemm,
+            ComputeOp::Syrk,
+            ComputeOp::Trsm,
+            ComputeOp::Trmm,
+            ComputeOp::Potrf,
+            ComputeOp::Trtri,
+            ComputeOp::Geqrf,
+            ComputeOp::Ormqr,
+            ComputeOp::Larft,
+            ComputeOp::Tpqrt,
+            ComputeOp::Tpmqrt,
+            ComputeOp::Getrf,
+            ComputeOp::Custom(0),
+            ComputeOp::Custom(917),
+        ];
+        for op in ops {
+            assert_eq!(ComputeOp::from_name(&op.canonical_name()), Some(op));
+        }
+        assert_eq!(ComputeOp::from_name("nosuch"), None);
+        assert_eq!(ComputeOp::from_name("custom:x"), None);
     }
 
     #[test]

@@ -1,0 +1,477 @@
+//! Canonical-JSON snapshot/restore of kernel-performance state.
+//!
+//! Everything the paper's framework learns during a sweep — the `K̄`
+//! statistics, the critical-path counts, the a-priori tables, and the §VIII
+//! extrapolation fits — lives in [`KernelStore`]s. This module gives that
+//! state a persisted form so a tuning *session* can outlive a process:
+//! checkpoints write stores to disk mid-sweep and warm starts seed a fresh
+//! sweep from a prior session's profile.
+//!
+//! Two properties carry the whole design:
+//!
+//! * **Canonical text.** Objects serialize with sorted keys, collections in
+//!   sorted order, and floats in shortest-round-trip form (the PR 2
+//!   serializer), so equal states produce byte-identical documents — which
+//!   is what makes content hashes and golden diffs meaningful.
+//! * **Bit-exact restore.** Floats parse back through `f64::from_str`
+//!   (correctly rounded), so `from_json(to_json(x))` reproduces every
+//!   accumulator bit for bit. The kill/resume oracle in `critter-testkit`
+//!   rests on this.
+//!
+//! Empty [`OnlineStats`] carry ±∞ min/max sentinels which JSON cannot
+//! represent; they serialize as `{"count": 0}` and restore through
+//! [`OnlineStats::new`].
+
+use critter_machine::CommOp;
+use critter_stats::OnlineStats;
+use serde_json::{json, Map, Value};
+
+use crate::error::{CritterError, Result};
+use crate::extrapolate::{ExtrapolationTable, LineFit};
+use crate::profile::{KernelModel, KernelStore};
+use crate::signature::{ComputeOp, KernelSig};
+
+// ---------------------------------------------------------------------------
+// Field-access helpers. Every decoder goes through these so a malformed
+// document yields a Schema error naming the missing/ill-typed key instead of
+// a panic.
+
+fn req<'a>(v: &'a Value, ctx: &str, key: &str) -> Result<&'a Value> {
+    v.get(key).ok_or_else(|| CritterError::schema(ctx, format!("missing key `{key}`")))
+}
+
+fn req_f64(v: &Value, ctx: &str, key: &str) -> Result<f64> {
+    req(v, ctx, key)?
+        .as_f64()
+        .ok_or_else(|| CritterError::schema(ctx, format!("key `{key}` is not a number")))
+}
+
+fn req_u64(v: &Value, ctx: &str, key: &str) -> Result<u64> {
+    req(v, ctx, key)?
+        .as_u64()
+        .ok_or_else(|| CritterError::schema(ctx, format!("key `{key}` is not a u64")))
+}
+
+fn req_bool(v: &Value, ctx: &str, key: &str) -> Result<bool> {
+    req(v, ctx, key)?
+        .as_bool()
+        .ok_or_else(|| CritterError::schema(ctx, format!("key `{key}` is not a bool")))
+}
+
+fn req_str<'a>(v: &'a Value, ctx: &str, key: &str) -> Result<&'a str> {
+    req(v, ctx, key)?
+        .as_str()
+        .ok_or_else(|| CritterError::schema(ctx, format!("key `{key}` is not a string")))
+}
+
+fn req_array<'a>(v: &'a Value, ctx: &str, key: &str) -> Result<&'a Vec<Value>> {
+    req(v, ctx, key)?
+        .as_array()
+        .ok_or_else(|| CritterError::schema(ctx, format!("key `{key}` is not an array")))
+}
+
+fn elem_f64(v: &Value, ctx: &str) -> Result<f64> {
+    v.as_f64().ok_or_else(|| CritterError::schema(ctx, "array element is not a number"))
+}
+
+fn elem_u64(v: &Value, ctx: &str) -> Result<u64> {
+    v.as_u64().ok_or_else(|| CritterError::schema(ctx, "array element is not a u64"))
+}
+
+// ---------------------------------------------------------------------------
+// OnlineStats
+
+/// Serialize a Welford accumulator. Empty accumulators reduce to
+/// `{"count": 0}` (their min/max sentinels are ±∞, which JSON lacks).
+pub fn stats_to_json(s: &OnlineStats) -> Value {
+    if s.count() == 0 {
+        return json!({ "count": 0u64 });
+    }
+    json!({
+        "count": s.count(),
+        "m2": s.m2(),
+        "max": s.max(),
+        "mean": s.mean(),
+        "min": s.min(),
+        "total": s.total(),
+    })
+}
+
+/// Restore a Welford accumulator bit-exactly from [`stats_to_json`] output.
+pub fn stats_from_json(v: &Value) -> Result<OnlineStats> {
+    let ctx = "stats";
+    let count = req_u64(v, ctx, "count")?;
+    if count == 0 {
+        return Ok(OnlineStats::new());
+    }
+    Ok(OnlineStats::from_parts(
+        count,
+        req_f64(v, ctx, "mean")?,
+        req_f64(v, ctx, "m2")?,
+        req_f64(v, ctx, "min")?,
+        req_f64(v, ctx, "max")?,
+        req_f64(v, ctx, "total")?,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// LineFit
+
+/// Serialize a least-squares fit's raw moments. Empty fits reduce to
+/// `{"n": 0}` (their x-range sentinels are ±∞). In-table fits always hold at
+/// least one point, but the empty form keeps the codec total.
+pub fn fit_to_json(f: &LineFit) -> Value {
+    let (n, sx, sy, sxx, sxy, syy) = f.raw_parts();
+    if n == 0 {
+        return json!({ "n": 0u64 });
+    }
+    let (min_x, max_x) = f.x_range();
+    json!({
+        "max_x": max_x,
+        "min_x": min_x,
+        "n": n,
+        "sx": sx,
+        "sxx": sxx,
+        "sxy": sxy,
+        "sy": sy,
+        "syy": syy,
+    })
+}
+
+/// Restore a fit bit-exactly from [`fit_to_json`] output.
+pub fn fit_from_json(v: &Value) -> Result<LineFit> {
+    let ctx = "line fit";
+    let n = req_u64(v, ctx, "n")?;
+    if n == 0 {
+        return Ok(LineFit::new());
+    }
+    Ok(LineFit::from_parts(
+        n,
+        req_f64(v, ctx, "sx")?,
+        req_f64(v, ctx, "sy")?,
+        req_f64(v, ctx, "sxx")?,
+        req_f64(v, ctx, "sxy")?,
+        req_f64(v, ctx, "syy")?,
+        req_f64(v, ctx, "min_x")?,
+        req_f64(v, ctx, "max_x")?,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// KernelSig
+
+/// Serialize a kernel signature. The `op` field uses the canonical
+/// (invertible) routine name, so `Custom` kernels keep their id.
+pub fn sig_to_json(sig: &KernelSig) -> Value {
+    match sig {
+        KernelSig::Compute { op, dims } => json!({
+            "dims": [dims.0 as f64, dims.1 as f64, dims.2 as f64],
+            "kind": "compute",
+            "op": op.canonical_name(),
+        }),
+        KernelSig::Comm { op, words, comm_size, stride } => json!({
+            "comm_size": *comm_size,
+            "kind": "comm",
+            "op": op.name(),
+            "stride": *stride,
+            "words": *words,
+        }),
+    }
+}
+
+/// Restore a kernel signature from [`sig_to_json`] output.
+pub fn sig_from_json(v: &Value) -> Result<KernelSig> {
+    let ctx = "kernel signature";
+    match req_str(v, ctx, "kind")? {
+        "compute" => {
+            let name = req_str(v, ctx, "op")?;
+            let op = ComputeOp::from_name(name)
+                .ok_or_else(|| CritterError::schema(ctx, format!("unknown routine `{name}`")))?;
+            let dims = req_array(v, ctx, "dims")?;
+            if dims.len() != 3 {
+                return Err(CritterError::schema(ctx, "`dims` must have three entries"));
+            }
+            Ok(KernelSig::Compute {
+                op,
+                dims: (
+                    elem_u64(&dims[0], ctx)?,
+                    elem_u64(&dims[1], ctx)?,
+                    elem_u64(&dims[2], ctx)?,
+                ),
+            })
+        }
+        "comm" => {
+            let name = req_str(v, ctx, "op")?;
+            let op = CommOp::from_name(name)
+                .ok_or_else(|| CritterError::schema(ctx, format!("unknown routine `{name}`")))?;
+            Ok(KernelSig::Comm {
+                op,
+                words: req_u64(v, ctx, "words")?,
+                comm_size: req_u64(v, ctx, "comm_size")?,
+                stride: req_u64(v, ctx, "stride")?,
+            })
+        }
+        other => Err(CritterError::schema(ctx, format!("unknown signature kind `{other}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KernelModel
+
+fn model_to_json(m: &KernelModel) -> Value {
+    json!({
+        "eager_coverage": m.eager_coverage,
+        "eager_off": m.eager_off,
+        "eager_strides": m.eager_strides.iter().map(|&s| s as f64).collect::<Vec<f64>>(),
+        "executed": m.executed_this_config,
+        "scheduled": m.scheduled_this_config,
+        "sig": sig_to_json(&m.sig),
+        "stats": stats_to_json(&m.stats),
+    })
+}
+
+fn model_from_json(v: &Value) -> Result<KernelModel> {
+    let ctx = "kernel model";
+    let sig = sig_from_json(req(v, ctx, "sig")?)?;
+    let mut m = KernelModel::from_sig(sig);
+    m.stats = stats_from_json(req(v, ctx, "stats")?)?;
+    m.scheduled_this_config = req_u64(v, ctx, "scheduled")?;
+    m.executed_this_config = req_u64(v, ctx, "executed")?;
+    m.eager_coverage = req_u64(v, ctx, "eager_coverage")?;
+    m.eager_off = req_bool(v, ctx, "eager_off")?;
+    m.eager_strides = req_array(v, ctx, "eager_strides")?
+        .iter()
+        .map(|s| elem_u64(s, ctx))
+        .collect::<Result<Vec<u64>>>()?;
+    Ok(m)
+}
+
+// ---------------------------------------------------------------------------
+// ExtrapolationTable
+
+/// Serialize the §VIII extrapolation fits, sorted by routine family.
+pub fn table_to_json(t: &ExtrapolationTable) -> Value {
+    let mut compute: Vec<(&ComputeOp, &LineFit)> = t.fits().collect();
+    compute.sort_by_key(|(op, _)| **op);
+    let compute: Vec<Value> = compute
+        .into_iter()
+        .map(|(op, fit)| json!({ "fit": fit_to_json(fit), "op": op.canonical_name() }))
+        .collect();
+    let mut comm: Vec<(&(CommOp, u64, u64), &LineFit)> = t.comm_fits().collect();
+    comm.sort_by_key(|(key, _)| **key);
+    let comm: Vec<Value> = comm
+        .into_iter()
+        .map(|(&(op, p, s), fit)| {
+            json!({ "fit": fit_to_json(fit), "op": op.name(), "p": p, "s": s })
+        })
+        .collect();
+    json!({ "comm": comm, "compute": compute })
+}
+
+/// Restore an extrapolation table from [`table_to_json`] output.
+pub fn table_from_json(v: &Value) -> Result<ExtrapolationTable> {
+    let ctx = "extrapolation table";
+    let mut t = ExtrapolationTable::new();
+    for entry in req_array(v, ctx, "compute")? {
+        let name = req_str(entry, ctx, "op")?;
+        let op = ComputeOp::from_name(name)
+            .ok_or_else(|| CritterError::schema(ctx, format!("unknown routine `{name}`")))?;
+        t.insert_fit(op, fit_from_json(req(entry, ctx, "fit")?)?);
+    }
+    for entry in req_array(v, ctx, "comm")? {
+        let name = req_str(entry, ctx, "op")?;
+        let op = CommOp::from_name(name)
+            .ok_or_else(|| CritterError::schema(ctx, format!("unknown routine `{name}`")))?;
+        let p = req_u64(entry, ctx, "p")?;
+        let s = req_u64(entry, ctx, "s")?;
+        t.insert_comm_fit(op, p, s, fit_from_json(req(entry, ctx, "fit")?)?);
+    }
+    Ok(t)
+}
+
+// ---------------------------------------------------------------------------
+// KernelStore
+
+/// Serialize one rank's complete kernel-performance state. Models sort by
+/// signature key, path/a-priori tables by kernel key, so equal stores
+/// serialize to byte-identical documents.
+pub fn store_to_json(store: &KernelStore) -> Value {
+    let mut models: Vec<&KernelModel> = store.local.values().collect();
+    models.sort_by_key(|m| m.sig.key());
+    let models: Vec<Value> = models.into_iter().map(model_to_json).collect();
+
+    let mut path: Vec<(u64, u64, f64)> =
+        store.path_counts.iter().map(|(&k, &(c, t))| (k, c, t)).collect();
+    path.sort_by_key(|&(k, _, _)| k);
+    let path: Vec<Value> = path
+        .into_iter()
+        .map(|(k, c, t)| Value::Array(vec![json!(k as f64), json!(c as f64), json!(t)]))
+        .collect();
+
+    let mut apriori: Vec<(u64, u64)> = store.apriori_counts.iter().map(|(&k, &c)| (k, c)).collect();
+    apriori.sort_by_key(|&(k, _)| k);
+    let apriori: Vec<Value> = apriori
+        .into_iter()
+        .map(|(k, c)| Value::Array(vec![json!(k as f64), json!(c as f64)]))
+        .collect();
+
+    let mut obj = Map::new();
+    obj.insert("apriori".into(), Value::Array(apriori));
+    obj.insert("extrapolation".into(), table_to_json(&store.extrapolation));
+    obj.insert("local".into(), Value::Array(models));
+    obj.insert("path".into(), Value::Array(path));
+    Value::Object(obj)
+}
+
+/// Restore a kernel store bit-exactly from [`store_to_json`] output.
+pub fn store_from_json(v: &Value) -> Result<KernelStore> {
+    let ctx = "kernel store";
+    let mut store = KernelStore::new();
+    for entry in req_array(v, ctx, "local")? {
+        let m = model_from_json(entry)?;
+        store.local.insert(m.sig.key(), m);
+    }
+    for entry in req_array(v, ctx, "path")? {
+        let row = entry
+            .as_array()
+            .ok_or_else(|| CritterError::schema(ctx, "`path` entries must be arrays"))?;
+        if row.len() != 3 {
+            return Err(CritterError::schema(ctx, "`path` entries must be [key, count, time]"));
+        }
+        store
+            .path_counts
+            .insert(elem_u64(&row[0], ctx)?, (elem_u64(&row[1], ctx)?, elem_f64(&row[2], ctx)?));
+    }
+    for entry in req_array(v, ctx, "apriori")? {
+        let row = entry
+            .as_array()
+            .ok_or_else(|| CritterError::schema(ctx, "`apriori` entries must be arrays"))?;
+        if row.len() != 2 {
+            return Err(CritterError::schema(ctx, "`apriori` entries must be [key, count]"));
+        }
+        store.apriori_counts.insert(elem_u64(&row[0], ctx)?, elem_u64(&row[1], ctx)?);
+    }
+    store.extrapolation = table_from_json(req(v, ctx, "extrapolation")?)?;
+    Ok(store)
+}
+
+/// Serialize a whole fleet of per-rank stores (index = rank).
+pub fn stores_to_json(stores: &[KernelStore]) -> Value {
+    Value::Array(stores.iter().map(store_to_json).collect())
+}
+
+/// Restore a fleet of per-rank stores from [`stores_to_json`] output.
+pub fn stores_from_json(v: &Value) -> Result<Vec<KernelStore>> {
+    v.as_array()
+        .ok_or_else(|| CritterError::schema("kernel stores", "expected an array of stores"))?
+        .iter()
+        .map(store_from_json)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::SizeGranularity;
+
+    fn busy_store() -> KernelStore {
+        let mut s = KernelStore::new();
+        let g = KernelSig::compute(ComputeOp::Gemm, 64, 64, 32);
+        let c = KernelSig::compute(ComputeOp::Custom(7), 8, 8, 0);
+        let b = KernelSig::p2p(100, 3, SizeGranularity::Exact);
+        for i in 0..5 {
+            s.record(&g, 1e-6 * (i + 1) as f64 / 3.0);
+            s.schedule(&g);
+        }
+        s.record(&c, 0.1);
+        s.schedule(&c);
+        s.record(&b, 2.5e-7);
+        s.schedule(&b);
+        s.attribute_path_time(g.key(), 0.125);
+        s.capture_apriori();
+        s.model_mut(&g).eager_coverage = 4;
+        s.model_mut(&g).eager_strides = vec![1, 4];
+        s.model_mut(&c).eager_off = true;
+        s.extrapolation.record(ComputeOp::Gemm, 1e4, 3.0e-6);
+        s.extrapolation.record(ComputeOp::Gemm, 2e4, 5.0e-6);
+        s.extrapolation.record_comm(CommOp::Bcast, 4, 1, 128.0, 1e-5);
+        s
+    }
+
+    fn store_eq(a: &KernelStore, b: &KernelStore) -> bool {
+        // The store has no PartialEq (hash maps + fits); canonical JSON is
+        // its equality surface.
+        serde_json::to_string(&store_to_json(a)).unwrap()
+            == serde_json::to_string(&store_to_json(b)).unwrap()
+    }
+
+    #[test]
+    fn store_round_trips_bit_exactly() {
+        let s = busy_store();
+        let text = serde_json::to_string_pretty(&store_to_json(&s)).unwrap();
+        let back = store_from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert!(store_eq(&s, &back));
+        // Restored state behaves identically, not just prints identically.
+        let g = KernelSig::compute(ComputeOp::Gemm, 64, 64, 32);
+        let (ma, mb) = (s.model(g.key()).unwrap(), back.model(g.key()).unwrap());
+        assert_eq!(ma.stats, mb.stats);
+        assert_eq!(ma.eager_strides, mb.eager_strides);
+        assert_eq!(s.path_count(g.key()), back.path_count(g.key()));
+        assert_eq!(s.apriori_counts.len(), back.apriori_counts.len());
+        assert_eq!(
+            s.extrapolation.fit(ComputeOp::Gemm).unwrap().raw_parts(),
+            back.extrapolation.fit(ComputeOp::Gemm).unwrap().raw_parts()
+        );
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let s = KernelStore::new();
+        let back = store_from_json(&store_to_json(&s)).unwrap();
+        assert!(store_eq(&s, &back));
+    }
+
+    #[test]
+    fn fleet_round_trips() {
+        let fleet = vec![busy_store(), KernelStore::new()];
+        let back = stores_from_json(&stores_to_json(&fleet)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(store_eq(&fleet[0], &back[0]));
+        assert!(store_eq(&fleet[1], &back[1]));
+    }
+
+    #[test]
+    fn custom_ops_keep_their_id() {
+        let sig = KernelSig::compute(ComputeOp::Custom(42), 4, 4, 4);
+        let back = sig_from_json(&sig_to_json(&sig)).unwrap();
+        assert_eq!(back, sig);
+        assert_eq!(back.key(), sig.key());
+    }
+
+    #[test]
+    fn comm_sigs_round_trip() {
+        let sig =
+            KernelSig::Comm { op: CommOp::ReduceScatter, words: 512, comm_size: 8, stride: 4 };
+        assert_eq!(sig_from_json(&sig_to_json(&sig)).unwrap(), sig);
+    }
+
+    #[test]
+    fn empty_stats_round_trip() {
+        let s = OnlineStats::new();
+        let v = stats_to_json(&s);
+        assert_eq!(serde_json::to_string(&v).unwrap(), r#"{"count":0}"#);
+        assert_eq!(stats_from_json(&v).unwrap(), s);
+    }
+
+    #[test]
+    fn malformed_documents_yield_schema_errors() {
+        for bad in [
+            json!({}),
+            json!({ "kind": "compute", "op": "nosuch", "dims": [1.0, 2.0, 3.0] }),
+            json!({ "kind": "warp", "op": "gemm" }),
+        ] {
+            assert!(matches!(sig_from_json(&bad), Err(CritterError::Schema { .. })));
+        }
+        assert!(store_from_json(&json!({ "local": 3.0 })).is_err());
+    }
+}

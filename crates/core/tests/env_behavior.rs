@@ -25,15 +25,19 @@ fn run_env<R: Send>(
 fn full_policy_prediction_matches_clock() {
     // With no skipping and uncharged internals, P.exec_time must track the
     // virtual clock exactly for a compute+allreduce program.
-    let out =
-        run_env(4, MachineModel::test_exact(4), CritterConfig::full().without_overhead(), |env| {
+    let out = run_env(
+        4,
+        MachineModel::test_exact(4),
+        CritterConfig::full().with_internal_charging(false),
+        |env| {
             let world = env.world();
             for _ in 0..5 {
                 env.kernel(ComputeOp::Gemm, 32, 32, 32, 2.0 * 32f64.powi(3), || {});
                 env.allreduce(&world, ReduceOp::Sum, &[1.0; 64]);
             }
             env.exec_time()
-        });
+        },
+    );
     for (pred, rep, clock) in &out {
         assert!((pred - clock).abs() < 1e-9 * clock, "pred {pred} clock {clock}");
         assert_eq!(rep.kernels_skipped, 0);
@@ -67,7 +71,8 @@ fn prediction_accurate_when_skipping_zero_noise() {
     let out = run_env(
         1,
         MachineModel::test_exact(1),
-        CritterConfig::new(ExecutionPolicy::ConditionalExecution, 0.1).without_overhead(),
+        CritterConfig::new(ExecutionPolicy::ConditionalExecution, 0.1)
+            .with_internal_charging(false),
         |env| {
             for _ in 0..reps {
                 env.kernel(ComputeOp::Syrk, 48, 48, 16, 1e6, || {});
@@ -172,15 +177,19 @@ fn comm_kernel_skips_require_unanimity() {
 fn path_time_propagates_to_idle_ranks() {
     // Rank 0 computes a lot; rank 1 computes nothing. After the allreduce the
     // longest-path estimate on rank 1 must reflect rank 0's compute time.
-    let out =
-        run_env(2, MachineModel::test_exact(2), CritterConfig::full().without_overhead(), |env| {
+    let out = run_env(
+        2,
+        MachineModel::test_exact(2),
+        CritterConfig::full().with_internal_charging(false),
+        |env| {
             let world = env.world();
             if env.rank() == 0 {
                 env.kernel(ComputeOp::Gemm, 128, 128, 128, 2.0 * 128f64.powi(3), || {});
             }
             env.allreduce(&world, ReduceOp::Sum, &[1.0]);
             env.exec_time()
-        });
+        },
+    );
     let (p0, _, _) = &out[0];
     let (p1, _, _) = &out[1];
     assert!((p0 - p1).abs() < 1e-12, "exec_time must agree after propagation");
@@ -349,8 +358,12 @@ fn charged_internals_slow_the_run() {
         }
     };
     let charged = run_env(2, MachineModel::test_exact(2), CritterConfig::full(), prog);
-    let free =
-        run_env(2, MachineModel::test_exact(2), CritterConfig::full().without_overhead(), prog);
+    let free = run_env(
+        2,
+        MachineModel::test_exact(2),
+        CritterConfig::full().with_internal_charging(false),
+        prog,
+    );
     assert!(charged[0].2 > free[0].2, "profiling overhead must be visible when charged");
 }
 

@@ -55,6 +55,24 @@ impl CommOp {
             CommOp::Barrier => "barrier",
         }
     }
+
+    /// Inverse of [`name`](Self::name), used when restoring persisted
+    /// kernel signatures.
+    pub fn from_name(s: &str) -> Option<CommOp> {
+        Some(match s {
+            "p2p" => CommOp::PointToPoint,
+            "bcast" => CommOp::Bcast,
+            "reduce" => CommOp::Reduce,
+            "allreduce" => CommOp::Allreduce,
+            "allgather" => CommOp::Allgather,
+            "gather" => CommOp::Gather,
+            "scatter" => CommOp::Scatter,
+            "reduce_scatter" => CommOp::ReduceScatter,
+            "alltoall" => CommOp::Alltoall,
+            "barrier" => CommOp::Barrier,
+            _ => return None,
+        })
+    }
 }
 
 /// Analytic communication cost model over [`MachineParams`].
@@ -223,6 +241,21 @@ mod tests {
         assert_eq!(CommOp::PointToPoint.name(), "p2p");
         assert_eq!(CommOp::ReduceScatter.name(), "reduce_scatter");
         assert_eq!(CommOp::Alltoall.name(), "alltoall");
+        for op in [
+            CommOp::PointToPoint,
+            CommOp::Bcast,
+            CommOp::Reduce,
+            CommOp::Allreduce,
+            CommOp::Allgather,
+            CommOp::Gather,
+            CommOp::Scatter,
+            CommOp::ReduceScatter,
+            CommOp::Alltoall,
+            CommOp::Barrier,
+        ] {
+            assert_eq!(CommOp::from_name(op.name()), Some(op));
+        }
+        assert_eq!(CommOp::from_name("nosuch"), None);
     }
 
     #[test]

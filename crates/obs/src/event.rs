@@ -31,6 +31,24 @@ pub enum EventKind {
     /// A communicator split registered a new aggregate channel; `arg` is
     /// the channel size.
     Channel,
+    /// A fault fired during the run (an injected rank panic observed by the
+    /// driver); `arg` is the run index the fault hit.
+    Fault,
+    /// The driver retried a faulted run with a reseeded fault plan; `arg`
+    /// is the attempt number.
+    Retry,
+    /// The driver quarantined a configuration after exhausting its retry
+    /// budget; `arg` is the number of attempts spent.
+    Quarantine,
+    /// A session checkpoint was written; `arg` is the number of completed
+    /// run units it covers.
+    Checkpoint,
+    /// A session resumed from a checkpoint; `arg` is the number of run
+    /// units restored from disk.
+    Restore,
+    /// Kernel models were warm-started from a persisted profile; `arg` is
+    /// the number of models seeded.
+    WarmStart,
 }
 
 impl EventKind {
@@ -45,7 +63,34 @@ impl EventKind {
             EventKind::PathAdopt => "path_adopt",
             EventKind::Decision => "decision",
             EventKind::Channel => "channel",
+            EventKind::Fault => "fault",
+            EventKind::Retry => "retry",
+            EventKind::Quarantine => "quarantine",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::Restore => "restore",
+            EventKind::WarmStart => "warm_start",
         }
+    }
+
+    /// Inverse of [`EventKind::name`]: `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        Some(match name {
+            "kernel_exec" => EventKind::KernelExec,
+            "kernel_skip" => EventKind::KernelSkip,
+            "comm_exec" => EventKind::CommExec,
+            "comm_skip" => EventKind::CommSkip,
+            "propagate" => EventKind::Propagate,
+            "path_adopt" => EventKind::PathAdopt,
+            "decision" => EventKind::Decision,
+            "channel" => EventKind::Channel,
+            "fault" => EventKind::Fault,
+            "retry" => EventKind::Retry,
+            "quarantine" => EventKind::Quarantine,
+            "checkpoint" => EventKind::Checkpoint,
+            "restore" => EventKind::Restore,
+            "warm_start" => EventKind::WarmStart,
+            _ => return None,
+        })
     }
 
     /// Whether `arg` is a time charged to the critical-path prediction
@@ -84,6 +129,41 @@ pub struct Event {
     pub arg: f64,
 }
 
+impl Event {
+    /// Canonical JSON form: `{"arg", "dur", "kind", "label", "start"}`.
+    ///
+    /// Floats survive a write/parse round trip bit-exactly, so a trace
+    /// restored from a checkpoint compares equal to the original.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "arg": self.arg,
+            "dur": self.dur,
+            "kind": self.kind.name(),
+            "label": self.label.as_str(),
+            "start": self.start,
+        })
+    }
+
+    /// Inverse of [`Event::to_json`]. Errors describe the offending key.
+    pub fn from_json(v: &serde_json::Value) -> Result<Event, String> {
+        let f = |key: &str| {
+            v.get(key).and_then(|x| x.as_f64()).ok_or_else(|| format!("event: bad key `{key}`"))
+        };
+        let kind_name = v
+            .get("kind")
+            .and_then(|x| x.as_str())
+            .ok_or_else(|| "event: bad key `kind`".to_string())?;
+        let kind = EventKind::from_name(kind_name)
+            .ok_or_else(|| format!("event: unknown kind `{kind_name}`"))?;
+        let label = v
+            .get("label")
+            .and_then(|x| x.as_str())
+            .ok_or_else(|| "event: bad key `label`".to_string())?
+            .to_string();
+        Ok(Event { kind, label, start: f("start")?, dur: f("dur")?, arg: f("arg")? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +179,12 @@ mod tests {
             EventKind::PathAdopt,
             EventKind::Decision,
             EventKind::Channel,
+            EventKind::Fault,
+            EventKind::Retry,
+            EventKind::Quarantine,
+            EventKind::Checkpoint,
+            EventKind::Restore,
+            EventKind::WarmStart,
         ];
         let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
         let n = names.len();
@@ -106,6 +192,40 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), n);
         assert_eq!(EventKind::KernelExec.name(), "kernel_exec");
+        for k in kinds {
+            assert_eq!(EventKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(EventKind::from_name("no_such_kind"), None);
+    }
+
+    #[test]
+    fn session_kinds_never_charge_the_path() {
+        for k in [
+            EventKind::Fault,
+            EventKind::Retry,
+            EventKind::Quarantine,
+            EventKind::Checkpoint,
+            EventKind::Restore,
+            EventKind::WarmStart,
+        ] {
+            assert!(!k.charges_path());
+        }
+    }
+
+    #[test]
+    fn event_json_round_trips_bit_exactly() {
+        let e = Event {
+            kind: EventKind::Fault,
+            label: "pr4pc4nb16/rep0/full".into(),
+            start: 0.1 + 0.2,
+            dur: 1.0 / 3.0,
+            arg: 7.0,
+        };
+        let text = serde_json::to_string(&e.to_json()).unwrap();
+        let back = Event::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.start.to_bits(), e.start.to_bits());
+        assert!(Event::from_json(&serde_json::json!({"kind": "bogus"})).is_err());
     }
 
     #[test]

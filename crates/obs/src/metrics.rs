@@ -87,6 +87,35 @@ impl Histogram {
             "total": self.total,
         })
     }
+
+    /// Inverse of [`Histogram::to_json`]; `total` restores bit-exactly.
+    pub fn from_json(v: &Value) -> Result<Histogram, String> {
+        let u = |key: &str| {
+            v.get(key).and_then(|x| x.as_u64()).ok_or_else(|| format!("histogram: bad key `{key}`"))
+        };
+        let total = v
+            .get("total")
+            .and_then(|x| x.as_f64())
+            .ok_or_else(|| "histogram: bad key `total`".to_string())?;
+        let rows = v
+            .get("buckets")
+            .and_then(|x| x.as_array())
+            .ok_or_else(|| "histogram: bad key `buckets`".to_string())?;
+        let mut buckets = BTreeMap::new();
+        for row in rows {
+            let exp = row
+                .get("exp")
+                .and_then(|x| x.as_i64())
+                .ok_or_else(|| "histogram: bad bucket `exp`".to_string())?
+                as i32;
+            let count = row
+                .get("count")
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| "histogram: bad bucket `count`".to_string())?;
+            buckets.insert(exp, count);
+        }
+        Ok(Histogram { count: u("count")?, out_of_range: u("out_of_range")?, total, buckets })
+    }
 }
 
 /// A named registry of counters (`u64`), sums (`f64`), and [`Histogram`]s.
@@ -189,6 +218,30 @@ impl MetricsRegistry {
             "histograms": histograms,
             "sums": sums,
         })
+    }
+
+    /// Inverse of [`MetricsRegistry::to_json`]; sums restore bit-exactly.
+    pub fn from_json(v: &Value) -> Result<MetricsRegistry, String> {
+        let obj = |key: &str| {
+            v.get(key)
+                .and_then(|x| x.as_object())
+                .ok_or_else(|| format!("metrics: bad key `{key}`"))
+        };
+        let mut counters = BTreeMap::new();
+        for (k, x) in obj("counters")?.iter() {
+            let c = x.as_u64().ok_or_else(|| format!("metrics: bad counter `{k}`"))?;
+            counters.insert(k.clone(), c);
+        }
+        let mut sums = BTreeMap::new();
+        for (k, x) in obj("sums")?.iter() {
+            let s = x.as_f64().ok_or_else(|| format!("metrics: bad sum `{k}`"))?;
+            sums.insert(k.clone(), s);
+        }
+        let mut histograms = BTreeMap::new();
+        for (k, x) in obj("histograms")?.iter() {
+            histograms.insert(k.clone(), Histogram::from_json(x)?);
+        }
+        Ok(MetricsRegistry { counters, sums, histograms })
     }
 }
 

@@ -96,6 +96,39 @@ pub struct RankTrace {
     pub metrics: MetricsRegistry,
 }
 
+impl RankTrace {
+    /// Canonical JSON form: `{"events", "metrics", "rank"}`. A trace
+    /// restored via [`RankTrace::from_json`] compares equal (bit-exact)
+    /// to the original, which is what lets checkpointed observability
+    /// state survive a kill/resume without perturbing the export.
+    pub fn to_json(&self) -> serde_json::Value {
+        let events: Vec<serde_json::Value> = self.events.iter().map(|e| e.to_json()).collect();
+        let metrics = self.metrics.to_json();
+        serde_json::json!({
+            "events": events,
+            "metrics": metrics,
+            "rank": self.rank as u64,
+        })
+    }
+
+    /// Inverse of [`RankTrace::to_json`]. Errors describe the bad key.
+    pub fn from_json(v: &serde_json::Value) -> Result<RankTrace, String> {
+        let rank = v
+            .get("rank")
+            .and_then(|x| x.as_u64())
+            .ok_or_else(|| "rank trace: bad key `rank`".to_string())? as usize;
+        let rows = v
+            .get("events")
+            .and_then(|x| x.as_array())
+            .ok_or_else(|| "rank trace: bad key `events`".to_string())?;
+        let events = rows.iter().map(Event::from_json).collect::<Result<Vec<_>, _>>()?;
+        let metrics = MetricsRegistry::from_json(
+            v.get("metrics").ok_or_else(|| "rank trace: bad key `metrics`".to_string())?,
+        )?;
+        Ok(RankTrace { rank, events, metrics })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

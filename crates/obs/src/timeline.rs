@@ -22,6 +22,37 @@ pub struct TimelineRun {
     pub ranks: Vec<RankTrace>,
 }
 
+impl TimelineRun {
+    /// Canonical JSON form: `{"id", "label", "ranks"}` — the unit the
+    /// session checkpoint persists so a resumed sweep re-exports the very
+    /// same timeline bytes.
+    pub fn to_json(&self) -> Value {
+        let ranks: Vec<Value> = self.ranks.iter().map(|r| r.to_json()).collect();
+        serde_json::json!({
+            "id": self.id,
+            "label": self.label.as_str(),
+            "ranks": ranks,
+        })
+    }
+
+    /// Inverse of [`TimelineRun::to_json`]. Errors describe the bad key.
+    pub fn from_json(v: &Value) -> Result<TimelineRun, String> {
+        let id =
+            v.get("id").and_then(|x| x.as_u64()).ok_or_else(|| "run: bad key `id`".to_string())?;
+        let label = v
+            .get("label")
+            .and_then(|x| x.as_str())
+            .ok_or_else(|| "run: bad key `label`".to_string())?
+            .to_string();
+        let rows = v
+            .get("ranks")
+            .and_then(|x| x.as_array())
+            .ok_or_else(|| "run: bad key `ranks`".to_string())?;
+        let ranks = rows.iter().map(RankTrace::from_json).collect::<Result<Vec<_>, _>>()?;
+        Ok(TimelineRun { id, label, ranks })
+    }
+}
+
 /// An ordered collection of runs ready for export.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Timeline {
@@ -284,6 +315,25 @@ mod tests {
         assert_eq!(a.timeline.runs()[1].label, "space/r0");
         // Rebased id continues after the existing runs.
         assert_eq!(a.timeline.runs()[1].id, 1);
+    }
+
+    #[test]
+    fn run_json_round_trips_bit_exactly() {
+        let run = TimelineRun {
+            id: 42,
+            label: "pr4pc4nb16/rep0/full".into(),
+            ranks: vec![trace(0, "gemm", 0.1 + 0.2, 1.0 / 3.0), trace(1, "trsm", 0.5, 0.25)],
+        };
+        let text = serde_json::to_string_pretty(&run.to_json()).unwrap();
+        let back = TimelineRun::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, run);
+        // Bit-exactness carries through to the export surface.
+        let mut a = Timeline::new();
+        a.add_run(run.id, run.label.clone(), run.ranks.clone());
+        let mut b = Timeline::new();
+        b.add_run(back.id, back.label.clone(), back.ranks.clone());
+        assert_eq!(a.to_chrome_string(), b.to_chrome_string());
+        assert!(TimelineRun::from_json(&serde_json::json!({"id": 1})).is_err());
     }
 
     #[test]

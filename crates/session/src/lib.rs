@@ -1,0 +1,37 @@
+//! # critter-session
+//!
+//! Fault-tolerant tuning *sessions* on top of the critter stack: the
+//! persistence layer that lets a long exhaustive-search sweep survive a
+//! mid-flight kill and resume to a byte-identical [`TuningReport`], and
+//! lets one session's kernel models *warm-start* the next.
+//!
+//! The crate is deliberately below `critter-autotune` in the dependency
+//! graph: it owns the on-disk formats and policies (what a checkpoint *is*),
+//! while the driver owns the resume state machine (when one is taken).
+//! Three pieces:
+//!
+//! * [`SessionConfig`] — the `with_*` builder describing where checkpoints
+//!   and profiles live and how often the driver writes them;
+//! * [`envelope`] — the versioned, content-hashed JSON envelope every
+//!   session artifact is sealed in ([`envelope::seal`]/[`envelope::open`]);
+//! * [`profile`] — persistent kernel-model profiles: save a sweep's
+//!   [`critter_core::KernelStore`]s, reload them later, and apply a
+//!   [`StalenessPolicy`] before seeding a new sweep.
+//!
+//! Everything rides on the canonical JSON writer/parser pair (sorted keys,
+//! shortest-round-trip floats, correctly rounded parse), so a value that
+//! goes to disk and back is *bit-identical* — the property the kill/resume
+//! oracle in `critter-testkit` asserts end to end.
+//!
+//! [`TuningReport`]: https://docs.rs/critter-autotune
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod envelope;
+pub mod log;
+pub mod profile;
+pub mod store;
+
+pub use config::{SessionConfig, StalenessPolicy};
+pub use log::SessionLog;

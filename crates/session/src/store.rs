@@ -1,0 +1,76 @@
+//! Atomic on-disk persistence of canonical JSON documents.
+//!
+//! Checkpoints are overwritten in place many times per sweep; a kill in
+//! the middle of a write must never leave a half-written file where the
+//! resume path expects a valid one. Every write therefore goes to a
+//! sibling temp file first and is published with an atomic `rename`.
+
+use std::fs;
+use std::path::Path;
+
+use critter_core::{CritterError, Result};
+use serde_json::Value;
+
+/// Write `text` to `path` atomically (temp file + rename).
+pub fn write_atomic(path: &Path, text: &str) -> Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    fs::write(&tmp, text).map_err(|e| CritterError::io(&tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| CritterError::io(path, e))
+}
+
+/// Serialize `doc` as canonical pretty-printed JSON (trailing newline
+/// included) and write it atomically.
+pub fn write_value(path: &Path, doc: &Value) -> Result<()> {
+    let mut text = serde_json::to_string_pretty(doc).expect("json writer is total");
+    text.push('\n');
+    write_atomic(path, &text)
+}
+
+/// Read and parse a canonical JSON document.
+pub fn read_value(path: &Path) -> Result<Value> {
+    let text = fs::read_to_string(path).map_err(|e| CritterError::io(path, e))?;
+    serde_json::from_str(&text)
+        .map_err(|e| CritterError::parse(path.display().to_string(), e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("critter-session-store-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let path = scratch("roundtrip.json");
+        let doc = serde_json::json!({"a": 0.1, "b": [1.0, 2.0, 3.0]});
+        write_value(&path, &doc).unwrap();
+        let back = read_value(&path).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), serde_json::to_string(&doc).unwrap());
+        // Overwrite goes through the same atomic path.
+        write_value(&path, &serde_json::json!({"a": 2})).unwrap();
+        let back = read_value(&path).unwrap();
+        assert_eq!(back.get("a").and_then(|x| x.as_u64()), Some(2));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = read_value(Path::new("/definitely/not/here.json")).unwrap_err();
+        assert!(matches!(err, CritterError::Io { .. }), "got: {err}");
+    }
+
+    #[test]
+    fn malformed_file_is_a_parse_error() {
+        let path = scratch("malformed.json");
+        fs::write(&path, "{not json").unwrap();
+        let err = read_value(&path).unwrap_err();
+        assert!(matches!(err, CritterError::Parse { .. }), "got: {err}");
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -147,6 +147,9 @@ pub struct SimCore {
     /// Schedule perturbation injected by rank contexts at interception
     /// points (testkit determinism fuzzing; `None` in normal runs).
     pub(crate) perturb: Option<crate::runner::PerturbParams>,
+    /// Fault injection (seeded rank panics, message delays/drops) applied by
+    /// rank contexts at the same interception points (`None` in normal runs).
+    pub(crate) faults: Option<crate::runner::FaultPlan>,
     /// Set when any rank panics, so peers stop waiting immediately.
     poisoned: AtomicBool,
 }
@@ -166,6 +169,7 @@ impl SimCore {
         timeout: Duration,
         eager_words: usize,
         perturb: Option<crate::runner::PerturbParams>,
+        faults: Option<crate::runner::FaultPlan>,
     ) -> Self {
         SimCore {
             machine,
@@ -176,6 +180,7 @@ impl SimCore {
             timeout,
             eager_words,
             perturb,
+            faults,
             poisoned: AtomicBool::new(false),
         }
     }

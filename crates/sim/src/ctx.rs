@@ -51,6 +51,7 @@ pub struct RankCtx {
     counters: RankCounters,
     compute_invocations: u64,
     perturb_points: u64,
+    fault_points: u64,
 }
 
 impl RankCtx {
@@ -65,6 +66,7 @@ impl RankCtx {
             counters: RankCounters::default(),
             compute_invocations: 0,
             perturb_points: 0,
+            fault_points: 0,
         }
     }
 
@@ -87,6 +89,35 @@ impl RankCtx {
             let us = rng.at(3 * idx + 2) % p.max_sleep_us;
             std::thread::sleep(std::time::Duration::from_micros(us));
         }
+    }
+
+    /// Fault-injection point (no-op unless [`crate::SimConfig::faults`] is
+    /// set): may panic this rank, delay its virtual clock, or charge a
+    /// dropped message's retransmit timeout. Draws are counter-based per
+    /// `(seed, rank)` and indexed by a fault-point counter that advances on
+    /// every interception whether or not a fault fires, so a plan's fault
+    /// schedule is a pure function of the program — never of thread timing.
+    #[inline]
+    fn fault_point(&mut self) {
+        let Some(f) = self.core.faults else { return };
+        let rng = CounterRng::new(f.seed, stream_id(&[0x4641_554C, self.rank as u64])); // "FAUL"
+        let idx = self.fault_points;
+        self.fault_points += 1;
+        let to_unit = |bits: u64| (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if f.panic_prob > 0.0 && to_unit(rng.at(4 * idx)) < f.panic_prob {
+            panic!("injected fault: rank {} killed at fault point {idx}", self.rank);
+        }
+        if f.delay_prob > 0.0 && to_unit(rng.at(4 * idx + 1)) < f.delay_prob {
+            self.clock += to_unit(rng.at(4 * idx + 2)) * f.max_delay;
+        }
+        if f.drop_prob > 0.0 && to_unit(rng.at(4 * idx + 3)) < f.drop_prob {
+            self.clock += f.retransmit_timeout;
+        }
+    }
+
+    /// Number of fault-injection points passed so far (diagnostics).
+    pub fn fault_points(&self) -> u64 {
+        self.fault_points
     }
 
     /// This rank's world rank.
@@ -136,6 +167,7 @@ impl RankCtx {
     /// duration, advances the clock, returns the sampled time.
     pub fn compute(&mut self, class: KernelClass, flops: f64) -> f64 {
         self.perturb_point();
+        self.fault_point();
         let t = self.core.machine.compute_time(class, flops, self.rank, self.compute_invocations);
         self.compute_invocations += 1;
         self.clock += t;
@@ -164,6 +196,7 @@ impl RankCtx {
     /// (rendezvous); smaller ones complete locally after the transfer cost.
     pub fn send(&mut self, comm: &Communicator, dst: usize, tag: u64, data: &[f64]) {
         self.perturb_point();
+        self.fault_point();
         let key = self.key(comm, comm.rank(), dst, tag);
         let words = data.len();
         let (cost, slot) = self.core.post_send(key, data.to_vec(), self.clock, false, None);
@@ -186,6 +219,7 @@ impl RankCtx {
     /// Blocking receive from communicator rank `src`.
     pub fn recv(&mut self, comm: &Communicator, src: usize, tag: u64) -> Vec<f64> {
         self.perturb_point();
+        self.fault_point();
         let key = self.key(comm, src, comm.rank(), tag);
         let out = self.core.match_recv(key, self.clock);
         self.counters.recvs += 1;
@@ -214,6 +248,7 @@ impl RankCtx {
         cost_words: Option<usize>,
     ) -> Request {
         self.perturb_point();
+        self.fault_point();
         let key = self.key(comm, comm.rank(), dst, tag);
         let words = data.len() as u64;
         let post = self.clock;
@@ -229,6 +264,7 @@ impl RankCtx {
     /// Nonblocking receive; data is returned by [`RankCtx::wait`].
     pub fn irecv(&mut self, comm: &Communicator, src: usize, tag: u64) -> Request {
         self.perturb_point();
+        self.fault_point();
         let key = self.key(comm, src, comm.rank(), tag);
         let post = self.clock;
         self.clock += self.core.machine.params().per_call_overhead;
@@ -239,6 +275,7 @@ impl RankCtx {
     /// receive requests, `None` otherwise.
     pub fn wait(&mut self, req: Request) -> Option<Vec<f64>> {
         self.perturb_point();
+        self.fault_point();
         match req.0 {
             RequestInner::Done => None,
             RequestInner::SendEager { done, words, cost } => {
@@ -296,6 +333,7 @@ impl RankCtx {
         charge: Option<Option<usize>>,
     ) -> (Output, f64) {
         self.perturb_point();
+        self.fault_point();
         let seq = comm.next_collective_seq();
         let post = self.clock;
         let (done, cost, out) =

@@ -53,7 +53,7 @@ pub use counters::RankCounters;
 pub use ctx::{RankCtx, ReduceOp};
 pub use pool::SimPool;
 pub use request::Request;
-pub use runner::{run_simulation, PerturbParams, SimConfig, SimReport};
+pub use runner::{run_simulation, FaultPlan, PerturbParams, SimConfig, SimReport};
 
 /// Re-export of the machine-model crate the simulator is parameterized by.
 pub use critter_machine as machine;

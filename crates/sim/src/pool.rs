@@ -126,6 +126,7 @@ impl SimPool {
             config.deadlock_timeout,
             config.eager_words,
             config.perturb,
+            config.faults,
         ));
         let state: RunState<R> = RunState {
             slots: (0..self.ranks).map(|_| Mutex::new(None)).collect(),

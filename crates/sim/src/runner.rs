@@ -32,6 +32,100 @@ pub struct PerturbParams {
     pub max_sleep_us: u64,
 }
 
+/// Seeded fault injection at the simulator's interception points.
+///
+/// Where [`PerturbParams`] shakes the *real* schedule while promising the
+/// virtual results stay fixed, a fault plan perturbs the *simulated* machine
+/// itself: ranks panic mid-operation (a crashed node) and messages suffer
+/// injected virtual delays (congestion) or drops (modeled as a retransmit
+/// timeout — the payload still arrives, late, which keeps the simulation
+/// deadlock-free). Faults draw from a counter-based stream keyed by
+/// `(seed, rank)` and indexed by the rank's fault-point counter, so a plan
+/// is a pure function of the program — the same plan always kills the same
+/// rank at the same operation, regardless of thread scheduling. That
+/// determinism is what lets the autotuner retry a faulted run with a
+/// reseeded plan and lets the testkit assert recovery byte-for-byte.
+///
+/// # Examples
+///
+/// ```
+/// use critter_sim::FaultPlan;
+///
+/// // A plan that kills ranks roughly once per fifty operations and delays
+/// // one message in ten by up to 100 µs of virtual time.
+/// let plan = FaultPlan::new(7)
+///     .with_rank_panics(0.02)
+///     .with_message_delays(0.1, 1e-4);
+/// assert_eq!(plan.seed, 7);
+/// assert!(plan.panic_prob > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the per-rank fault stream.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a fault point panics the rank.
+    pub panic_prob: f64,
+    /// Probability in `[0, 1]` that a fault point delays the rank's clock.
+    pub delay_prob: f64,
+    /// Upper bound of an injected delay, in virtual seconds.
+    pub max_delay: f64,
+    /// Probability in `[0, 1]` that a fault point "drops" the operation's
+    /// message: the rank is charged [`FaultPlan::retransmit_timeout`] and
+    /// the operation then proceeds (the retransmit succeeds).
+    pub drop_prob: f64,
+    /// Virtual seconds charged for each dropped-and-retransmitted message.
+    pub retransmit_timeout: f64,
+}
+
+impl FaultPlan {
+    /// A fault-free plan on `seed`; chain `with_*` calls to arm it.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay: 0.0,
+            drop_prob: 0.0,
+            retransmit_timeout: 0.0,
+        }
+    }
+
+    /// Arm seeded rank panics with probability `prob` per fault point.
+    pub fn with_rank_panics(mut self, prob: f64) -> Self {
+        self.panic_prob = prob;
+        self
+    }
+
+    /// Arm virtual message delays: probability `prob` per fault point, each
+    /// delay uniform in `[0, max_delay)` virtual seconds.
+    pub fn with_message_delays(mut self, prob: f64, max_delay: f64) -> Self {
+        self.delay_prob = prob;
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Arm message drops: probability `prob` per fault point, each charged
+    /// `retransmit_timeout` virtual seconds before the operation proceeds.
+    pub fn with_message_drops(mut self, prob: f64, retransmit_timeout: f64) -> Self {
+        self.drop_prob = prob;
+        self.retransmit_timeout = retransmit_timeout;
+        self
+    }
+
+    /// Derive the plan for one specific run attempt: the driver reseeds the
+    /// fault stream per `(run index, attempt)` so a retry explores a
+    /// different fault schedule while staying fully deterministic.
+    pub fn reseeded(mut self, salt: u64) -> Self {
+        self.seed ^= salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) | 1;
+        self
+    }
+
+    /// Whether any fault mode is armed.
+    pub fn is_armed(&self) -> bool {
+        self.panic_prob > 0.0 || self.delay_prob > 0.0 || self.drop_prob > 0.0
+    }
+}
+
 /// Configuration of a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -48,6 +142,9 @@ pub struct SimConfig {
     pub eager_words: usize,
     /// Schedule perturbation injected at interception points (`None` off).
     pub perturb: Option<PerturbParams>,
+    /// Fault injection (rank panics, message delays/drops) at interception
+    /// points (`None` off).
+    pub faults: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -59,6 +156,7 @@ impl SimConfig {
             deadlock_timeout: Duration::from_secs(30),
             eager_words: 512,
             perturb: None,
+            faults: None,
         }
     }
 
@@ -85,6 +183,12 @@ impl SimConfig {
     /// Enable schedule perturbation (the testkit's determinism fuzzer).
     pub fn with_perturb(mut self, p: PerturbParams) -> Self {
         self.perturb = Some(p);
+        self
+    }
+
+    /// Enable fault injection (seeded rank panics and message delays/drops).
+    pub fn with_faults(mut self, f: FaultPlan) -> Self {
+        self.faults = Some(f);
         self
     }
 }
@@ -443,6 +547,76 @@ mod tests {
         let shaken = run_simulation(SimConfig::new(4).with_perturb(perturb), m(), prog);
         assert_eq!(base.rank_times, shaken.rank_times);
         assert_eq!(base.outputs, shaken.outputs);
+    }
+
+    #[test]
+    fn fault_free_plan_changes_nothing() {
+        let prog = |ctx: &mut RankCtx| {
+            let world = ctx.world();
+            ctx.compute(KernelClass::Gemm, 1e5 * (1 + ctx.rank()) as f64);
+            ctx.allreduce(&world, ReduceOp::Sum, &[ctx.now()]);
+            ctx.now()
+        };
+        let m = || MachineModel::test_noisy(4, 11).shared();
+        let base = run_simulation(SimConfig::new(4), m(), prog);
+        let unarmed = run_simulation(SimConfig::new(4).with_faults(FaultPlan::new(3)), m(), prog);
+        assert_eq!(base.rank_times, unarmed.rank_times);
+        assert_eq!(base.outputs, unarmed.outputs);
+    }
+
+    #[test]
+    fn injected_delays_are_deterministic_and_slow_the_run() {
+        let prog = |ctx: &mut RankCtx| {
+            let world = ctx.world();
+            for _ in 0..10 {
+                ctx.compute(KernelClass::Gemm, 1e5 * (1 + ctx.rank()) as f64);
+                ctx.allreduce(&world, ReduceOp::Sum, &[ctx.now()]);
+            }
+            ctx.now()
+        };
+        let m = || MachineModel::test_noisy(4, 11).shared();
+        let plan = FaultPlan::new(42).with_message_delays(0.5, 1e-3);
+        let base = run_simulation(SimConfig::new(4), m(), prog);
+        let a = run_simulation(SimConfig::new(4).with_faults(plan), m(), prog);
+        let b = run_simulation(SimConfig::new(4).with_faults(plan), m(), prog);
+        assert_eq!(a.rank_times, b.rank_times, "fault schedule must be deterministic");
+        assert_eq!(a.outputs, b.outputs);
+        assert!(a.elapsed() > base.elapsed(), "injected delays must cost virtual time");
+        // A different seed draws a different delay schedule.
+        let c = run_simulation(SimConfig::new(4).with_faults(plan.reseeded(1)), m(), prog);
+        assert_ne!(a.rank_times, c.rank_times);
+    }
+
+    #[test]
+    fn dropped_messages_cost_the_retransmit_timeout() {
+        let prog = |ctx: &mut RankCtx| {
+            let world = ctx.world();
+            for _ in 0..20 {
+                ctx.barrier(&world);
+            }
+            ctx.now()
+        };
+        let m = || machine(2);
+        let base = run_simulation(SimConfig::new(2), m(), prog);
+        let plan = FaultPlan::new(9).with_message_drops(1.0, 0.25);
+        let dropped = run_simulation(SimConfig::new(2).with_faults(plan), m(), prog);
+        // Every fault point drops: elapsed grows by ≥ 20 retransmit timeouts.
+        assert!(dropped.elapsed() >= base.elapsed() + 20.0 * 0.25);
+    }
+
+    #[test]
+    fn injected_rank_panic_reports_the_fault_point() {
+        let plan = FaultPlan::new(5).with_rank_panics(1.0); // first fault point kills
+        let result = std::panic::catch_unwind(|| {
+            run_simulation(SimConfig::new(2).with_faults(plan), machine(2), |ctx| {
+                ctx.compute(KernelClass::Gemm, 1e5);
+                let world = ctx.world();
+                ctx.barrier(&world);
+            })
+        });
+        let err = result.unwrap_err();
+        let msg = err.downcast_ref::<String>().map(String::as_str).unwrap_or_default();
+        assert!(msg.contains("injected fault"), "panic message was {msg:?}");
     }
 
     #[test]

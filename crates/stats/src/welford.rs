@@ -53,6 +53,18 @@ impl OnlineStats {
         }
     }
 
+    /// Rebuild an accumulator from previously extracted raw parts, the
+    /// inverse of reading `count`/`mean`/[`m2`](Self::m2)/`min`/`max`/`total`.
+    /// Used by the profile snapshot layer to restore persisted kernel models
+    /// bit-exactly; callers are responsible for passing a self-consistent
+    /// tuple (the accessors of a live accumulator always are).
+    pub fn from_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64, total: f64) -> Self {
+        if count == 0 {
+            return Self::new();
+        }
+        OnlineStats { count, mean, m2, min, max, total }
+    }
+
     /// Accumulator pre-loaded with one pass over `xs`.
     pub fn from_slice(xs: &[f64]) -> Self {
         let mut s = Self::new();
@@ -91,6 +103,14 @@ impl OnlineStats {
     #[inline]
     pub fn total(&self) -> f64 {
         self.total
+    }
+
+    /// Welford's running sum of squared deviations (M2). Exposed so the
+    /// accumulator can be persisted and rebuilt via
+    /// [`from_parts`](Self::from_parts) without loss.
+    #[inline]
+    pub fn m2(&self) -> f64 {
+        self.m2
     }
 
     /// Smallest observation; `+∞` when empty.
@@ -204,6 +224,16 @@ mod tests {
         assert_eq!(s.mean(), 5.0);
         assert_eq!(s.variance(), 0.0);
         assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_bit_exactly() {
+        let s = OnlineStats::from_slice(&[1.0, 2.5, 9.0, 0.125]);
+        let r = OnlineStats::from_parts(s.count(), s.mean(), s.m2(), s.min(), s.max(), s.total());
+        assert_eq!(s, r);
+        // The empty accumulator restores through from_parts regardless of the
+        // sentinel values handed in (persisted form drops the ±∞ min/max).
+        assert_eq!(OnlineStats::from_parts(0, 0.0, 0.0, 0.0, 0.0, 0.0), OnlineStats::new());
     }
 
     #[test]

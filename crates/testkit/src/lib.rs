@@ -99,7 +99,7 @@ impl GoldenTune {
     /// [`TuningReport`] — and therefore its canonical JSON — is a pure
     /// function of the codebase.
     pub fn run(&self) -> TuningReport {
-        let mut opts = TuningOptions::new(self.policy, self.epsilon).test_machine();
+        let mut opts = TuningOptions::new(self.policy, self.epsilon).with_test_machine();
         opts.reset_between_configs = self.space.resets_between_configs();
         let workloads: Vec<Arc<dyn Workload>> = self.space.smoke();
         Autotuner::new(opts).tune(&workloads)
@@ -117,8 +117,9 @@ pub const GOLDEN_TRACE_NAME: &str = "trace-cholesky-online-eps25";
 /// schedule), so the bytes are a pure function of the codebase — the trace
 /// counterpart of the golden reports.
 pub fn golden_trace() -> String {
-    let mut opts =
-        TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.25).test_machine().with_observe();
+    let mut opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.25)
+        .with_test_machine()
+        .with_observe();
     let space = TuningSpace::SlateCholesky;
     opts.reset_between_configs = space.resets_between_configs();
     let report = Autotuner::new(opts).tune(&space.smoke());

@@ -53,8 +53,9 @@ fn profiled_run(perturb: Option<PerturbParams>) -> Vec<critter_core::CritterRepo
 }
 
 fn tuned_sweep(perturb: Option<PerturbParams>) -> TuningReport {
-    let mut opts =
-        TuningOptions::new(ExecutionPolicy::LocalPropagation, 0.25).test_machine().with_workers(3);
+    let mut opts = TuningOptions::new(ExecutionPolicy::LocalPropagation, 0.25)
+        .with_test_machine()
+        .with_workers(3);
     if let Some(p) = perturb {
         opts = opts.with_perturb(p);
     }

@@ -25,7 +25,7 @@ const QUALITY_SLACK: f64 = 0.10;
 const SKIP_TOL: f64 = 0.02;
 
 fn tune(space: TuningSpace, policy: ExecutionPolicy, allocation: u64) -> TuningReport {
-    let mut opts = TuningOptions::new(policy, EPSILON).test_machine();
+    let mut opts = TuningOptions::new(policy, EPSILON).with_test_machine();
     opts.reset_between_configs = space.resets_between_configs();
     opts.allocation = allocation;
     let workloads: Vec<Arc<dyn Workload>> = space.smoke();
@@ -106,7 +106,7 @@ fn tighter_epsilon_never_increases_skipping() {
     // criterion harder, so the skip fraction must not grow.
     for &policy in &[ExecutionPolicy::LocalPropagation, ExecutionPolicy::OnlinePropagation] {
         let skip_at = |eps: f64| {
-            let mut opts = TuningOptions::new(policy, eps).test_machine();
+            let mut opts = TuningOptions::new(policy, eps).with_test_machine();
             opts.reset_between_configs = true;
             let workloads: Vec<Arc<dyn Workload>> = TuningSpace::SlateCholesky.smoke();
             Autotuner::new(opts).tune(&workloads).skip_fraction()
@@ -130,7 +130,7 @@ fn policy_conformance_deep() {
     for space in [TuningSpace::SlateCholesky, TuningSpace::SlateQr] {
         for allocation in 0..2 {
             for policy in ExecutionPolicy::ALL_SELECTIVE {
-                let mut opts = TuningOptions::new(policy, EPSILON).test_machine();
+                let mut opts = TuningOptions::new(policy, EPSILON).with_test_machine();
                 opts.reset_between_configs = space.resets_between_configs();
                 opts.allocation = allocation;
                 opts.reps = 2;

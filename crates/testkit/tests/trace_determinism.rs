@@ -19,7 +19,7 @@ use critter_testkit::golden;
 
 fn observed_sweep(workers: usize, perturb: Option<PerturbParams>) -> TuningReport {
     let mut opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.25)
-        .test_machine()
+        .with_test_machine()
         .with_workers(workers)
         .with_observe();
     if let Some(p) = perturb {
@@ -54,6 +54,7 @@ fn fig3_trace_is_byte_identical_across_job_levels() {
             trace_out: Some(dir.join("trace.json")),
             folded_out: Some(dir.join("trace.folded")),
             metrics_out: Some(dir.join("metrics.json")),
+            ..FigOpts::defaults()
         };
         fig3::run_with(&opts, &[TuningSpace::SlateCholesky, TuningSpace::SlateQr], true);
         let read = |p: &std::path::Path| std::fs::read(p).expect("artifact written");

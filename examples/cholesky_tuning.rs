@@ -32,7 +32,8 @@ fn main() {
     }
 
     // Show what the tuner actually picks.
-    let opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, epsilon).persist_models();
+    let opts =
+        TuningOptions::new(ExecutionPolicy::OnlinePropagation, epsilon).with_persist_models(true);
     let report = Autotuner::new(opts).tune(&workloads);
     let truth = report.true_times();
     let preds = report.predicted_times();

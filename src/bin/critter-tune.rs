@@ -22,6 +22,12 @@ struct Args {
     no_overhead: bool,
     profile: bool,
     json: bool,
+    checkpoint_dir: Option<std::path::PathBuf>,
+    resume: bool,
+    warm_start: Option<std::path::PathBuf>,
+    profile_out: Option<std::path::PathBuf>,
+    faults: Option<f64>,
+    retries: usize,
 }
 
 fn usage() -> ! {
@@ -29,7 +35,9 @@ fn usage() -> ! {
         "usage: critter-tune --space <capital-cholesky|slate-cholesky|candmc-qr|slate-qr|summa25d>\n\
          \x20                 --policy <conditional|local|online|apriori|eager|full>\n\
          \x20                 [--epsilon E=0.25] [--smoke] [--reps N=1]\n\
-         \x20                 [--allocation A=0] [--extrapolate] [--no-overhead] [--profile] [--json]"
+         \x20                 [--allocation A=0] [--extrapolate] [--no-overhead] [--profile] [--json]\n\
+         \x20                 [--checkpoint-dir DIR] [--resume] [--warm-start FILE]\n\
+         \x20                 [--profile-out FILE] [--faults PANIC_PROB] [--retries N=2]"
     );
     std::process::exit(2)
 }
@@ -46,6 +54,12 @@ fn parse_args() -> Args {
         no_overhead: false,
         profile: false,
         json: false,
+        checkpoint_dir: None,
+        resume: false,
+        warm_start: None,
+        profile_out: None,
+        faults: None,
+        retries: 2,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -92,6 +106,28 @@ fn parse_args() -> Args {
             "--no-overhead" => args.no_overhead = true,
             "--profile" => args.profile = true,
             "--json" => args.json = true,
+            "--checkpoint-dir" => {
+                i += 1;
+                args.checkpoint_dir = Some(argv.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--resume" => args.resume = true,
+            "--warm-start" => {
+                i += 1;
+                args.warm_start = Some(argv.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--profile-out" => {
+                i += 1;
+                args.profile_out = Some(argv.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--faults" => {
+                i += 1;
+                args.faults =
+                    Some(argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--retries" => {
+                i += 1;
+                args.retries = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -148,6 +184,23 @@ fn main() {
     opts.allocation = args.allocation;
     opts.extrapolate = args.extrapolate;
     opts.charge_internal = !args.no_overhead;
+    if let Some(p) = args.faults {
+        opts =
+            opts.with_faults(FaultPlan::new(0xFA17).with_rank_panics(p)).with_retries(args.retries);
+    }
+    let mut session = SessionConfig::new();
+    if let Some(dir) = &args.checkpoint_dir {
+        if !args.resume {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        session = session.with_checkpoint_dir(dir);
+    }
+    if let Some(path) = &args.warm_start {
+        session = session.with_warm_start(path);
+    }
+    if let Some(path) = &args.profile_out {
+        session = session.with_profile_out(path);
+    }
 
     eprintln!(
         "tuning {} ({} configurations, {} ranks) under {} at ε = {} …",
@@ -158,7 +211,14 @@ fn main() {
         args.epsilon
     );
     let t0 = std::time::Instant::now();
-    let report = Autotuner::new(opts).tune(&workloads);
+    let report = if session.is_persistent() || args.faults.is_some() {
+        Autotuner::new(opts).tune_session(&workloads, &session).unwrap_or_else(|e| {
+            eprintln!("session failed: {e}");
+            std::process::exit(1)
+        })
+    } else {
+        Autotuner::new(opts).tune(&workloads)
+    };
     eprintln!("done in {:.1?} host time\n", t0.elapsed());
 
     if args.json {

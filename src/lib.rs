@@ -15,7 +15,7 @@
 //! use critter::prelude::*;
 //!
 //! // Tune a small SLATE-Cholesky space with online propagation at ε = 0.25.
-//! let opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.25).test_machine();
+//! let opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.25).with_test_machine();
 //! let report = Autotuner::new(opts).tune(&TuningSpace::SlateCholesky.smoke());
 //! assert!(report.speedup() > 0.0);
 //! println!("autotuning speedup: {:.2}x, mean prediction error: {:.2}%",
@@ -39,6 +39,8 @@ pub use critter_core as core;
 pub use critter_dla as dla;
 /// Machine model: α-β-γ costs, noise, counter-based RNG.
 pub use critter_machine as machine;
+/// Tuning sessions: checkpoint/resume, persistent profiles, warm-start.
+pub use critter_session as session;
 /// The distributed-memory simulator (MPI substrate).
 pub use critter_sim as sim;
 /// Single-pass statistics and confidence intervals.
@@ -49,8 +51,10 @@ pub mod prelude {
     pub use critter_algs::{Workload, WorkloadOutput};
     pub use critter_autotune::{Autotuner, TuningOptions, TuningReport, TuningSpace};
     pub use critter_core::{
-        ComputeOp, CritterConfig, CritterEnv, ExecutionPolicy, KernelSig, KernelStore,
+        ComputeOp, CritterConfig, CritterEnv, CritterError, ExecutionPolicy, KernelSig,
+        KernelStore, Result,
     };
     pub use critter_machine::{KernelClass, MachineModel, MachineParams, NoiseParams};
-    pub use critter_sim::{run_simulation, Communicator, RankCtx, ReduceOp, SimConfig};
+    pub use critter_session::{SessionConfig, StalenessPolicy};
+    pub use critter_sim::{run_simulation, Communicator, FaultPlan, RankCtx, ReduceOp, SimConfig};
 }

@@ -40,7 +40,7 @@ fn all_workloads_factor_correctly() {
 fn every_policy_tunes_every_space() {
     for space in TuningSpace::ALL {
         for policy in ExecutionPolicy::ALL_SELECTIVE {
-            let mut opts = TuningOptions::new(policy, 0.5).test_machine();
+            let mut opts = TuningOptions::new(policy, 0.5).with_test_machine();
             opts.reset_between_configs = space.resets_between_configs();
             let report = Autotuner::new(opts).tune(&space.smoke());
             assert!(report.tuning_time() > 0.0, "{} {}", space.name(), policy.name());
@@ -117,7 +117,7 @@ fn apriori_slower_than_conditional() {
     let space = TuningSpace::CandmcQr;
     let ws = space.smoke();
     let run = |policy| {
-        let mut opts = TuningOptions::new(policy, 0.5).test_machine();
+        let mut opts = TuningOptions::new(policy, 0.5).with_test_machine();
         opts.reset_between_configs = true;
         Autotuner::new(opts).tune(&ws)
     };
@@ -150,7 +150,8 @@ fn selection_quality_is_high() {
 #[test]
 fn tuning_is_deterministic() {
     let run = || {
-        let mut opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.25).test_machine();
+        let mut opts =
+            TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.25).with_test_machine();
         opts.reset_between_configs = true;
         let r = Autotuner::new(opts).tune(&TuningSpace::SlateQr.smoke());
         (r.tuning_time(), r.full_time(), r.per_config_error())
@@ -167,7 +168,7 @@ fn tuning_is_deterministic() {
 #[test]
 fn allocations_perturb_results() {
     let run = |alloc: u64| {
-        let mut opts = TuningOptions::new(ExecutionPolicy::Full, 0.0).test_machine();
+        let mut opts = TuningOptions::new(ExecutionPolicy::Full, 0.0).with_test_machine();
         opts.allocation = alloc;
         Autotuner::new(opts).tune(&TuningSpace::SlateCholesky.smoke()).full_time()
     };
@@ -181,7 +182,8 @@ fn extrapolation_helps_candmc_qr() {
     let space = TuningSpace::CandmcQr;
     let ws = space.smoke();
     let run = |extrapolate: bool| {
-        let mut opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.25).test_machine();
+        let mut opts =
+            TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.25).with_test_machine();
         opts.reset_between_configs = true;
         opts.extrapolate = extrapolate;
         Autotuner::new(opts).tune(&ws)
@@ -204,7 +206,8 @@ fn successive_halving_is_cheaper_than_exhaustive() {
     use critter::autotune::{search, SearchStrategy};
     let space = TuningSpace::SlateQr;
     let ws = space.smoke();
-    let mut opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.0625).test_machine();
+    let mut opts =
+        TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.0625).with_test_machine();
     opts.reset_between_configs = true;
     let ex = search(&opts, &ws, &SearchStrategy::Exhaustive);
     let rnd = search(&opts, &ws, &SearchStrategy::Random { samples: 2, seed: 3 });

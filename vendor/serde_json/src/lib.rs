@@ -1,9 +1,11 @@
 //! Minimal offline stand-in for the `serde_json` crate.
 //!
-//! Provides the subset the bench harness uses: [`Value`], [`Map`], the
-//! [`json!`] macro for flat object literals, and [`to_string_pretty`].
-//! No deserialization, no serde integration — just a well-formed JSON
-//! writer for result artifacts.
+//! Provides the subset the workspace uses: [`Value`], [`Map`], the
+//! [`json!`] macro for flat object literals, [`to_string_pretty`], and —
+//! since the session/checkpoint layer needs to read its artifacts back —
+//! a strict recursive-descent parser ([`from_str`]). Numbers parse through
+//! `f64::from_str`, which is correctly rounded, so any float printed by the
+//! writer's shortest-round-trip formatting restores to the identical bits.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -60,6 +62,89 @@ impl Map {
     /// Iterate entries in sorted key order.
     pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
         self.entries.iter()
+    }
+
+    /// Remove a key, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.entries.remove(key)
+    }
+
+    /// Whether a key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+}
+
+impl Value {
+    /// The value under `key` when this is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, when this is a number that is a non-negative
+    /// integer representable exactly in an `f64` (every count and 52-bit
+    /// signature key this workspace serializes qualifies).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 9.0e15 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The number as an `i64`, when this is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(x) if x.fract() == 0.0 && x.abs() <= 9.0e15 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    /// The string slice, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, when this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element vector, when this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The map, when this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
     }
 }
 
@@ -146,17 +231,253 @@ macro_rules! json {
     ($other:expr) => { $crate::IntoJson::into_json(&$other) };
 }
 
-/// Error type for the writer (it cannot actually fail).
+/// Error type shared by the writer (which cannot actually fail) and the
+/// parser (which reports the byte offset and cause of the first syntax
+/// error).
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn at(offset: usize, what: &str) -> Self {
+        Error { msg: format!("invalid JSON at byte {offset}: {what}") }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("serde_json shim error")
+        if self.msg.is_empty() {
+            f.write_str("serde_json shim error")
+        } else {
+            f.write_str(&self.msg)
+        }
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Strict recursive-descent JSON parser.
+///
+/// Accepts exactly the grammar of RFC 8259 minus exotic escapes beyond the
+/// standard set (`\" \\ \/ \b \f \n \r \t \uXXXX`). Numbers go through
+/// `f64::from_str`, which is correctly rounded — any float the writer
+/// printed in shortest-round-trip form parses back to the identical bits,
+/// the property the checkpoint/restore layer's byte-identity contract
+/// rests on.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::at(p.pos, "trailing characters after the document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(self.pos, &format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::at(self.pos, &format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(Error::at(self.pos, "expected a value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::at(self.pos, "expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::at(self.pos, "expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain UTF-8 up to the next quote or escape.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::at(start, "invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| Error::at(self.pos, "open escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::at(self.pos, "unpaired surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| Error::at(self.pos, "invalid \\u escape"))?);
+                        }
+                        _ => return Err(Error::at(self.pos - 1, "unknown escape")),
+                    }
+                }
+                _ => return Err(Error::at(self.pos, "unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::at(self.pos, "truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::at(self.pos, "non-hex \\u escape"))?;
+        let v =
+            u32::from_str_radix(s, 16).map_err(|_| Error::at(self.pos, "non-hex \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::at(start, "invalid number"))?;
+        text.parse::<f64>().map(Value::Number).map_err(|_| Error::at(start, "invalid number"))
+    }
+}
 
 fn escape_into(out: &mut String, s: &str) {
     out.push('"');
@@ -258,6 +579,99 @@ pub fn to_string(value: &Value) -> Result<String, Error> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parser_round_trips_nested_documents() {
+        let inner = json!({ "nested": true, "s": "x\"y\\z\n" });
+        let v = json!({ "a": [1.0, 2.5, -3.0], "b": inner, "c": Value::Null });
+        let text = to_string(&v).unwrap();
+        let back = from_str(&text).unwrap();
+        assert_eq!(to_string(&back).unwrap(), text);
+        assert_eq!(
+            back.get("b").and_then(|b| b.get("nested")).and_then(Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            back.get("b").and_then(|b| b.get("s")).and_then(Value::as_str),
+            Some("x\"y\\z\n")
+        );
+        assert!(back.get("c").map(Value::is_null).unwrap_or(false));
+    }
+
+    #[test]
+    fn parser_restores_floats_bit_exactly() {
+        for &x in &[
+            0.1,
+            1.0 / 3.0,
+            1e-300,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            1.25,
+            -9.007199254740993e15,
+            2.2250738585072014e-308,
+        ] {
+            let text = number_to_string(x);
+            let parsed = from_str(&text).unwrap();
+            match parsed {
+                Value::Number(y) => {
+                    assert_eq!(y.to_bits(), x.to_bits(), "{x} reprinted as {text} parsed to {y}")
+                }
+                other => panic!("expected number, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parser_handles_unicode_escapes() {
+        let v = from_str(r#""\u0041\u00e9\ud83d\ude00\t""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé😀\t"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "nul",
+            "1.2.3",
+            "\"open",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "[] []",
+            "{\"a\":1}x",
+            "--1",
+            "+1",
+            "[01and]",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_and_empty_containers() {
+        let v = from_str(" \t\n{ \"a\" : [ ] , \"b\" : { } } \r\n").unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_array).map(Vec::len), Some(0));
+        assert!(v.get("b").and_then(Value::as_object).map(Map::is_empty).unwrap_or(false));
+    }
+
+    #[test]
+    fn value_accessors_classify_numbers() {
+        let v = from_str("[3, -4, 2.5, 9007199254740993]").unwrap();
+        let items = v.as_array().unwrap();
+        assert_eq!(items[0].as_u64(), Some(3));
+        assert_eq!(items[0].as_i64(), Some(3));
+        assert_eq!(items[1].as_u64(), None);
+        assert_eq!(items[1].as_i64(), Some(-4));
+        assert_eq!(items[2].as_u64(), None);
+        assert_eq!(items[2].as_f64(), Some(2.5));
+        // Above 2^53 the float is not a faithful integer; still readable as f64.
+        assert!(items[3].as_f64().is_some());
+    }
 
     #[test]
     fn json_macro_builds_objects() {
