@@ -275,12 +275,17 @@ pub struct TuningReport {
 /// The exhaustive-search autotuner.
 pub struct Autotuner {
     opts: TuningOptions,
+    /// High-water mark of per-rank observability event counts seen so far,
+    /// fed back as a buffer pre-size hint to later runs. A pure allocation
+    /// hint: capacity never affects recorded contents, so reports stay
+    /// bit-identical across schedules.
+    obs_capacity: AtomicUsize,
 }
 
 impl Autotuner {
     /// Create a tuner with the given options.
     pub fn new(opts: TuningOptions) -> Self {
-        Autotuner { opts }
+        Autotuner { opts, obs_capacity: AtomicUsize::new(0) }
     }
 
     /// The options in force.
@@ -302,6 +307,11 @@ impl Autotuner {
     ) -> (RunRecord, Option<Vec<RankTrace>>) {
         let ranks = w.ranks();
         assert_eq!(stores.len(), ranks, "store count mismatch");
+        let cfg = &{
+            let mut c = cfg.clone();
+            c.obs_capacity = self.obs_capacity.load(Ordering::Relaxed);
+            c
+        };
         let machine = MachineModel::new(
             self.opts.params.clone(),
             self.opts.noise.clone(),
@@ -367,9 +377,13 @@ impl Autotuner {
             rec.kernels_skipped += r.kernels_skipped;
             rec.internal_words += r.internal_words;
         }
-        let obs = cfg
+        let obs: Option<Vec<RankTrace>> = cfg
             .obs
             .then(|| report.outputs.into_iter().map(|r| r.obs.unwrap_or_default()).collect());
+        if let Some(traces) = &obs {
+            let peak = traces.iter().map(|t| t.events.len()).max().unwrap_or(0);
+            self.obs_capacity.fetch_max(peak, Ordering::Relaxed);
+        }
         (rec, obs)
     }
 
@@ -623,7 +637,7 @@ impl Autotuner {
                     *stores = snapshot;
                     session_events.push(Event {
                         kind: EventKind::Fault,
-                        label: label.to_string(),
+                        label: label.into(),
                         start: 0.0,
                         dur: 0.0,
                         arg: run_index as f64,
@@ -631,7 +645,7 @@ impl Autotuner {
                     if attempt + 1 < attempts {
                         session_events.push(Event {
                             kind: EventKind::Retry,
-                            label: label.to_string(),
+                            label: label.into(),
                             start: 0.0,
                             dur: 0.0,
                             arg: (attempt + 1) as f64,
@@ -933,7 +947,7 @@ impl Autotuner {
                 result.quarantined = true;
                 session_events.push(Event {
                     kind: EventKind::Quarantine,
-                    label: name.clone(),
+                    label: name.as_str().into(),
                     start: 0.0,
                     dur: 0.0,
                     arg: (self.opts.max_retries + 1) as f64,

@@ -1,0 +1,200 @@
+//! Hot-path micro-benchmarks feeding the perf trajectory (`BENCH_<n>.json`).
+//!
+//! The cases cover the paths critter-obs flamegraph folds show the tuner
+//! actually spends host time on: per-invocation noise draws in the machine
+//! model, the simulator's virtual-clock matching core (p2p and collectives),
+//! the Critter interception layer with observability recording on,
+//! `OnlineStats`/Welford updates along path propagation, and canonical-JSON
+//! report serialization.
+//!
+//! Flags:
+//!
+//! * `--quick` — reduced sizes and iteration counts (CI smoke mode);
+//! * `--emit FILE` — write the machine-fingerprinted trajectory JSON to
+//!   `FILE` (compare runs with `bench-compare`).
+
+use std::path::PathBuf;
+
+use critter_autotune::{Autotuner, TuningOptions, TuningSpace};
+use critter_bench::harness::{bench, black_box};
+use critter_bench::trajectory::Trajectory;
+use critter_core::{ComputeOp, CritterConfig, CritterEnv, ExecutionPolicy, KernelStore};
+use critter_machine::{KernelClass, MachineModel};
+use critter_sim::{run_simulation, ReduceOp, SimConfig};
+use critter_stats::OnlineStats;
+
+struct Opts {
+    quick: bool,
+    emit: Option<PathBuf>,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts { quick: false, emit: None };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            // `cargo bench` appends `--bench` to the binary's arguments.
+            "--bench" => {}
+            "--quick" => opts.quick = true,
+            "--emit" => {
+                i += 1;
+                opts.emit = Some(PathBuf::from(args.get(i).expect("--emit FILE")));
+            }
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let q = opts.quick;
+    // (size divisor, iteration count) per mode: quick mode shrinks both so
+    // the CI smoke job stays in seconds.
+    let div = if q { 4 } else { 1 };
+    let iters = if q { 4 } else { 12 };
+    let mut traj = Trajectory::capture();
+
+    // Per-invocation noise draws through the public sampling API: the cost
+    // of one modeled compute time (base cost × node factor × jitter).
+    {
+        let m = MachineModel::test_noisy(4, 42);
+        let n = 100_000 / div as u64;
+        let t = bench("machine", "noise_draws", iters, || {
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += m.compute_time(KernelClass::Gemm, 1e4, (i % 4) as usize, i);
+            }
+            black_box(acc);
+        });
+        traj.record("machine", "noise_draws", t);
+    }
+
+    // The production compute path: RankCtx::compute inside a running
+    // simulation (noise sampling + clock + counters).
+    {
+        let n = 40_000 / div;
+        let t = bench("sim", "compute_loop", iters, || {
+            let m = MachineModel::test_noisy(1, 7).shared();
+            let r = run_simulation(SimConfig::new(1), m, move |ctx| {
+                for _ in 0..n {
+                    ctx.compute(KernelClass::Gemm, 1e4);
+                }
+                ctx.now()
+            });
+            black_box(r.elapsed());
+        });
+        traj.record("sim", "compute_loop", t);
+    }
+
+    // Point-to-point matching: eager ping-pong through the p2p queues.
+    {
+        let n = 2_000 / div;
+        let t = bench("sim", "p2p_pingpong", iters, || {
+            let m = MachineModel::test_noisy(2, 11).shared();
+            let r = run_simulation(SimConfig::new(2), m, move |ctx| {
+                let world = ctx.world();
+                for _ in 0..n {
+                    if ctx.rank() == 0 {
+                        ctx.send(&world, 1, 0, &[1.0; 8]);
+                        ctx.recv(&world, 1, 1);
+                    } else {
+                        ctx.recv(&world, 0, 0);
+                        ctx.send(&world, 0, 1, &[2.0; 8]);
+                    }
+                }
+                ctx.now()
+            });
+            black_box(r.elapsed());
+        });
+        traj.record("sim", "p2p_pingpong", t);
+    }
+
+    // Collective matching: allreduce slots under rank-thread contention.
+    {
+        let n = 300 / div;
+        let t = bench("sim", "allreduce", iters, || {
+            let m = MachineModel::test_noisy(4, 13).shared();
+            let r = run_simulation(SimConfig::new(4), m, move |ctx| {
+                let world = ctx.world();
+                let data = [1.5; 256];
+                for _ in 0..n {
+                    black_box(ctx.allreduce(&world, ReduceOp::Sum, &data));
+                }
+                ctx.now()
+            });
+            black_box(r.elapsed());
+        });
+        traj.record("sim", "allreduce", t);
+    }
+
+    // The Critter interception layer with observability recording on: every
+    // kernel pays signature hashing, model updates, an obs event, and
+    // metrics counters.
+    {
+        let n = 20_000 / div;
+        let t = bench("core", "env_kernels_obs", iters, || {
+            let m = MachineModel::test_noisy(1, 17).shared();
+            let cfg = CritterConfig::new(ExecutionPolicy::ConditionalExecution, 0.25).with_obs();
+            let r = run_simulation(SimConfig::new(1), m, move |ctx| {
+                let mut env = CritterEnv::new(ctx, cfg.clone(), KernelStore::new());
+                for i in 0..n {
+                    let dim = 16 << (i % 4);
+                    env.kernel(ComputeOp::Gemm, dim, dim, dim, (dim * dim * dim) as f64, || {});
+                }
+                let (rep, _store) = env.finish();
+                black_box(rep.predicted_time);
+            });
+            black_box(r.elapsed());
+        });
+        traj.record("core", "env_kernels_obs", t);
+    }
+
+    // Welford accumulation: the per-sample path every kernel interception
+    // takes when it records an observation.
+    {
+        let n = 1_000_000 / div as u64;
+        let t = bench("stats", "welford_push", iters, || {
+            let mut s = OnlineStats::new();
+            for i in 0..n {
+                s.push(1.0 + (i % 17) as f64 * 0.25);
+            }
+            black_box(s.variance());
+        });
+        traj.record("stats", "welford_push", t);
+    }
+
+    // Chan's pairwise merge: the eager-propagation combine of per-rank
+    // accumulators.
+    {
+        let n = 200_000 / div as u64;
+        let t = bench("stats", "welford_merge", iters, || {
+            let part = OnlineStats::from_slice(&[1.0, 2.0, 4.0, 8.0]);
+            let mut acc = OnlineStats::new();
+            for _ in 0..n {
+                acc.merge(&part);
+            }
+            black_box(acc.mean());
+        });
+        traj.record("stats", "welford_merge", t);
+    }
+
+    // Canonical-JSON serialization of a full tuning report (the committed
+    // artifact form: sorted keys, pretty printing).
+    {
+        let opts_t =
+            TuningOptions::new(ExecutionPolicy::OnlinePropagation, 0.25).with_test_machine();
+        let report = Autotuner::new(opts_t).tune(&TuningSpace::SlateCholesky.smoke());
+        let t = bench("json", "report_canonical", iters, || {
+            black_box(report.to_json_string().len());
+        });
+        traj.record("json", "report_canonical", t);
+    }
+
+    if let Some(path) = &opts.emit {
+        traj.write(path).expect("write trajectory");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,164 @@
+//! Diff two perf-trajectory files (`BENCH_<n>.json`) with a noise tolerance.
+//!
+//! ```text
+//! bench-compare [--tolerance F] [--report-only] OLD.json NEW.json
+//! bench-compare --validate FILE.json
+//! bench-compare --min-speedup R --min-cases N OLD.json NEW.json
+//! ```
+//!
+//! * Default mode prints a per-case table (old min, new min, speedup,
+//!   verdict) and exits non-zero if any case regressed beyond the tolerance.
+//! * `--report-only` always exits 0 — CI uses it to surface the diff against
+//!   the committed baseline without blocking unrelated changes.
+//! * `--validate` parses one file against the trajectory schema and exits
+//!   non-zero on any violation (missing key, wrong type, unknown version).
+//! * `--min-speedup R --min-cases N` additionally requires at least `N`
+//!   cases at `R`× or better — the acceptance gate a speed-pass PR runs
+//!   against its own pre-optimization baseline.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use critter_bench::trajectory::{compare, render_comparison, Trajectory, Verdict};
+
+struct Opts {
+    tolerance: f64,
+    report_only: bool,
+    validate: Option<PathBuf>,
+    min_speedup: Option<f64>,
+    min_cases: usize,
+    files: Vec<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-compare [--tolerance F] [--report-only] \
+         [--min-speedup R --min-cases N] OLD.json NEW.json\n       \
+         bench-compare --validate FILE.json"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        tolerance: 0.05,
+        report_only: false,
+        validate: None,
+        min_speedup: None,
+        min_cases: 2,
+        files: Vec::new(),
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                opts.tolerance =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--report-only" => opts.report_only = true,
+            "--validate" => {
+                i += 1;
+                opts.validate = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--min-speedup" => {
+                i += 1;
+                opts.min_speedup =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--min-cases" => {
+                i += 1;
+                opts.min_cases =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            f if !f.starts_with("--") => opts.files.push(PathBuf::from(f)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+
+    if let Some(path) = &opts.validate {
+        return match Trajectory::read(path) {
+            Ok(t) => {
+                println!(
+                    "{} is a valid schema-v{} trajectory: {} cases, rev {}, {} ({}/{}, {} cpus)",
+                    path.display(),
+                    t.schema_version,
+                    t.cases.len(),
+                    t.git_rev,
+                    t.date,
+                    t.fingerprint.os,
+                    t.fingerprint.arch,
+                    t.fingerprint.cpus
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("invalid trajectory: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    if opts.files.len() != 2 {
+        usage();
+    }
+    let old = match Trajectory::read(&opts.files[0]) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let new = match Trajectory::read(&opts.files[1]) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if old.fingerprint != new.fingerprint {
+        eprintln!(
+            "warning: trajectories were recorded on different machines \
+             ({}/{}/{} cpus vs {}/{}/{} cpus) — wall-clock deltas are not commensurable",
+            old.fingerprint.os,
+            old.fingerprint.arch,
+            old.fingerprint.cpus,
+            new.fingerprint.os,
+            new.fingerprint.arch,
+            new.fingerprint.cpus
+        );
+    }
+    println!("old: rev {} ({})   new: rev {} ({})", old.git_rev, old.date, new.git_rev, new.date);
+    let deltas = compare(&old, &new, opts.tolerance);
+    print!("{}", render_comparison(&deltas, opts.tolerance));
+
+    let mut failed = false;
+    if let Some(r) = opts.min_speedup {
+        let hits = deltas.iter().filter(|d| d.speedup.is_some_and(|s| s >= r)).count();
+        if hits >= opts.min_cases {
+            println!("speedup gate: {hits} case(s) at ≥ {r:.2}x (needed {})", opts.min_cases);
+        } else {
+            eprintln!(
+                "speedup gate FAILED: {hits} case(s) at ≥ {r:.2}x, needed {}",
+                opts.min_cases
+            );
+            failed = true;
+        }
+    }
+    let regressions = deltas.iter().filter(|d| d.verdict == Verdict::Slower).count();
+    if regressions > 0 {
+        eprintln!("{regressions} case(s) regressed beyond tolerance");
+        failed = true;
+    }
+    if failed && !opts.report_only {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

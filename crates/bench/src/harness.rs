@@ -22,19 +22,55 @@ pub struct Timing {
     pub iters: usize,
 }
 
-/// Reduce raw per-iteration samples to a [`Timing`]. The median is the
-/// upper median (index `n/2` of the sorted samples); `iters` is the sample
-/// count.
+/// Reduce raw per-iteration samples to a [`Timing`]. For an odd sample count
+/// the median is the middle sample; for an even count it is the midpoint of
+/// the two middle samples, so the headline number does not jitter between
+/// adjacent-ranked samples across runs. `iters` is the sample count.
 pub fn summarize(mut samples: Vec<Duration>) -> Timing {
     assert!(!samples.is_empty(), "at least one sample");
     samples.sort_unstable();
-    Timing { min: samples[0], median: samples[samples.len() / 2], iters: samples.len() }
+    let n = samples.len();
+    let median = if n.is_multiple_of(2) {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2
+    } else {
+        samples[n / 2]
+    };
+    Timing { min: samples[0], median, iters: n }
 }
 
-/// Time `f` for `iters` iterations after one untimed warm-up run.
+/// Maximum untimed warm-up runs before timing starts regardless of convergence.
+const WARMUP_CAP: usize = 8;
+
+/// Relative tolerance for declaring two consecutive warm-up runs converged.
+const WARMUP_TOL: f64 = 0.25;
+
+/// Two consecutive warm-up durations count as converged when they agree within
+/// [`WARMUP_TOL`] (or both are too fast for the difference to matter).
+fn warmed_up(a: Duration, b: Duration) -> bool {
+    let hi = a.max(b);
+    let lo = a.min(b);
+    hi <= Duration::from_micros(1) || (hi - lo).as_secs_f64() <= WARMUP_TOL * hi.as_secs_f64()
+}
+
+/// Time `f` for `iters` iterations after untimed warm-up runs.
+///
+/// A single warm-up run is not enough for cold cases: the second call may
+/// still pay pool-spawn, allocator-growth, or lazy-initialization costs and
+/// pollute `min`. Warm-up therefore repeats until two consecutive runs agree
+/// within tolerance, capped at [`WARMUP_CAP`] runs.
 pub fn time(mut f: impl FnMut(), iters: usize) -> Timing {
     assert!(iters > 0, "at least one iteration");
-    f(); // warm-up: page in code, fill allocator caches, spawn pools
+    let mut prev: Option<Duration> = None;
+    for _ in 0..WARMUP_CAP {
+        let start = Instant::now();
+        f();
+        let d = start.elapsed();
+        let done = prev.is_some_and(|p| warmed_up(p, d));
+        prev = Some(d);
+        if done {
+            break;
+        }
+    }
     let mut samples: Vec<Duration> = Vec::with_capacity(iters);
     for _ in 0..iters {
         let start = Instant::now();

@@ -18,6 +18,7 @@
 pub mod fig3;
 pub mod harness;
 pub mod plot;
+pub mod trajectory;
 
 use std::fmt::Write as _;
 use std::fs;

@@ -19,11 +19,16 @@ fn summarize_reports_min_median_and_count_on_known_samples() {
     assert_eq!(t.min, ms(1));
     assert_eq!(t.median, ms(5));
     assert_eq!(t.iters, 3);
-    // Even count: upper median (index n/2 of the sorted samples).
+    // Even count: midpoint of the two middle samples, not the upper median —
+    // the interpolated value is stable when adjacent-ranked samples swap
+    // order across runs.
     let t = summarize(vec![ms(4), ms(2), ms(8), ms(6)]);
     assert_eq!(t.min, ms(2));
-    assert_eq!(t.median, ms(6));
+    assert_eq!(t.median, ms(5));
     assert_eq!(t.iters, 4);
+    // Two samples: midpoint again (regression test for the even-count case).
+    let t = summarize(vec![ms(10), ms(20)]);
+    assert_eq!(t.median, ms(15));
     // A single sample is its own min and median.
     let t = summarize(vec![ms(7)]);
     assert_eq!((t.min, t.median, t.iters), (ms(7), ms(7), 1));
@@ -50,7 +55,41 @@ fn time_runs_warmup_plus_iters() {
         5,
     );
     assert_eq!(t.iters, 5);
-    assert_eq!(calls.load(Ordering::Relaxed), 6, "one warm-up + five timed iterations");
+    // Adaptive warm-up: at least two runs (consecutive agreement needs a
+    // pair), at most the cap of eight, plus the five timed iterations.
+    let calls = calls.load(Ordering::Relaxed);
+    assert!((7..=13).contains(&calls), "expected 5 timed + 2..=8 warm-up calls, got {calls}");
+}
+
+#[test]
+fn cold_closure_does_not_pollute_min() {
+    // A deliberately cold case: the first two calls are slow (and differ by
+    // far more than the warm-up tolerance, so a single warm-up pair cannot
+    // spuriously converge on them), every later call is fast. The adaptive
+    // warm-up must absorb the whole cold phase before timing starts.
+    let spin = |d: Duration| {
+        let start = std::time::Instant::now();
+        while start.elapsed() < d {
+            std::hint::spin_loop();
+        }
+    };
+    let calls = AtomicUsize::new(0);
+    let t = time(
+        || {
+            match calls.fetch_add(1, Ordering::Relaxed) {
+                0 => spin(Duration::from_millis(40)),
+                1 => spin(Duration::from_millis(10)),
+                _ => {}
+            };
+        },
+        3,
+    );
+    assert!(
+        t.min < Duration::from_millis(5),
+        "cold-start runs leaked into the timed samples: min {:?}",
+        t.min
+    );
+    assert!(t.median < Duration::from_millis(5), "median polluted: {:?}", t.median);
 }
 
 proptest! {
@@ -77,7 +116,13 @@ proptest! {
         let mut sorted = samples;
         sorted.sort_unstable();
         prop_assert_eq!(t.min, sorted[0]);
-        prop_assert_eq!(t.median, sorted[sorted.len() / 2]);
-        prop_assert_eq!(t.iters, sorted.len());
+        let n = sorted.len();
+        let reference = if n.is_multiple_of(2) {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+        } else {
+            sorted[n / 2]
+        };
+        prop_assert_eq!(t.median, reference);
+        prop_assert_eq!(t.iters, n);
     }
 }

@@ -69,6 +69,15 @@ pub struct CritterEnv<'a> {
     /// the virtual clock plus the rank's metrics registry. `None` keeps the
     /// recording entirely out of the hot path.
     obs: Option<RankRecorder>,
+    /// Interned per-signature event labels, keyed by `KernelSig::key()`: the
+    /// same signature recurs across thousands of events, so each distinct
+    /// label is formatted (and heap-allocated) once and then shared.
+    labels: std::collections::HashMap<u64, std::sync::Arc<str>>,
+    /// Interned `propagate[<channel>]` counter names, keyed by communicator
+    /// id (same motivation as `labels`).
+    propagate_counters: std::collections::HashMap<u64, String>,
+    /// Shared label for path-adoption events.
+    path_adopt_label: std::sync::Arc<str>,
 }
 
 impl<'a> CritterEnv<'a> {
@@ -77,7 +86,7 @@ impl<'a> CritterEnv<'a> {
     pub fn new(ctx: &'a mut RankCtx, cfg: CritterConfig, store: KernelStore) -> Self {
         let registry = ChannelRegistry::new(ctx.size());
         let level = cfg.level();
-        let obs = cfg.obs.then(|| RankRecorder::new(ctx.rank()));
+        let obs = cfg.obs.then(|| RankRecorder::with_capacity(ctx.rank(), cfg.obs_capacity));
         CritterEnv {
             ctx,
             cfg,
@@ -88,6 +97,9 @@ impl<'a> CritterEnv<'a> {
             metrics: PathMetrics::default(),
             report: CritterReport::default(),
             obs,
+            labels: std::collections::HashMap::new(),
+            propagate_counters: std::collections::HashMap::new(),
+            path_adopt_label: "path_adopt".into(),
         }
     }
 
@@ -138,10 +150,23 @@ impl<'a> CritterEnv<'a> {
         self.obs.is_some()
     }
 
-    fn obs_event(&mut self, kind: EventKind, label: String, start: f64, dur: f64, arg: f64) {
+    fn obs_event(
+        &mut self,
+        kind: EventKind,
+        label: std::sync::Arc<str>,
+        start: f64,
+        dur: f64,
+        arg: f64,
+    ) {
         if let Some(rec) = &mut self.obs {
             rec.record(Event { kind, label, start, dur, arg });
         }
+    }
+
+    /// The interned label for `sig`: formatted once per distinct signature,
+    /// cloned (refcount bump) per event thereafter.
+    fn sig_label(&mut self, sig: &KernelSig) -> std::sync::Arc<str> {
+        self.labels.entry(sig.key()).or_insert_with(|| sig.label().into()).clone()
     }
 
     fn obs_count(&mut self, name: &str, by: u64) {
@@ -201,7 +226,8 @@ impl<'a> CritterEnv<'a> {
             let now = self.ctx.now();
             self.obs_observe("ci_rel_width", rel);
             self.obs_count(if predictable { "decisions_skip" } else { "decisions_execute" }, 1);
-            self.obs_event(EventKind::Decision, sig.label(), now, 0.0, rel);
+            let label = self.sig_label(sig);
+            self.obs_event(EventKind::Decision, label, now, 0.0, rel);
         }
         !predictable
     }
@@ -295,7 +321,8 @@ impl<'a> CritterEnv<'a> {
                 let delta = merged.exec_time - self.exec_time;
                 let now = self.ctx.now();
                 self.obs_count("path_adoptions", 1);
-                self.obs_event(EventKind::PathAdopt, "path_adopt".to_string(), now, 0.0, delta);
+                let label = self.path_adopt_label.clone();
+                self.obs_event(EventKind::PathAdopt, label, now, 0.0, delta);
             }
             if self.cfg.policy.adopts_remote_path() {
                 self.store.adopt_path(merged.path.iter().copied());
@@ -411,7 +438,8 @@ impl<'a> CritterEnv<'a> {
                 (EventKind::KernelSkip, "samples_skipped")
             };
             self.obs_count(counter, 1);
-            self.obs_event(kind, sig.label(), start, end - start, charged);
+            let label = self.sig_label(&sig);
+            self.obs_event(kind, label, start, end - start, charged);
         }
         charged
     }
@@ -472,8 +500,17 @@ impl<'a> CritterEnv<'a> {
         self.metrics.comm_words += words as f64;
         if self.observing() {
             let now = self.ctx.now();
-            self.obs_count(&format!("propagate[{}]", meta.label()), 1);
-            self.obs_event(EventKind::Propagate, sig.label(), t0, now - t0, internal_cost);
+            // Interned per-channel counter name: one `format!` per distinct
+            // communicator, not one per propagation.
+            if let Some(rec) = &mut self.obs {
+                let name = self
+                    .propagate_counters
+                    .entry(comm.id())
+                    .or_insert_with(|| format!("propagate[{}]", meta.label()));
+                rec.metrics_mut().incr(name, 1);
+            }
+            let label = self.sig_label(&sig);
+            self.obs_event(EventKind::Propagate, label, t0, now - t0, internal_cost);
         }
         (sig, merged.vote, extrapolated)
     }
@@ -507,7 +544,8 @@ impl<'a> CritterEnv<'a> {
         if self.observing() {
             let now = self.ctx.now();
             self.obs_count("samples_taken", 1);
-            self.obs_event(EventKind::CommExec, sig.label(), now - t, t, t);
+            let label = self.sig_label(sig);
+            self.obs_event(EventKind::CommExec, label, now - t, t, t);
         }
     }
 
@@ -536,7 +574,8 @@ impl<'a> CritterEnv<'a> {
         if self.observing() {
             let now = self.ctx.now();
             self.obs_count("samples_skipped", 1);
-            self.obs_event(EventKind::CommSkip, sig.label(), now, 0.0, mean);
+            let label = self.sig_label(sig);
+            self.obs_event(EventKind::CommSkip, label, now, 0.0, mean);
         }
     }
 
@@ -707,7 +746,7 @@ impl<'a> CritterEnv<'a> {
                 let size = c.size() as f64;
                 let now = self.ctx.now();
                 self.obs_count("channels_registered", 1);
-                self.obs_event(EventKind::Channel, label, now, 0.0, size);
+                self.obs_event(EventKind::Channel, label.into(), now, 0.0, size);
             }
         }
         new
@@ -749,7 +788,8 @@ impl<'a> CritterEnv<'a> {
         if self.observing() {
             let now = self.ctx.now();
             self.obs_count("propagate[p2p]", 1);
-            self.obs_event(EventKind::Propagate, sig.label(), t0, now - t0, internal_time);
+            let label = self.sig_label(&sig);
+            self.obs_event(EventKind::Propagate, label, t0, now - t0, internal_time);
         }
         if merged.vote {
             let t0 = self.ctx.now();
@@ -798,7 +838,8 @@ impl<'a> CritterEnv<'a> {
         if self.observing() {
             let now = self.ctx.now();
             self.obs_count("propagate[p2p]", 1);
-            self.obs_event(EventKind::Propagate, sig.label(), t0, now - t0, internal_time);
+            let label = self.sig_label(&sig);
+            self.obs_event(EventKind::Propagate, label, t0, now - t0, internal_time);
         }
         if execute {
             let t0 = self.ctx.now();
@@ -840,7 +881,8 @@ impl<'a> CritterEnv<'a> {
         if self.observing() {
             let now = self.ctx.now();
             self.obs_count("propagate[p2p]", 1);
-            self.obs_event(EventKind::Propagate, sig.label(), now, 0.0, overhead);
+            let label = self.sig_label(&sig);
+            self.obs_event(EventKind::Propagate, label, now, 0.0, overhead);
         }
         let user = if vote {
             Some(self.ctx.isend(comm, dst, tag, data))
@@ -900,7 +942,8 @@ impl<'a> CritterEnv<'a> {
                 if self.observing() {
                     let now = self.ctx.now();
                     self.obs_count("propagate[p2p]", 1);
-                    self.obs_event(EventKind::Propagate, sig.label(), t0, now - t0, internal_time);
+                    let label = self.sig_label(&sig);
+                    self.obs_event(EventKind::Propagate, label, t0, now - t0, internal_time);
                 }
                 if their.vote {
                     let t0 = self.ctx.now();

@@ -170,6 +170,11 @@ pub struct CritterConfig {
     /// (see `docs/OBSERVABILITY.md`); adds memory proportional to the
     /// number of interceptions.
     pub obs: bool,
+    /// Pre-size hint (in events) for the per-rank observability buffers.
+    /// Capacity never affects recorded contents — callers (the autotune
+    /// driver) feed back the event count of earlier repetitions so later
+    /// ones skip the buffer's growth reallocations. `0` means no hint.
+    pub obs_capacity: usize,
 }
 
 impl CritterConfig {
@@ -186,6 +191,7 @@ impl CritterConfig {
             extrapolate: None,
             trace: false,
             obs: false,
+            obs_capacity: 0,
         }
     }
 
@@ -199,6 +205,14 @@ impl CritterConfig {
     /// metrics in `CritterReport::obs`).
     pub fn with_obs(mut self) -> Self {
         self.obs = true;
+        self
+    }
+
+    /// Pre-size the per-rank observability event buffers for `capacity`
+    /// events. A pure allocation hint: recorded contents are identical for
+    /// every capacity value.
+    pub fn with_obs_capacity(mut self, capacity: usize) -> Self {
+        self.obs_capacity = capacity;
         self
     }
 

@@ -30,7 +30,7 @@ pub use calibrate::{fit_compute, fit_ptp, params_from_fits, ComputeFit, PtpFit};
 pub use comm_cost::{CommCostModel, CommOp};
 pub use compute_cost::{ComputeCostModel, KernelClass};
 pub use model::MachineModel;
-pub use noise::{NoiseModel, NoiseParams};
+pub use noise::{ComputeSampler, NoiseModel, NoiseParams};
 pub use params::MachineParams;
 pub use rng::CounterRng;
 pub use topology::Topology;

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use crate::comm_cost::{CommCostModel, CommOp};
 use crate::compute_cost::{ComputeCostModel, KernelClass};
-use crate::noise::{NoiseModel, NoiseParams};
+use crate::noise::{ComputeSampler, NoiseModel, NoiseParams};
 use crate::params::MachineParams;
 use crate::topology::Topology;
 
@@ -19,6 +19,11 @@ pub struct MachineModel {
     compute: ComputeCostModel,
     noise: NoiseModel,
     topo: Topology,
+    /// Persistent node slowdown factor per rank, drawn once at construction.
+    /// The values are exactly what `noise.node_factor(&topo, rank)` returns;
+    /// precomputing them keeps the Box–Muller transform off the per-invocation
+    /// `compute_time` path.
+    node_factors: Vec<f64>,
 }
 
 impl MachineModel {
@@ -31,11 +36,14 @@ impl MachineModel {
         allocation: u64,
     ) -> Self {
         let topo = Topology::new(ranks, params.ranks_per_node, allocation);
+        let noise = NoiseModel::new(noise, seed);
+        let node_factors = (0..ranks).map(|r| noise.node_factor(&topo, r)).collect();
         MachineModel {
             comm: CommCostModel::new(params.clone()),
             compute: ComputeCostModel::new(params),
-            noise: NoiseModel::new(noise, seed),
+            noise,
             topo,
+            node_factors,
         }
     }
 
@@ -77,11 +85,25 @@ impl MachineModel {
     /// Replace the noise model's seed, keeping everything else (used to model a
     /// fresh run of the same job in a new environment sample).
     pub fn with_noise_seed(&self, salt: u64) -> Self {
+        let noise = self.noise.reseeded(salt);
+        let node_factors =
+            (0..self.topo.ranks()).map(|r| noise.node_factor(&self.topo, r)).collect();
         MachineModel {
             comm: self.comm.clone(),
             compute: self.compute.clone(),
-            noise: self.noise.reseeded(salt),
+            noise,
             topo: self.topo.clone(),
+            node_factors,
+        }
+    }
+
+    /// Precomputed node factor for `rank` (falls back to a direct draw for
+    /// out-of-range ranks so the result matches `noise.node_factor` always).
+    #[inline]
+    fn node_factor(&self, rank: usize) -> f64 {
+        match self.node_factors.get(rank) {
+            Some(f) => *f,
+            None => self.noise.node_factor(&self.topo, rank),
         }
     }
 
@@ -95,8 +117,29 @@ impl MachineModel {
         invocation: u64,
     ) -> f64 {
         self.compute.base_cost(class, flops)
-            * self.noise.node_factor(&self.topo, rank)
+            * self.node_factor(rank)
             * self.noise.compute_jitter(rank, invocation)
+    }
+
+    /// Per-rank sampler caching the node factor and jitter stream; feed it to
+    /// [`MachineModel::compute_time_with`] for draws bit-identical to
+    /// [`MachineModel::compute_time`] without per-call stream setup.
+    pub fn compute_sampler(&self, rank: usize) -> ComputeSampler {
+        self.noise.compute_sampler(&self.topo, rank)
+    }
+
+    /// `compute_time` through a sampler created by
+    /// [`MachineModel::compute_sampler`] for the same rank. The multiplication
+    /// order matches `compute_time` exactly, so the result is bit-identical.
+    #[inline]
+    pub fn compute_time_with(
+        &self,
+        sampler: &ComputeSampler,
+        class: KernelClass,
+        flops: f64,
+        invocation: u64,
+    ) -> f64 {
+        self.compute.base_cost(class, flops) * sampler.node_factor() * sampler.jitter(invocation)
     }
 
     /// Noise-free compute time (the model mean up to the lognormal's mean
@@ -163,6 +206,20 @@ mod tests {
         let t0 = m0.compute_time(KernelClass::Gemm, 1e7, 0, 0);
         let t1 = m1.compute_time(KernelClass::Gemm, 1e7, 0, 0);
         assert_ne!(t0, t1);
+    }
+
+    #[test]
+    fn sampler_matches_compute_time_bitwise() {
+        for (m, seed) in [(MachineModel::test_noisy(8, 42), 42), (MachineModel::test_exact(8), 0)] {
+            for rank in [0usize, 3, 7] {
+                let s = m.compute_sampler(rank);
+                for inv in [0u64, 1, 17, 100_000] {
+                    let direct = m.compute_time(KernelClass::Gemm, 1e6, rank, inv);
+                    let sampled = m.compute_time_with(&s, KernelClass::Gemm, 1e6, inv);
+                    assert_eq!(direct.to_bits(), sampled.to_bits(), "seed {seed} rank {rank}");
+                }
+            }
+        }
     }
 
     #[test]

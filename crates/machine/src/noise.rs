@@ -128,6 +128,52 @@ impl NoiseModel {
     pub fn reseeded(&self, salt: u64) -> Self {
         NoiseModel { params: self.params.clone(), seed: splitmix64(self.seed ^ salt) }
     }
+
+    /// Build a [`ComputeSampler`] for `rank`: the persistent node factor and
+    /// the rank's jitter stream are resolved once, so the per-invocation cost
+    /// of a draw is a single random-access lognormal instead of re-deriving
+    /// the stream (and re-drawing the node factor) on every call.
+    pub fn compute_sampler(&self, topo: &Topology, rank: usize) -> ComputeSampler {
+        ComputeSampler {
+            node_factor: self.node_factor(topo, rank),
+            jitter: (self.params.compute_sigma != 0.0).then(|| {
+                (
+                    CounterRng::new(self.seed, stream_id(&[STREAM_COMPUTE, rank as u64])),
+                    self.params.compute_sigma,
+                )
+            }),
+        }
+    }
+}
+
+/// Per-rank compute-noise sampler with the node factor and jitter stream
+/// cached (see [`NoiseModel::compute_sampler`]). The draws it produces are
+/// bit-identical to [`NoiseModel::node_factor`] × [`NoiseModel::compute_jitter`]:
+/// the stream identity and draw indices are unchanged, only the per-call
+/// stream setup is hoisted. One sampler is created per `(config, rep)` run
+/// per rank, which batches the noise-stream setup at that granularity.
+#[derive(Debug, Clone)]
+pub struct ComputeSampler {
+    node_factor: f64,
+    /// Jitter stream and sigma; `None` when `compute_sigma == 0` (exact).
+    jitter: Option<(CounterRng, f64)>,
+}
+
+impl ComputeSampler {
+    /// The persistent node slowdown factor (1.0 under zero node sigma).
+    #[inline]
+    pub fn node_factor(&self) -> f64 {
+        self.node_factor
+    }
+
+    /// Jitter factor of the `invocation`-th compute kernel on this rank.
+    #[inline]
+    pub fn jitter(&self, invocation: u64) -> f64 {
+        match &self.jitter {
+            Some((rng, sigma)) => lognormal_at(rng, invocation, *sigma),
+            None => 1.0,
+        }
+    }
 }
 
 /// Random-access lognormal draw at counter `idx`: Box–Muller on the pair of

@@ -118,8 +118,10 @@ pub struct Event {
     /// Which interception point fired.
     pub kind: EventKind,
     /// Kernel-signature or channel label (e.g. `gemm[64x64x64]`,
-    /// `bcast[w=512,p=4,s=1]`).
-    pub label: String,
+    /// `bcast[w=512,p=4,s=1]`). Shared (`Arc<str>`) because the same label
+    /// recurs across thousands of events: producers intern one allocation
+    /// per distinct signature and clone the handle per event.
+    pub label: std::sync::Arc<str>,
     /// Virtual time at which the interception began (seconds).
     pub start: f64,
     /// Virtual duration of the interception (seconds; 0 for instantaneous
@@ -139,7 +141,7 @@ impl Event {
             "arg": self.arg,
             "dur": self.dur,
             "kind": self.kind.name(),
-            "label": self.label.as_str(),
+            "label": &*self.label,
             "start": self.start,
         })
     }
@@ -155,11 +157,11 @@ impl Event {
             .ok_or_else(|| "event: bad key `kind`".to_string())?;
         let kind = EventKind::from_name(kind_name)
             .ok_or_else(|| format!("event: unknown kind `{kind_name}`"))?;
-        let label = v
+        let label: std::sync::Arc<str> = v
             .get("label")
             .and_then(|x| x.as_str())
             .ok_or_else(|| "event: bad key `label`".to_string())?
-            .to_string();
+            .into();
         Ok(Event { kind, label, start: f("start")?, dur: f("dur")?, arg: f("arg")? })
     }
 }

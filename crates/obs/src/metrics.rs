@@ -138,19 +138,39 @@ impl MetricsRegistry {
     }
 
     /// Add `by` to the counter `name` (saturating; counters never wrap).
+    ///
+    /// Hot path: looks the key up by `&str` first, so the `String` key is
+    /// allocated only the first time a name is seen.
     pub fn incr(&mut self, name: &str, by: u64) {
-        let c = self.counters.entry(name.to_string()).or_insert(0);
-        *c = c.saturating_add(by);
+        match self.counters.get_mut(name) {
+            Some(c) => *c = c.saturating_add(by),
+            None => {
+                self.counters.insert(name.to_string(), by);
+            }
+        }
     }
 
-    /// Add `x` to the sum `name`.
+    /// Add `x` to the sum `name` (allocation-free after first use of a name).
     pub fn add_sum(&mut self, name: &str, x: f64) {
-        *self.sums.entry(name.to_string()).or_insert(0.0) += x;
+        match self.sums.get_mut(name) {
+            Some(s) => *s += x,
+            None => {
+                self.sums.insert(name.to_string(), x);
+            }
+        }
     }
 
-    /// Record one sample into the histogram `name`.
+    /// Record one sample into the histogram `name` (allocation-free after
+    /// first use of a name).
     pub fn observe(&mut self, name: &str, x: f64) {
-        self.histograms.entry(name.to_string()).or_default().observe(x);
+        match self.histograms.get_mut(name) {
+            Some(h) => h.observe(x),
+            None => {
+                let mut h = Histogram::new();
+                h.observe(x);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
     }
 
     /// Current value of a counter (0 when absent).

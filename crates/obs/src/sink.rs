@@ -20,7 +20,7 @@ use crate::metrics::MetricsRegistry;
 /// let mut sink: Vec<Event> = Vec::new();
 /// sink.record(Event {
 ///     kind: EventKind::KernelExec,
-///     label: "gemm[8x8x8]".to_string(),
+///     label: "gemm[8x8x8]".into(),
 ///     start: 0.0,
 ///     dur: 1.5e-6,
 ///     arg: 1.5e-6,
@@ -53,6 +53,14 @@ impl RankRecorder {
     /// A fresh recorder for `rank`.
     pub fn new(rank: usize) -> Self {
         RankRecorder { rank, events: Vec::new(), metrics: MetricsRegistry::new() }
+    }
+
+    /// A fresh recorder whose event buffer is pre-sized for `capacity`
+    /// events. Capacity never affects recorded contents — callers (the
+    /// autotune driver) feed back the event count of earlier repetitions so
+    /// later ones skip the buffer's growth reallocations.
+    pub fn with_capacity(rank: usize, capacity: usize) -> Self {
+        RankRecorder { rank, events: Vec::with_capacity(capacity), metrics: MetricsRegistry::new() }
     }
 
     /// The rank being recorded.
@@ -147,7 +155,7 @@ mod tests {
         let t = r.into_trace();
         assert_eq!(t.rank, 3);
         assert_eq!(t.events.len(), 2);
-        assert_eq!(t.events[0].label, "a");
+        assert_eq!(&*t.events[0].label, "a");
         assert_eq!(t.metrics.counter("samples_taken"), 2);
     }
 

@@ -133,7 +133,7 @@ impl Timeline {
                         "args": args,
                         "cat": e.kind.name(),
                         "dur": e.dur * 1e6,
-                        "name": e.label.as_str(),
+                        "name": &*e.label,
                         "ph": "X",
                         "pid": run.id,
                         "tid": trace.rank,

@@ -37,7 +37,7 @@ impl SessionLog {
     /// Append one lifecycle event (`start`/`dur` are 0: lifecycle events
     /// carry no virtual time).
     pub fn record(&self, kind: EventKind, label: &str, arg: f64) -> Result<()> {
-        let event = Event { kind, label: label.to_string(), start: 0.0, dur: 0.0, arg };
+        let event = Event { kind, label: label.into(), start: 0.0, dur: 0.0, arg };
         let mut line = serde_json::to_string(&event.to_json()).expect("json writer is total");
         line.push('\n');
         let mut file = OpenOptions::new()

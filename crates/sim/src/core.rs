@@ -214,10 +214,18 @@ impl SimCore {
         // messages at the compact wire size of the real implementation).
         let cost_words = cost_words.unwrap_or(words);
         let rendezvous = force_rendezvous || cost_words > self.eager_words;
-        let mut st = self.p2p.lock();
-        let seq = st.send_seq.entry(key).or_insert(0);
-        let this_seq = *seq;
-        *seq += 1;
+        // Reserve this message's per-key sequence number under the lock, then
+        // sample its cost outside it: the draw is a pure function of
+        // (key, seq), and all sends for one key come from the single sender
+        // thread, so the queue push below still lands in seq order despite
+        // the unlock window.
+        let this_seq = {
+            let mut st = self.p2p.lock();
+            let seq = st.send_seq.entry(key).or_insert(0);
+            let s = *seq;
+            *seq += 1;
+            s
+        };
         let cost = self.machine.comm_time(
             CommOp::PointToPoint,
             cost_words,
@@ -226,13 +234,15 @@ impl SimCore {
             this_seq,
         );
         let slot = rendezvous.then(|| Arc::new(SendSlot::default()));
-        st.queues.entry(key).or_default().push_back(SendEntry {
-            data,
-            post_time,
-            cost,
-            slot: slot.clone(),
-        });
-        drop(st);
+        {
+            let mut st = self.p2p.lock();
+            st.queues.entry(key).or_default().push_back(SendEntry {
+                data,
+                post_time,
+                cost,
+                slot: slot.clone(),
+            });
+        }
         self.p2p_cv.notify_all();
         (cost, slot)
     }
@@ -321,7 +331,7 @@ impl SimCore {
                 );
             }
         }
-        {
+        let completion = {
             let slot = st.slots.entry(slot_key).or_insert_with(|| CollSlot {
                 kind,
                 root,
@@ -348,7 +358,7 @@ impl SimCore {
                 comm.id()
             );
             assert!(
-                slot.contribs[my_index].is_none(),
+                slot.contribs.get(my_index).is_some_and(Option::is_none),
                 "rank arrived twice at collective seq {seq}"
             );
             // Merge the charge spec across arrivals (participants may pass
@@ -364,10 +374,35 @@ impl SimCore {
             slot.contribs[my_index] = Some(contrib);
             slot.arrived += 1;
             slot.max_post = slot.max_post.max(post);
-            if slot.arrived == slot.expected {
-                Self::complete_collective(&self.machine, comm, seq, slot);
-                self.coll_cv.notify_all();
-            }
+            (slot.arrived == slot.expected)
+                .then(|| (slot.charge, slot.combine, std::mem::take(&mut slot.contribs)))
+        };
+        if let Some((charge, combine, contribs)) = completion {
+            // Last arriver: sample the cost and build every rank's output
+            // *outside* the lock — output construction clones payloads per
+            // rank, which is the bulk of a collective's host-side work. The
+            // window is race-free: every other participant is parked in the
+            // wait loop below until `done` is set, the slot cannot be removed
+            // while `done` is unset, and a replayed sequence number arriving
+            // in the window trips the arrival assert above (its contribution
+            // vector was taken) rather than corrupting the slot.
+            drop(st);
+            let (cost, outputs) = Self::complete_collective(
+                &self.machine,
+                comm,
+                seq,
+                kind,
+                root,
+                charge,
+                combine,
+                contribs,
+            );
+            st = self.coll.lock();
+            let slot = st.slots.get_mut(&slot_key).expect("collective slot vanished");
+            slot.cost = cost;
+            slot.outputs = outputs;
+            slot.done = Some(slot.max_post + cost);
+            self.coll_cv.notify_all();
         }
         // Wait for completion, then take this rank's output.
         loop {
@@ -401,31 +436,38 @@ impl SimCore {
         }
     }
 
-    /// All participants have arrived: compute cost, completion time, outputs.
+    /// All participants have arrived: compute the operation's sampled cost and
+    /// every rank's output. Pure with respect to core state (runs outside the
+    /// collective lock); the caller installs the results into the slot.
+    #[allow(clippy::too_many_arguments)]
     fn complete_collective(
         machine: &MachineModel,
         comm: &Communicator,
         seq: u64,
-        slot: &mut CollSlot,
-    ) {
-        let p = slot.expected;
+        kind: CollKind,
+        root: usize,
+        charge: Option<Option<usize>>,
+        combine: Option<CombineFn>,
+        mut contribs: Vec<Option<Contrib>>,
+    ) -> (f64, Vec<Option<Output>>) {
+        let p = contribs.len();
         let take = |c: &mut Option<Contrib>| match c.take() {
             Some(Contrib::Data(d)) => d,
             Some(Contrib::Split { .. }) => panic!("split contribution in data collective"),
             None => panic!("missing contribution"),
         };
-        let mut contribs = std::mem::take(&mut slot.contribs);
+        let mut outputs: Vec<Option<Output>> = (0..p).map(|_| None).collect();
 
         // Words moved per the op's calling convention (per-rank for vector ops).
-        let words = match slot.kind {
-            CollKind::Bcast => contribs[slot.root].as_ref().map_or(0, contrib_len),
+        let words = match kind {
+            CollKind::Bcast => contribs[root].as_ref().map_or(0, contrib_len),
             CollKind::Reduce(_) | CollKind::Allreduce(_) | CollKind::AllreduceCustom => {
                 contribs.iter().map(|c| c.as_ref().map_or(0, contrib_len)).max().unwrap_or(0)
             }
             CollKind::Allgather | CollKind::Gather => {
                 contribs.iter().map(|c| c.as_ref().map_or(0, contrib_len)).max().unwrap_or(0)
             }
-            CollKind::Scatter => contribs[slot.root].as_ref().map_or(0, contrib_len) / p.max(1),
+            CollKind::Scatter => contribs[root].as_ref().map_or(0, contrib_len) / p.max(1),
             CollKind::ReduceScatter(_) | CollKind::Alltoall => {
                 // Per-rank chunk convention: contributions are p·chunk words.
                 contribs.iter().map(|c| c.as_ref().map_or(0, contrib_len)).max().unwrap_or(0)
@@ -434,25 +476,23 @@ impl SimCore {
             CollKind::Barrier => 0,
             CollKind::Split => 1,
         };
-        let cost = match slot.charge {
+        let cost = match charge {
             Some(override_words) => {
                 let w = override_words.unwrap_or(words);
-                machine.comm_time(slot.kind.comm_op(), w, p, stream_id(&[comm.id()]), seq)
+                machine.comm_time(kind.comm_op(), w, p, stream_id(&[comm.id()]), seq)
             }
             None => 0.0,
         };
-        slot.cost = cost;
-        slot.done = Some(slot.max_post + cost);
 
-        match slot.kind {
+        match kind {
             CollKind::Barrier => {
-                for o in slot.outputs.iter_mut() {
+                for o in outputs.iter_mut() {
                     *o = Some(Output::None);
                 }
             }
             CollKind::Bcast => {
-                let data = take(&mut contribs[slot.root]);
-                for o in slot.outputs.iter_mut() {
+                let data = take(&mut contribs[root]);
+                for o in outputs.iter_mut() {
                     *o = Some(Output::Data(data.clone()));
                 }
             }
@@ -462,9 +502,9 @@ impl SimCore {
                     let d = take(c);
                     op.fold_into(&mut acc, &d);
                 }
-                let everyone = matches!(slot.kind, CollKind::Allreduce(_));
-                for (i, o) in slot.outputs.iter_mut().enumerate() {
-                    *o = Some(if everyone || i == slot.root {
+                let everyone = matches!(kind, CollKind::Allreduce(_));
+                for (i, o) in outputs.iter_mut().enumerate() {
+                    *o = Some(if everyone || i == root {
                         Output::Data(acc.clone())
                     } else {
                         Output::None
@@ -472,13 +512,13 @@ impl SimCore {
                 }
             }
             CollKind::AllreduceCustom => {
-                let combine = slot.combine.expect("custom allreduce needs combine fn");
+                let combine = combine.expect("custom allreduce needs combine fn");
                 let mut acc = take(&mut contribs[0]);
                 for c in contribs.iter_mut().skip(1) {
                     let d = take(c);
                     acc = combine(&acc, &d);
                 }
-                for o in slot.outputs.iter_mut() {
+                for o in outputs.iter_mut() {
                     *o = Some(Output::Data(acc.clone()));
                 }
             }
@@ -487,9 +527,9 @@ impl SimCore {
                 for c in contribs.iter_mut() {
                     all.extend_from_slice(&take(c));
                 }
-                let everyone = slot.kind == CollKind::Allgather;
-                for (i, o) in slot.outputs.iter_mut().enumerate() {
-                    *o = Some(if everyone || i == slot.root {
+                let everyone = kind == CollKind::Allgather;
+                for (i, o) in outputs.iter_mut().enumerate() {
+                    *o = Some(if everyone || i == root {
                         Output::Data(all.clone())
                     } else {
                         Output::None
@@ -497,14 +537,14 @@ impl SimCore {
                 }
             }
             CollKind::Scatter => {
-                let data = take(&mut contribs[slot.root]);
+                let data = take(&mut contribs[root]);
                 assert!(
                     data.len() % p == 0,
                     "scatter payload of {} words not divisible by {p} ranks",
                     data.len()
                 );
                 let chunk = data.len() / p;
-                for (i, o) in slot.outputs.iter_mut().enumerate() {
+                for (i, o) in outputs.iter_mut().enumerate() {
                     *o = Some(Output::Data(data[i * chunk..(i + 1) * chunk].to_vec()));
                 }
             }
@@ -520,7 +560,7 @@ impl SimCore {
                     acc.len()
                 );
                 let chunk = acc.len() / p;
-                for (i, o) in slot.outputs.iter_mut().enumerate() {
+                for (i, o) in outputs.iter_mut().enumerate() {
                     *o = Some(Output::Data(acc[i * chunk..(i + 1) * chunk].to_vec()));
                 }
             }
@@ -536,7 +576,7 @@ impl SimCore {
                     "alltoall payload of {len} words not divisible by {p} ranks"
                 );
                 let chunk = len / p;
-                for (i, o) in slot.outputs.iter_mut().enumerate() {
+                for (i, o) in outputs.iter_mut().enumerate() {
                     let mut mine = Vec::with_capacity(len);
                     for part in &parts {
                         mine.extend_from_slice(&part[i * chunk..(i + 1) * chunk]);
@@ -567,8 +607,8 @@ impl SimCore {
                     }
                     if color < 0 {
                         // MPI_UNDEFINED: no communicator.
-                        for &(_, _, _, slot_idx) in &group {
-                            slot.outputs[slot_idx] = Some(Output::Split(None));
+                        for &(_, _, _, out_idx) in &group {
+                            outputs[out_idx] = Some(Output::Split(None));
                         }
                         continue;
                     }
@@ -577,13 +617,14 @@ impl SimCore {
                     let mut parts = vec![comm.id(), seq, color as u64];
                     parts.extend(members.iter().map(|&m| m as u64));
                     let new_id = stream_id(&parts);
-                    for (pos, &(_, _, _, slot_idx)) in group.iter().enumerate() {
-                        slot.outputs[slot_idx] =
+                    for (pos, &(_, _, _, out_idx)) in group.iter().enumerate() {
+                        outputs[out_idx] =
                             Some(Output::Split(Some((new_id, Arc::clone(&members), pos))));
                     }
                 }
             }
         }
+        (cost, outputs)
     }
 }
 

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use critter_machine::rng::stream_id;
-use critter_machine::{CounterRng, KernelClass, MachineModel};
+use critter_machine::{ComputeSampler, CounterRng, KernelClass, MachineModel};
 
 use crate::comm::Communicator;
 use crate::core::{CollKind, CombineFn, Contrib, Output, P2pKey, SimCore};
@@ -50,6 +50,14 @@ pub struct RankCtx {
     world: Communicator,
     counters: RankCounters,
     compute_invocations: u64,
+    /// Cached noise sampler for this rank — one stream setup per run instead
+    /// of one per kernel invocation. Draws are bit-identical to going through
+    /// `machine.compute_time` (see `ComputeSampler`).
+    compute_noise: ComputeSampler,
+    /// Cached perturbation/fault RNG streams (pure functions of `(seed, rank)`,
+    /// hoisted out of the per-interception path).
+    perturb_rng: Option<CounterRng>,
+    fault_rng: Option<CounterRng>,
     perturb_points: u64,
     fault_points: u64,
 }
@@ -57,6 +65,11 @@ pub struct RankCtx {
 impl RankCtx {
     pub(crate) fn new(rank: usize, size: usize, core: Arc<SimCore>) -> Self {
         let world = Communicator::world(size, rank);
+        let compute_noise = core.machine.compute_sampler(rank);
+        let perturb_rng =
+            core.perturb.map(|p| CounterRng::new(p.seed, stream_id(&[0x5045_5254, rank as u64]))); // "PERT"
+        let fault_rng =
+            core.faults.map(|f| CounterRng::new(f.seed, stream_id(&[0x4641_554C, rank as u64]))); // "FAUL"
         RankCtx {
             rank,
             size,
@@ -65,6 +78,9 @@ impl RankCtx {
             world,
             counters: RankCounters::default(),
             compute_invocations: 0,
+            compute_noise,
+            perturb_rng,
+            fault_rng,
             perturb_points: 0,
             fault_points: 0,
         }
@@ -77,8 +93,8 @@ impl RankCtx {
     /// fuzzer asserts that simulated results are identical anyway.
     #[inline]
     fn perturb_point(&mut self) {
-        let Some(p) = self.core.perturb else { return };
-        let rng = CounterRng::new(p.seed, stream_id(&[0x5045_5254, self.rank as u64])); // "PERT"
+        let Some(rng) = &self.perturb_rng else { return };
+        let p = self.core.perturb.expect("perturb params present when perturb_rng is");
         let idx = self.perturb_points;
         self.perturb_points += 1;
         let to_unit = |bits: u64| (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
@@ -99,8 +115,8 @@ impl RankCtx {
     /// schedule is a pure function of the program — never of thread timing.
     #[inline]
     fn fault_point(&mut self) {
-        let Some(f) = self.core.faults else { return };
-        let rng = CounterRng::new(f.seed, stream_id(&[0x4641_554C, self.rank as u64])); // "FAUL"
+        let Some(rng) = &self.fault_rng else { return };
+        let f = self.core.faults.expect("fault plan present when fault_rng is");
         let idx = self.fault_points;
         self.fault_points += 1;
         let to_unit = |bits: u64| (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
@@ -168,7 +184,12 @@ impl RankCtx {
     pub fn compute(&mut self, class: KernelClass, flops: f64) -> f64 {
         self.perturb_point();
         self.fault_point();
-        let t = self.core.machine.compute_time(class, flops, self.rank, self.compute_invocations);
+        let t = self.core.machine.compute_time_with(
+            &self.compute_noise,
+            class,
+            flops,
+            self.compute_invocations,
+        );
         self.compute_invocations += 1;
         self.clock += t;
         self.counters.compute_calls += 1;
@@ -181,7 +202,12 @@ impl RankCtx {
     /// consuming an invocation index (so that skipped kernels do not shift the
     /// jitter stream of later ones). Used by Critter's selective execution.
     pub fn peek_compute(&mut self, class: KernelClass, flops: f64) -> f64 {
-        let t = self.core.machine.compute_time(class, flops, self.rank, self.compute_invocations);
+        let t = self.core.machine.compute_time_with(
+            &self.compute_noise,
+            class,
+            flops,
+            self.compute_invocations,
+        );
         self.compute_invocations += 1;
         t
     }

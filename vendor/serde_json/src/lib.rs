@@ -49,6 +49,11 @@ impl Map {
         self.entries.get(key)
     }
 
+    /// Look up a key mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries.get_mut(key)
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -80,6 +85,14 @@ impl Value {
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
             Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value under `key`, mutably, when this is an object.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(m) => m.get_mut(key),
             _ => None,
         }
     }
@@ -134,8 +147,24 @@ impl Value {
         }
     }
 
+    /// The element vector, mutably, when this is an array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// The map, when this is an object.
     pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The map, mutably, when this is an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
         match self {
             Value::Object(m) => Some(m),
             _ => None,
