@@ -37,7 +37,7 @@ use critter_core::{CritterConfig, CritterEnv, ExecutionPolicy, KernelStore, Path
 use critter_machine::{MachineModel, MachineParams, NoiseParams};
 use critter_obs::{Event, EventKind, ObsReport, RankTrace};
 use critter_session::SessionConfig;
-use critter_sim::{run_simulation, FaultPlan, PerturbParams, SimConfig};
+use critter_sim::{run_simulation, BackendKind, FaultPlan, PerturbParams, SimConfig};
 use parking_lot::Mutex;
 
 /// Options of one tuning sweep.
@@ -95,6 +95,15 @@ pub struct TuningOptions {
     /// attempted `max_retries + 1` times before its configuration is
     /// quarantined).
     pub max_retries: usize,
+    /// Communicator backend hosting every simulated run (`threads` default;
+    /// `tasks` for rank counts beyond the thread-per-rank wall). Pure
+    /// scheduling: reports are bit-identical across backends, so this is
+    /// excluded from [`Autotuner::fingerprint`] and a checkpoint written on
+    /// one backend resumes on another.
+    pub backend: BackendKind,
+    /// Matching-core shard count for every simulated run (`0` = auto).
+    /// Scheduling only, excluded from the fingerprint like `backend`.
+    pub shards: usize,
 }
 
 impl TuningOptions {
@@ -117,7 +126,21 @@ impl TuningOptions {
             observe: false,
             faults: None,
             max_retries: 2,
+            backend: BackendKind::default(),
+            shards: 0,
         }
+    }
+
+    /// Select the communicator backend for every simulated run.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Override the matching-core shard count (`0` = auto).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 
     /// Persist kernel models across configurations when `persist` is true
@@ -324,7 +347,8 @@ impl Autotuner {
         let slots: Arc<Vec<Mutex<Option<KernelStore>>>> =
             Arc::new(stores.drain(..).map(|s| Mutex::new(Some(s))).collect());
         let slots_in = Arc::clone(&slots);
-        let mut sim_config = SimConfig::new(ranks);
+        let mut sim_config =
+            SimConfig::new(ranks).with_backend(self.opts.backend).with_shards(self.opts.shards);
         if let Some(p) = self.opts.perturb {
             // Vary the perturbation stream per run so no two runs of a sweep
             // see the same yield/sleep pattern.
@@ -1073,6 +1097,13 @@ mod tests {
         assert_eq!(Autotuner::new(opts.clone()).fingerprint(&w), base);
         // Worker count is a scheduling knob, not a result: same fingerprint.
         assert_eq!(Autotuner::new(opts.clone().with_workers(4)).fingerprint(&w), base);
+        // So are the sim backend and shard count — a checkpoint written on
+        // `threads` must resume on `tasks` and vice versa.
+        assert_eq!(
+            Autotuner::new(opts.clone().with_backend(BackendKind::Tasks)).fingerprint(&w),
+            base
+        );
+        assert_eq!(Autotuner::new(opts.clone().with_shards(7)).fingerprint(&w), base);
         // Seed changes the noise streams: different fingerprint.
         assert_ne!(Autotuner::new(opts.clone().with_seed(99)).fingerprint(&w), base);
         assert_ne!(Autotuner::new(opts.with_allocation(1)).fingerprint(&w), base);

@@ -14,13 +14,14 @@
 //!   `FILE` (compare runs with `bench-compare`).
 
 use std::path::PathBuf;
+use std::time::Instant;
 
 use critter_autotune::{Autotuner, TuningOptions, TuningSpace};
-use critter_bench::harness::{bench, black_box};
+use critter_bench::harness::{bench, black_box, summarize};
 use critter_bench::trajectory::Trajectory;
 use critter_core::{ComputeOp, CritterConfig, CritterEnv, ExecutionPolicy, KernelStore};
 use critter_machine::{KernelClass, MachineModel};
-use critter_sim::{run_simulation, ReduceOp, SimConfig};
+use critter_sim::{run_simulation, BackendKind, ReduceOp, SimConfig};
 use critter_stats::OnlineStats;
 
 struct Opts {
@@ -179,6 +180,40 @@ fn main() {
             black_box(acc.mean());
         });
         traj.record("stats", "welford_merge", t);
+    }
+
+    // The tasks backend at scale: one run with thousands of ranks — ring
+    // exchanges plus world allreduces — timed once rather than through
+    // `bench()` (its warm-up would repeat a run that costs tens of seconds
+    // at full size; a single cold run is exactly what the nightly stress
+    // budget tracks).
+    {
+        let p = if q { 1024 } else { 10_240 };
+        let m = MachineModel::test_noisy(p, 23).shared();
+        let cfg =
+            SimConfig::new(p).with_backend(BackendKind::Tasks).with_stack_size((256 << 10) + 0xB1C);
+        let start = Instant::now();
+        let r = run_simulation(cfg, m, move |ctx| {
+            let world = ctx.world();
+            let right = (ctx.rank() + 1) % p;
+            let left = (ctx.rank() + p - 1) % p;
+            let mut acc = [ctx.rank() as f64, 0.0, 0.0, 0.0];
+            for round in 0..3u64 {
+                ctx.send(&world, right, round, &acc); // eager: completes locally
+                let got = ctx.recv(&world, left, round);
+                acc[1] += got[0];
+                let sum = ctx.allreduce(&world, ReduceOp::Sum, &acc);
+                acc[2] = sum[1];
+            }
+            ctx.now()
+        });
+        black_box(r.elapsed());
+        let t = summarize(vec![start.elapsed()]);
+        println!(
+            "{:<44} min {:>10.3?}  median {:>10.3?}  ({} iters)",
+            "sim/backend_tasks_10k", t.min, t.median, t.iters
+        );
+        traj.record("sim", "backend_tasks_10k", t);
     }
 
     // Canonical-JSON serialization of a full tuning report (the committed

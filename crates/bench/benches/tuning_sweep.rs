@@ -15,13 +15,30 @@ use critter_autotune::{Autotuner, TuningOptions, TuningSpace};
 use critter_bench::harness::{bench, black_box, speedup};
 use critter_bench::parallel_map;
 use critter_core::ExecutionPolicy;
+use critter_sim::BackendKind;
 
-fn bench_policies() {
+/// `--backend threads|tasks` selects the communicator backend every sweep in
+/// this bench runs on (results are bit-identical; only host time changes).
+fn backend_of_args() -> BackendKind {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--backend")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--backend threads|tasks")
+                .parse()
+                .unwrap_or_else(|e| panic!("--backend threads|tasks: {e}"))
+        })
+        .unwrap_or_default()
+}
+
+fn bench_policies(backend: BackendKind) {
     let space = TuningSpace::SlateCholesky;
     let workloads = space.smoke();
     for policy in ExecutionPolicy::ALL_SELECTIVE {
         bench("smoke_sweep_slate_chol", policy.name(), 5, || {
-            let mut opts = TuningOptions::new(policy, 0.25).with_test_machine();
+            let mut opts =
+                TuningOptions::new(policy, 0.25).with_test_machine().with_backend(backend);
             opts.reset_between_configs = space.resets_between_configs();
             let report = Autotuner::new(opts).tune(&workloads);
             black_box(report.speedup());
@@ -29,14 +46,36 @@ fn bench_policies() {
     }
 }
 
-fn bench_epsilons() {
+fn bench_epsilons(backend: BackendKind) {
     let workloads = TuningSpace::CandmcQr.smoke();
     for &eps in &[1.0, 0.125] {
         bench("smoke_sweep_candmc_eps", &eps.to_string(), 5, || {
-            let opts =
-                TuningOptions::new(ExecutionPolicy::OnlinePropagation, eps).with_test_machine();
+            let opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, eps)
+                .with_test_machine()
+                .with_backend(backend);
             let report = Autotuner::new(opts).tune(&workloads);
             black_box(report.mean_error());
+        });
+    }
+}
+
+/// The same 8-configuration sweep on each backend: asserts the reports agree
+/// bit for bit, then times both so the backend overhead delta is visible.
+fn bench_backend_agreement() {
+    let workloads = eight_config_space();
+    let tune = |backend: BackendKind| {
+        let opts = TuningOptions::new(ExecutionPolicy::OnlinePropagation, 1.0)
+            .with_test_machine()
+            .with_backend(backend);
+        Autotuner::new(opts).tune(&workloads)
+    };
+    let reference = tune(BackendKind::Threads);
+    for &backend in &BackendKind::ALL[1..] {
+        assert_eq!(reference, tune(backend), "backends must agree bit for bit");
+    }
+    for backend in BackendKind::ALL {
+        bench("tune_8cfg_backend", backend.name(), 5, || {
+            black_box(tune(backend).speedup());
         });
     }
 }
@@ -148,8 +187,10 @@ fn export_observed_sweep(workloads: &[Arc<dyn Workload>], workers: usize) {
 }
 
 fn main() {
-    bench_policies();
-    bench_epsilons();
+    let backend = backend_of_args();
+    bench_policies(backend);
+    bench_epsilons(backend);
     bench_pipelined_tune();
     bench_sweep_level_parallelism();
+    bench_backend_agreement();
 }

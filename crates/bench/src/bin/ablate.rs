@@ -41,8 +41,8 @@ fn main() {
     }
 }
 
-fn base(policy: ExecutionPolicy, eps: f64, space: TuningSpace) -> TuningOptions {
-    let mut o = TuningOptions::new(policy, eps);
+fn base(opts: &FigOpts, policy: ExecutionPolicy, eps: f64, space: TuningSpace) -> TuningOptions {
+    let mut o = TuningOptions::new(policy, eps).with_backend(opts.backend);
     o.reset_between_configs = space.resets_between_configs();
     o
 }
@@ -79,7 +79,7 @@ fn noise_ablation(opts: &FigOpts, obs: &mut Option<ObsReport>) {
     let mut t = Table::new("ablate-noise", &["noise_scale", "speedup", "mean_err", "skip_frac"]);
     let scales = [0.0, 0.5, 1.0, 2.0, 4.0];
     let reports = parallel_map(&scales, opts.jobs, |&scale| {
-        let mut o = base(ExecutionPolicy::OnlinePropagation, 0.25, space);
+        let mut o = base(opts, ExecutionPolicy::OnlinePropagation, 0.25, space);
         o.noise = NoiseParams::cluster().scaled(scale);
         o.workers = pipeline_workers(opts.jobs, scales.len());
         o.observe = opts.observe();
@@ -101,7 +101,7 @@ fn overhead_ablation(opts: &FigOpts, obs: &mut Option<ObsReport>) {
         .flat_map(|space| [(space, true), (space, false)])
         .collect();
     let reports = parallel_map(&specs, opts.jobs, |&(space, charged)| {
-        let mut o = base(ExecutionPolicy::ConditionalExecution, 0.25, space);
+        let mut o = base(opts, ExecutionPolicy::ConditionalExecution, 0.25, space);
         o.charge_internal = charged;
         o.workers = pipeline_workers(opts.jobs, specs.len());
         o.observe = opts.observe();
@@ -135,7 +135,7 @@ fn granularity_ablation(opts: &FigOpts, obs: &mut Option<ObsReport>) {
     );
     let specs = [(SizeGranularity::Exact, "exact"), (SizeGranularity::Log2, "log2")];
     let reports = parallel_map(&specs, opts.jobs, |&(gran, _)| {
-        let mut o = base(ExecutionPolicy::OnlinePropagation, 0.25, space);
+        let mut o = base(opts, ExecutionPolicy::OnlinePropagation, 0.25, space);
         o.granularity = gran;
         o.workers = pipeline_workers(opts.jobs, specs.len());
         o.observe = opts.observe();
@@ -176,7 +176,7 @@ fn count_scaling_ablation(opts: &FigOpts, obs: &mut Option<ObsReport>) {
         })
         .collect();
     let reports = parallel_map(&specs, opts.jobs, |&(eps, policy)| {
-        let mut o = base(policy, eps, space);
+        let mut o = base(opts, policy, eps, space);
         o.workers = pipeline_workers(opts.jobs, specs.len());
         o.observe = opts.observe();
         Autotuner::new(o).tune(&ws)
@@ -216,7 +216,7 @@ fn p2p_semantics_ablation(opts: &FigOpts) {
         let machine = MachineModel::stampede2(w.ranks(), 99, 0).shared();
         let wl = w.clone();
         let report = run_simulation(
-            SimConfig::new(w.ranks()).with_eager_words(thresh),
+            SimConfig::new(w.ranks()).with_eager_words(thresh).with_backend(opts.backend),
             machine,
             move |ctx| {
                 let mut env = CritterEnv::new(ctx, CritterConfig::full(), KernelStore::new());
@@ -245,7 +245,7 @@ fn extrapolation_ablation(opts: &FigOpts, obs: &mut Option<ObsReport>) {
     let specs: Vec<(f64, bool)> =
         [0.5, 0.125].into_iter().flat_map(|eps| [(eps, false), (eps, true)]).collect();
     let reports = parallel_map(&specs, opts.jobs, |&(eps, extrapolate)| {
-        let mut o = base(ExecutionPolicy::OnlinePropagation, eps, space);
+        let mut o = base(opts, ExecutionPolicy::OnlinePropagation, eps, space);
         o.extrapolate = extrapolate;
         o.workers = pipeline_workers(opts.jobs, specs.len());
         o.observe = opts.observe();

@@ -33,7 +33,17 @@ pub fn run_with(opts: &FigOpts, spaces: &[TuningSpace], smoke: bool) {
     // pipeline.
     let workers = 1 + opts.jobs / spaces.len().max(1);
     let reports = parallel_map(spaces, opts.jobs, |&space| {
-        sweep_with(space, ExecutionPolicy::Full, 0.0, opts.reps, 0, workers, observe, smoke)
+        sweep_with(
+            space,
+            ExecutionPolicy::Full,
+            0.0,
+            opts.reps,
+            0,
+            workers,
+            opts.backend,
+            observe,
+            smoke,
+        )
     });
     for (&space, report) in spaces.iter().zip(&reports) {
         let mut table = Table::new(

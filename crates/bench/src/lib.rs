@@ -73,6 +73,10 @@ pub struct FigOpts {
     pub fault_seed: u64,
     /// Retry budget per simulated run when faults are armed (`--retries N`).
     pub retries: usize,
+    /// Communicator backend hosting the simulated ranks (`--backend
+    /// threads|tasks`). Virtual time is backend-independent, so artifacts
+    /// are byte-identical either way.
+    pub backend: critter_sim::BackendKind,
 }
 
 /// Default sweep-level job count: the host's cores, capped at 8.
@@ -99,6 +103,7 @@ impl FigOpts {
             faults: None,
             fault_seed: 0xFA17,
             retries: 2,
+            backend: critter_sim::BackendKind::default(),
         }
     }
 
@@ -106,7 +111,7 @@ impl FigOpts {
     /// `--reps N`, `--out DIR`, `--jobs N`, `--trace-out FILE`,
     /// `--folded-out FILE`, `--metrics-out FILE`, `--checkpoint-dir DIR`,
     /// `--resume`, `--warm-start FILE`, `--profile-out DIR`, `--faults P`,
-    /// `--fault-seed N`, `--retries N`).
+    /// `--fault-seed N`, `--retries N`, `--backend threads|tasks`).
     pub fn from_args() -> Self {
         let mut opts = Self::defaults();
         let args: Vec<String> = std::env::args().collect();
@@ -166,6 +171,11 @@ impl FigOpts {
                 "--retries" => {
                     i += 1;
                     opts.retries = args[i].parse().expect("--retries N");
+                }
+                "--backend" => {
+                    i += 1;
+                    opts.backend =
+                        args[i].parse().unwrap_or_else(|e| panic!("--backend threads|tasks: {e}"));
                 }
                 other => panic!("unknown flag {other}"),
             }
@@ -228,7 +238,10 @@ pub fn emit_obs(opts: &FigOpts, obs: &ObsReport) {
 
 /// Run one `(space, policy, ε, allocation)` tuning sweep with the paper's
 /// per-space statistics-reset protocol. `workers` > 1 pipelines the sweep's
-/// reference full executions (bit-identical result either way).
+/// reference full executions (bit-identical result either way), and
+/// `backend` selects the communicator backend hosting the simulated ranks
+/// (also bit-identical either way).
+#[allow(clippy::too_many_arguments)] // a flat sweep-spec
 pub fn sweep(
     space: TuningSpace,
     policy: ExecutionPolicy,
@@ -236,8 +249,9 @@ pub fn sweep(
     reps: usize,
     allocation: u64,
     workers: usize,
+    backend: critter_sim::BackendKind,
 ) -> TuningReport {
-    sweep_with(space, policy, epsilon, reps, allocation, workers, false, false)
+    sweep_with(space, policy, epsilon, reps, allocation, workers, backend, false, false)
 }
 
 /// [`sweep`] with the observability and configuration-space knobs exposed:
@@ -252,10 +266,11 @@ pub fn sweep_with(
     reps: usize,
     allocation: u64,
     workers: usize,
+    backend: critter_sim::BackendKind,
     observe: bool,
     smoke: bool,
 ) -> TuningReport {
-    let mut opts = TuningOptions::new(policy, epsilon).with_workers(workers);
+    let mut opts = TuningOptions::new(policy, epsilon).with_workers(workers).with_backend(backend);
     opts.reset_between_configs = space.resets_between_configs();
     opts.reps = reps;
     opts.allocation = allocation;
@@ -286,7 +301,7 @@ pub fn session_sweep(
     epsilon: f64,
     allocation: u64,
 ) -> TuningReport {
-    let mut topts = TuningOptions::new(policy, epsilon);
+    let mut topts = TuningOptions::new(policy, epsilon).with_backend(opts.backend);
     topts.reset_between_configs = space.resets_between_configs();
     topts.reps = opts.reps;
     topts.allocation = allocation;
@@ -488,7 +503,7 @@ pub fn run_figure(opts: &FigOpts, space_a: TuningSpace, space_b: TuningSpace, fi
             if opts.session() {
                 session_sweep(opts, space, policy, eps, allocation)
             } else {
-                sweep(space, policy, eps, opts.reps, allocation, 1)
+                sweep(space, policy, eps, opts.reps, allocation, 1, opts.backend)
             }
         });
         for (&(allocation, policy, label, eps), report) in specs.iter().zip(&reports) {

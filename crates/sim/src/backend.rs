@@ -1,0 +1,442 @@
+//! Pluggable communicator backends: how simulated ranks are mapped onto OS
+//! execution resources.
+//!
+//! The simulator's determinism contract (see [`crate`] docs) makes the
+//! *virtual* results — clocks, cost draws, reports — a pure function of the
+//! program and the machine model. How rank programs are *hosted* is therefore
+//! a free choice, captured by [`CommBackend`]:
+//!
+//! * [`BackendKind::Threads`] — the classic shape: one OS thread per rank,
+//!   all runnable at once, the kernel schedules them preemptively. Best
+//!   latency at small rank counts.
+//! * [`BackendKind::Tasks`] — ranks as cooperatively scheduled coroutines:
+//!   each rank still owns a pooled thread (its coroutine stack), but a
+//!   [`TaskScheduler`] permit semaphore bounds how many are *runnable* to a
+//!   small worker budget. A rank parks on an unmatched recv/collective
+//!   (releasing its permit to the next runnable rank) and resumes on match.
+//!   With the runnable set bounded, 10k+ simulated ranks fit in one process
+//!   without drowning the kernel scheduler in contending threads.
+//!
+//! Both backends draw rank threads from the same [`crate::pool`] registry and
+//! drive the same sharded matching core; the testkit's `backend_equivalence`
+//! oracles assert that reports, traces, and metrics are byte-identical across
+//! backends and shard counts.
+
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use critter_machine::MachineModel;
+use parking_lot::{Condvar, Mutex};
+
+use crate::core::SimCore;
+use crate::counters::RankCounters;
+use crate::ctx::RankCtx;
+use crate::pool::PoolLease;
+use crate::runner::{SimConfig, SimReport};
+
+/// Which backend hosts the simulated ranks.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// One preemptively scheduled OS thread per rank (the default).
+    #[default]
+    Threads,
+    /// Cooperatively scheduled rank coroutines over a bounded worker budget.
+    Tasks,
+}
+
+impl BackendKind {
+    /// Every selectable backend, in a fixed order (test matrices).
+    pub const ALL: [BackendKind; 2] = [BackendKind::Threads, BackendKind::Tasks];
+
+    /// Stable lowercase name (CLI flag value, artifact labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Threads => "threads",
+            BackendKind::Tasks => "tasks",
+        }
+    }
+
+    /// The process-wide backend implementation for this kind.
+    pub fn instance(self) -> &'static dyn CommBackend {
+        match self {
+            BackendKind::Threads => &ThreadsBackend,
+            BackendKind::Tasks => &TasksBackend,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(BackendKind::Threads),
+            "tasks" => Ok(BackendKind::Tasks),
+            other => Err(format!("unknown backend {other:?} (expected \"threads\" or \"tasks\")")),
+        }
+    }
+}
+
+/// A type-erased unit of rank work a backend must run exactly once.
+pub type RankJob = Box<dyn FnOnce() + Send>;
+
+/// Completion latch for one simulation run: counts down as rank jobs finish.
+///
+/// The latch — not the backend — is what makes dispatching borrowed rank
+/// closures sound: [`execute_ranks`] waits on it unconditionally before its
+/// stack frame (which the jobs borrow) can unwind, so a backend that forgets
+/// to wait, or even leaks a job, can at worst hang the run — never touch
+/// freed memory.
+pub struct RunLatch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl RunLatch {
+    fn new(count: usize) -> Self {
+        RunLatch { remaining: Mutex::new(count), done: Condvar::new() }
+    }
+
+    pub(crate) fn count_down(&self) {
+        let mut remaining = self.remaining.lock();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Block until every dispatched rank job has reported completion.
+    pub fn wait(&self) {
+        let mut remaining = self.remaining.lock();
+        while *remaining > 0 {
+            self.done.wait(&mut remaining);
+        }
+    }
+}
+
+/// Permit semaphore bounding how many rank coroutines are runnable at once
+/// (the `tasks` backend's cooperative scheduler).
+///
+/// A rank acquires one permit before executing program code and holds it
+/// while runnable. The matching core's wait sites release the permit before
+/// parking on a condvar and reacquire it after waking, so a parked rank
+/// costs only its (idle) stack — the worker budget flows to ranks that can
+/// make progress.
+pub struct TaskScheduler {
+    free: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl TaskScheduler {
+    pub(crate) fn new(permits: usize) -> Self {
+        assert!(permits > 0, "the task scheduler needs at least one worker permit");
+        TaskScheduler { free: Mutex::new(permits), cv: Condvar::new() }
+    }
+
+    /// Block until a permit is free, then take it. Panics with the standard
+    /// poison cascade if the run was poisoned — [`SimCore::poison`] wakes
+    /// this condvar, so permit waiters never outlive a failed run.
+    pub(crate) fn acquire(&self, poisoned: &AtomicBool) {
+        let mut free = self.free.lock();
+        loop {
+            if poisoned.load(Ordering::SeqCst) {
+                panic!("simulation aborted: a peer rank panicked");
+            }
+            if *free > 0 {
+                *free -= 1;
+                return;
+            }
+            self.cv.wait(&mut free);
+        }
+    }
+
+    pub(crate) fn release(&self) {
+        let mut free = self.free.lock();
+        *free += 1;
+        self.cv.notify_one();
+    }
+
+    /// Wake every permit waiter so they observe the poison flag. Takes the
+    /// permit lock first: a waiter that checked the flag and is about to
+    /// park must either see the flag or be registered on the condvar before
+    /// the notification, never neither.
+    pub(crate) fn poison_wake(&self) {
+        let _guard = self.free.lock();
+        self.cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for TaskScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskScheduler").field("free", &*self.free.lock()).finish()
+    }
+}
+
+/// How a backend hosts the per-rank jobs of one simulation run.
+///
+/// Contract:
+///
+/// * `scheduler` is consulted once per run, before the core is built; the
+///   returned [`TaskScheduler`] (if any) is installed into the core's wait
+///   sites and gates every job's execution.
+/// * `execute` must run every job exactly once and must not return before
+///   the latch reaches zero (leases and other per-run resources may be
+///   released when it returns). Dropping or leaking a job hangs the run —
+///   the harness-side latch wait makes that the *worst* possible outcome.
+pub trait CommBackend {
+    /// Which [`BackendKind`] this implementation realizes.
+    fn kind(&self) -> BackendKind;
+
+    /// The cooperative scheduler for this run, or `None` for preemptive
+    /// thread-per-rank execution.
+    fn scheduler(&self, config: &SimConfig) -> Option<Arc<TaskScheduler>>;
+
+    /// Run all rank jobs and wait for the latch to drain.
+    fn execute(&self, config: &SimConfig, jobs: Vec<RankJob>, latch: &RunLatch);
+}
+
+/// Dispatch jobs onto a pooled set of rank threads and hold the lease until
+/// every job has reported (the lease must not return to the registry while
+/// jobs are still in flight on its threads).
+fn run_on_pooled_threads(config: &SimConfig, jobs: Vec<RankJob>, latch: &RunLatch) {
+    let lease = PoolLease::checkout(config.ranks, config.stack_size);
+    lease.pool().dispatch(jobs);
+    latch.wait();
+    lease.pool().note_run();
+}
+
+/// One preemptively scheduled OS thread per rank (see [`BackendKind::Threads`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ThreadsBackend;
+
+impl CommBackend for ThreadsBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Threads
+    }
+
+    fn scheduler(&self, _config: &SimConfig) -> Option<Arc<TaskScheduler>> {
+        None
+    }
+
+    fn execute(&self, config: &SimConfig, jobs: Vec<RankJob>, latch: &RunLatch) {
+        run_on_pooled_threads(config, jobs, latch);
+    }
+}
+
+/// Cooperatively scheduled rank coroutines (see [`BackendKind::Tasks`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TasksBackend;
+
+impl TasksBackend {
+    fn worker_permits(config: &SimConfig) -> usize {
+        if config.task_workers > 0 {
+            config.task_workers
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+impl CommBackend for TasksBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Tasks
+    }
+
+    fn scheduler(&self, config: &SimConfig) -> Option<Arc<TaskScheduler>> {
+        Some(Arc::new(TaskScheduler::new(Self::worker_permits(config))))
+    }
+
+    fn execute(&self, config: &SimConfig, jobs: Vec<RankJob>, latch: &RunLatch) {
+        run_on_pooled_threads(config, jobs, latch);
+    }
+}
+
+/// What one rank produced: its program output, final clock, and counters —
+/// or the panic payload that aborted it.
+type RankResult<R> = Result<(R, f64, RankCounters), Box<dyn Any + Send>>;
+
+/// Build the per-rank jobs for one run, hand them to `backend`, wait for
+/// completion, and collect the report. This is the single launch path shared
+/// by [`crate::run_simulation`] and [`crate::SimPool::run`]; panic-poisoning
+/// semantics are identical everywhere.
+pub(crate) fn execute_ranks<R, F>(
+    backend: &dyn CommBackend,
+    config: &SimConfig,
+    machine: Arc<MachineModel>,
+    program: &F,
+) -> SimReport<R>
+where
+    R: Send,
+    F: Fn(&mut RankCtx) -> R + Sync,
+{
+    assert!(config.ranks > 0, "simulation requires at least one rank");
+    assert_eq!(
+        machine.topology().ranks(),
+        config.ranks,
+        "machine model rank count must match the simulation"
+    );
+    let ranks = config.ranks;
+    let sched = backend.scheduler(config);
+    let core = Arc::new(SimCore::new(Arc::clone(&machine), config, sched));
+    let slots: Vec<Mutex<Option<RankResult<R>>>> = (0..ranks).map(|_| Mutex::new(None)).collect();
+    let latch = RunLatch::new(ranks);
+    let slots_ref = &slots;
+    let latch_ref = &latch;
+
+    let mut jobs: Vec<RankJob> = Vec::with_capacity(ranks);
+    for (rank, slot) in slots_ref.iter().enumerate() {
+        let core = Arc::clone(&core);
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                // Under the tasks backend a rank must hold a worker permit
+                // before running program code; acquisition panics (inside
+                // this catch) if a peer already poisoned the run.
+                core.sched_acquire();
+                let mut ctx = RankCtx::new(rank, ranks, Arc::clone(&core));
+                let out = program(&mut ctx);
+                let (clock, counters) = ctx.into_parts();
+                (out, clock, counters)
+            }));
+            // Hand the permit back whether the program returned or panicked.
+            // A rank that unwound while *parked* (poison woke it without a
+            // permit) over-releases by one — harmless, because releases only
+            // matter to this run's scheduler and the run is already dying.
+            core.sched_release();
+            if result.is_err() {
+                // Unblock peers before reporting, exactly as the
+                // spawn-per-run runner did before propagating.
+                core.poison();
+            }
+            *slot.lock() = Some(result);
+            latch_ref.count_down();
+        });
+        // SAFETY: the job borrows `program`, `slots`, and `latch`, which
+        // outlive it because this function waits for the latch to drain
+        // below — every dispatched job has fully run (including its final
+        // store and count-down) before `execute_ranks` returns or unwinds.
+        // A backend cannot break this: `execute` implementations dispatch to
+        // pool workers whose sends cannot fail (workers catch all panics and
+        // never exit while their sender lives), and a hypothetical backend
+        // that dropped or leaked a job would leave the latch above zero and
+        // hang the wait — a livelock, never a use-after-free.
+        let job: RankJob =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, RankJob>(job) };
+        jobs.push(job);
+    }
+
+    backend.execute(config, jobs, &latch);
+    // Conforming backends have already waited; this wait is the soundness
+    // backstop the SAFETY argument above relies on, so it is unconditional.
+    latch.wait();
+
+    let mut outputs = Vec::with_capacity(ranks);
+    let mut rank_times = Vec::with_capacity(ranks);
+    let mut counters = Vec::with_capacity(ranks);
+    let mut panic_payload: Option<(Box<dyn Any + Send>, bool)> = None;
+    for slot in &slots {
+        match slot.lock().take().expect("rank reported") {
+            Ok((out, clock, ctrs)) => {
+                outputs.push(out);
+                rank_times.push(clock);
+                counters.push(ctrs);
+            }
+            Err(payload) => {
+                // Re-raise the root cause: prefer any panic that is not
+                // the secondary "peer rank panicked" cascade.
+                let is_cascade = payload
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("a peer rank panicked"))
+                    .or_else(|| {
+                        payload.downcast_ref::<&str>().map(|s| s.contains("a peer rank panicked"))
+                    })
+                    .unwrap_or(false);
+                let replace = match &panic_payload {
+                    None => true,
+                    Some((_, prev_is_cascade)) => *prev_is_cascade && !is_cascade,
+                };
+                if replace {
+                    panic_payload = Some((payload, is_cascade));
+                }
+            }
+        }
+    }
+    if let Some((payload, _)) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+    SimReport { outputs, rank_times, counters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_roundtrip_through_parse() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.name().parse::<BackendKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+            assert_eq!(kind.instance().kind(), kind);
+        }
+        assert!("fibers".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn threads_is_the_default_backend() {
+        assert_eq!(BackendKind::default(), BackendKind::Threads);
+    }
+
+    #[test]
+    fn task_scheduler_bounds_runnable_permits() {
+        let sched = TaskScheduler::new(2);
+        let poisoned = AtomicBool::new(false);
+        sched.acquire(&poisoned);
+        sched.acquire(&poisoned);
+        assert_eq!(*sched.free.lock(), 0);
+        sched.release();
+        sched.acquire(&poisoned);
+        sched.release();
+        sched.release();
+        assert_eq!(*sched.free.lock(), 2);
+    }
+
+    #[test]
+    fn poisoned_acquire_panics_instead_of_waiting() {
+        let sched = TaskScheduler::new(1);
+        let poisoned = AtomicBool::new(true);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| sched.acquire(&poisoned)))
+            .expect_err("acquire on a poisoned run must panic");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("a peer rank panicked"));
+    }
+
+    #[test]
+    fn tasks_backend_defaults_to_available_parallelism() {
+        let cfg = crate::SimConfig::new(1);
+        let sched = TasksBackend.scheduler(&cfg).expect("tasks backend always schedules");
+        assert!(*sched.free.lock() >= 1);
+        let pinned = crate::SimConfig::new(1).with_task_workers(3);
+        let sched = TasksBackend.scheduler(&pinned).unwrap();
+        assert_eq!(*sched.free.lock(), 3);
+    }
+
+    #[test]
+    fn latch_waits_for_all_count_downs() {
+        let latch = Arc::new(RunLatch::new(2));
+        let l = Arc::clone(&latch);
+        let t = std::thread::spawn(move || {
+            l.count_down();
+            l.count_down();
+        });
+        latch.wait();
+        t.join().unwrap();
+        latch.wait(); // zero: returns immediately, repeatedly
+    }
+}

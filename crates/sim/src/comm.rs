@@ -8,10 +8,11 @@
 //! these `(stride, size)` signatures, which is how statistics propagate along
 //! the fibers and slices of a cartesian processor grid.
 
-use std::cell::Cell;
 use std::sync::Arc;
 
 use critter_machine::rng::stream_id;
+
+use crate::error::SimError;
 
 /// Structural description of a process group relative to `MPI_COMM_WORLD`:
 /// `offset + Σ iⱼ·strideⱼ` for `iⱼ < sizeⱼ`. Groups that are not expressible
@@ -31,7 +32,9 @@ pub struct ChannelMeta {
 impl ChannelMeta {
     /// Factor a sorted, duplicate-free world-rank list into strided dims.
     pub fn from_sorted_ranks(ranks: &[usize]) -> Self {
-        assert!(!ranks.is_empty(), "channel requires at least one member");
+        if ranks.is_empty() {
+            std::panic::panic_any(SimError::EmptyCommunicator);
+        }
         debug_assert!(ranks.windows(2).all(|w| w[0] < w[1]), "ranks must be sorted unique");
         let offset = ranks[0];
         match Self::decompose(ranks) {
@@ -123,16 +126,16 @@ impl ChannelMeta {
 /// A rank's handle on a communicator.
 ///
 /// Holds the member list (world ranks in communicator-rank order), this rank's
-/// position, the deterministic communicator id, and the per-rank collective
-/// sequence counter (a `Cell`, making the handle single-thread affine like a
-/// real `MPI_Comm`).
+/// position, and the deterministic communicator id. Collective sequence
+/// numbers are NOT stored here: they live in the rank's [`crate::RankCtx`],
+/// keyed by communicator id, so cloned or re-derived handles of the same
+/// communicator share one sequence stream instead of replaying it.
 #[derive(Debug, Clone)]
 pub struct Communicator {
     id: u64,
     members: Arc<Vec<usize>>,
     my_index: usize,
     meta: Arc<ChannelMeta>,
-    next_seq: Cell<u64>,
 }
 
 /// Fixed id of the world communicator.
@@ -145,7 +148,7 @@ impl Communicator {
         let mut sorted: Vec<usize> = members.as_ref().clone();
         sorted.sort_unstable();
         let meta = Arc::new(ChannelMeta::from_sorted_ranks(&sorted));
-        Communicator { id, members, my_index, meta, next_seq: Cell::new(0) }
+        Communicator { id, members, my_index, meta }
     }
 
     /// The world communicator over `p` ranks, as seen from world rank `rank`.
@@ -182,13 +185,6 @@ impl Communicator {
     /// Channel metadata (offset / strides / sizes relative to world).
     pub fn meta(&self) -> &ChannelMeta {
         &self.meta
-    }
-
-    /// Allocate the next collective sequence number on this handle.
-    pub(crate) fn next_collective_seq(&self) -> u64 {
-        let s = self.next_seq.get();
-        self.next_seq.set(s + 1);
-        s
     }
 }
 
@@ -280,7 +276,15 @@ mod tests {
         assert_eq!(c.rank(), 3);
         assert_eq!(c.world_rank_of(5), 5);
         assert_eq!(c.meta().dims, vec![(1, 8)]);
-        assert_eq!(c.next_collective_seq(), 0);
-        assert_eq!(c.next_collective_seq(), 1);
+    }
+
+    #[test]
+    fn empty_group_raises_typed_error() {
+        let payload = std::panic::catch_unwind(|| ChannelMeta::from_sorted_ranks(&[]))
+            .expect_err("empty group must panic");
+        assert_eq!(
+            crate::error::sim_error_of(payload.as_ref()),
+            Some(&SimError::EmptyCommunicator)
+        );
     }
 }

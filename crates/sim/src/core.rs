@@ -1,23 +1,38 @@
 //! The central matching core: point-to-point queues, collective slots,
 //! virtual-time completion rules, deadlock detection.
 //!
-//! All rank threads share one [`SimCore`]. The lock discipline is simple and
-//! coarse — one mutex for p2p state, one for collective state, each paired
-//! with a broadcast condvar — which is correct by construction and fast
-//! enough: simulated programs are coarse-grained (each kernel is thousands of
-//! flops), so the core is never the bottleneck.
+//! All ranks share one [`SimCore`]. State is **sharded**: point-to-point
+//! queues land in a shard chosen by the channel hash of `(communicator, src,
+//! dst, tag)`, collective slots in a shard chosen by the communicator id, so
+//! independent channels no longer contend on one lock and wakeups only reach
+//! the waiters of the affected shard. The shard count is a scheduling knob —
+//! every cost draw is a pure function of operation identity (channel hash,
+//! per-key sequence number), so virtual results are bit-identical across
+//! shard counts, which the testkit's `backend_equivalence` oracles pin.
+//!
+//! Blocked operations park on the shard's condvar. Under the `tasks` backend
+//! a parked rank first releases its [`crate::backend::TaskScheduler`] worker
+//! permit and reacquires it after waking, which is what bounds the runnable
+//! set. The deadlock watchdog is progress-based: a wait that exceeds the
+//! timeout only panics ([`crate::SimError::Stuck`]) if *no* operation
+//! anywhere in the simulator completed during the window — a slow but live
+//! run (10k ranks time-slicing few worker permits) never trips it.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::panic_any;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use critter_machine::rng::stream_id;
 use critter_machine::{CommOp, MachineModel};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
+use crate::backend::TaskScheduler;
 use crate::comm::Communicator;
 use crate::ctx::ReduceOp;
+use crate::error::{SimError, StuckOp};
+use crate::runner::SimConfig;
 
 /// Combine function for custom reductions (Critter's internal path-propagation
 /// operator). A plain `fn` pointer: every participant passes the same one.
@@ -59,6 +74,14 @@ pub(crate) struct SendEntry {
 struct P2pState {
     queues: HashMap<P2pKey, VecDeque<SendEntry>>,
     send_seq: HashMap<P2pKey, u64>,
+}
+
+/// One point-to-point shard: all queues whose channel hash maps here, plus
+/// the condvar their receivers park on.
+#[derive(Default)]
+struct P2pShard {
+    st: Mutex<P2pState>,
+    cv: Condvar,
 }
 
 /// What a rank contributes to a collective.
@@ -135,13 +158,19 @@ struct CollState {
     slots: HashMap<(u64, u64), CollSlot>,
 }
 
+/// One collective shard: all slots of the communicators that hash here, plus
+/// the condvar their participants park on.
+#[derive(Default)]
+struct CollShard {
+    st: Mutex<CollState>,
+    cv: Condvar,
+}
+
 /// Shared simulator core.
 pub struct SimCore {
     pub(crate) machine: Arc<MachineModel>,
-    p2p: Mutex<P2pState>,
-    p2p_cv: Condvar,
-    coll: Mutex<CollState>,
-    coll_cv: Condvar,
+    p2p: Vec<P2pShard>,
+    coll: Vec<CollShard>,
     pub(crate) timeout: Duration,
     pub(crate) eager_words: usize,
     /// Schedule perturbation injected by rank contexts at interception
@@ -152,6 +181,14 @@ pub struct SimCore {
     pub(crate) faults: Option<crate::runner::FaultPlan>,
     /// Set when any rank panics, so peers stop waiting immediately.
     poisoned: AtomicBool,
+    /// Bumped whenever any operation anywhere makes progress (a send posted,
+    /// a receive matched, a collective arrival/completion/drain). The
+    /// deadlock watchdog declares a timed-out wait stuck only if this
+    /// counter did not move during the whole window.
+    progress: AtomicU64,
+    /// Cooperative worker-permit scheduler (`tasks` backend; `None` under
+    /// thread-per-rank execution).
+    sched: Option<Arc<TaskScheduler>>,
 }
 
 /// Outcome of matching a receive: payload, receiver completion time, and the
@@ -166,36 +203,127 @@ pub(crate) struct RecvOutcome {
 impl SimCore {
     pub(crate) fn new(
         machine: Arc<MachineModel>,
-        timeout: Duration,
-        eager_words: usize,
-        perturb: Option<crate::runner::PerturbParams>,
-        faults: Option<crate::runner::FaultPlan>,
+        config: &SimConfig,
+        sched: Option<Arc<TaskScheduler>>,
     ) -> Self {
+        // Shard count: explicit, or sized to the rank count (power of two for
+        // cheap masking-friendly modulo, capped so huge runs do not allocate
+        // thousands of idle mutexes).
+        let shards = if config.shards > 0 {
+            config.shards
+        } else {
+            config.ranks.clamp(1, 256).next_power_of_two()
+        };
         SimCore {
             machine,
-            p2p: Mutex::new(P2pState::default()),
-            p2p_cv: Condvar::new(),
-            coll: Mutex::new(CollState::default()),
-            coll_cv: Condvar::new(),
-            timeout,
-            eager_words,
-            perturb,
-            faults,
+            p2p: (0..shards).map(|_| P2pShard::default()).collect(),
+            coll: (0..shards).map(|_| CollShard::default()).collect(),
+            timeout: config.deadlock_timeout,
+            eager_words: config.eager_words,
+            perturb: config.perturb,
+            faults: config.faults,
             poisoned: AtomicBool::new(false),
+            progress: AtomicU64::new(0),
+            sched,
         }
     }
 
-    /// Mark the simulation as failed (a rank panicked) and wake all waiters.
+    /// Number of shards the matching state is split over (diagnostics).
+    pub fn shards(&self) -> usize {
+        self.p2p.len()
+    }
+
+    fn p2p_shard(&self, channel_hash: u64) -> &P2pShard {
+        &self.p2p[(channel_hash % self.p2p.len() as u64) as usize]
+    }
+
+    fn coll_shard(&self, comm_id: u64) -> &CollShard {
+        &self.coll[(stream_id(&[comm_id]) % self.coll.len() as u64) as usize]
+    }
+
+    /// Mark the simulation as failed (a rank panicked) and wake all waiters:
+    /// shard condvars, rendezvous send slots queued anywhere, and the
+    /// worker-permit scheduler. Each wake happens with the corresponding
+    /// mutex held so a waiter that has checked the poison flag but not yet
+    /// parked cannot miss it.
     pub(crate) fn poison(&self) {
         self.poisoned.store(true, Ordering::SeqCst);
-        self.p2p_cv.notify_all();
-        self.coll_cv.notify_all();
+        for shard in &self.p2p {
+            let st = shard.st.lock();
+            for q in st.queues.values() {
+                for entry in q {
+                    if let Some(slot) = &entry.slot {
+                        let _g = slot.done.lock();
+                        slot.cv.notify_all();
+                    }
+                }
+            }
+            shard.cv.notify_all();
+        }
+        for shard in &self.coll {
+            let _st = shard.st.lock();
+            shard.cv.notify_all();
+        }
+        if let Some(s) = &self.sched {
+            s.poison_wake();
+        }
     }
 
     fn check_poison(&self) {
         if self.poisoned.load(Ordering::SeqCst) {
             panic!("simulation aborted: a peer rank panicked");
         }
+    }
+
+    /// Acquire this rank's worker permit (no-op under the threads backend).
+    pub(crate) fn sched_acquire(&self) {
+        if let Some(s) = &self.sched {
+            s.acquire(&self.poisoned);
+        }
+    }
+
+    /// Release this rank's worker permit (no-op under the threads backend).
+    pub(crate) fn sched_release(&self) {
+        if let Some(s) = &self.sched {
+            s.release();
+        }
+    }
+
+    fn note_progress(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Park the calling rank on `cv` for up to one watchdog window,
+    /// releasing its scheduler permit while parked. Returns the (re-locked)
+    /// guard and whether the window elapsed with zero simulator-wide
+    /// progress — `true` means the caller, whose condition is still unmet,
+    /// should declare the simulation stuck.
+    ///
+    /// Lock order: the permit is reacquired only *after* the state lock is
+    /// dropped, so a rank never blocks on the scheduler while holding a
+    /// shard (that inversion could wedge the whole worker budget behind one
+    /// lock); the state is then re-locked for the caller's re-check.
+    fn park<'a, T>(
+        &self,
+        cv: &Condvar,
+        mutex: &'a Mutex<T>,
+        mut guard: MutexGuard<'a, T>,
+        seen_progress: &mut u64,
+    ) -> (MutexGuard<'a, T>, bool) {
+        self.sched_release();
+        let timed_out = cv.wait_for(&mut guard, self.timeout).timed_out();
+        if self.sched.is_some() {
+            drop(guard);
+            self.sched_acquire();
+            guard = mutex.lock();
+        }
+        let mut stalled = false;
+        if timed_out {
+            let now = self.progress.load(Ordering::Relaxed);
+            stalled = now == *seen_progress;
+            *seen_progress = now;
+        }
+        (guard, stalled)
     }
 
     /// Post a send. Returns `(sampled transfer cost, slot)` — the slot is
@@ -214,28 +342,25 @@ impl SimCore {
         // messages at the compact wire size of the real implementation).
         let cost_words = cost_words.unwrap_or(words);
         let rendezvous = force_rendezvous || cost_words > self.eager_words;
+        let hash = key.channel_hash();
+        let shard = self.p2p_shard(hash);
         // Reserve this message's per-key sequence number under the lock, then
         // sample its cost outside it: the draw is a pure function of
         // (key, seq), and all sends for one key come from the single sender
-        // thread, so the queue push below still lands in seq order despite
-        // the unlock window.
+        // rank, so the queue push below still lands in seq order despite
+        // the unlock window. Key→shard mapping is a pure function of the
+        // key, so per-key sequencing is untouched by the shard count.
         let this_seq = {
-            let mut st = self.p2p.lock();
+            let mut st = shard.st.lock();
             let seq = st.send_seq.entry(key).or_insert(0);
             let s = *seq;
             *seq += 1;
             s
         };
-        let cost = self.machine.comm_time(
-            CommOp::PointToPoint,
-            cost_words,
-            2,
-            key.channel_hash(),
-            this_seq,
-        );
+        let cost = self.machine.comm_time(CommOp::PointToPoint, cost_words, 2, hash, this_seq);
         let slot = rendezvous.then(|| Arc::new(SendSlot::default()));
         {
-            let mut st = self.p2p.lock();
+            let mut st = shard.st.lock();
             st.queues.entry(key).or_default().push_back(SendEntry {
                 data,
                 post_time,
@@ -243,7 +368,8 @@ impl SimCore {
                 slot: slot.clone(),
             });
         }
-        self.p2p_cv.notify_all();
+        self.note_progress();
+        shard.cv.notify_all();
         (cost, slot)
     }
 
@@ -251,7 +377,9 @@ impl SimCore {
     /// `recv_post` is when the receive was posted (irecv post time, or "now"
     /// for a blocking receive).
     pub(crate) fn match_recv(&self, key: P2pKey, recv_post: f64) -> RecvOutcome {
-        let mut st = self.p2p.lock();
+        let shard = self.p2p_shard(key.channel_hash());
+        let mut st = shard.st.lock();
+        let mut seen = self.progress.load(Ordering::Relaxed);
         loop {
             self.check_poison();
             if let Some(q) = st.queues.get_mut(&key) {
@@ -260,6 +388,7 @@ impl SimCore {
                         st.queues.remove(&key);
                     }
                     drop(st);
+                    self.note_progress();
                     let start = entry.post_time.max(recv_post);
                     let done = start + entry.cost;
                     if let Some(slot) = &entry.slot {
@@ -270,11 +399,17 @@ impl SimCore {
                     return RecvOutcome { data: entry.data, done, cost: entry.cost, idle };
                 }
             }
-            if self.p2p_cv.wait_for(&mut st, self.timeout).timed_out() {
-                panic!(
-                    "simulated deadlock: receive waited {:?} on comm {:#x} src {} dst {} tag {}",
-                    self.timeout, key.comm, key.src, key.dst, key.tag
-                );
+            let (g, stalled) = self.park(&shard.cv, &shard.st, st, &mut seen);
+            st = g;
+            if stalled {
+                panic_any(SimError::Stuck {
+                    op: StuckOp::Recv,
+                    comm: key.comm,
+                    detail: format!(
+                        "receive waited {:?} on comm {:#x} src {} dst {} tag {}",
+                        self.timeout, key.comm, key.src, key.dst, key.tag
+                    ),
+                });
             }
         }
     }
@@ -282,16 +417,20 @@ impl SimCore {
     /// Wait for a rendezvous send to be matched; returns sender completion time.
     pub(crate) fn wait_send(&self, slot: &SendSlot) -> f64 {
         let mut g = slot.done.lock();
+        let mut seen = self.progress.load(Ordering::Relaxed);
         loop {
             self.check_poison();
             if let Some(t) = *g {
                 return t;
             }
-            if slot.cv.wait_for(&mut g, self.timeout).timed_out() {
-                panic!(
-                    "simulated deadlock: rendezvous send never matched within {:?}",
-                    self.timeout
-                );
+            let (g2, stalled) = self.park(&slot.cv, &slot.done, g, &mut seen);
+            g = g2;
+            if stalled {
+                panic_any(SimError::Stuck {
+                    op: StuckOp::SendRendezvous,
+                    comm: 0,
+                    detail: format!("rendezvous send never matched within {:?}", self.timeout),
+                });
             }
         }
     }
@@ -314,21 +453,31 @@ impl SimCore {
         let my_index = comm.rank();
         let expected = comm.size();
         let slot_key = (comm.id(), seq);
-        let mut st = self.coll.lock();
+        let shard = self.coll_shard(comm.id());
+        let mut st = shard.st.lock();
+        let mut seen = self.progress.load(Ordering::Relaxed);
         // A completed instance of this (comm, seq) may still be in the map
         // while its participants drain their outputs; an arrival now is a
         // replayed sequence number and must not join (or index into) the
         // finished slot. Wait for the drain, then post a fresh arrival —
-        // which the watchdog below will report as a deadlock.
+        // which the watchdog below will report as a deadlock. (With sequence
+        // numbers derived per rank context this is defensive: the public API
+        // can no longer replay a sequence number.)
         while st.slots.get(&slot_key).is_some_and(|s| s.done.is_some()) {
             self.check_poison();
-            if self.coll_cv.wait_for(&mut st, self.timeout).timed_out() {
-                panic!(
-                    "simulated deadlock: collective {:?} on comm {:#x} replayed sequence {seq} \
-                     while the completed instance was still being drained",
-                    kind,
-                    comm.id(),
-                );
+            let (g, stalled) = self.park(&shard.cv, &shard.st, st, &mut seen);
+            st = g;
+            if stalled {
+                panic_any(SimError::Stuck {
+                    op: StuckOp::CollectiveDrain,
+                    comm: comm.id(),
+                    detail: format!(
+                        "collective {:?} on comm {:#x} replayed sequence {seq} \
+                         while the completed instance was still being drained",
+                        kind,
+                        comm.id(),
+                    ),
+                });
             }
         }
         let completion = {
@@ -377,6 +526,7 @@ impl SimCore {
             (slot.arrived == slot.expected)
                 .then(|| (slot.charge, slot.combine, std::mem::take(&mut slot.contribs)))
         };
+        self.note_progress();
         if let Some((charge, combine, contribs)) = completion {
             // Last arriver: sample the cost and build every rank's output
             // *outside* the lock — output construction clones payloads per
@@ -397,12 +547,13 @@ impl SimCore {
                 combine,
                 contribs,
             );
-            st = self.coll.lock();
+            st = shard.st.lock();
             let slot = st.slots.get_mut(&slot_key).expect("collective slot vanished");
             slot.cost = cost;
             slot.outputs = outputs;
             slot.done = Some(slot.max_post + cost);
-            self.coll_cv.notify_all();
+            self.note_progress();
+            shard.cv.notify_all();
         }
         // Wait for completion, then take this rank's output.
         loop {
@@ -417,21 +568,28 @@ impl SimCore {
                         st.slots.remove(&slot_key);
                         // A replayed arrival may be parked waiting for this
                         // slot to drain; let it re-check promptly.
-                        self.coll_cv.notify_all();
+                        shard.cv.notify_all();
                     }
+                    self.note_progress();
                     return (done, cost, out);
                 }
             }
-            if self.coll_cv.wait_for(&mut st, self.timeout).timed_out() {
-                let slot = st.slots.get(&slot_key);
-                panic!(
-                    "simulated deadlock: collective {:?} on comm {:#x} seq {seq} has {}/{} arrivals after {:?}",
-                    kind,
-                    comm.id(),
-                    slot.map(|s| s.arrived).unwrap_or(0),
-                    expected,
-                    self.timeout
-                );
+            let (g, stalled) = self.park(&shard.cv, &shard.st, st, &mut seen);
+            st = g;
+            if stalled {
+                let arrived = st.slots.get(&slot_key).map(|s| s.arrived).unwrap_or(0);
+                panic_any(SimError::Stuck {
+                    op: StuckOp::Collective,
+                    comm: comm.id(),
+                    detail: format!(
+                        "collective {:?} on comm {:#x} seq {seq} has {}/{} arrivals after {:?}",
+                        kind,
+                        comm.id(),
+                        arrived,
+                        expected,
+                        self.timeout
+                    ),
+                });
             }
         }
     }

@@ -60,6 +60,13 @@ pub struct RankCtx {
     fault_rng: Option<CounterRng>,
     perturb_points: u64,
     fault_points: u64,
+    /// Per-communicator collective sequence counters, keyed by communicator
+    /// id. Kept here — not on the [`Communicator`] handle — so cloned or
+    /// re-derived handles of the same communicator draw from one sequence
+    /// stream (a `Cell` on the handle was copied by `clone` and replayed
+    /// sequence numbers). A small vec beats a map: programs hold a handful
+    /// of live communicators.
+    coll_seq: Vec<(u64, u64)>,
 }
 
 impl RankCtx {
@@ -83,7 +90,24 @@ impl RankCtx {
             fault_rng,
             perturb_points: 0,
             fault_points: 0,
+            coll_seq: Vec::new(),
         }
+    }
+
+    /// Allocate the next collective sequence number for communicator
+    /// `comm_id` on this rank. A pure function of (communicator id, number of
+    /// collectives this rank has issued on it) — independent of which handle
+    /// clone the program went through.
+    fn next_collective_seq(&mut self, comm_id: u64) -> u64 {
+        for entry in &mut self.coll_seq {
+            if entry.0 == comm_id {
+                let s = entry.1;
+                entry.1 += 1;
+                return s;
+            }
+        }
+        self.coll_seq.push((comm_id, 1));
+        0
     }
 
     /// Schedule-perturbation point (no-op unless [`crate::SimConfig::perturb`]
@@ -360,7 +384,7 @@ impl RankCtx {
     ) -> (Output, f64) {
         self.perturb_point();
         self.fault_point();
-        let seq = comm.next_collective_seq();
+        let seq = self.next_collective_seq(comm.id());
         let post = self.clock;
         let (done, cost, out) =
             self.core.collective(comm, seq, kind, root, contrib, combine, charge, post);
@@ -554,6 +578,13 @@ impl RankCtx {
             Output::Split(None) => None,
             _ => panic!("split returned non-split output"),
         }
+    }
+
+    /// Duplicate `comm`, as `MPI_Comm_dup`: a collective producing a new
+    /// communicator with the same members and ordering but a fresh id (and
+    /// therefore an independent collective sequence stream and tag space).
+    pub fn dup(&mut self, comm: &Communicator) -> Communicator {
+        self.split(comm, 0, comm.rank() as i64).expect("dup color is never undefined")
     }
 
     /// Combined send+receive (deadlock-free exchange), as `MPI_Sendrecv`.

@@ -6,8 +6,11 @@
 //!
 //! ## Execution model
 //!
-//! Each simulated rank runs the user's program on its **own OS thread** and
-//! carries a **virtual clock**. Computation advances only the local clock
+//! Each simulated rank runs the user's program as a unit of work hosted by a
+//! pluggable [`backend`] — thread-per-rank (`threads`, the default) or
+//! cooperatively scheduled over a small worker-permit budget (`tasks`, which
+//! lets 10k+ ranks fit in one process) — and carries a **virtual clock**.
+//! Computation advances only the local clock
 //! (by a cost sampled from [`critter_machine::MachineModel`]); communication
 //! operations couple clocks through a central matching core:
 //!
@@ -27,7 +30,9 @@
 //! Every stochastic cost draw is counter-based: it depends on the identity of
 //! the operation (channel id, per-channel sequence number), never on thread
 //! scheduling. Two runs of the same program with the same machine seed produce
-//! bit-identical virtual times. Communicator ids are likewise pure functions
+//! bit-identical virtual times — across backends and across matching-core
+//! shard counts, which the testkit's `backend_equivalence` oracles pin
+//! byte-for-byte at the artifact level. Communicator ids are likewise pure functions
 //! of (parent id, split sequence, color, members) so that independent splits
 //! racing on different threads cannot perturb them.
 //!
@@ -40,17 +45,23 @@
 
 #![deny(missing_docs)]
 
+pub mod backend;
 pub mod comm;
 pub mod core;
 pub mod counters;
 pub mod ctx;
+pub mod error;
 pub mod pool;
 pub mod request;
 pub mod runner;
 
+pub use backend::{
+    BackendKind, CommBackend, RankJob, RunLatch, TaskScheduler, TasksBackend, ThreadsBackend,
+};
 pub use comm::{ChannelMeta, Communicator};
 pub use counters::RankCounters;
 pub use ctx::{RankCtx, ReduceOp};
+pub use error::{sim_error_of, SimError, StuckOp};
 pub use pool::SimPool;
 pub use request::Request;
 pub use runner::{run_simulation, FaultPlan, PerturbParams, SimConfig, SimReport};

@@ -24,41 +24,24 @@
 //! tuning-sweep workers, each of which gets its *own* pool — reuse threads
 //! transparently.
 
-use std::any::Any;
 use std::collections::HashMap;
-use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, OnceLock};
 
 use critter_machine::MachineModel;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
-use crate::core::SimCore;
-use crate::counters::RankCounters;
+use crate::backend::{execute_ranks, BackendKind, CommBackend, RankJob, RunLatch, TaskScheduler};
 use crate::ctx::RankCtx;
 use crate::runner::{SimConfig, SimReport};
-
-/// A type-erased unit of rank work.
-type Job = Box<dyn FnOnce() + Send>;
-
-/// What one rank produced: its program output, final clock, and counters —
-/// or the panic payload that aborted it.
-type RankResult<R> = Result<(R, f64, RankCounters), Box<dyn Any + Send>>;
 
 /// A pool of persistent rank threads, one per simulated rank.
 pub struct SimPool {
     ranks: usize,
     stack_size: usize,
-    senders: Vec<mpsc::Sender<Job>>,
+    senders: Vec<mpsc::Sender<RankJob>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     runs: AtomicU64,
-}
-
-/// Per-run shared state the rank jobs report into.
-struct RunState<R> {
-    slots: Vec<Mutex<Option<RankResult<R>>>>,
-    remaining: Mutex<usize>,
-    done: Condvar,
 }
 
 impl SimPool {
@@ -70,7 +53,7 @@ impl SimPool {
         let mut senders = Vec::with_capacity(ranks);
         let mut handles = Vec::with_capacity(ranks);
         for rank in 0..ranks {
-            let (tx, rx) = mpsc::channel::<Job>();
+            let (tx, rx) = mpsc::channel::<RankJob>();
             let handle = std::thread::Builder::new()
                 .name(format!("sim-pool-{id}-rank-{rank}"))
                 .stack_size(stack_size)
@@ -104,7 +87,8 @@ impl SimPool {
     }
 
     /// Run `program` on every rank of a simulated machine, reusing this
-    /// pool's threads. Semantics match [`crate::run_simulation`].
+    /// pool's threads. Semantics match [`crate::run_simulation`] on the
+    /// `threads` backend; `config.backend` is ignored (this *is* a backend).
     pub fn run<R, F>(
         &self,
         config: &SimConfig,
@@ -116,103 +100,42 @@ impl SimPool {
         F: Fn(&mut RankCtx) -> R + Sync,
     {
         assert_eq!(config.ranks, self.ranks, "pool size must match the simulation");
-        assert_eq!(
-            machine.topology().ranks(),
-            config.ranks,
-            "machine model rank count must match the simulation"
-        );
-        let core = Arc::new(SimCore::new(
-            Arc::clone(&machine),
-            config.deadlock_timeout,
-            config.eager_words,
-            config.perturb,
-            config.faults,
-        ));
-        let state: RunState<R> = RunState {
-            slots: (0..self.ranks).map(|_| Mutex::new(None)).collect(),
-            remaining: Mutex::new(self.ranks),
-            done: Condvar::new(),
-        };
-        let state_ref = &state;
+        execute_ranks(&OnPool(self), config, machine, program)
+    }
 
-        for rank in 0..self.ranks {
-            let core = Arc::clone(&core);
-            let ranks = self.ranks;
-            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    let mut ctx = RankCtx::new(rank, ranks, Arc::clone(&core));
-                    let out = program(&mut ctx);
-                    let (clock, counters) = ctx.into_parts();
-                    (out, clock, counters)
-                }));
-                if result.is_err() {
-                    // Unblock peers before reporting, exactly as the
-                    // spawn-per-run runner did before propagating.
-                    core.poison();
-                }
-                *state_ref.slots[rank].lock() = Some(result);
-                let mut remaining = state_ref.remaining.lock();
-                *remaining -= 1;
-                if *remaining == 0 {
-                    state_ref.done.notify_all();
-                }
-            });
-            // SAFETY: the job borrows `program` and `state`, which outlive it
-            // because this function blocks on `state.remaining == 0` below —
-            // every dispatched job has fully run (including its final store
-            // into `state`) before `run` returns or unwinds. Nothing between
-            // dispatch and the wait can panic: `send` only fails if a worker
-            // thread died, and workers cannot die (jobs catch all panics).
-            let job: Job =
-                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+    /// Send one job to each rank thread (the backend layer's entry point).
+    pub(crate) fn dispatch(&self, jobs: Vec<RankJob>) {
+        assert_eq!(jobs.len(), self.ranks, "one job per rank thread");
+        for (rank, job) in jobs.into_iter().enumerate() {
+            // `send` only fails if a worker thread died, and workers cannot
+            // die: jobs catch all panics.
             self.senders[rank].send(job).expect("pool worker alive");
         }
+    }
 
-        {
-            let mut remaining = state.remaining.lock();
-            while *remaining > 0 {
-                state.done.wait(&mut remaining);
-            }
-        }
+    /// Record one completed simulation (reuse observability).
+    pub(crate) fn note_run(&self) {
         self.runs.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
-        let mut outputs = Vec::with_capacity(self.ranks);
-        let mut rank_times = Vec::with_capacity(self.ranks);
-        let mut counters = Vec::with_capacity(self.ranks);
-        let mut panic_payload: Option<(Box<dyn Any + Send>, bool)> = None;
-        for slot in &state.slots {
-            match slot.lock().take().expect("rank reported") {
-                Ok((out, clock, ctrs)) => {
-                    outputs.push(out);
-                    rank_times.push(clock);
-                    counters.push(ctrs);
-                }
-                Err(payload) => {
-                    // Re-raise the root cause: prefer any panic that is not
-                    // the secondary "peer rank panicked" cascade.
-                    let is_cascade = payload
-                        .downcast_ref::<String>()
-                        .map(|s| s.contains("a peer rank panicked"))
-                        .or_else(|| {
-                            payload
-                                .downcast_ref::<&str>()
-                                .map(|s| s.contains("a peer rank panicked"))
-                        })
-                        .unwrap_or(false);
-                    let replace = match &panic_payload {
-                        None => true,
-                        Some((_, prev_is_cascade)) => *prev_is_cascade && !is_cascade,
-                    };
-                    if replace {
-                        panic_payload = Some((payload, is_cascade));
-                    }
-                }
-            }
-        }
-        if let Some((payload, _)) = panic_payload {
-            std::panic::resume_unwind(payload);
-        }
-        SimReport { outputs, rank_times, counters }
+/// [`CommBackend`] view of one specific pool, so [`SimPool::run`] shares the
+/// job-building and result-collection path of [`execute_ranks`].
+struct OnPool<'a>(&'a SimPool);
+
+impl CommBackend for OnPool<'_> {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Threads
+    }
+
+    fn scheduler(&self, _config: &SimConfig) -> Option<Arc<TaskScheduler>> {
+        None
+    }
+
+    fn execute(&self, _config: &SimConfig, jobs: Vec<RankJob>, latch: &RunLatch) {
+        self.0.dispatch(jobs);
+        latch.wait();
+        self.0.note_run();
     }
 }
 
@@ -284,6 +207,7 @@ pub fn idle_pools() -> usize {
 mod tests {
     use super::*;
     use crate::ctx::ReduceOp;
+    use std::panic::AssertUnwindSafe;
 
     fn machine(p: usize) -> Arc<MachineModel> {
         MachineModel::test_exact(p).shared()
@@ -342,6 +266,36 @@ mod tests {
         // Same pool, fresh core: the next run must succeed.
         let ok = pool.run(&cfg, machine(2), &|ctx: &mut RankCtx| ctx.rank() * 10);
         assert_eq!(ok.outputs, vec![0, 10]);
+    }
+
+    #[test]
+    fn lease_returns_pool_to_registry_when_run_panics() {
+        // A panicking simulation unwinds through `SimPool::run` while the
+        // lease is live; the lease's Drop must still park the pool, so the
+        // next checkout of the same shape reuses those threads instead of
+        // leaking them and spawning fresh ones.
+        let (ranks, stack) = (2, (1 << 20) + 0xD509);
+        let result = std::panic::catch_unwind(|| {
+            let lease = PoolLease::checkout(ranks, stack);
+            lease.pool().run(&SimConfig::new(ranks), machine(ranks), &|ctx: &mut RankCtx| {
+                if ctx.rank() == 0 {
+                    panic!("sweep exploded mid-run");
+                }
+                let world = ctx.world();
+                ctx.recv(&world, 0, 0);
+            })
+        });
+        assert!(result.is_err());
+        let lease = PoolLease::checkout(ranks, stack);
+        assert_eq!(
+            lease.pool().runs_completed(),
+            1,
+            "checkout after the panic must return the same (reusable) pool"
+        );
+        let ok = lease
+            .pool()
+            .run(&SimConfig::new(ranks), machine(ranks), &|ctx: &mut RankCtx| ctx.rank());
+        assert_eq!(ok.outputs, vec![0, 1]);
     }
 
     #[test]

@@ -5,9 +5,9 @@ use std::time::Duration;
 
 use critter_machine::MachineModel;
 
+use crate::backend::{execute_ranks, BackendKind};
 use crate::counters::RankCounters;
 use crate::ctx::RankCtx;
-use crate::pool::PoolLease;
 
 /// Wall-clock schedule perturbation injected at the simulator's interception
 /// points (test-only configuration).
@@ -145,6 +145,16 @@ pub struct SimConfig {
     /// Fault injection (rank panics, message delays/drops) at interception
     /// points (`None` off).
     pub faults: Option<FaultPlan>,
+    /// Which communicator backend hosts the rank programs (see
+    /// [`crate::backend`]). Scheduling only — virtual results are
+    /// backend-independent.
+    pub backend: BackendKind,
+    /// Number of shards the matching core is split over; `0` = auto (sized
+    /// to the rank count). Scheduling only — results are shard-independent.
+    pub shards: usize,
+    /// Worker permits for the `tasks` backend (`0` = auto: available
+    /// parallelism). Ignored by the `threads` backend.
+    pub task_workers: usize,
 }
 
 impl SimConfig {
@@ -157,7 +167,29 @@ impl SimConfig {
             eager_words: 512,
             perturb: None,
             faults: None,
+            backend: BackendKind::default(),
+            shards: 0,
+            task_workers: 0,
         }
+    }
+
+    /// Select the communicator backend (`threads` default; `tasks` bounds
+    /// the runnable set so 10k+ ranks fit in one process).
+    pub fn with_backend(mut self, b: BackendKind) -> Self {
+        self.backend = b;
+        self
+    }
+
+    /// Override the matching-core shard count (`0` = auto).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Override the `tasks` backend's worker-permit count (`0` = auto).
+    pub fn with_task_workers(mut self, workers: usize) -> Self {
+        self.task_workers = workers;
+        self
     }
 
     /// Override the deadlock timeout (tests of deadlock detection use a short one).
@@ -230,7 +262,9 @@ impl<R> SimReport<R> {
 /// first simulation of a given `(ranks, stack_size)` shape spawns them, and
 /// subsequent runs — including runs after a panicked simulation — reuse
 /// them. Concurrent calls check out distinct pools, so simulations never
-/// share threads while in flight.
+/// share threads while in flight. `config.backend` picks the execution
+/// backend (see [`crate::backend`]); virtual results are identical across
+/// backends.
 pub fn run_simulation<R, F>(
     config: SimConfig,
     machine: Arc<MachineModel>,
@@ -240,9 +274,7 @@ where
     R: Send,
     F: Fn(&mut RankCtx) -> R + Send + Sync,
 {
-    assert!(config.ranks > 0, "simulation requires at least one rank");
-    let lease = PoolLease::checkout(config.ranks, config.stack_size);
-    lease.pool().run(&config, machine, &program)
+    execute_ranks(config.backend.instance(), &config, machine, &program)
 }
 
 #[cfg(test)]
@@ -524,6 +556,38 @@ mod tests {
         let b = run();
         assert_eq!(a.rank_times, b.rank_times, "virtual times must be bit-identical");
         assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn tasks_backend_and_shard_counts_match_threads_bit_for_bit() {
+        // The backend/shard knobs are pure scheduling: every virtual result
+        // must be bit-identical to the default threads backend. (The testkit
+        // `backend_equivalence` suite pins this at the artifact level; this
+        // is the fast in-crate canary.)
+        let prog = |ctx: &mut RankCtx| {
+            let world = ctx.world();
+            ctx.compute(KernelClass::Gemm, 1e5 * (1 + ctx.rank()) as f64);
+            let s = ctx.allreduce(&world, ReduceOp::Sum, &[ctx.now()]);
+            let right = (ctx.rank() + 1) % 4;
+            let left = (ctx.rank() + 3) % 4;
+            let got = ctx.sendrecv(&world, right, 0, &[ctx.rank() as f64], left, 0);
+            let sub = ctx.split(&world, (ctx.rank() % 2) as i64, 0).unwrap();
+            let t = ctx.allreduce(&sub, ReduceOp::Max, &[ctx.now()]);
+            (ctx.now(), s[0], got[0], t[0])
+        };
+        let m = || MachineModel::test_noisy(4, 21).shared();
+        let reference = run_simulation(SimConfig::new(4), m(), prog);
+        for workers in [1, 2] {
+            for shards in [1, 4] {
+                let cfg = SimConfig::new(4)
+                    .with_backend(BackendKind::Tasks)
+                    .with_task_workers(workers)
+                    .with_shards(shards);
+                let tasks = run_simulation(cfg, m(), prog);
+                assert_eq!(reference.rank_times, tasks.rank_times, "w={workers} s={shards}");
+                assert_eq!(reference.outputs, tasks.outputs, "w={workers} s={shards}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Deadlock-shape regression oracles: the classic ways a simulated program
+//! wedges — mismatched point-to-point tags, a rank exiting with a collective
+//! still pending, a zero-member communicator — must fail with the *same typed
+//! error* ([`SimError`]) on every backend, and must fail promptly. The whole
+//! scenario runs inside a wall-clock harness because the historical failure
+//! mode of these shapes was hanging the threads backend forever.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use critter_machine::MachineModel;
+use critter_sim::{
+    run_simulation, sim_error_of, BackendKind, RankCtx, SimConfig, SimError, StuckOp,
+};
+
+/// Run `f` on a scratch thread and require it to finish within `limit`.
+fn within<T: Send + 'static>(limit: Duration, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    let out = rx.recv_timeout(limit).expect("scenario exceeded the harness wall-clock budget");
+    worker.join().expect("harness worker must not die");
+    out
+}
+
+/// Run `prog` on `backend` and extract the typed error it dies with.
+fn typed_error(backend: BackendKind, ranks: usize, prog: fn(&mut RankCtx)) -> SimError {
+    within(Duration::from_secs(60), move || {
+        let err = std::panic::catch_unwind(|| {
+            let machine = MachineModel::test_exact(ranks).shared();
+            let cfg = SimConfig::new(ranks)
+                .with_backend(backend)
+                .with_deadlock_timeout(Duration::from_millis(300));
+            run_simulation(cfg, machine, prog);
+        })
+        .expect_err("scenario must fail");
+        sim_error_of(err.as_ref())
+            .cloned()
+            .unwrap_or_else(|| panic!("expected a typed SimError payload on {backend}"))
+    })
+}
+
+/// Assert both backends produce the same typed error and hand it back.
+fn same_error_on_all_backends(ranks: usize, prog: fn(&mut RankCtx)) -> SimError {
+    let mut errors = BackendKind::ALL.iter().map(|&b| typed_error(b, ranks, prog));
+    let first = errors.next().unwrap();
+    for other in errors {
+        assert_eq!(first, other, "backends must agree on the typed error");
+    }
+    first
+}
+
+fn mismatched_tags(ctx: &mut RankCtx) {
+    let world = ctx.world();
+    if ctx.rank() == 0 {
+        ctx.send(&world, 1, 1, &[1.0]); // eager: completes locally
+    } else {
+        ctx.recv(&world, 0, 2); // wrong tag: never matches
+    }
+}
+
+fn missing_collective_peer(ctx: &mut RankCtx) {
+    let world = ctx.world();
+    if ctx.rank() != 2 {
+        ctx.barrier(&world); // rank 2 exits without arriving
+    }
+}
+
+fn zero_member_channel(ctx: &mut RankCtx) {
+    if ctx.rank() == 0 {
+        let _ = critter_sim::ChannelMeta::from_sorted_ranks(&[]);
+    }
+    let world = ctx.world();
+    ctx.barrier(&world);
+}
+
+#[test]
+fn mismatched_tags_raise_the_same_stuck_recv_everywhere() {
+    let err = same_error_on_all_backends(2, mismatched_tags);
+    match &err {
+        SimError::Stuck { op, comm, detail } => {
+            assert_eq!(*op, StuckOp::Recv);
+            assert_eq!(*comm, critter_sim::comm::WORLD_ID);
+            assert!(detail.contains("tag 2"), "diagnostic names the tag: {detail}");
+        }
+        other => panic!("expected a stuck receive, got {other:?}"),
+    }
+    assert!(err.to_string().starts_with("simulated deadlock:"));
+}
+
+#[test]
+fn pending_collective_raises_the_same_stuck_collective_everywhere() {
+    let err = same_error_on_all_backends(3, missing_collective_peer);
+    match &err {
+        SimError::Stuck { op, detail, .. } => {
+            assert_eq!(*op, StuckOp::Collective);
+            assert!(detail.contains("2/3 arrivals"), "diagnostic counts arrivals: {detail}");
+        }
+        other => panic!("expected a stuck collective, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_member_communicator_raises_the_same_typed_error_everywhere() {
+    let err = same_error_on_all_backends(2, zero_member_channel);
+    assert_eq!(err, SimError::EmptyCommunicator);
+}

@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use critter_machine::MachineModel;
-use critter_sim::{run_simulation, ReduceOp, SimConfig};
+use critter_sim::{run_simulation, sim_error_of, ReduceOp, SimConfig};
 
 fn expect_panic<F: FnOnce() + std::panic::UnwindSafe>(f: F, needle: &str) {
     let result = std::panic::catch_unwind(f);
@@ -14,6 +14,7 @@ fn expect_panic<F: FnOnce() + std::panic::UnwindSafe>(f: F, needle: &str) {
         .downcast_ref::<String>()
         .cloned()
         .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .or_else(|| sim_error_of(err.as_ref()).map(|e| e.to_string()))
         .unwrap_or_default();
     assert!(msg.contains(needle), "panic message {msg:?} should contain {needle:?}");
 }
@@ -69,29 +70,29 @@ fn scatter_with_indivisible_payload_is_detected() {
 }
 
 #[test]
-fn replayed_sequence_numbers_deadlock() {
-    // One rank re-uses a communicator handle whose sequence counter was
-    // cloned before the first collective: it replays sequence 0 while its
-    // peer advances to sequence 1 — the ranks wait on different slots, which
-    // the watchdog reports as a deadlock.
-    expect_panic(
-        || {
-            let machine = MachineModel::test_exact(2).shared();
-            let cfg = SimConfig::new(2).with_deadlock_timeout(Duration::from_millis(300));
-            run_simulation(cfg, machine, |ctx| {
-                let world = ctx.world();
-                let replay = world.clone(); // clones the sequence counter
-                if ctx.rank() == 0 {
-                    ctx.barrier(&world);
-                    ctx.barrier(&replay); // replays seq 0
-                } else {
-                    ctx.barrier(&world);
-                    ctx.barrier(&world); // seq 1
-                }
-            });
-        },
-        "simulated deadlock",
-    );
+fn cloned_handles_share_one_sequence_stream() {
+    // Regression for the `Cell<u64>` sequence counter that used to live on
+    // the `Communicator` handle: a handle cloned before the first collective
+    // carried a *copy* of the counter, so using it afterwards replayed
+    // sequence 0 and deadlocked the ranks onto different slots. Sequence
+    // numbers are now derived in the rank context from the communicator id,
+    // so any mix of clones of the same communicator is indistinguishable
+    // from using one handle throughout.
+    let machine = MachineModel::test_exact(2).shared();
+    let cfg = SimConfig::new(2).with_deadlock_timeout(Duration::from_secs(5));
+    let report = run_simulation(cfg, machine, |ctx| {
+        let world = ctx.world();
+        let cloned = world.clone(); // before any collective
+        if ctx.rank() == 0 {
+            ctx.barrier(&world);
+            ctx.barrier(&cloned); // same stream: seq 1, not a replay of 0
+        } else {
+            ctx.barrier(&world);
+            ctx.barrier(&world);
+        }
+        ctx.now()
+    });
+    assert_eq!(report.rank_times[0], report.rank_times[1]);
 }
 
 #[test]

@@ -28,6 +28,7 @@ struct Args {
     profile_out: Option<std::path::PathBuf>,
     faults: Option<f64>,
     retries: usize,
+    backend: BackendKind,
 }
 
 fn usage() -> ! {
@@ -37,7 +38,8 @@ fn usage() -> ! {
          \x20                 [--epsilon E=0.25] [--smoke] [--reps N=1]\n\
          \x20                 [--allocation A=0] [--extrapolate] [--no-overhead] [--profile] [--json]\n\
          \x20                 [--checkpoint-dir DIR] [--resume] [--warm-start FILE]\n\
-         \x20                 [--profile-out FILE] [--faults PANIC_PROB] [--retries N=2]"
+         \x20                 [--profile-out FILE] [--faults PANIC_PROB] [--retries N=2]\n\
+         \x20                 [--backend <threads|tasks>]"
     );
     std::process::exit(2)
 }
@@ -60,6 +62,7 @@ fn parse_args() -> Args {
         profile_out: None,
         faults: None,
         retries: 2,
+        backend: BackendKind::default(),
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -128,6 +131,10 @@ fn parse_args() -> Args {
                 i += 1;
                 args.retries = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--backend" => {
+                i += 1;
+                args.backend = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -178,7 +185,7 @@ fn print_json(report: &critter::autotune::TuningReport) {
 fn main() {
     let args = parse_args();
     let workloads = if args.smoke { args.space.smoke() } else { args.space.bench() };
-    let mut opts = TuningOptions::new(args.policy, args.epsilon);
+    let mut opts = TuningOptions::new(args.policy, args.epsilon).with_backend(args.backend);
     opts.reset_between_configs = args.space.resets_between_configs();
     opts.reps = args.reps;
     opts.allocation = args.allocation;
@@ -258,12 +265,12 @@ fn main() {
         // clean profile.
         let w = &workloads[best];
         let machine = MachineModel::stampede2(w.ranks(), 7, args.allocation).shared();
-        let rep =
-            critter::sim::run_simulation(critter::sim::SimConfig::new(w.ranks()), machine, |ctx| {
-                let mut env = CritterEnv::new(ctx, CritterConfig::full(), KernelStore::new());
-                w.run(&mut env, false);
-                env.finish().0
-            });
+        let cfg = critter::sim::SimConfig::new(w.ranks()).with_backend(args.backend);
+        let rep = critter::sim::run_simulation(cfg, machine, |ctx| {
+            let mut env = CritterEnv::new(ctx, CritterConfig::full(), KernelStore::new());
+            w.run(&mut env, false);
+            env.finish().0
+        });
         let winner = rep
             .outputs
             .iter()

@@ -56,5 +56,7 @@ pub mod prelude {
     };
     pub use critter_machine::{KernelClass, MachineModel, MachineParams, NoiseParams};
     pub use critter_session::{SessionConfig, StalenessPolicy};
-    pub use critter_sim::{run_simulation, Communicator, FaultPlan, RankCtx, ReduceOp, SimConfig};
+    pub use critter_sim::{
+        run_simulation, BackendKind, Communicator, FaultPlan, RankCtx, ReduceOp, SimConfig,
+    };
 }
