@@ -201,24 +201,6 @@ impl TuningOptions {
         self
     }
 
-    /// Persist kernel models across configurations (Capital protocol).
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `with_persist_models(true)` — part of the unified `with_*` builder surface"
-    )]
-    pub fn persist_models(self) -> Self {
-        self.with_persist_models(true)
-    }
-
-    /// Use the small test machine parameters (unit tests).
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `with_test_machine()` — part of the unified `with_*` builder surface"
-    )]
-    pub fn test_machine(self) -> Self {
-        self.with_test_machine()
-    }
-
     /// Set the reference-run worker count (clamped to at least 1).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
@@ -295,6 +277,28 @@ pub struct TuningReport {
     pub obs: Option<ObsReport>,
 }
 
+/// Live progress of a session sweep, reported to the tuner's progress hook
+/// after every committed `(config, rep)` unit (see
+/// [`Autotuner::with_progress`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepProgress {
+    /// Completed `(config, rep)` units, including units restored from a
+    /// checkpoint on resume (a resumed sweep's first report starts from the
+    /// restored count, not zero).
+    pub units_done: usize,
+    /// Total units the sweep will run: `configurations × reps`.
+    pub units_total: usize,
+}
+
+/// Observer invoked by [`Autotuner::tune_session`] after every committed
+/// unit. Returning `false` stops the sweep at that unit boundary with
+/// [`critter_core::CritterError::Cancelled`]; everything committed so far is
+/// already checkpointed, so a later session resumes exactly where the hook
+/// stopped it. The hook is observational only — it runs after the unit's
+/// results (and checkpoint) are finalized, so it can never perturb report
+/// bytes.
+pub type ProgressHook = Arc<dyn Fn(SweepProgress) -> bool + Send + Sync>;
+
 /// The exhaustive-search autotuner.
 pub struct Autotuner {
     opts: TuningOptions,
@@ -303,12 +307,30 @@ pub struct Autotuner {
     /// hint: capacity never affects recorded contents, so reports stay
     /// bit-identical across schedules.
     obs_capacity: AtomicUsize,
+    /// Per-unit progress observer for session sweeps (`None` = silent).
+    progress: Option<ProgressHook>,
 }
 
 impl Autotuner {
     /// Create a tuner with the given options.
     pub fn new(opts: TuningOptions) -> Self {
-        Autotuner { opts, obs_capacity: AtomicUsize::new(0) }
+        Autotuner { opts, obs_capacity: AtomicUsize::new(0), progress: None }
+    }
+
+    /// Install a progress hook: called with a [`SweepProgress`] snapshot
+    /// after every `(config, rep)` unit [`Autotuner::tune_session`] commits
+    /// (and once up front with the restored count when a checkpoint is
+    /// resumed). Returning `false` cancels the sweep at that boundary —
+    /// `tune_session` then returns [`critter_core::CritterError::Cancelled`]
+    /// and a later session resumes from the last checkpoint. Only session
+    /// sweeps report progress; the parallel [`Autotuner::tune`] schedule
+    /// does not.
+    pub fn with_progress(
+        mut self,
+        hook: impl Fn(SweepProgress) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(Arc::new(hook));
+        self
     }
 
     /// The options in force.
@@ -770,6 +792,19 @@ impl Autotuner {
         let run_index = |cfg_idx: usize, rep: usize, kind: usize| -> u64 {
             base.wrapping_add(((cfg_idx * reps + rep) * 3 + kind) as u64)
         };
+        let units_total = workloads.len() * reps;
+        // Report a committed unit count to the progress hook; a `false`
+        // return cancels the sweep at this (already checkpointed) boundary.
+        let notify = |units_done: usize| -> critter_core::Result<()> {
+            match &self.progress {
+                Some(hook) if !hook(SweepProgress { units_done, units_total }) => {
+                    Err(critter_core::CritterError::cancelled(format!(
+                        "progress hook stopped the sweep at unit {units_done}/{units_total}"
+                    )))
+                }
+                _ => Ok(()),
+            }
+        };
 
         let fingerprint = self.fingerprint(workloads);
         if let Some(dir) = &session.checkpoint_dir {
@@ -858,6 +893,7 @@ impl Autotuner {
                 log.record(EventKind::WarmStart, &path.display().to_string(), models as f64)?;
             }
         }
+        notify(units_done)?;
 
         let keep = !self.opts.reset_between_configs;
         for (cfg_idx, w) in workloads.iter().enumerate() {
@@ -962,6 +998,7 @@ impl Autotuner {
                         }
                     }
                 }
+                notify(units_done)?;
             }
             if quarantined {
                 // Abandon the configuration: drop the partial repetition,
@@ -993,6 +1030,7 @@ impl Autotuner {
                         log.record(EventKind::Checkpoint, &name, units_done as f64)?;
                     }
                 }
+                notify(units_done)?;
             }
         }
 
@@ -1075,18 +1113,36 @@ mod tests {
         assert_eq!(stores.len(), 2, "sweep state must stay consistent after a failed run");
     }
 
-    /// The pre-0.6 builder names must keep compiling (and behaving) behind
-    /// their deprecation shims for one release cycle.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_builder_shims_still_work() {
-        let old = TuningOptions::new(ExecutionPolicy::Full, 0.1).persist_models().test_machine();
-        let new = TuningOptions::new(ExecutionPolicy::Full, 0.1)
-            .with_persist_models(true)
-            .with_test_machine();
-        assert_eq!(old.reset_between_configs, new.reset_between_configs);
-        assert!(!old.reset_between_configs);
-        assert_eq!(old.params, new.params);
+    fn progress_hook_sees_every_unit_and_can_cancel() {
+        let w = crate::TuningSpace::SlateCholesky.smoke();
+        let opts = TuningOptions::new(ExecutionPolicy::LocalPropagation, 0.25)
+            .with_test_machine()
+            .with_reps(2);
+        let total = w.len() * 2;
+        let seen: Arc<Mutex<Vec<SweepProgress>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let report = Autotuner::new(opts.clone())
+            .with_progress(move |p| {
+                sink.lock().push(p);
+                true
+            })
+            .tune_session(&w, &SessionConfig::new())
+            .unwrap();
+        let seen = seen.lock();
+        // One up-front call plus one per committed unit, ending complete.
+        assert_eq!(seen.len(), total + 1);
+        assert_eq!(seen.first(), Some(&SweepProgress { units_done: 0, units_total: total }));
+        assert_eq!(seen.last(), Some(&SweepProgress { units_done: total, units_total: total }));
+        // The hook is observational: the report matches a silent sweep's.
+        assert_eq!(report, Autotuner::new(opts.clone()).tune(&w));
+
+        // Returning false stops the sweep with the typed Cancelled error.
+        let err = Autotuner::new(opts)
+            .with_progress(|p| p.units_done < 3)
+            .tune_session(&w, &SessionConfig::new())
+            .unwrap_err();
+        assert!(err.is_cancelled(), "expected Cancelled, got {err}");
     }
 
     #[test]

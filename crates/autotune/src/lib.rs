@@ -23,6 +23,8 @@ pub mod search;
 pub mod spaces;
 
 pub use critter_session::{SessionConfig, StalenessPolicy};
-pub use driver::{Autotuner, ConfigResult, RunRecord, TuningOptions, TuningReport};
+pub use driver::{
+    Autotuner, ConfigResult, ProgressHook, RunRecord, SweepProgress, TuningOptions, TuningReport,
+};
 pub use search::{search, SearchOutcome, SearchStrategy};
 pub use spaces::TuningSpace;

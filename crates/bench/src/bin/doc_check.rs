@@ -1,0 +1,162 @@
+//! Doc-drift gate: the CLI flag tables in `README.md` must match the
+//! binaries' actual `--help` output.
+//!
+//! For every block
+//!
+//! ```text
+//! <!-- begin doc-check critter-tune -->
+//! | `--space NAME` | … |
+//! <!-- end doc-check -->
+//! ```
+//!
+//! this tool runs the named sibling binary with `--help`, extracts the set
+//! of `--flag` tokens from its output, extracts the same from the README
+//! block, and fails (exit 1) on any difference — a flag added to a binary
+//! but not documented, or documented but since removed. CI runs it after
+//! `cargo build --release --bins`, so the README can never drift from the
+//! shipped interfaces.
+//!
+//! ```text
+//! cargo build --release --bins && cargo run --release -p critter-bench --bin doc_check
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Flags every binary has implicitly; not required in the tables.
+const IGNORED: [&str; 2] = ["--help", "-h"];
+
+fn flag_set(text: &str) -> BTreeSet<String> {
+    let mut flags = BTreeSet::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // A flag is `--` followed by a lowercase word (not preceded by
+        // another dash) — this skips markdown table rules like `---`.
+        let starts_flag = bytes[i] == b'-'
+            && (i == 0 || bytes[i - 1] != b'-')
+            && i + 2 < bytes.len()
+            && bytes[i + 1] == b'-'
+            && bytes[i + 2].is_ascii_lowercase();
+        if starts_flag {
+            let start = i;
+            i += 2;
+            while i < bytes.len() && (bytes[i].is_ascii_lowercase() || bytes[i] == b'-') {
+                i += 1;
+            }
+            let flag = &text[start..i];
+            if !IGNORED.contains(&flag) {
+                flags.insert(flag.to_string());
+            }
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+/// `--help` output (stdout + stderr; exit codes are irrelevant, the
+/// hand-rolled parsers exit 2 after printing usage).
+fn help_output(bin_dir: &Path, name: &str) -> Result<String, String> {
+    let path = bin_dir.join(name);
+    if !path.is_file() {
+        return Err(format!(
+            "binary `{}` not found; build it first: cargo build --release --bins",
+            path.display()
+        ));
+    }
+    let output = Command::new(&path)
+        .arg("--help")
+        .output()
+        .map_err(|e| format!("running {} --help: {e}", path.display()))?;
+    Ok(format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    ))
+}
+
+/// Extract `(binary name, block text)` for every doc-check block.
+fn readme_blocks(readme: &str) -> Result<Vec<(String, String)>, String> {
+    let mut blocks = Vec::new();
+    let mut lines = readme.lines();
+    while let Some(line) = lines.next() {
+        let trimmed = line.trim();
+        let Some(rest) = trimmed.strip_prefix("<!-- begin doc-check ") else {
+            continue;
+        };
+        let Some(name) = rest.strip_suffix(" -->") else {
+            return Err(format!("malformed doc-check marker: `{trimmed}`"));
+        };
+        let mut body = String::new();
+        loop {
+            match lines.next() {
+                Some(l) if l.trim() == "<!-- end doc-check -->" => break,
+                Some(l) => {
+                    body.push_str(l);
+                    body.push('\n');
+                }
+                None => return Err(format!("unterminated doc-check block for `{name}`")),
+            }
+        }
+        blocks.push((name.to_string(), body));
+    }
+    if blocks.is_empty() {
+        return Err("README.md contains no doc-check blocks".into());
+    }
+    Ok(blocks)
+}
+
+fn main() {
+    let bin_dir = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("binary has a parent dir")
+        .to_path_buf();
+    // CARGO_MANIFEST_DIR is crates/bench; the README lives two levels up.
+    let readme_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../README.md");
+    let readme = std::fs::read_to_string(&readme_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", readme_path.display()));
+
+    let blocks = match readme_blocks(&readme) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("doc_check: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut drifted = false;
+    for (name, body) in &blocks {
+        let help = match help_output(&bin_dir, name) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("doc_check: {e}");
+                drifted = true;
+                continue;
+            }
+        };
+        let documented = flag_set(body);
+        let actual = flag_set(&help);
+        let missing: Vec<&String> = actual.difference(&documented).collect();
+        let stale: Vec<&String> = documented.difference(&actual).collect();
+        if missing.is_empty() && stale.is_empty() {
+            println!("doc_check: {name}: {} flags in sync", actual.len());
+            continue;
+        }
+        drifted = true;
+        for flag in missing {
+            eprintln!("doc_check: {name}: `{flag}` exists in --help but is missing from README.md");
+        }
+        for flag in stale {
+            eprintln!("doc_check: {name}: README.md documents `{flag}` but --help does not");
+        }
+    }
+    if drifted {
+        eprintln!(
+            "doc_check: README.md CLI tables drifted; update the doc-check blocks to match --help"
+        );
+        std::process::exit(1);
+    }
+}

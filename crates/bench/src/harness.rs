@@ -57,7 +57,7 @@ fn warmed_up(a: Duration, b: Duration) -> bool {
 /// A single warm-up run is not enough for cold cases: the second call may
 /// still pay pool-spawn, allocator-growth, or lazy-initialization costs and
 /// pollute `min`. Warm-up therefore repeats until two consecutive runs agree
-/// within tolerance, capped at [`WARMUP_CAP`] runs.
+/// within tolerance, capped at `WARMUP_CAP` runs.
 pub fn time(mut f: impl FnMut(), iters: usize) -> Timing {
     assert!(iters > 0, "at least one iteration");
     let mut prev: Option<Duration> = None;

@@ -177,6 +177,17 @@ impl FigOpts {
                     opts.backend =
                         args[i].parse().unwrap_or_else(|e| panic!("--backend threads|tasks: {e}"));
                 }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "figure-driver flags:\n\
+                         \x20 [--quick] [--allocations N=1] [--reps N=1] [--out DIR=results]\n\
+                         \x20 [--jobs N] [--trace-out FILE] [--folded-out FILE] [--metrics-out FILE]\n\
+                         \x20 [--checkpoint-dir DIR] [--resume] [--warm-start FILE]\n\
+                         \x20 [--profile-out DIR] [--faults PANIC_PROB] [--fault-seed N=0xFA17]\n\
+                         \x20 [--retries N=2] [--backend <threads|tasks>]"
+                    );
+                    std::process::exit(2)
+                }
                 other => panic!("unknown flag {other}"),
             }
             i += 1;

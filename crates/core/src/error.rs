@@ -66,6 +66,13 @@ pub enum CritterError {
         /// Human-readable description of the disagreement.
         detail: String,
     },
+    /// The sweep was stopped on purpose by its progress hook (see
+    /// `Autotuner::with_progress`): not a failure — completed units are
+    /// checkpointed and the sweep resumes from where it stopped.
+    Cancelled {
+        /// What asked for the stop.
+        detail: String,
+    },
 }
 
 impl CritterError {
@@ -88,6 +95,18 @@ impl CritterError {
     pub fn mismatch(detail: impl Into<String>) -> Self {
         CritterError::Mismatch { detail: detail.into() }
     }
+
+    /// A deliberate [`Cancelled`](Self::Cancelled) stop.
+    pub fn cancelled(detail: impl Into<String>) -> Self {
+        CritterError::Cancelled { detail: detail.into() }
+    }
+
+    /// True for a deliberate [`Cancelled`](Self::Cancelled) stop, so callers
+    /// can distinguish "asked to stop" from real failures without matching
+    /// on the (non-exhaustive) enum.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, CritterError::Cancelled { .. })
+    }
 }
 
 impl fmt::Display for CritterError {
@@ -104,6 +123,9 @@ impl fmt::Display for CritterError {
             }
             CritterError::Mismatch { detail } => {
                 write!(f, "checkpoint/profile mismatch: {detail}")
+            }
+            CritterError::Cancelled { detail } => {
+                write!(f, "sweep cancelled: {detail}")
             }
         }
     }
@@ -132,6 +154,10 @@ mod tests {
         assert!(e.to_string().contains("missing key"));
         let e = CritterError::mismatch("epsilon 0.25 vs 0.5");
         assert!(e.to_string().contains("epsilon"));
+        let e = CritterError::cancelled("DELETE /v1/jobs/job-000001");
+        assert!(e.is_cancelled());
+        assert!(!CritterError::mismatch("d").is_cancelled());
+        assert!(e.to_string().contains("cancelled"));
     }
 
     #[test]

@@ -246,15 +246,6 @@ impl CritterConfig {
         self
     }
 
-    /// Turn internal-message charging off.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `with_internal_charging(false)` — part of the unified `with_*` builder surface"
-    )]
-    pub fn without_overhead(self) -> Self {
-        self.with_internal_charging(false)
-    }
-
     /// Use log2 message-size buckets (granularity ablation).
     pub fn with_log2_sizes(mut self) -> Self {
         self.granularity = SizeGranularity::Log2;
@@ -291,13 +282,6 @@ mod tests {
         assert_eq!(c.min_samples, 2);
         assert!(c.charge_internal);
         assert!(!c.with_internal_charging(false).charge_internal);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_builder_shims_still_work() {
-        let c = CritterConfig::new(ExecutionPolicy::OnlinePropagation, 0.25).without_overhead();
-        assert!(!c.charge_internal);
     }
 
     #[test]

@@ -1,0 +1,624 @@
+//! The wire-level job specification and its strict JSON codec.
+//!
+//! A [`JobSpec`] is the body of `POST /v1/jobs`. It maps one-to-one onto
+//! the [`TuningOptions`] builder surface that `critter-tune` exposes as
+//! CLI flags, so a job submitted over HTTP runs *exactly* the sweep the
+//! CLI would run with the equivalent flags — the CI smoke job `cmp`s the
+//! two reports byte for byte.
+//!
+//! Parsing is strict: unknown fields, wrong types, unknown space/policy
+//! names, and out-of-range probabilities are all typed 400s, never
+//! silently ignored. The parsed spec re-serializes canonically
+//! ([`JobSpec::to_json`]) so the daemon can persist `spec.json` in the
+//! job directory and reload it verbatim after a restart.
+
+use critter_autotune::{TuningOptions, TuningSpace};
+use critter_core::ExecutionPolicy;
+use critter_session::StalenessPolicy;
+use critter_sim::{BackendKind, FaultPlan};
+use serde_json::Value;
+
+use crate::error::ServeError;
+
+/// CLI-style short policy names, in the order `critter-tune --help` lists
+/// them.
+pub const POLICY_NAMES: [(&str, ExecutionPolicy); 6] = [
+    ("conditional", ExecutionPolicy::ConditionalExecution),
+    ("local", ExecutionPolicy::LocalPropagation),
+    ("online", ExecutionPolicy::OnlinePropagation),
+    ("apriori", ExecutionPolicy::APrioriPropagation),
+    ("eager", ExecutionPolicy::EagerPropagation),
+    ("full", ExecutionPolicy::Full),
+];
+
+/// Fields accepted in a job spec; anything else is a 400.
+const SPEC_FIELDS: [&str; 20] = [
+    "space",
+    "policy",
+    "epsilon",
+    "smoke",
+    "reps",
+    "allocation",
+    "seed",
+    "machine",
+    "extrapolate",
+    "charge_internal",
+    "observe",
+    "backend",
+    "shards",
+    "persist_models",
+    "retries",
+    "faults",
+    "warm_start",
+    "staleness",
+    "profile",
+    "label",
+];
+
+/// Fields accepted in the `faults` sub-object.
+const FAULT_FIELDS: [&str; 6] =
+    ["seed", "panic_prob", "delay_prob", "max_delay", "drop_prob", "retransmit_timeout"];
+
+/// Fields accepted in the `staleness` sub-object.
+const STALENESS_FIELDS: [&str; 2] = ["decay", "variance_inflation"];
+
+/// Staleness knobs for a warm-started job, mirroring
+/// [`StalenessPolicy`]'s builder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StalenessSpec {
+    /// Sample-count decay factor in `(0, 1]`.
+    pub decay: f64,
+    /// Variance inflation factor `>= 1`.
+    pub variance_inflation: f64,
+}
+
+/// A validated tuning-job specification.
+///
+/// Every field has the same default as the corresponding `critter-tune`
+/// flag, so `{"space": "slate-cholesky", "policy": "local"}` is a complete
+/// spec and runs the same sweep as
+/// `critter-tune --space slate-cholesky --policy local`.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Tuning space (`"slate-cholesky"`, …). Required.
+    pub space: TuningSpace,
+    /// Selective-execution policy by CLI short name. Required.
+    pub policy: ExecutionPolicy,
+    /// Confidence tolerance ε (default `0.25`).
+    pub epsilon: f64,
+    /// Use the reduced smoke space instead of the full benchmark space.
+    pub smoke: bool,
+    /// Repetitions per configuration (default `1`).
+    pub reps: usize,
+    /// Node-allocation id (default `0`).
+    pub allocation: u64,
+    /// Base noise seed (default `0xC0FFEE`).
+    pub seed: u64,
+    /// `"stampede2-knl"` (default) or `"test"` machine parameters.
+    pub test_machine: bool,
+    /// Enable §VIII input-size extrapolation.
+    pub extrapolate: bool,
+    /// Charge Critter's internal piggyback messages (default `true`).
+    pub charge_internal: bool,
+    /// Record an observability trace; required for the `metrics` artifact.
+    pub observe: bool,
+    /// Communicator backend (`"threads"` default, or `"tasks"`).
+    pub backend: BackendKind,
+    /// Matching-core shard count (`0` = auto).
+    pub shards: usize,
+    /// Override the space's model-persistence protocol (default: the
+    /// paper's per-space protocol).
+    pub persist_models: Option<bool>,
+    /// Retry budget per run when faults are armed (default `2`).
+    pub retries: usize,
+    /// Deterministic fault-injection plan.
+    pub faults: Option<FaultPlan>,
+    /// Inline warm-start profile document (the bytes a previous job's
+    /// `GET …/profile` returned), seeded before the sweep.
+    pub warm_start: Option<Value>,
+    /// Staleness discounting for the warm-start profile.
+    pub staleness: Option<StalenessSpec>,
+    /// Write a kernel-model profile artifact when the job finishes.
+    pub profile: bool,
+    /// Free-form client label echoed in status responses.
+    pub label: Option<String>,
+}
+
+impl JobSpec {
+    /// Parse and validate a spec from a JSON document.
+    pub fn from_json(text: &str) -> Result<JobSpec, ServeError> {
+        let doc: Value = serde_json::from_str(text)
+            .map_err(|e| ServeError::BadRequest(format!("body is not valid JSON: {e}")))?;
+        let map = doc
+            .as_object()
+            .ok_or_else(|| ServeError::BadRequest("job spec must be a JSON object".into()))?;
+        check_fields(map, &SPEC_FIELDS, "job spec")?;
+
+        let space_name = require_str(map, "space")?;
+        let space =
+            TuningSpace::ALL.iter().copied().find(|s| s.name() == space_name).ok_or_else(|| {
+                let known: Vec<&str> = TuningSpace::ALL.iter().map(|s| s.name()).collect();
+                ServeError::BadRequest(format!(
+                    "unknown space `{space_name}` (one of: {})",
+                    known.join(", ")
+                ))
+            })?;
+        let policy_name = require_str(map, "policy")?;
+        let policy =
+            POLICY_NAMES.iter().find(|(n, _)| *n == policy_name).map(|(_, p)| *p).ok_or_else(
+                || {
+                    let known: Vec<&str> = POLICY_NAMES.iter().map(|(n, _)| *n).collect();
+                    ServeError::BadRequest(format!(
+                        "unknown policy `{policy_name}` (one of: {})",
+                        known.join(", ")
+                    ))
+                },
+            )?;
+
+        let epsilon = opt_f64(map, "epsilon")?.unwrap_or(0.25);
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(ServeError::BadRequest(format!(
+                "field `epsilon` must be a positive finite number, got {epsilon}"
+            )));
+        }
+        let reps = opt_u64(map, "reps")?.unwrap_or(1);
+        if reps == 0 {
+            return Err(ServeError::BadRequest("field `reps` must be at least 1".into()));
+        }
+
+        let machine = opt_str(map, "machine")?.unwrap_or("stampede2-knl");
+        let test_machine = match machine {
+            "stampede2-knl" => false,
+            "test" => true,
+            other => {
+                return Err(ServeError::BadRequest(format!(
+                    "unknown machine `{other}` (one of: stampede2-knl, test)"
+                )))
+            }
+        };
+        let backend = match opt_str(map, "backend")?.unwrap_or("threads") {
+            "threads" => BackendKind::Threads,
+            "tasks" => BackendKind::Tasks,
+            other => {
+                return Err(ServeError::BadRequest(format!(
+                    "unknown backend `{other}` (one of: threads, tasks)"
+                )))
+            }
+        };
+
+        let faults = match map.get("faults") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(parse_faults(v)?),
+        };
+        let staleness = match map.get("staleness") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(parse_staleness(v)?),
+        };
+        let warm_start = match map.get("warm_start") {
+            None | Some(Value::Null) => None,
+            Some(v) => {
+                if v.as_object().is_none() {
+                    return Err(ServeError::BadRequest(
+                        "field `warm_start` must be a profile JSON object".into(),
+                    ));
+                }
+                Some(v.clone())
+            }
+        };
+        if staleness.is_some() && warm_start.is_none() {
+            return Err(ServeError::BadRequest(
+                "field `staleness` requires a `warm_start` profile to discount".into(),
+            ));
+        }
+
+        let spec = JobSpec {
+            space,
+            policy,
+            epsilon,
+            smoke: opt_bool(map, "smoke")?.unwrap_or(false),
+            reps: reps as usize,
+            allocation: opt_u64(map, "allocation")?.unwrap_or(0),
+            seed: opt_u64(map, "seed")?.unwrap_or(0xC0FFEE),
+            test_machine,
+            extrapolate: opt_bool(map, "extrapolate")?.unwrap_or(false),
+            charge_internal: opt_bool(map, "charge_internal")?.unwrap_or(true),
+            observe: opt_bool(map, "observe")?.unwrap_or(false),
+            backend,
+            shards: opt_u64(map, "shards")?.unwrap_or(0) as usize,
+            persist_models: opt_bool(map, "persist_models")?,
+            retries: opt_u64(map, "retries")?.unwrap_or(2) as usize,
+            faults,
+            warm_start,
+            staleness,
+            profile: opt_bool(map, "profile")?.unwrap_or(false),
+            label: opt_str(map, "label")?.map(str::to_string),
+        };
+        if spec.warm_start.is_some() && spec.resets_between_configs() {
+            return Err(ServeError::BadRequest(format!(
+                "warm_start requires persistent kernel models, but space `{}` resets \
+                 statistics between configurations; set \"persist_models\": true",
+                spec.space.name()
+            )));
+        }
+        if spec.profile && spec.resets_between_configs() {
+            return Err(ServeError::BadRequest(format!(
+                "profile capture requires persistent kernel models, but space `{}` resets \
+                 statistics between configurations; set \"persist_models\": true",
+                spec.space.name()
+            )));
+        }
+        Ok(spec)
+    }
+
+    /// Whether this job resets kernel statistics between configurations
+    /// (the space's paper protocol unless `persist_models` overrides it).
+    pub fn resets_between_configs(&self) -> bool {
+        match self.persist_models {
+            Some(persist) => !persist,
+            None => self.space.resets_between_configs(),
+        }
+    }
+
+    /// CLI short name of the policy.
+    pub fn policy_name(&self) -> &'static str {
+        POLICY_NAMES
+            .iter()
+            .find(|(_, p)| *p == self.policy)
+            .map(|(n, _)| *n)
+            .expect("every policy has a short name")
+    }
+
+    /// Re-serialize canonically (sorted keys, defaults made explicit,
+    /// trailing newline) for persistence as the job directory's
+    /// `spec.json`. `from_json(to_json())` round-trips to an identical
+    /// spec.
+    pub fn to_json(&self) -> String {
+        let mut doc = serde_json::json!({
+            "allocation": self.allocation,
+            "backend": self.backend.to_string(),
+            "charge_internal": self.charge_internal,
+            "epsilon": self.epsilon,
+            "extrapolate": self.extrapolate,
+            "machine": if self.test_machine { "test" } else { "stampede2-knl" },
+            "observe": self.observe,
+            "policy": self.policy_name(),
+            "profile": self.profile,
+            "reps": self.reps,
+            "retries": self.retries,
+            "seed": self.seed,
+            "shards": self.shards,
+            "smoke": self.smoke,
+            "space": self.space.name(),
+        });
+        let map = doc.as_object_mut().expect("doc is an object");
+        if let Some(persist) = self.persist_models {
+            map.insert("persist_models".into(), Value::Bool(persist));
+        }
+        if let Some(label) = &self.label {
+            map.insert("label".into(), Value::String(label.clone()));
+        }
+        if let Some(f) = &self.faults {
+            map.insert(
+                "faults".into(),
+                serde_json::json!({
+                    "seed": f.seed,
+                    "panic_prob": f.panic_prob,
+                    "delay_prob": f.delay_prob,
+                    "max_delay": f.max_delay,
+                    "drop_prob": f.drop_prob,
+                    "retransmit_timeout": f.retransmit_timeout,
+                }),
+            );
+        }
+        if let Some(s) = &self.staleness {
+            map.insert(
+                "staleness".into(),
+                serde_json::json!({
+                    "decay": s.decay,
+                    "variance_inflation": s.variance_inflation,
+                }),
+            );
+        }
+        if let Some(w) = &self.warm_start {
+            map.insert("warm_start".into(), w.clone());
+        }
+        let mut s = serde_json::to_string_pretty(&doc).expect("json writer is total");
+        s.push('\n');
+        s
+    }
+
+    /// The [`TuningOptions`] this spec maps onto — the same builder chain
+    /// `critter-tune` assembles from the equivalent flags.
+    pub fn options(&self) -> TuningOptions {
+        let mut opts = TuningOptions::new(self.policy, self.epsilon)
+            .with_backend(self.backend)
+            .with_shards(self.shards)
+            .with_reps(self.reps)
+            .with_seed(self.seed)
+            .with_allocation(self.allocation)
+            .with_internal_charging(self.charge_internal)
+            .with_retries(self.retries);
+        opts.extrapolate = self.extrapolate;
+        if let Some(persist) = self.persist_models {
+            opts = opts.with_persist_models(persist);
+        } else {
+            opts.reset_between_configs = self.space.resets_between_configs();
+        }
+        if self.test_machine {
+            opts = opts.with_test_machine();
+        }
+        if self.observe {
+            opts = opts.with_observe();
+        }
+        if let Some(f) = self.faults {
+            opts = opts.with_faults(f);
+        }
+        opts
+    }
+
+    /// The staleness policy for the warm-start profile (fresh when the
+    /// spec sets none).
+    pub fn staleness_policy(&self) -> StalenessPolicy {
+        match self.staleness {
+            Some(s) => StalenessPolicy::fresh()
+                .with_decay(s.decay)
+                .with_variance_inflation(s.variance_inflation),
+            None => StalenessPolicy::fresh(),
+        }
+    }
+
+    /// The configuration space this job sweeps.
+    pub fn workloads(&self) -> Vec<std::sync::Arc<dyn critter_algs::Workload>> {
+        if self.smoke {
+            self.space.smoke()
+        } else {
+            self.space.bench()
+        }
+    }
+
+    /// Total `(configuration, repetition)` units in the sweep — the
+    /// denominator of the job's progress counter.
+    pub fn units_total(&self) -> usize {
+        self.workloads().len() * self.reps
+    }
+}
+
+fn parse_faults(v: &Value) -> Result<FaultPlan, ServeError> {
+    let map = v
+        .as_object()
+        .ok_or_else(|| ServeError::BadRequest("field `faults` must be a JSON object".into()))?;
+    check_fields(map, &FAULT_FIELDS, "faults")?;
+    let mut plan = FaultPlan::new(opt_u64(map, "seed")?.unwrap_or(0xFA17));
+    plan.panic_prob = opt_f64(map, "panic_prob")?.unwrap_or(0.0);
+    plan.delay_prob = opt_f64(map, "delay_prob")?.unwrap_or(0.0);
+    plan.max_delay = opt_f64(map, "max_delay")?.unwrap_or(0.0);
+    plan.drop_prob = opt_f64(map, "drop_prob")?.unwrap_or(0.0);
+    plan.retransmit_timeout = opt_f64(map, "retransmit_timeout")?.unwrap_or(0.0);
+    for (name, p) in [
+        ("panic_prob", plan.panic_prob),
+        ("delay_prob", plan.delay_prob),
+        ("drop_prob", plan.drop_prob),
+    ] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(ServeError::BadRequest(format!(
+                "faults field `{name}` must be a probability in [0, 1], got {p}"
+            )));
+        }
+    }
+    for (name, x) in
+        [("max_delay", plan.max_delay), ("retransmit_timeout", plan.retransmit_timeout)]
+    {
+        if !x.is_finite() || x < 0.0 {
+            return Err(ServeError::BadRequest(format!(
+                "faults field `{name}` must be a non-negative finite number, got {x}"
+            )));
+        }
+    }
+    Ok(plan)
+}
+
+fn parse_staleness(v: &Value) -> Result<StalenessSpec, ServeError> {
+    let map = v
+        .as_object()
+        .ok_or_else(|| ServeError::BadRequest("field `staleness` must be a JSON object".into()))?;
+    check_fields(map, &STALENESS_FIELDS, "staleness")?;
+    let spec = StalenessSpec {
+        decay: opt_f64(map, "decay")?.unwrap_or(1.0),
+        variance_inflation: opt_f64(map, "variance_inflation")?.unwrap_or(1.0),
+    };
+    if !(spec.decay > 0.0 && spec.decay <= 1.0) {
+        return Err(ServeError::BadRequest(format!(
+            "staleness field `decay` must be in (0, 1], got {}",
+            spec.decay
+        )));
+    }
+    if !(spec.variance_inflation >= 1.0 && spec.variance_inflation.is_finite()) {
+        return Err(ServeError::BadRequest(format!(
+            "staleness field `variance_inflation` must be >= 1, got {}",
+            spec.variance_inflation
+        )));
+    }
+    Ok(spec)
+}
+
+fn check_fields(map: &serde_json::Map, allowed: &[&str], what: &str) -> Result<(), ServeError> {
+    for (key, _) in map.iter() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ServeError::BadRequest(format!(
+                "unknown {what} field `{key}` (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn require_str<'m>(map: &'m serde_json::Map, key: &str) -> Result<&'m str, ServeError> {
+    match map.get(key) {
+        None | Some(Value::Null) => {
+            Err(ServeError::BadRequest(format!("missing required field `{key}`")))
+        }
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| ServeError::BadRequest(format!("field `{key}` must be a string"))),
+    }
+}
+
+fn opt_str<'m>(map: &'m serde_json::Map, key: &str) -> Result<Option<&'m str>, ServeError> {
+    match map.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| ServeError::BadRequest(format!("field `{key}` must be a string"))),
+    }
+}
+
+fn opt_bool(map: &serde_json::Map, key: &str) -> Result<Option<bool>, ServeError> {
+    match map.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| ServeError::BadRequest(format!("field `{key}` must be a boolean"))),
+    }
+}
+
+fn opt_u64(map: &serde_json::Map, key: &str) -> Result<Option<u64>, ServeError> {
+    match map.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            ServeError::BadRequest(format!("field `{key}` must be an unsigned integer"))
+        }),
+    }
+}
+
+fn opt_f64(map: &serde_json::Map, key: &str) -> Result<Option<f64>, ServeError> {
+    match map.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| ServeError::BadRequest(format!("field `{key}` must be a number"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_spec_gets_cli_defaults() {
+        let spec = JobSpec::from_json(r#"{"space": "slate-cholesky", "policy": "local"}"#).unwrap();
+        assert_eq!(spec.space, TuningSpace::SlateCholesky);
+        assert_eq!(spec.policy, ExecutionPolicy::LocalPropagation);
+        assert_eq!(spec.epsilon, 0.25);
+        assert_eq!(spec.reps, 1);
+        assert_eq!(spec.seed, 0xC0FFEE);
+        assert!(spec.charge_internal);
+        assert!(!spec.smoke && !spec.observe && !spec.test_machine);
+        let opts = spec.options();
+        assert_eq!(opts.seed, 0xC0FFEE);
+        assert!(opts.reset_between_configs);
+    }
+
+    #[test]
+    fn to_json_round_trips_every_field() {
+        let text = r#"{
+            "space": "capital-cholesky", "policy": "online", "epsilon": 0.5,
+            "smoke": true, "reps": 3, "seed": 7, "allocation": 1,
+            "machine": "test", "observe": true, "backend": "tasks",
+            "shards": 2, "retries": 1, "label": "nightly",
+            "faults": {"panic_prob": 0.1},
+            "profile": true
+        }"#;
+        let spec = JobSpec::from_json(text).unwrap();
+        let canon = spec.to_json();
+        let spec2 = JobSpec::from_json(&canon).unwrap();
+        assert_eq!(canon, spec2.to_json());
+        assert_eq!(spec2.label.as_deref(), Some("nightly"));
+        assert_eq!(spec2.faults.unwrap().panic_prob, 0.1);
+        assert_eq!(spec2.faults.unwrap().seed, 0xFA17);
+        assert!(spec2.test_machine);
+    }
+
+    #[test]
+    fn unknown_and_mistyped_fields_are_400s() {
+        let cases = [
+            (r#"{"space": "slate-cholesky"}"#, "missing required field `policy`"),
+            (r#"{"policy": "local"}"#, "missing required field `space`"),
+            (r#"{"space": "nope", "policy": "local"}"#, "unknown space"),
+            (r#"{"space": "slate-cholesky", "policy": "nope"}"#, "unknown policy"),
+            (
+                r#"{"space": "slate-cholesky", "policy": "local", "bogus": 1}"#,
+                "unknown job spec field `bogus`",
+            ),
+            (
+                r#"{"space": "slate-cholesky", "policy": "local", "reps": "three"}"#,
+                "unsigned integer",
+            ),
+            (r#"{"space": "slate-cholesky", "policy": "local", "reps": 0}"#, "at least 1"),
+            (r#"{"space": "slate-cholesky", "policy": "local", "epsilon": -1}"#, "positive"),
+            (
+                r#"{"space": "slate-cholesky", "policy": "local", "machine": "cray"}"#,
+                "unknown machine",
+            ),
+            (
+                r#"{"space": "slate-cholesky", "policy": "local", "faults": {"panic_prob": 2}}"#,
+                "probability",
+            ),
+            (
+                r#"{"space": "slate-cholesky", "policy": "local", "faults": {"oops": 1}}"#,
+                "unknown faults field",
+            ),
+            (
+                r#"{"space": "slate-cholesky", "policy": "local", "staleness": {"decay": 0.5}}"#,
+                "requires a `warm_start`",
+            ),
+            (
+                r#"{"space": "slate-cholesky", "policy": "local", "warm_start": {}}"#,
+                "persistent kernel models",
+            ),
+            (
+                r#"{"space": "slate-cholesky", "policy": "local", "profile": true}"#,
+                "persistent kernel models",
+            ),
+            ("[1, 2]", "must be a JSON object"),
+            ("not json", "not valid JSON"),
+        ];
+        for (text, needle) in cases {
+            let err = JobSpec::from_json(text).unwrap_err();
+            assert_eq!(err.status(), 400, "case {text} should be a 400, got {err}");
+            assert!(
+                err.detail().contains(needle),
+                "case {text}: expected `{needle}` in `{}`",
+                err.detail()
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_with_persistence_is_accepted() {
+        let spec = JobSpec::from_json(
+            r#"{"space": "slate-cholesky", "policy": "local",
+                "persist_models": true, "warm_start": {"fingerprint": 1, "stores": []},
+                "staleness": {"decay": 0.5, "variance_inflation": 2.0}}"#,
+        )
+        .unwrap();
+        assert!(!spec.resets_between_configs());
+        assert!(spec.warm_start.is_some());
+        let policy = spec.staleness_policy();
+        assert!(!policy.is_fresh());
+        let canon = spec.to_json();
+        assert_eq!(JobSpec::from_json(&canon).unwrap().to_json(), canon);
+    }
+
+    #[test]
+    fn units_total_counts_configs_times_reps() {
+        let spec = JobSpec::from_json(
+            r#"{"space": "slate-cholesky", "policy": "local", "smoke": true, "reps": 3}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.units_total(), spec.workloads().len() * 3);
+    }
+}

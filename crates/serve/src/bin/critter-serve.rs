@@ -1,0 +1,77 @@
+//! Tuning-as-a-service daemon. See `docs/SERVICE.md` for the API.
+//!
+//! ```text
+//! critter-serve --addr 127.0.0.1:8787 --data-dir critter-serve-data
+//! curl -s -X POST localhost:8787/v1/jobs \
+//!      -d '{"space": "slate-cholesky", "policy": "local", "smoke": true}'
+//! ```
+
+use std::path::PathBuf;
+
+use critter_serve::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: critter-serve [--addr HOST:PORT=127.0.0.1:8787]\n\
+         \x20                    [--data-dir DIR=critter-serve-data]\n\
+         \x20                    [--job-workers N=2] [--http-workers N=4]\n\
+         \x20                    [--queue-capacity N=64]\n\
+         \n\
+         Tuning-as-a-service daemon over the critter session engine.\n\
+         Binds HOST:PORT (port 0 picks an ephemeral port), writes the bound\n\
+         address to DIR/addr, and keeps one directory per job under DIR.\n\
+         On restart it recovers every job found there and resumes\n\
+         unfinished sweeps from their checkpoints. API reference:\n\
+         docs/SERVICE.md."
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServerConfig::new(PathBuf::from("critter-serve-data"));
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--addr" => config.addr = take(&mut i),
+            "--data-dir" => config.data_dir = PathBuf::from(take(&mut i)),
+            "--job-workers" => {
+                config.job_workers = take(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--http-workers" => {
+                config.http_workers = take(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--queue-capacity" => {
+                config.queue_capacity = take(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let data_dir = config.data_dir.clone();
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("critter-serve: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "critter-serve listening on http://{} (data dir: {})",
+        server.addr(),
+        data_dir.display()
+    );
+
+    // Crash-only daemon: no signal choreography, just park forever. The
+    // durable state is the data directory; recovery on the next start is
+    // the shutdown path.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,128 @@
+//! Typed service errors and their HTTP mapping.
+//!
+//! Every handler returns `Result<Response, ServeError>`; the router turns a
+//! [`ServeError`] into a JSON error body with a stable machine-readable
+//! `code` plus a human-readable `detail`. Client mistakes (bad JSON, unknown
+//! fields, unknown jobs, wrong state) are always 4xx — a malformed request
+//! can never produce a 5xx or a panic (asserted by the testkit's
+//! malformed-request table test).
+
+use std::fmt;
+
+/// A service-level error, one variant per HTTP failure class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// 400 — the request body is not valid JSON, has the wrong shape, or
+    /// names an unknown space/policy/field.
+    BadRequest(String),
+    /// 404 — no such job, endpoint, or artifact.
+    NotFound(String),
+    /// 405 — the path exists but not under this method.
+    MethodNotAllowed(String),
+    /// 409 — the job exists but is in the wrong state for the request
+    /// (e.g. fetching the report of a still-running job).
+    Conflict(String),
+    /// 413 — the request body exceeds the service's size cap.
+    PayloadTooLarge(String),
+    /// 429 — the job queue is full (bounded backpressure); retry later.
+    Backpressure(String),
+    /// 500 — the daemon itself failed (disk errors, handler panics).
+    Internal(String),
+}
+
+impl ServeError {
+    /// The HTTP status code this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::NotFound(_) => 404,
+            ServeError::MethodNotAllowed(_) => 405,
+            ServeError::Conflict(_) => 409,
+            ServeError::PayloadTooLarge(_) => 413,
+            ServeError::Backpressure(_) => 429,
+            ServeError::Internal(_) => 500,
+        }
+    }
+
+    /// Stable machine-readable error code (the `error.code` body field).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::NotFound(_) => "not_found",
+            ServeError::MethodNotAllowed(_) => "method_not_allowed",
+            ServeError::Conflict(_) => "conflict",
+            ServeError::PayloadTooLarge(_) => "payload_too_large",
+            ServeError::Backpressure(_) => "backpressure",
+            ServeError::Internal(_) => "internal",
+        }
+    }
+
+    /// The human-readable detail text.
+    pub fn detail(&self) -> &str {
+        match self {
+            ServeError::BadRequest(d)
+            | ServeError::NotFound(d)
+            | ServeError::MethodNotAllowed(d)
+            | ServeError::Conflict(d)
+            | ServeError::PayloadTooLarge(d)
+            | ServeError::Backpressure(d)
+            | ServeError::Internal(d) => d,
+        }
+    }
+
+    /// The canonical JSON error body (sorted keys, trailing newline):
+    /// `{"error": {"code": ..., "detail": ...}}`.
+    pub fn to_body(&self) -> String {
+        let inner = serde_json::json!({ "code": self.code(), "detail": self.detail() });
+        let v = serde_json::json!({ "error": inner });
+        let mut s = serde_json::to_string_pretty(&v).expect("json writer is total");
+        s.push('\n');
+        s
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}): {}", self.status(), self.code(), self.detail())
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<critter_core::CritterError> for ServeError {
+    fn from(e: critter_core::CritterError) -> Self {
+        ServeError::Internal(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_maps_to_its_class() {
+        let cases = [
+            (ServeError::BadRequest("x".into()), 400, "bad_request"),
+            (ServeError::NotFound("x".into()), 404, "not_found"),
+            (ServeError::MethodNotAllowed("x".into()), 405, "method_not_allowed"),
+            (ServeError::Conflict("x".into()), 409, "conflict"),
+            (ServeError::PayloadTooLarge("x".into()), 413, "payload_too_large"),
+            (ServeError::Backpressure("x".into()), 429, "backpressure"),
+            (ServeError::Internal("x".into()), 500, "internal"),
+        ];
+        for (e, status, code) in cases {
+            assert_eq!(e.status(), status);
+            assert_eq!(e.code(), code);
+            assert!(e.to_body().contains(code));
+            assert!(e.to_body().ends_with('\n'));
+            assert!(e.to_string().contains(code));
+        }
+    }
+
+    #[test]
+    fn critter_errors_become_internal() {
+        let e: ServeError = critter_core::CritterError::mismatch("fingerprint").into();
+        assert_eq!(e.status(), 500);
+        assert!(e.detail().contains("fingerprint"));
+    }
+}

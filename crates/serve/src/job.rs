@@ -1,0 +1,421 @@
+//! The job registry: state machine, on-disk layout, and status rendering.
+//!
+//! Every job owns one directory under the daemon's data dir:
+//!
+//! ```text
+//! <data-dir>/job-000001/
+//!   spec.json        canonical JobSpec (written at submit, reloaded on restart)
+//!   warm-start.json  inline warm-start profile, when the spec carries one
+//!   checkpoint.json  session-engine checkpoint (while running)
+//!   session.log      session-engine unit log
+//!   report.json      canonical TuningReport bytes (terminal: done)
+//!   metrics.txt      observability metrics, when the spec observes
+//!   profile.json     kernel-model profile, when the spec requests one
+//!   error.json       failure record (terminal: failed)
+//!   cancelled.json   cancellation marker (terminal: cancelled)
+//! ```
+//!
+//! The state machine is `queued → running → done | failed | cancelled`,
+//! and terminal states are exactly the presence of a terminal artifact —
+//! which is why a killed daemon can rebuild its registry by re-listing the
+//! job directories: jobs with no terminal artifact re-enter the queue and
+//! the session engine resumes them from their checkpoint.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde_json::Value;
+
+use crate::api::JobSpec;
+use crate::error::ServeError;
+
+/// Lifecycle states of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and waiting for a job worker.
+    Queued,
+    /// A worker is sweeping (or resuming) it.
+    Running,
+    /// Finished; `report.json` is served verbatim.
+    Done,
+    /// The sweep returned an error; see `error.json`.
+    Failed,
+    /// Cancelled via `DELETE /v1/jobs/{id}` at a checkpointed unit
+    /// boundary — resubmitting the same spec would resume, but the daemon
+    /// keeps the directory as a record instead.
+    Cancelled,
+}
+
+impl JobState {
+    /// Wire name (the `state` field of status responses).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the state is terminal.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+}
+
+/// In-memory record of one job (the durable truth lives in its directory).
+#[derive(Debug, Clone)]
+pub struct JobEntry {
+    /// The validated spec.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Committed `(configuration, repetition)` units.
+    pub units_done: usize,
+    /// Total units in the sweep.
+    pub units_total: usize,
+    /// Failure detail, for `Failed` jobs.
+    pub error: Option<String>,
+    /// Set by `DELETE`; the progress hook observes it at unit boundaries.
+    pub cancel: Arc<AtomicBool>,
+}
+
+/// The daemon's job table, backed by the data directory.
+pub struct Registry {
+    data_dir: PathBuf,
+    jobs: Mutex<BTreeMap<String, JobEntry>>,
+    next_id: AtomicU64,
+}
+
+impl Registry {
+    /// Open (or create) `data_dir`, rebuilding the registry from the job
+    /// directories found there. Returns the registry plus the ids of jobs
+    /// with no terminal artifact, in submission order — the caller
+    /// re-enqueues them and the session engine resumes each from its
+    /// checkpoint.
+    pub fn open(data_dir: &Path) -> std::io::Result<(Registry, Vec<String>)> {
+        std::fs::create_dir_all(data_dir)?;
+        let mut jobs = BTreeMap::new();
+        let mut pending = Vec::new();
+        let mut max_seq = 0u64;
+        let mut entries: Vec<PathBuf> =
+            std::fs::read_dir(data_dir)?.filter_map(|e| Some(e.ok()?.path())).collect();
+        entries.sort();
+        for dir in entries {
+            let Some(id) = dir.file_name().and_then(|n| n.to_str()).map(str::to_string) else {
+                continue;
+            };
+            let Some(seq) = id.strip_prefix("job-").and_then(|s| s.parse::<u64>().ok()) else {
+                continue;
+            };
+            let spec_text = match std::fs::read_to_string(dir.join("spec.json")) {
+                Ok(t) => t,
+                Err(_) => continue, // a partially created directory; ignore it
+            };
+            let spec = match JobSpec::from_json(&spec_text) {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            max_seq = max_seq.max(seq);
+            let units_total = spec.units_total();
+            let (state, units_done, error) = if dir.join("report.json").is_file() {
+                (JobState::Done, units_total, None)
+            } else if dir.join("cancelled.json").is_file() {
+                (JobState::Cancelled, 0, None)
+            } else if dir.join("error.json").is_file() {
+                let detail = std::fs::read_to_string(dir.join("error.json"))
+                    .ok()
+                    .and_then(|t| serde_json::from_str(&t).ok())
+                    .and_then(|v| v.get("error")?.get("detail")?.as_str().map(str::to_string))
+                    .unwrap_or_else(|| "unreadable error record".into());
+                (JobState::Failed, 0, Some(detail))
+            } else {
+                pending.push(id.clone());
+                (JobState::Queued, 0, None)
+            };
+            jobs.insert(
+                id,
+                JobEntry {
+                    spec,
+                    state,
+                    units_done,
+                    units_total,
+                    error,
+                    cancel: Arc::new(AtomicBool::new(false)),
+                },
+            );
+        }
+        let registry = Registry {
+            data_dir: data_dir.to_path_buf(),
+            jobs: Mutex::new(jobs),
+            next_id: AtomicU64::new(max_seq + 1),
+        };
+        Ok((registry, pending))
+    }
+
+    /// The directory owned by `id`.
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        self.data_dir.join(id)
+    }
+
+    /// Create a job: allocate an id, write the directory with `spec.json`
+    /// (and `warm-start.json` when the spec carries an inline profile),
+    /// and register it as queued.
+    pub fn create(&self, spec: JobSpec) -> Result<String, ServeError> {
+        let id = format!("job-{:06}", self.next_id.fetch_add(1, Ordering::SeqCst));
+        let dir = self.job_dir(&id);
+        let write = |name: &str, bytes: &str| -> Result<(), ServeError> {
+            std::fs::write(dir.join(name), bytes)
+                .map_err(|e| ServeError::Internal(format!("writing {name} for {id}: {e}")))
+        };
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| ServeError::Internal(format!("creating job dir for {id}: {e}")))?;
+        if let Some(w) = &spec.warm_start {
+            let mut text = serde_json::to_string_pretty(w).expect("json writer is total");
+            text.push('\n');
+            write("warm-start.json", &text)?;
+        }
+        write("spec.json", &spec.to_json())?;
+        let units_total = spec.units_total();
+        self.jobs.lock().insert(
+            id.clone(),
+            JobEntry {
+                spec,
+                state: JobState::Queued,
+                units_done: 0,
+                units_total,
+                error: None,
+                cancel: Arc::new(AtomicBool::new(false)),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Roll back a [`Registry::create`] whose enqueue hit backpressure:
+    /// forget the job and remove its directory.
+    pub fn discard(&self, id: &str) {
+        self.jobs.lock().remove(id);
+        let _ = std::fs::remove_dir_all(self.job_dir(id));
+    }
+
+    /// Snapshot one job's entry.
+    pub fn get(&self, id: &str) -> Result<JobEntry, ServeError> {
+        self.jobs
+            .lock()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| ServeError::NotFound(format!("no such job `{id}`")))
+    }
+
+    /// All job ids in submission order.
+    pub fn ids(&self) -> Vec<String> {
+        self.jobs.lock().keys().cloned().collect()
+    }
+
+    /// Count of jobs per state, for `/v1/healthz`.
+    pub fn state_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for state in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+        ] {
+            counts.insert(state.name(), 0);
+        }
+        for entry in self.jobs.lock().values() {
+            *counts.get_mut(entry.state.name()).expect("all states seeded") += 1;
+        }
+        counts
+    }
+
+    /// Transition `id` to `state` (with an error detail for failures).
+    pub fn set_state(&self, id: &str, state: JobState, error: Option<String>) {
+        if let Some(entry) = self.jobs.lock().get_mut(id) {
+            entry.state = state;
+            if state == JobState::Done {
+                entry.units_done = entry.units_total;
+            }
+            entry.error = error;
+        }
+    }
+
+    /// Record committed progress for `id`.
+    pub fn set_progress(&self, id: &str, units_done: usize) {
+        if let Some(entry) = self.jobs.lock().get_mut(id) {
+            entry.units_done = units_done;
+        }
+    }
+
+    /// Request cancellation of a queued or running job. The flag is
+    /// observed at the next committed unit boundary, so cancellation is
+    /// always checkpoint-consistent.
+    pub fn cancel(&self, id: &str) -> Result<(), ServeError> {
+        let jobs = self.jobs.lock();
+        let entry =
+            jobs.get(id).ok_or_else(|| ServeError::NotFound(format!("no such job `{id}`")))?;
+        if entry.state.is_terminal() {
+            return Err(ServeError::Conflict(format!(
+                "job `{id}` is already {}",
+                entry.state.name()
+            )));
+        }
+        entry.cancel.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// The canonical status document for `id` (the `GET /v1/jobs/{id}`
+    /// body): id, state, progress, the canonical spec, and a failure
+    /// detail when failed.
+    pub fn status_json(&self, id: &str) -> Result<String, ServeError> {
+        let entry = self.get(id)?;
+        Ok(render_status(id, &entry))
+    }
+
+    /// The list document for `GET /v1/jobs`: every job's id and state in
+    /// submission order.
+    pub fn list_json(&self) -> String {
+        let jobs = self.jobs.lock();
+        let items: Vec<Value> = jobs
+            .iter()
+            .map(|(id, entry)| {
+                let progress = serde_json::json!({
+                    "units_done": entry.units_done,
+                    "units_total": entry.units_total,
+                });
+                serde_json::json!({
+                    "id": id.as_str(),
+                    "state": entry.state.name(),
+                    "progress": progress,
+                })
+            })
+            .collect();
+        let items = Value::Array(items);
+        let mut s = serde_json::to_string_pretty(&serde_json::json!({ "jobs": items }))
+            .expect("json writer is total");
+        s.push('\n');
+        s
+    }
+}
+
+fn render_status(id: &str, entry: &JobEntry) -> String {
+    let spec_doc: Value =
+        serde_json::from_str(&entry.spec.to_json()).expect("canonical spec parses");
+    let progress = serde_json::json!({
+        "units_done": entry.units_done,
+        "units_total": entry.units_total,
+    });
+    let mut doc = serde_json::json!({
+        "id": id,
+        "state": entry.state.name(),
+        "progress": progress,
+        "spec": spec_doc,
+    });
+    let map = doc.as_object_mut().expect("doc is an object");
+    if let Some(detail) = &entry.error {
+        map.insert(
+            "error".into(),
+            serde_json::json!({ "code": "sweep_failed", "detail": detail.as_str() }),
+        );
+    }
+    let mut s = serde_json::to_string_pretty(&doc).expect("json writer is total");
+    s.push('\n');
+    s
+}
+
+/// Atomically write a terminal artifact: write to a temp name in the same
+/// directory, then rename over the target. A daemon killed mid-write can
+/// never leave a truncated `report.json` that would misclassify the job
+/// as done on restart.
+pub fn write_artifact(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, dir.join(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("critter-serve-job-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec::from_json(
+            r#"{"space": "slate-cholesky", "policy": "local", "smoke": true, "machine": "test"}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_then_reopen_requeues_unfinished_jobs() {
+        let dir = temp_dir("reopen");
+        let (registry, pending) = Registry::open(&dir).unwrap();
+        assert!(pending.is_empty());
+        let a = registry.create(spec()).unwrap();
+        let b = registry.create(spec()).unwrap();
+        assert_eq!((a.as_str(), b.as_str()), ("job-000001", "job-000002"));
+
+        // Finish `a` with a report artifact, leave `b` unfinished.
+        write_artifact(&registry.job_dir(&a), "report.json", b"{}\n").unwrap();
+        drop(registry);
+
+        let (reopened, pending) = Registry::open(&dir).unwrap();
+        assert_eq!(pending, vec![b.clone()]);
+        assert_eq!(reopened.get(&a).unwrap().state, JobState::Done);
+        assert_eq!(reopened.get(&b).unwrap().state, JobState::Queued);
+        // New ids continue after the highest recovered sequence number.
+        assert_eq!(reopened.create(spec()).unwrap(), "job-000003");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cancel_rules_and_status_document() {
+        let dir = temp_dir("cancel");
+        let (registry, _) = Registry::open(&dir).unwrap();
+        let id = registry.create(spec()).unwrap();
+        assert!(registry.cancel(&id).is_ok());
+        assert!(registry.get(&id).unwrap().cancel.load(Ordering::SeqCst));
+
+        registry.set_state(&id, JobState::Done, None);
+        let err = registry.cancel(&id).unwrap_err();
+        assert_eq!(err.status(), 409);
+        assert_eq!(registry.cancel("job-999999").unwrap_err().status(), 404);
+
+        let status = registry.status_json(&id).unwrap();
+        let doc: Value = serde_json::from_str(&status).unwrap();
+        assert_eq!(doc.get("state").unwrap().as_str(), Some("done"));
+        assert_eq!(doc.get("spec").unwrap().get("space").unwrap().as_str(), Some("slate-cholesky"));
+        let progress = doc.get("progress").unwrap();
+        assert_eq!(
+            progress.get("units_done").unwrap().as_u64(),
+            progress.get("units_total").unwrap().as_u64()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_jobs_recover_their_error_detail() {
+        let dir = temp_dir("failed");
+        let (registry, _) = Registry::open(&dir).unwrap();
+        let id = registry.create(spec()).unwrap();
+        let body = ServeError::Internal("disk full".into()).to_body();
+        write_artifact(&registry.job_dir(&id), "error.json", body.as_bytes()).unwrap();
+        drop(registry);
+        let (reopened, pending) = Registry::open(&dir).unwrap();
+        assert!(pending.is_empty());
+        let entry = reopened.get(&id).unwrap();
+        assert_eq!(entry.state, JobState::Failed);
+        assert_eq!(entry.error.as_deref(), Some("disk full"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

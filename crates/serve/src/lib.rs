@@ -1,0 +1,43 @@
+//! Tuning-as-a-service: a long-running HTTP/JSON daemon over the critter
+//! session engine.
+//!
+//! `critter-serve` accepts tuning jobs over HTTP, runs each through
+//! [`Autotuner::tune_session`](critter_autotune::Autotuner::tune_session)
+//! with a per-job checkpoint directory, and serves the resulting canonical
+//! [`TuningReport`](critter_autotune::TuningReport) bytes — byte-identical
+//! to what `critter-tune --report-out` writes for the equivalent flags
+//! (the CI service smoke job `cmp`s the two).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism end to end.** A job spec plus its seed fully determines
+//!    the report. The daemon adds no nondeterminism: artifacts are written
+//!    once, atomically, and served verbatim.
+//! 2. **Crash-only lifecycle.** The durable truth is the job directory,
+//!    not daemon memory. `kill -9` the daemon mid-sweep, restart it, and
+//!    recovery re-lists the directories, re-enqueues unfinished jobs, and
+//!    the session engine resumes each from its checkpoint — the final
+//!    report is byte-identical to an uninterrupted run (the kill/restart
+//!    oracle asserts exactly this).
+//! 3. **No new dependencies.** The HTTP layer is hand-rolled over
+//!    [`std::net::TcpListener`]: one request per connection, JSON bodies,
+//!    defensive size caps and timeouts. See [`http`].
+//!
+//! The full API reference with request/response schemas, the job state
+//! machine, the error-code table, and a curl walkthrough lives in
+//! `docs/SERVICE.md`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod error;
+pub mod http;
+pub mod job;
+pub mod scheduler;
+pub mod server;
+
+pub use api::JobSpec;
+pub use error::ServeError;
+pub use job::{JobState, Registry};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,183 @@
+//! The job worker pool: a bounded queue feeding sweeps into the session
+//! engine.
+//!
+//! Submissions go through [`Scheduler::enqueue`], which applies
+//! backpressure — a full queue is a typed 429, never an unbounded buffer.
+//! Restart recovery uses [`Scheduler::enqueue_blocking`] instead, so a
+//! daemon with more recovered jobs than queue slots simply drains them in
+//! order.
+//!
+//! Each worker runs one job at a time through
+//! [`Autotuner::tune_session`] with the job directory as its checkpoint
+//! dir. Progress flows back through the autotuner's progress hook, which
+//! also observes the job's cancel flag — cancellation therefore lands
+//! exactly on a committed unit boundary and the checkpoint stays
+//! consistent. Concurrent sweeps share simulator thread pools through the
+//! sim crate's global pool-lease registry; nothing here needs to manage
+//! that.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use critter_autotune::{Autotuner, SessionConfig};
+use parking_lot::Mutex;
+
+use crate::error::ServeError;
+use crate::job::{write_artifact, JobState, Registry};
+
+/// The bounded job queue plus its worker threads.
+pub struct Scheduler {
+    tx: SyncSender<String>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Spawn `job_workers` workers over a queue of `queue_capacity` slots.
+    pub fn start(registry: Arc<Registry>, job_workers: usize, queue_capacity: usize) -> Scheduler {
+        let (tx, rx) = sync_channel::<String>(queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..job_workers.max(1))
+            .map(|i| {
+                let registry = registry.clone();
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("critter-serve-job-{i}"))
+                    .spawn(move || worker_loop(&registry, &rx))
+                    .expect("spawning a job worker")
+            })
+            .collect();
+        Scheduler { tx, handles }
+    }
+
+    /// Enqueue a submitted job; a full queue is a 429.
+    pub fn enqueue(&self, id: String) -> Result<(), ServeError> {
+        match self.tx.try_send(id) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(id)) => Err(ServeError::Backpressure(format!(
+                "job queue is full; job `{id}` rejected, retry later"
+            ))),
+            Err(TrySendError::Disconnected(_)) => {
+                Err(ServeError::Internal("job workers have shut down".into()))
+            }
+        }
+    }
+
+    /// Enqueue a recovered job at startup, waiting for a queue slot
+    /// instead of rejecting.
+    pub fn enqueue_blocking(&self, id: String) -> Result<(), ServeError> {
+        self.tx.send(id).map_err(|_| ServeError::Internal("job workers have shut down".into()))
+    }
+
+    /// Close the queue and wait for the workers to finish their current
+    /// jobs.
+    pub fn shutdown(self) {
+        drop(self.tx);
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(registry: &Arc<Registry>, rx: &Arc<Mutex<Receiver<String>>>) {
+    loop {
+        // Take the receiver lock only to dequeue, never while running.
+        let id = match rx.lock().recv() {
+            Ok(id) => id,
+            Err(_) => return, // queue closed: shutdown
+        };
+        // A sweep must never take a worker down with it: a panicking job
+        // is recorded as failed and the worker moves on.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(registry, &id)));
+        if let Err(panic) = outcome {
+            let detail = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "sweep panicked".into());
+            finish(registry, &id, JobState::Failed, Some(detail));
+        }
+    }
+}
+
+/// Run one job end to end: resume-or-start the sweep, then write the
+/// terminal artifact that encodes its final state.
+fn run_job(registry: &Arc<Registry>, id: &str) {
+    let Ok(entry) = registry.get(id) else {
+        return; // discarded between enqueue and dequeue
+    };
+    if entry.cancel.load(Ordering::SeqCst) {
+        finish(registry, id, JobState::Cancelled, None);
+        return;
+    }
+    registry.set_state(id, JobState::Running, None);
+
+    let spec = entry.spec;
+    let dir = registry.job_dir(id);
+    let mut session = SessionConfig::new().with_checkpoint_dir(&dir);
+    if spec.warm_start.is_some() {
+        // The session engine prefers an existing checkpoint over the warm
+        // start, so resumed jobs are unaffected by this.
+        session = session
+            .with_warm_start(dir.join("warm-start.json"))
+            .with_staleness(spec.staleness_policy());
+    }
+    if spec.profile {
+        session = session.with_profile_out(dir.join("profile.json"));
+    }
+
+    let progress_registry = registry.clone();
+    let progress_id = id.to_string();
+    let cancel = entry.cancel.clone();
+    let tuner = Autotuner::new(spec.options()).with_progress(move |p| {
+        progress_registry.set_progress(&progress_id, p.units_done);
+        !cancel.load(Ordering::SeqCst)
+    });
+
+    let workloads = spec.workloads();
+    match tuner.tune_session(&workloads, &session) {
+        Ok(report) => {
+            let write = || -> std::io::Result<()> {
+                write_artifact(&dir, "report.json", report.to_json_string().as_bytes())?;
+                if spec.observe {
+                    let obs = report.obs.as_ref().expect("observed sweeps carry a trace");
+                    write_artifact(&dir, "metrics.txt", obs.metrics_string().as_bytes())?;
+                }
+                Ok(())
+            };
+            match write() {
+                Ok(()) => finish(registry, id, JobState::Done, None),
+                Err(e) => {
+                    finish(registry, id, JobState::Failed, Some(format!("writing artifacts: {e}")))
+                }
+            }
+        }
+        Err(e) if e.is_cancelled() => finish(registry, id, JobState::Cancelled, None),
+        Err(e) => finish(registry, id, JobState::Failed, Some(e.to_string())),
+    }
+}
+
+/// Write the terminal artifact for `state` and update the registry. The
+/// artifact is written first: if the daemon dies in between, restart
+/// recovery reads the state back from the artifact.
+fn finish(registry: &Arc<Registry>, id: &str, state: JobState, error: Option<String>) {
+    let dir = registry.job_dir(id);
+    let write_result = match state {
+        JobState::Cancelled => {
+            let body = "{\n  \"cancelled\": true\n}\n";
+            write_artifact(&dir, "cancelled.json", body.as_bytes())
+        }
+        JobState::Failed => {
+            let detail = error.clone().unwrap_or_else(|| "unknown failure".into());
+            let body = ServeError::Internal(detail).to_body();
+            write_artifact(&dir, "error.json", body.as_bytes())
+        }
+        _ => Ok(()),
+    };
+    if let Err(e) = write_result {
+        eprintln!("critter-serve: recording terminal state of {id}: {e}");
+    }
+    registry.set_state(id, state, error);
+}

@@ -1,0 +1,305 @@
+//! The HTTP front end: accept loop, router, and daemon lifecycle.
+//!
+//! Endpoints (all under `/v1`, documented in `docs/SERVICE.md`):
+//!
+//! | Method   | Path                    | Purpose                                |
+//! |----------|-------------------------|----------------------------------------|
+//! | `GET`    | `/v1/healthz`           | liveness + job-state counts            |
+//! | `GET`    | `/v1/jobs`              | list jobs in submission order          |
+//! | `POST`   | `/v1/jobs`              | submit a job spec (202, or 429 on backpressure) |
+//! | `GET`    | `/v1/jobs/{id}`         | status: state machine + progress       |
+//! | `DELETE` | `/v1/jobs/{id}`         | cancel at the next unit boundary       |
+//! | `GET`    | `/v1/jobs/{id}/report`  | canonical `TuningReport` bytes         |
+//! | `GET`    | `/v1/jobs/{id}/metrics` | observability metrics text             |
+//! | `GET`    | `/v1/jobs/{id}/profile` | kernel-model warm-start profile        |
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::api::JobSpec;
+use crate::error::ServeError;
+use crate::http::{read_request, write_response, Request, Response};
+use crate::job::{JobState, Registry};
+use crate::scheduler::Scheduler;
+
+/// Daemon configuration (the `critter-serve` CLI flags).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port (the chosen address
+    /// is written to `<data_dir>/addr`).
+    pub addr: String,
+    /// Data directory holding one subdirectory per job.
+    pub data_dir: PathBuf,
+    /// Concurrent tuning sweeps.
+    pub job_workers: usize,
+    /// Concurrent HTTP connections.
+    pub http_workers: usize,
+    /// Bounded job-queue depth (beyond it, submissions get 429).
+    pub queue_capacity: usize,
+}
+
+impl ServerConfig {
+    /// Defaults matching `critter-serve --help`.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8787".into(),
+            data_dir: data_dir.into(),
+            job_workers: 2,
+            http_workers: 4,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// A running daemon. Dropping it leaks the threads; call
+/// [`Server::shutdown`] for an orderly stop (tests do; the binary runs
+/// until killed — that's what the kill/restart oracle is for).
+pub struct Server {
+    addr: SocketAddr,
+    registry: Arc<Registry>,
+    stop: Arc<AtomicBool>,
+    accept_handle: JoinHandle<()>,
+    http_handles: Vec<JoinHandle<()>>,
+    scheduler: Arc<Scheduler>,
+}
+
+impl Server {
+    /// Open the registry (recovering any jobs found in the data dir),
+    /// start the worker pools, bind the listener, and write
+    /// `<data_dir>/addr` with the bound address.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let (registry, pending) = Registry::open(&config.data_dir)?;
+        let registry = Arc::new(registry);
+        let scheduler =
+            Arc::new(Scheduler::start(registry.clone(), config.job_workers, config.queue_capacity));
+
+        // Recovered jobs re-enter the queue in submission order. This runs
+        // on its own thread: with more recovered jobs than queue slots the
+        // blocking sends drain as workers pick jobs up, and the daemon
+        // starts serving immediately either way.
+        if !pending.is_empty() {
+            let scheduler = scheduler.clone();
+            std::thread::Builder::new()
+                .name("critter-serve-recover".into())
+                .spawn(move || {
+                    for id in pending {
+                        if scheduler.enqueue_blocking(id).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawning the recovery thread");
+        }
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        std::fs::write(config.data_dir.join("addr"), format!("{addr}\n"))?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let (conn_tx, conn_rx) = sync_channel::<TcpStream>(config.http_workers.max(1) * 2);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let http_handles = (0..config.http_workers.max(1))
+            .map(|i| {
+                let registry = registry.clone();
+                let scheduler = scheduler.clone();
+                let conn_rx = conn_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("critter-serve-http-{i}"))
+                    .spawn(move || http_loop(&registry, &scheduler, &conn_rx))
+                    .expect("spawning an HTTP worker")
+            })
+            .collect();
+        let accept_handle = {
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("critter-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &conn_tx, &stop))
+                .expect("spawning the accept loop")
+        };
+
+        Ok(Server { addr, registry, stop, accept_handle, http_handles, scheduler })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The job registry (the oracle suites inspect it directly).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Orderly stop: close the listener, drain the HTTP workers, and wait
+    /// for job workers to finish their current sweeps.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept_handle.join();
+        for handle in self.http_handles {
+            let _ = handle.join();
+        }
+        if let Ok(scheduler) = Arc::try_unwrap(self.scheduler) {
+            scheduler.shutdown();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, conn_tx: &SyncSender<TcpStream>, stop: &AtomicBool) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return; // drops conn_tx, which drains the HTTP workers
+        }
+        if conn_tx.send(stream).is_err() {
+            return;
+        }
+    }
+}
+
+fn http_loop(
+    registry: &Arc<Registry>,
+    scheduler: &Arc<Scheduler>,
+    conn_rx: &Arc<Mutex<Receiver<TcpStream>>>,
+) {
+    loop {
+        let mut stream = match conn_rx.lock().recv() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let response = match read_request(&mut stream) {
+            Ok(request) => {
+                // Handler panics become 500s, never a dead worker.
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    route(registry, scheduler, &request)
+                }))
+                .unwrap_or_else(|_| Err(ServeError::Internal("handler panicked".into())))
+                .unwrap_or_else(|e| Response::from_error(&e))
+            }
+            Err(e) => Response::from_error(&e),
+        };
+        write_response(&mut stream, &response);
+    }
+}
+
+/// Dispatch one request. Client mistakes surface as typed 4xx responses;
+/// only daemon-side faults map to 500.
+fn route(
+    registry: &Arc<Registry>,
+    scheduler: &Arc<Scheduler>,
+    request: &Request,
+) -> Result<Response, ServeError> {
+    let method = request.method.as_str();
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (method, segments.as_slice()) {
+        ("GET", ["v1", "healthz"]) => Ok(healthz(registry)),
+        (_, ["v1", "healthz"]) => method_not_allowed(method, "GET"),
+
+        ("GET", ["v1", "jobs"]) => Ok(Response::json(200, registry.list_json())),
+        ("POST", ["v1", "jobs"]) => submit(registry, scheduler, request),
+        (_, ["v1", "jobs"]) => method_not_allowed(method, "GET, POST"),
+
+        ("GET", ["v1", "jobs", id]) => Ok(Response::json(200, registry.status_json(id)?)),
+        ("DELETE", ["v1", "jobs", id]) => {
+            registry.cancel(id)?;
+            Ok(Response::json(202, registry.status_json(id)?))
+        }
+        (_, ["v1", "jobs", _]) => method_not_allowed(method, "GET, DELETE"),
+
+        ("GET", ["v1", "jobs", id, "report"]) => artifact(registry, id, "report.json", true),
+        ("GET", ["v1", "jobs", id, "metrics"]) => artifact(registry, id, "metrics.txt", false),
+        ("GET", ["v1", "jobs", id, "profile"]) => artifact(registry, id, "profile.json", true),
+        (_, ["v1", "jobs", _, "report" | "metrics" | "profile"]) => {
+            method_not_allowed(method, "GET")
+        }
+
+        _ => Err(ServeError::NotFound(format!("no such endpoint `{}`", request.path))),
+    }
+}
+
+fn method_not_allowed(method: &str, allowed: &str) -> Result<Response, ServeError> {
+    Err(ServeError::MethodNotAllowed(format!(
+        "method {method} is not supported here (allowed: {allowed})"
+    )))
+}
+
+fn healthz(registry: &Registry) -> Response {
+    let counts = registry.state_counts();
+    let mut jobs = serde_json::Map::new();
+    for (state, n) in counts {
+        jobs.insert(state.to_string(), serde_json::json!(n));
+    }
+    let doc = serde_json::json!({
+        "ok": true,
+        "version": env!("CARGO_PKG_VERSION"),
+        "jobs": serde_json::Value::Object(jobs),
+    });
+    let mut body = serde_json::to_string_pretty(&doc).expect("json writer is total");
+    body.push('\n');
+    Response::json(200, body)
+}
+
+fn submit(
+    registry: &Arc<Registry>,
+    scheduler: &Arc<Scheduler>,
+    request: &Request,
+) -> Result<Response, ServeError> {
+    let spec = JobSpec::from_json(request.body_utf8()?)?;
+    let id = registry.create(spec)?;
+    // Snapshot the status document before handing the job to the workers,
+    // so the response deterministically shows the submit-time state
+    // (`queued`, zero progress) even if a worker dequeues it immediately.
+    let body = registry.status_json(&id)?;
+    if let Err(e) = scheduler.enqueue(id.clone()) {
+        // Backpressure: roll the whole submission back so a rejected job
+        // leaves no trace in the registry or on disk.
+        registry.discard(&id);
+        return Err(e);
+    }
+    Ok(Response::json(202, body))
+}
+
+/// Serve a terminal artifact's bytes verbatim. `json` selects the
+/// content type; the report and profile are canonical JSON documents, the
+/// metrics artifact is plain text.
+fn artifact(
+    registry: &Arc<Registry>,
+    id: &str,
+    name: &str,
+    json: bool,
+) -> Result<Response, ServeError> {
+    let entry = registry.get(id)?;
+    match entry.state {
+        JobState::Done => {}
+        JobState::Failed => {
+            return Err(ServeError::Conflict(format!(
+                "job `{id}` failed: {}",
+                entry.error.as_deref().unwrap_or("unknown failure")
+            )))
+        }
+        state => {
+            return Err(ServeError::Conflict(format!(
+                "job `{id}` is {}; artifacts exist once it is done",
+                state.name()
+            )))
+        }
+    }
+    let path = registry.job_dir(id).join(name);
+    if !path.is_file() {
+        return Err(ServeError::NotFound(format!(
+            "job `{id}` produced no `{name}` (enable the matching spec option)"
+        )));
+    }
+    let bytes = std::fs::read_to_string(&path)
+        .map_err(|e| ServeError::Internal(format!("reading {name} of {id}: {e}")))?;
+    Ok(if json { Response::json(200, bytes) } else { Response::text(200, bytes) })
+}

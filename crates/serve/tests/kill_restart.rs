@@ -1,0 +1,125 @@
+//! The kill/restart oracle: `kill -9` the daemon mid-sweep, restart it,
+//! and the recovered job's report must be byte-identical to an
+//! uninterrupted run of the same spec.
+//!
+//! This is the service-level restatement of the session engine's
+//! checkpoint/resume guarantee, driven end to end through the real
+//! binary, real sockets, and a real SIGKILL — the same choreography the
+//! CI service smoke job performs with curl.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use critter_serve::http::client;
+use critter_serve::JobSpec;
+
+const SPEC: &str = r#"{
+    "space": "slate-cholesky", "policy": "local", "epsilon": 0.25,
+    "smoke": true, "machine": "test", "reps": 24, "seed": 7
+}"#;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("critter-serve-kill-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_daemon(data_dir: &Path) -> Child {
+    // Each start binds an ephemeral port and rewrites `<data>/addr`; the
+    // caller removes the stale file first so polling can't read the old
+    // address.
+    let _ = std::fs::remove_file(data_dir.join("addr"));
+    Command::new(env!("CARGO_BIN_EXE_critter-serve"))
+        .args(["--addr", "127.0.0.1:0", "--job-workers", "1"])
+        .arg("--data-dir")
+        .arg(data_dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawning critter-serve")
+}
+
+fn wait_for_addr(data_dir: &Path) -> SocketAddr {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(data_dir.join("addr")) {
+            if let Ok(addr) = text.trim().parse() {
+                return addr;
+            }
+        }
+        assert!(Instant::now() < deadline, "daemon never wrote its addr file");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn progress_of(addr: SocketAddr, id: &str) -> (String, u64) {
+    let (status, doc) =
+        client::request_json(addr, "GET", &format!("/v1/jobs/{id}"), None).expect("status poll");
+    assert_eq!(status, 200);
+    let state = doc.get("state").unwrap().as_str().unwrap().to_string();
+    let done = doc.get("progress").unwrap().get("units_done").unwrap().as_u64().unwrap();
+    (state, done)
+}
+
+#[test]
+fn sigkill_mid_sweep_then_restart_resumes_to_identical_report() {
+    let data_dir = temp_dir("oracle");
+    std::fs::create_dir_all(&data_dir).unwrap();
+
+    // The uninterrupted truth, computed in-process from the same spec.
+    let spec = JobSpec::from_json(SPEC).expect("test spec parses");
+    let expected =
+        critter_autotune::Autotuner::new(spec.options()).tune(&spec.workloads()).to_json_string();
+
+    let mut daemon = start_daemon(&data_dir);
+    let addr = wait_for_addr(&data_dir);
+    let (status, doc) = client::request_json(addr, "POST", "/v1/jobs", Some(SPEC)).expect("submit");
+    assert_eq!(status, 202, "submit failed: {doc:?}");
+    let id = doc.get("id").unwrap().as_str().unwrap().to_string();
+
+    // Poll tightly and SIGKILL the daemon once at least one unit has been
+    // committed but the sweep is still running.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let killed_mid_sweep = loop {
+        let (state, done) = progress_of(addr, &id);
+        if state == "done" {
+            break false; // sweep outran the poll; recovery is still exercised
+        }
+        assert_ne!(state, "failed", "job failed before the kill");
+        if done >= 1 {
+            break true;
+        }
+        assert!(Instant::now() < deadline, "job made no progress");
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    daemon.kill().expect("SIGKILL");
+    daemon.wait().expect("reaping the killed daemon");
+
+    // Restart over the same data dir: the job is recovered, resumed from
+    // its checkpoint, and finishes as if never interrupted.
+    let mut daemon = start_daemon(&data_dir);
+    let addr = wait_for_addr(&data_dir);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (state, _) = progress_of(addr, &id);
+        if state == "done" {
+            break;
+        }
+        assert_ne!(state, "failed", "resumed job failed");
+        assert!(Instant::now() < deadline, "resumed job never finished");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let (status, report) =
+        client::request(addr, "GET", &format!("/v1/jobs/{id}/report"), None).expect("report");
+    assert_eq!(status, 200);
+    assert_eq!(
+        report, expected,
+        "resumed report differs from an uninterrupted run (killed mid-sweep: {killed_mid_sweep})"
+    );
+
+    daemon.kill().expect("stopping the second daemon");
+    daemon.wait().expect("reaping the second daemon");
+    std::fs::remove_dir_all(&data_dir).unwrap();
+}

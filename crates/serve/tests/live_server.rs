@@ -1,0 +1,99 @@
+//! In-process daemon tests: backpressure and checkpoint-consistent
+//! cancellation against a live ephemeral-port server.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use critter_serve::http::client;
+use critter_serve::{Server, ServerConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("critter-serve-live-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const LONG_JOB: &str = r#"{
+    "space": "slate-cholesky", "policy": "local",
+    "smoke": true, "machine": "test", "reps": 500
+}"#;
+
+#[test]
+fn full_queue_rejects_with_429_and_delete_cancels_at_a_unit_boundary() {
+    let data_dir = temp_dir("backpressure");
+    let mut config = ServerConfig::new(&data_dir);
+    config.addr = "127.0.0.1:0".into();
+    config.job_workers = 1;
+    config.queue_capacity = 1;
+    let server = Server::start(config).expect("server starts");
+    let addr = server.addr();
+
+    // Worker busy on the first job, queue slot held by the second: every
+    // further submission must bounce with a typed 429 and leave no job
+    // directory behind.
+    let (s1, doc1) = client::request_json(addr, "POST", "/v1/jobs", Some(LONG_JOB)).unwrap();
+    let (s2, _doc2) = client::request_json(addr, "POST", "/v1/jobs", Some(LONG_JOB)).unwrap();
+    assert_eq!((s1, s2), (202, 202));
+    let id1 = doc1.get("id").unwrap().as_str().unwrap().to_string();
+    // Wait until the worker has dequeued job 1; job 2 then holds the
+    // single queue slot for the rest of job 1's (long) sweep, so further
+    // submissions must bounce with a typed 429 and leave no trace.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, doc) = client::request_json(addr, "GET", &format!("/v1/jobs/{id1}"), None).unwrap();
+        if doc.get("state").unwrap().as_str() == Some("running") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job 1 never started running");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (s3, doc3) = client::request_json(addr, "POST", "/v1/jobs", Some(LONG_JOB)).unwrap();
+    assert_eq!(s3, 429, "beyond capacity the daemon applies backpressure");
+    assert_eq!(doc3.get("error").unwrap().get("code").unwrap().as_str(), Some("backpressure"));
+
+    // The rejected submission is fully rolled back: its directory is gone
+    // and the daemon still lists exactly two jobs.
+    let (_, list) = client::request_json(addr, "GET", "/v1/jobs", None).unwrap();
+    assert_eq!(list.get("jobs").unwrap().as_array().unwrap().len(), 2);
+
+    // Cancel everything: the running job stops at its next committed unit
+    // boundary, queued jobs never start.
+    for job in list.get("jobs").unwrap().as_array().unwrap() {
+        let id = job.get("id").unwrap().as_str().unwrap();
+        let (s, _) = client::request_json(addr, "DELETE", &format!("/v1/jobs/{id}"), None).unwrap();
+        assert_eq!(s, 202);
+    }
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (_, list) = client::request_json(addr, "GET", "/v1/jobs", None).unwrap();
+        let cancelled = list
+            .get("jobs")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .all(|j| j.get("state").unwrap().as_str() == Some("cancelled"));
+        if cancelled {
+            break;
+        }
+        assert!(Instant::now() < deadline, "cancellation never completed: {list:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Cancelling a cancelled job is a 409, and its report is a 409 too.
+    let (s, doc) = client::request_json(addr, "DELETE", &format!("/v1/jobs/{id1}"), None).unwrap();
+    assert_eq!(s, 409);
+    assert_eq!(doc.get("error").unwrap().get("code").unwrap().as_str(), Some("conflict"));
+    let (s, _) =
+        client::request_json(addr, "GET", &format!("/v1/jobs/{id1}/report"), None).unwrap();
+    assert_eq!(s, 409);
+
+    // Health reflects the final census.
+    let (s, health) = client::request_json(addr, "GET", "/v1/healthz", None).unwrap();
+    assert_eq!(s, 200);
+    assert_eq!(health.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(health.get("jobs").unwrap().get("cancelled").unwrap().as_u64(), Some(2));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&data_dir).unwrap();
+}

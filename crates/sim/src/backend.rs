@@ -91,7 +91,7 @@ pub type RankJob = Box<dyn FnOnce() + Send>;
 /// Completion latch for one simulation run: counts down as rank jobs finish.
 ///
 /// The latch — not the backend — is what makes dispatching borrowed rank
-/// closures sound: [`execute_ranks`] waits on it unconditionally before its
+/// closures sound: `execute_ranks` waits on it unconditionally before its
 /// stack frame (which the jobs borrow) can unwind, so a backend that forgets
 /// to wait, or even leaks a job, can at worst hang the run — never touch
 /// freed memory.

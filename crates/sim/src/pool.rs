@@ -9,7 +9,7 @@
 //! Panic-poisoning and deadlock-timeout semantics are identical to the old
 //! spawn-per-run runner:
 //!
-//! * a panic on any rank poisons the shared [`SimCore`] (waking blocked
+//! * a panic on any rank poisons the shared `SimCore` (waking blocked
 //!   peers, which then panic with a "peer rank panicked" cascade) and is
 //!   re-raised on the calling thread, preferring the root-cause payload
 //!   over cascades;

@@ -18,4 +18,9 @@ fn main() {
     let trace = critter_testkit::golden_trace();
     let path = critter_testkit::golden::bless(critter_testkit::GOLDEN_TRACE_NAME, &trace);
     println!("blessed {}", path.display());
+    let scenario = critter_testkit::serve_oracle::run("bless");
+    for (name, text) in &scenario.docs {
+        let path = critter_testkit::golden::bless(name, text);
+        println!("blessed {}", path.display());
+    }
 }

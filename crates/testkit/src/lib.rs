@@ -146,6 +146,139 @@ pub fn golden_tunes() -> Vec<GoldenTune> {
     ]
 }
 
+/// The golden HTTP scenario behind the `critter-serve` API contract
+/// fixtures (`fixtures/serve-*.json`).
+///
+/// Drives a live in-process daemon on an ephemeral port through a pinned
+/// conversation — submit the [`golden_tunes`] Cholesky sweep as a job,
+/// wait for it, and probe every error class — and captures the response
+/// documents. Everything in the scenario is deterministic (fresh data
+/// dir, so the id is always `job-000001`; pinned spec; submit responses
+/// snapshot the job before it is enqueued), so the captured bytes are a
+/// pure function of the codebase, exactly like the golden reports.
+pub mod serve_oracle {
+    use std::net::SocketAddr;
+    use std::path::PathBuf;
+    use std::time::{Duration, Instant};
+
+    use critter_serve::http::client;
+    use critter_serve::{Server, ServerConfig};
+
+    /// The job spec of the scenario: the same pinned sweep as the
+    /// `cholesky-local-eps25` golden tune, so the report the daemon
+    /// serves must be byte-identical to that committed fixture.
+    pub const GOLDEN_JOB_SPEC: &str = r#"{
+    "space": "slate-cholesky", "policy": "local", "epsilon": 0.25,
+    "smoke": true, "machine": "test"
+}"#;
+
+    /// The captured scenario: fixture documents plus the served report.
+    pub struct ServeScenario {
+        /// `(fixture name, canonical bytes)` pairs for the bless flow.
+        pub docs: Vec<(&'static str, String)>,
+        /// The `GET /v1/jobs/job-000001/report` body, byte-for-byte.
+        pub report: String,
+    }
+
+    fn fresh_data_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("critter-serve-oracle-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Wait until `id` reaches a terminal state; panics on `failed`.
+    pub fn wait_done(addr: SocketAddr, id: &str) {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let (_, doc) = client::request_json(addr, "GET", &format!("/v1/jobs/{id}"), None)
+                .expect("status poll");
+            match doc.get("state").and_then(|s| s.as_str()) {
+                Some("done") => return,
+                Some("failed") => panic!("job {id} failed: {doc:?}"),
+                _ => {}
+            }
+            assert!(Instant::now() < deadline, "job {id} never finished");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// The malformed-request table: every row must map to a typed 4xx —
+    /// never a 5xx, never a connection drop. `(method, path, body)`.
+    pub const MALFORMED_REQUESTS: [(&str, &str, Option<&str>); 10] = [
+        ("POST", "/v1/jobs", Some("not json")),
+        ("POST", "/v1/jobs", Some("[1, 2, 3]")),
+        ("POST", "/v1/jobs", Some(r#"{"space": "slate-cholesky"}"#)),
+        ("POST", "/v1/jobs", Some(r#"{"space": "hypercube", "policy": "local"}"#)),
+        ("POST", "/v1/jobs", Some(r#"{"space": "slate-cholesky", "policy": "local", "bogus": 1}"#)),
+        ("POST", "/v1/jobs", Some(r#"{"space": "slate-cholesky", "policy": "local", "reps": 0}"#)),
+        ("GET", "/v1/jobs/job-999999", None),
+        ("DELETE", "/v1/jobs/job-000001", None), // already done: 409
+        ("PUT", "/v1/jobs", None),
+        ("GET", "/v1/nope", None),
+    ];
+
+    /// Run the scenario against a fresh daemon and capture its documents.
+    pub fn run(tag: &str) -> ServeScenario {
+        let data_dir = fresh_data_dir(tag);
+        let mut config = ServerConfig::new(&data_dir);
+        config.addr = "127.0.0.1:0".into();
+        config.job_workers = 1;
+        let server = Server::start(config).expect("daemon starts");
+        let addr = server.addr();
+
+        let (status, submit_body) =
+            client::request(addr, "POST", "/v1/jobs", Some(GOLDEN_JOB_SPEC)).expect("submit");
+        assert_eq!(status, 202, "submit must be accepted: {submit_body}");
+        wait_done(addr, "job-000001");
+        let (status, status_body) =
+            client::request(addr, "GET", "/v1/jobs/job-000001", None).expect("status");
+        assert_eq!(status, 200);
+        let (status, health_body) =
+            client::request(addr, "GET", "/v1/healthz", None).expect("healthz");
+        assert_eq!(status, 200);
+        let (status, report) =
+            client::request(addr, "GET", "/v1/jobs/job-000001/report", None).expect("report");
+        assert_eq!(status, 200);
+
+        // The error table runs after the job is done so every row's
+        // response is pinned (including the 409 on cancelling a done job).
+        let mut rows = Vec::new();
+        for (method, path, body) in MALFORMED_REQUESTS {
+            let (status, response) =
+                client::request_json(addr, method, path, body).expect("error-table request");
+            assert!(
+                (400..500).contains(&status),
+                "{method} {path} must be a typed 4xx, got {status}"
+            );
+            let row = serde_json::json!({
+                "method": method,
+                "path": path,
+                "request_body": body.unwrap_or(""),
+                "status": status,
+                "response": response,
+            });
+            rows.push(row);
+        }
+        let errors_doc = serde_json::json!({ "cases": serde_json::Value::Array(rows) });
+        let mut errors_body =
+            serde_json::to_string_pretty(&errors_doc).expect("json writer is total");
+        errors_body.push('\n');
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&data_dir);
+        ServeScenario {
+            docs: vec![
+                ("serve-submit", submit_body),
+                ("serve-status-done", status_body),
+                ("serve-healthz", health_body),
+                ("serve-errors", errors_body),
+            ],
+            report,
+        }
+    }
+}
+
 /// Golden-snapshot bookkeeping.
 pub mod golden {
     use std::path::PathBuf;

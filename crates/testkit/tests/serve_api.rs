@@ -1,0 +1,115 @@
+//! HTTP API contract suite for the `critter-serve` daemon.
+//!
+//! Three oracles, all against a live in-process daemon on an ephemeral
+//! port:
+//!
+//! 1. **Golden documents** — the pinned scenario's response bodies
+//!    (submit, status, healthz, and the whole malformed-request table)
+//!    are checked byte-for-byte against committed fixtures under the
+//!    usual bless flow (`CRITTER_BLESS=1` or the `bless` bin).
+//! 2. **CLI equivalence** — the scenario's job is the same pinned sweep
+//!    as the `cholesky-local-eps25` golden tune, so the report the
+//!    daemon serves must be byte-identical to that committed fixture.
+//! 3. **Warm starts over the wire** — a profile captured from one job
+//!    feeds the next job inline, and the warm-started report matches an
+//!    in-process `tune_session` with the same profile exactly.
+
+use std::time::{Duration, Instant};
+
+use critter_autotune::{Autotuner, SessionConfig, StalenessPolicy};
+use critter_serve::http::client;
+use critter_serve::{JobSpec, Server, ServerConfig};
+use critter_testkit::{golden, serve_oracle};
+
+#[test]
+fn golden_serve_documents_and_cli_equivalent_report() {
+    let scenario = serve_oracle::run("contract");
+    for (name, text) in &scenario.docs {
+        golden::check_or_bless(name, text);
+    }
+    // The served report is the same bytes as the golden tune fixture: the
+    // job spec pins the exact sweep `GoldenTune { cholesky-local-eps25 }`
+    // runs, and the daemon serves `TuningReport::to_json_string` output
+    // verbatim.
+    let fixture = golden::fixtures_dir().join("cholesky-local-eps25.json");
+    let committed = std::fs::read_to_string(&fixture)
+        .unwrap_or_else(|e| panic!("missing {} ({e})", fixture.display()));
+    assert_eq!(
+        scenario.report, committed,
+        "the daemon's report must be byte-identical to the golden tune fixture"
+    );
+}
+
+fn wait_done(addr: std::net::SocketAddr, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (_, doc) = client::request_json(addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+        match doc.get("state").and_then(|s| s.as_str()) {
+            Some("done") => return,
+            Some("failed") => panic!("job {id} failed: {doc:?}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn warm_start_profiles_round_trip_over_the_wire() {
+    let data_dir =
+        std::env::temp_dir().join(format!("critter-serve-warmstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let mut config = ServerConfig::new(&data_dir);
+    config.addr = "127.0.0.1:0".into();
+    let server = Server::start(config).expect("daemon starts");
+    let addr = server.addr();
+
+    // Job A captures a kernel-model profile (Capital persists models
+    // between configurations, so no override is needed).
+    let spec_a = r#"{"space": "capital-cholesky", "policy": "local", "epsilon": 0.25,
+                     "smoke": true, "machine": "test", "profile": true}"#;
+    let (status, doc) = client::request_json(addr, "POST", "/v1/jobs", Some(spec_a)).unwrap();
+    assert_eq!(status, 202, "submit A: {doc:?}");
+    let id_a = doc.get("id").unwrap().as_str().unwrap().to_string();
+    wait_done(addr, &id_a);
+    let (status, profile) =
+        client::request(addr, "GET", &format!("/v1/jobs/{id_a}/profile"), None).unwrap();
+    assert_eq!(status, 200, "profile fetch: {profile}");
+
+    // Job B embeds that profile inline, with staleness discounting.
+    let profile_doc: serde_json::Value = serde_json::from_str(&profile).unwrap();
+    let staleness = serde_json::json!({ "decay": 0.5, "variance_inflation": 2.0 });
+    let mut spec_b: serde_json::Value = serde_json::from_str(spec_a).unwrap();
+    let map = spec_b.as_object_mut().unwrap();
+    map.remove("profile");
+    map.insert("warm_start".into(), profile_doc);
+    map.insert("staleness".into(), staleness);
+    let spec_b_text = serde_json::to_string(&spec_b).unwrap();
+    let (status, doc) = client::request_json(addr, "POST", "/v1/jobs", Some(&spec_b_text)).unwrap();
+    assert_eq!(status, 202, "submit B: {doc:?}");
+    let id_b = doc.get("id").unwrap().as_str().unwrap().to_string();
+    wait_done(addr, &id_b);
+    let (status, served) =
+        client::request(addr, "GET", &format!("/v1/jobs/{id_b}/report"), None).unwrap();
+    assert_eq!(status, 200);
+    server.shutdown();
+
+    // Oracle: an in-process warm-started session with the same profile
+    // must produce the identical bytes.
+    let oracle_dir = data_dir.join("oracle");
+    std::fs::create_dir_all(&oracle_dir).unwrap();
+    let warm_path = oracle_dir.join("warm-start.json");
+    std::fs::write(&warm_path, &profile).unwrap();
+    let spec = JobSpec::from_json(&spec_b_text).unwrap();
+    let session = SessionConfig::new()
+        .with_checkpoint_dir(&oracle_dir)
+        .with_warm_start(&warm_path)
+        .with_staleness(StalenessPolicy::fresh().with_decay(0.5).with_variance_inflation(2.0));
+    let expected = Autotuner::new(spec.options())
+        .tune_session(&spec.workloads(), &session)
+        .expect("oracle session")
+        .to_json_string();
+    assert_eq!(served, expected, "warm-started report must match the in-process session");
+
+    std::fs::remove_dir_all(&data_dir).unwrap();
+}

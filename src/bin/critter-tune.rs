@@ -29,6 +29,10 @@ struct Args {
     faults: Option<f64>,
     retries: usize,
     backend: BackendKind,
+    seed: Option<u64>,
+    observe: bool,
+    report_out: Option<std::path::PathBuf>,
+    metrics_out: Option<std::path::PathBuf>,
 }
 
 fn usage() -> ! {
@@ -39,7 +43,8 @@ fn usage() -> ! {
          \x20                 [--allocation A=0] [--extrapolate] [--no-overhead] [--profile] [--json]\n\
          \x20                 [--checkpoint-dir DIR] [--resume] [--warm-start FILE]\n\
          \x20                 [--profile-out FILE] [--faults PANIC_PROB] [--retries N=2]\n\
-         \x20                 [--backend <threads|tasks>]"
+         \x20                 [--backend <threads|tasks>] [--seed N]\n\
+         \x20                 [--observe] [--report-out FILE] [--metrics-out FILE]"
     );
     std::process::exit(2)
 }
@@ -63,6 +68,10 @@ fn parse_args() -> Args {
         faults: None,
         retries: 2,
         backend: BackendKind::default(),
+        seed: None,
+        observe: false,
+        report_out: None,
+        metrics_out: None,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -135,6 +144,20 @@ fn parse_args() -> Args {
                 i += 1;
                 args.backend = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--seed" => {
+                i += 1;
+                args.seed =
+                    Some(argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--observe" => args.observe = true,
+            "--report-out" => {
+                i += 1;
+                args.report_out = Some(argv.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--metrics-out" => {
+                i += 1;
+                args.metrics_out = Some(argv.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -191,6 +214,12 @@ fn main() {
     opts.allocation = args.allocation;
     opts.extrapolate = args.extrapolate;
     opts.charge_internal = !args.no_overhead;
+    if let Some(seed) = args.seed {
+        opts = opts.with_seed(seed);
+    }
+    if args.observe || args.metrics_out.is_some() {
+        opts = opts.with_observe();
+    }
     if let Some(p) = args.faults {
         opts =
             opts.with_faults(FaultPlan::new(0xFA17).with_rank_panics(p)).with_retries(args.retries);
@@ -227,6 +256,24 @@ fn main() {
         Autotuner::new(opts).tune(&workloads)
     };
     eprintln!("done in {:.1?} host time\n", t0.elapsed());
+
+    // Canonical artifacts: the same bytes `critter-serve` serves for an
+    // equivalent job spec (the CI smoke job `cmp`s the two).
+    if let Some(path) = &args.report_out {
+        std::fs::write(path, report.to_json_string()).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1)
+        });
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = &args.metrics_out {
+        let obs = report.obs.as_ref().expect("--metrics-out implies --observe");
+        std::fs::write(path, obs.metrics_string()).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1)
+        });
+        eprintln!("wrote {}", path.display());
+    }
 
     if args.json {
         print_json(&report);
