@@ -647,6 +647,14 @@ impl Autotuner {
             & ((1 << 52) - 1)
     }
 
+    /// The algorithm identity a sweep files its store entries under: the
+    /// workload names in sweep order, joined with `;` — the same string
+    /// [`Self::fingerprint`] folds into the options digest.
+    pub fn algo_key(&self, workloads: &[Arc<dyn Workload>]) -> String {
+        let names: Vec<String> = workloads.iter().map(|w| w.name()).collect();
+        names.join(";")
+    }
+
     /// Execute one simulated run with the fault-retry protocol: without an
     /// armed [`TuningOptions::faults`] plan this is exactly [`Self::run_once`];
     /// with one, each attempt draws a per-`(run, attempt)` reseeded plan, a
@@ -769,6 +777,18 @@ impl Autotuner {
             workloads.iter().all(|w| w.ranks() == ranks),
             "all configurations of a sweep must use the same rank count"
         );
+        if session.store.is_some() && self.opts.reset_between_configs {
+            // Both the store seed and the end-of-sweep publication assume
+            // kernel models survive configuration boundaries; refuse up
+            // front rather than silently seeding models the first
+            // start_config(keep = false) would wipe, or publishing the
+            // last configuration's stub statistics as a fleet profile.
+            return Err(critter_core::CritterError::mismatch(
+                "a profile store requires the persist-models protocol \
+                 (with_persist_models(true)); the per-config reset would \
+                 discard the seeded models",
+            ));
+        }
         let policy = self.opts.policy;
         let tuned_cfg = {
             let mut c = CritterConfig::new(policy, self.opts.epsilon);
@@ -891,6 +911,22 @@ impl Autotuner {
             entry_state = stores.clone();
             if let Some(log) = &log {
                 log.record(EventKind::WarmStart, &path.display().to_string(), models as f64)?;
+            }
+        } else if let Some(dir) = &session.store {
+            // Store-backed warm start: routed through the same staleness
+            // path as a file warm start, so a store holding exactly one
+            // matching profile seeds byte-identical models.
+            let store = critter_store::Store::open(dir)?;
+            let machine =
+                critter_store::MachineSpec::from_models(&self.opts.params, &self.opts.noise);
+            if let Some((seeded, models, source)) =
+                store.warm_start(&machine, &self.algo_key(workloads), ranks, &session.staleness)?
+            {
+                stores = seeded;
+                entry_state = stores.clone();
+                if let Some(log) = &log {
+                    log.record(EventKind::WarmStart, &source.describe(), models as f64)?;
+                }
             }
         }
         notify(units_done)?;
@@ -1036,6 +1072,15 @@ impl Autotuner {
 
         if let Some(path) = &session.profile_out {
             critter_session::profile::save(path, fingerprint, &stores)?;
+        }
+        if let Some(dir) = &session.store {
+            // Publish the final models to the shared store as one atomic
+            // batch commit; concurrent sweeps sharing the directory
+            // serialize through the store's generation CAS, not here.
+            let store = critter_store::Store::open(dir)?;
+            let machine =
+                critter_store::MachineSpec::from_models(&self.opts.params, &self.opts.noise);
+            store.publish(&machine, &self.algo_key(workloads), &stores)?;
         }
         let obs = self.opts.observe.then(|| {
             obs_runs.sort_by_key(|&(id, _, _)| id);

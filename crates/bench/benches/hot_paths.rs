@@ -216,6 +216,64 @@ fn main() {
         traj.record("sim", "backend_tasks_10k", t);
     }
 
+    // Profile-store batch commit: stage + CAS-link one generation per
+    // publish into a fresh store. Disk-bound by design — this is the cost
+    // a sweep pays once at session end, and what the concurrent-writer
+    // retry loop amortizes.
+    {
+        let n = 48 / div as u64;
+        let machine = critter_store::MachineSpec::from_models(
+            &critter_machine::MachineParams::test_machine(),
+            &critter_machine::NoiseParams::cluster(),
+        );
+        let mut round = 0u64;
+        let base = std::env::temp_dir().join(format!("critter-bench-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let t = bench("store", "batch_commit", iters, || {
+            round += 1;
+            let dir = base.join(format!("commit-{round}"));
+            let store = critter_store::Store::open(&dir).expect("open store");
+            for c in 0..n {
+                let mut s = KernelStore::new();
+                let sig = critter_core::signature::KernelSig::compute(ComputeOp::Gemm, 8, 8, 8);
+                s.record(&sig, 1.0e-3 + (round * 1009 + c) as f64 * 1.0e-9);
+                black_box(store.publish(&machine, "bench", &[s]).expect("publish"));
+            }
+        });
+        traj.record("store", "batch_commit", t);
+
+        // Warm-start lookup + merge over an accumulated history: re-list
+        // the index, load every matching blob, and fold the statistics
+        // through the staleness policy — the read path every store-backed
+        // sweep pays once at session start.
+        let dir = base.join("lookup");
+        let store = critter_store::Store::open(&dir).expect("open store");
+        for c in 0..16u64 {
+            let mut s = KernelStore::new();
+            for i in 0..32u64 {
+                let dim = (4 << (i % 4)) as usize;
+                let sig =
+                    critter_core::signature::KernelSig::compute(ComputeOp::Gemm, dim, dim, dim);
+                s.record(&sig, 1.0e-3 + (c * 31 + i) as f64 * 1.0e-8);
+            }
+            store.publish(&machine, "bench", &[s]).expect("publish");
+        }
+        let staleness =
+            critter_session::StalenessPolicy::fresh().with_decay(0.5).with_variance_inflation(2.0);
+        let m = 32 / div as u64;
+        let t = bench("store", "lookup_merge", iters, || {
+            for _ in 0..m {
+                let seeded = store
+                    .warm_start(&machine, "bench", 1, &staleness)
+                    .expect("warm start")
+                    .expect("history exists");
+                black_box(seeded.1);
+            }
+        });
+        traj.record("store", "lookup_merge", t);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
     // Canonical-JSON serialization of a full tuning report (the committed
     // artifact form: sorted keys, pretty printing).
     {

@@ -13,11 +13,11 @@
 //! of `--flag` tokens from its output, extracts the same from the README
 //! block, and fails (exit 1) on any difference — a flag added to a binary
 //! but not documented, or documented but since removed. CI runs it after
-//! `cargo build --release --bins`, so the README can never drift from the
+//! `cargo build --release --workspace --bins`, so the README can never drift from the
 //! shipped interfaces.
 //!
 //! ```text
-//! cargo build --release --bins && cargo run --release -p critter-bench --bin doc_check
+//! cargo build --release --workspace --bins && cargo run --release -p critter-bench --bin doc_check
 //! ```
 
 use std::collections::BTreeSet;
@@ -62,7 +62,7 @@ fn help_output(bin_dir: &Path, name: &str) -> Result<String, String> {
     let path = bin_dir.join(name);
     if !path.is_file() {
         return Err(format!(
-            "binary `{}` not found; build it first: cargo build --release --bins",
+            "binary `{}` not found; build it first: cargo build --release --workspace --bins",
             path.display()
         ));
     }

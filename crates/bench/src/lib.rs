@@ -65,6 +65,9 @@ pub struct FigOpts {
     pub warm_start: Option<PathBuf>,
     /// Base directory for per-sweep kernel-model profiles (`--profile-out`).
     pub profile_out: Option<PathBuf>,
+    /// Shared content-addressed profile store every persist-models sweep
+    /// warm-starts from and publishes back into (`--store`).
+    pub store: Option<PathBuf>,
     /// Rank-panic probability per fault point (`--faults P`): arms
     /// deterministic fault injection, routing sweeps through the
     /// fault-tolerant session engine.
@@ -100,6 +103,7 @@ impl FigOpts {
             resume: false,
             warm_start: None,
             profile_out: None,
+            store: None,
             faults: None,
             fault_seed: 0xFA17,
             retries: 2,
@@ -110,8 +114,9 @@ impl FigOpts {
     /// Parse from `std::env::args` (flags: `--quick`, `--allocations N`,
     /// `--reps N`, `--out DIR`, `--jobs N`, `--trace-out FILE`,
     /// `--folded-out FILE`, `--metrics-out FILE`, `--checkpoint-dir DIR`,
-    /// `--resume`, `--warm-start FILE`, `--profile-out DIR`, `--faults P`,
-    /// `--fault-seed N`, `--retries N`, `--backend threads|tasks`).
+    /// `--resume`, `--warm-start FILE`, `--profile-out DIR`, `--store DIR`,
+    /// `--faults P`, `--fault-seed N`, `--retries N`,
+    /// `--backend threads|tasks`).
     pub fn from_args() -> Self {
         let mut opts = Self::defaults();
         let args: Vec<String> = std::env::args().collect();
@@ -160,6 +165,10 @@ impl FigOpts {
                     i += 1;
                     opts.profile_out = Some(PathBuf::from(&args[i]));
                 }
+                "--store" => {
+                    i += 1;
+                    opts.store = Some(PathBuf::from(&args[i]));
+                }
                 "--faults" => {
                     i += 1;
                     opts.faults = Some(args[i].parse().expect("--faults PANIC_PROB"));
@@ -183,7 +192,8 @@ impl FigOpts {
                          \x20 [--quick] [--allocations N=1] [--reps N=1] [--out DIR=results]\n\
                          \x20 [--jobs N] [--trace-out FILE] [--folded-out FILE] [--metrics-out FILE]\n\
                          \x20 [--checkpoint-dir DIR] [--resume] [--warm-start FILE]\n\
-                         \x20 [--profile-out DIR] [--faults PANIC_PROB] [--fault-seed N=0xFA17]\n\
+                         \x20 [--profile-out DIR] [--store DIR] [--faults PANIC_PROB]\n\
+                         \x20 [--fault-seed N=0xFA17]\n\
                          \x20 [--retries N=2] [--backend <threads|tasks>]"
                     );
                     std::process::exit(2)
@@ -218,6 +228,7 @@ impl FigOpts {
         self.checkpoint_dir.is_some()
             || self.warm_start.is_some()
             || self.profile_out.is_some()
+            || self.store.is_some()
             || self.faults.is_some()
     }
 }
@@ -342,6 +353,15 @@ pub fn session_sweep(
     if let Some(base) = &opts.profile_out {
         fs::create_dir_all(base).expect("create profile output dir");
         session = session.with_profile_out(base.join(format!("{slug}.json")));
+    }
+    if let Some(dir) = &opts.store {
+        // The store, like a warm-start file, seeds models before the sweep
+        // and therefore needs the persist-models protocol.
+        if topts.reset_between_configs {
+            eprintln!("note: {slug} resets models per config; ignoring --store");
+        } else {
+            session = session.with_store(dir);
+        }
     }
     Autotuner::new(topts)
         .tune_session(&space.bench(), &session)

@@ -32,7 +32,7 @@ pub const POLICY_NAMES: [(&str, ExecutionPolicy); 6] = [
 ];
 
 /// Fields accepted in a job spec; anything else is a 400.
-const SPEC_FIELDS: [&str; 20] = [
+const SPEC_FIELDS: [&str; 21] = [
     "space",
     "policy",
     "epsilon",
@@ -52,6 +52,7 @@ const SPEC_FIELDS: [&str; 20] = [
     "warm_start",
     "staleness",
     "profile",
+    "store",
     "label",
 ];
 
@@ -120,6 +121,10 @@ pub struct JobSpec {
     pub staleness: Option<StalenessSpec>,
     /// Write a kernel-model profile artifact when the job finishes.
     pub profile: bool,
+    /// Run against the daemon's shared profile store: warm-start from it
+    /// (unless an inline `warm_start` profile takes precedence) and
+    /// publish the final models back into it.
+    pub store: bool,
     /// Free-form client label echoed in status responses.
     pub label: Option<String>,
 }
@@ -231,6 +236,7 @@ impl JobSpec {
             warm_start,
             staleness,
             profile: opt_bool(map, "profile")?.unwrap_or(false),
+            store: opt_bool(map, "store")?.unwrap_or(false),
             label: opt_str(map, "label")?.map(str::to_string),
         };
         if spec.warm_start.is_some() && spec.resets_between_configs() {
@@ -243,6 +249,13 @@ impl JobSpec {
         if spec.profile && spec.resets_between_configs() {
             return Err(ServeError::BadRequest(format!(
                 "profile capture requires persistent kernel models, but space `{}` resets \
+                 statistics between configurations; set \"persist_models\": true",
+                spec.space.name()
+            )));
+        }
+        if spec.store && spec.resets_between_configs() {
+            return Err(ServeError::BadRequest(format!(
+                "a profile store requires persistent kernel models, but space `{}` resets \
                  statistics between configurations; set \"persist_models\": true",
                 spec.space.name()
             )));
@@ -289,6 +302,7 @@ impl JobSpec {
             "shards": self.shards,
             "smoke": self.smoke,
             "space": self.space.name(),
+            "store": self.store,
         });
         let map = doc.as_object_mut().expect("doc is an object");
         if let Some(persist) = self.persist_models {

@@ -15,13 +15,15 @@ fn usage() -> ! {
         "usage: critter-serve [--addr HOST:PORT=127.0.0.1:8787]\n\
          \x20                    [--data-dir DIR=critter-serve-data]\n\
          \x20                    [--job-workers N=2] [--http-workers N=4]\n\
-         \x20                    [--queue-capacity N=64]\n\
+         \x20                    [--queue-capacity N=64] [--store DIR]\n\
          \n\
          Tuning-as-a-service daemon over the critter session engine.\n\
          Binds HOST:PORT (port 0 picks an ephemeral port), writes the bound\n\
          address to DIR/addr, and keeps one directory per job under DIR.\n\
          On restart it recovers every job found there and resumes\n\
-         unfinished sweeps from their checkpoints. API reference:\n\
+         unfinished sweeps from their checkpoints. With --store, jobs\n\
+         whose spec sets \"store\": true share the content-addressed\n\
+         profile store at DIR (see docs/STORE.md). API reference:\n\
          docs/SERVICE.md."
     );
     std::process::exit(2)
@@ -48,6 +50,7 @@ fn main() {
             "--queue-capacity" => {
                 config.queue_capacity = take(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--store" => config.store = Some(PathBuf::from(take(&mut i))),
             "--help" | "-h" => usage(),
             _ => usage(),
         }

@@ -16,6 +16,7 @@
 //! sim crate's global pool-lease registry; nothing here needs to manage
 //! that.
 
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -35,16 +36,25 @@ pub struct Scheduler {
 
 impl Scheduler {
     /// Spawn `job_workers` workers over a queue of `queue_capacity` slots.
-    pub fn start(registry: Arc<Registry>, job_workers: usize, queue_capacity: usize) -> Scheduler {
+    /// `store` is the daemon's shared profile-store directory; jobs whose
+    /// spec opts in run their sweeps against it.
+    pub fn start(
+        registry: Arc<Registry>,
+        job_workers: usize,
+        queue_capacity: usize,
+        store: Option<PathBuf>,
+    ) -> Scheduler {
         let (tx, rx) = sync_channel::<String>(queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
+        let store = Arc::new(store);
         let handles = (0..job_workers.max(1))
             .map(|i| {
                 let registry = registry.clone();
                 let rx = rx.clone();
+                let store = store.clone();
                 std::thread::Builder::new()
                     .name(format!("critter-serve-job-{i}"))
-                    .spawn(move || worker_loop(&registry, &rx))
+                    .spawn(move || worker_loop(&registry, &rx, &store))
                     .expect("spawning a job worker")
             })
             .collect();
@@ -80,7 +90,11 @@ impl Scheduler {
     }
 }
 
-fn worker_loop(registry: &Arc<Registry>, rx: &Arc<Mutex<Receiver<String>>>) {
+fn worker_loop(
+    registry: &Arc<Registry>,
+    rx: &Arc<Mutex<Receiver<String>>>,
+    store: &Option<PathBuf>,
+) {
     loop {
         // Take the receiver lock only to dequeue, never while running.
         let id = match rx.lock().recv() {
@@ -89,8 +103,9 @@ fn worker_loop(registry: &Arc<Registry>, rx: &Arc<Mutex<Receiver<String>>>) {
         };
         // A sweep must never take a worker down with it: a panicking job
         // is recorded as failed and the worker moves on.
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(registry, &id)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(registry, &id, store)
+        }));
         if let Err(panic) = outcome {
             let detail = panic
                 .downcast_ref::<&str>()
@@ -104,7 +119,7 @@ fn worker_loop(registry: &Arc<Registry>, rx: &Arc<Mutex<Receiver<String>>>) {
 
 /// Run one job end to end: resume-or-start the sweep, then write the
 /// terminal artifact that encodes its final state.
-fn run_job(registry: &Arc<Registry>, id: &str) {
+fn run_job(registry: &Arc<Registry>, id: &str, store: &Option<PathBuf>) {
     let Ok(entry) = registry.get(id) else {
         return; // discarded between enqueue and dequeue
     };
@@ -126,6 +141,21 @@ fn run_job(registry: &Arc<Registry>, id: &str) {
     }
     if spec.profile {
         session = session.with_profile_out(dir.join("profile.json"));
+    }
+    if spec.store {
+        // Submission rejects store jobs on store-less daemons, but a
+        // recovered job can land on a daemon restarted without --store;
+        // failing it beats silently dropping its publication.
+        let Some(store_dir) = store else {
+            finish(
+                registry,
+                id,
+                JobState::Failed,
+                Some("job requires a profile store but the daemon has none (--store)".into()),
+            );
+            return;
+        };
+        session = session.with_store(store_dir);
     }
 
     let progress_registry = registry.clone();

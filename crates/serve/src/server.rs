@@ -12,6 +12,12 @@
 //! | `GET`    | `/v1/jobs/{id}/report`  | canonical `TuningReport` bytes         |
 //! | `GET`    | `/v1/jobs/{id}/metrics` | observability metrics text             |
 //! | `GET`    | `/v1/jobs/{id}/profile` | kernel-model warm-start profile        |
+//! | `GET`    | `/v1/store`             | profile-store census + latest entries  |
+//! | `GET`    | `/v1/store/blob/{hash}` | one profile blob by content hash       |
+//!
+//! The store endpoints exist only when the daemon was started with
+//! `--store`; without it they are 404s, and jobs whose spec sets
+//! `"store": true` are rejected at submit time with a 409.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -21,6 +27,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
+
+use critter_store::Store;
 
 use crate::api::JobSpec;
 use crate::error::ServeError;
@@ -42,6 +50,10 @@ pub struct ServerConfig {
     pub http_workers: usize,
     /// Bounded job-queue depth (beyond it, submissions get 429).
     pub queue_capacity: usize,
+    /// Shared content-addressed profile store (`--store`). Jobs whose
+    /// spec sets `"store": true` warm-start from it and publish back into
+    /// it; the `/v1/store` endpoints expose its census and blobs.
+    pub store: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -53,7 +65,14 @@ impl ServerConfig {
             job_workers: 2,
             http_workers: 4,
             queue_capacity: 64,
+            store: None,
         }
+    }
+
+    /// Attach a shared profile-store directory.
+    pub fn with_store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store = Some(dir.into());
+        self
     }
 }
 
@@ -76,8 +95,19 @@ impl Server {
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let (registry, pending) = Registry::open(&config.data_dir)?;
         let registry = Arc::new(registry);
-        let scheduler =
-            Arc::new(Scheduler::start(registry.clone(), config.job_workers, config.queue_capacity));
+        // Open the store up front: a bad --store directory fails the start
+        // instead of every job, and the layout exists before the first
+        // publish races the first census.
+        let store = match &config.store {
+            Some(dir) => Some(critter_store::Store::open(dir).map_err(std::io::Error::other)?),
+            None => None,
+        };
+        let scheduler = Arc::new(Scheduler::start(
+            registry.clone(),
+            config.job_workers,
+            config.queue_capacity,
+            config.store.clone(),
+        ));
 
         // Recovered jobs re-enter the queue in submission order. This runs
         // on its own thread: with more recovered jobs than queue slots the
@@ -109,9 +139,10 @@ impl Server {
                 let registry = registry.clone();
                 let scheduler = scheduler.clone();
                 let conn_rx = conn_rx.clone();
+                let store = store.clone();
                 std::thread::Builder::new()
                     .name(format!("critter-serve-http-{i}"))
-                    .spawn(move || http_loop(&registry, &scheduler, &conn_rx))
+                    .spawn(move || http_loop(&registry, &scheduler, &store, &conn_rx))
                     .expect("spawning an HTTP worker")
             })
             .collect();
@@ -169,6 +200,7 @@ fn accept_loop(listener: &TcpListener, conn_tx: &SyncSender<TcpStream>, stop: &A
 fn http_loop(
     registry: &Arc<Registry>,
     scheduler: &Arc<Scheduler>,
+    store: &Option<Store>,
     conn_rx: &Arc<Mutex<Receiver<TcpStream>>>,
 ) {
     loop {
@@ -180,7 +212,7 @@ fn http_loop(
             Ok(request) => {
                 // Handler panics become 500s, never a dead worker.
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    route(registry, scheduler, &request)
+                    route(registry, scheduler, store, &request)
                 }))
                 .unwrap_or_else(|_| Err(ServeError::Internal("handler panicked".into())))
                 .unwrap_or_else(|e| Response::from_error(&e))
@@ -196,16 +228,17 @@ fn http_loop(
 fn route(
     registry: &Arc<Registry>,
     scheduler: &Arc<Scheduler>,
+    store: &Option<Store>,
     request: &Request,
 ) -> Result<Response, ServeError> {
     let method = request.method.as_str();
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (method, segments.as_slice()) {
-        ("GET", ["v1", "healthz"]) => Ok(healthz(registry)),
+        ("GET", ["v1", "healthz"]) => Ok(healthz(registry, store)),
         (_, ["v1", "healthz"]) => method_not_allowed(method, "GET"),
 
         ("GET", ["v1", "jobs"]) => Ok(Response::json(200, registry.list_json())),
-        ("POST", ["v1", "jobs"]) => submit(registry, scheduler, request),
+        ("POST", ["v1", "jobs"]) => submit(registry, scheduler, store, request),
         (_, ["v1", "jobs"]) => method_not_allowed(method, "GET, POST"),
 
         ("GET", ["v1", "jobs", id]) => Ok(Response::json(200, registry.status_json(id)?)),
@@ -222,6 +255,11 @@ fn route(
             method_not_allowed(method, "GET")
         }
 
+        ("GET", ["v1", "store"]) => store_census(store),
+        (_, ["v1", "store"]) => method_not_allowed(method, "GET"),
+        ("GET", ["v1", "store", "blob", hash]) => store_blob(store, hash),
+        (_, ["v1", "store", "blob", _]) => method_not_allowed(method, "GET"),
+
         _ => Err(ServeError::NotFound(format!("no such endpoint `{}`", request.path))),
     }
 }
@@ -232,28 +270,87 @@ fn method_not_allowed(method: &str, allowed: &str) -> Result<Response, ServeErro
     )))
 }
 
-fn healthz(registry: &Registry) -> Response {
+fn healthz(registry: &Registry, store: &Option<Store>) -> Response {
     let counts = registry.state_counts();
     let mut jobs = serde_json::Map::new();
     for (state, n) in counts {
         jobs.insert(state.to_string(), serde_json::json!(n));
     }
-    let doc = serde_json::json!({
+    let mut doc = serde_json::json!({
         "ok": true,
         "version": env!("CARGO_PKG_VERSION"),
         "jobs": serde_json::Value::Object(jobs),
     });
+    // The store census appears only on daemons started with --store, so
+    // store-less deployments keep their exact healthz document.
+    if let Some(store) = store {
+        let map = doc.as_object_mut().expect("doc is an object");
+        match store.census() {
+            Ok(census) => map.insert(
+                "store".into(),
+                serde_json::json!({
+                    "blobs": census.blobs,
+                    "entries": census.entries,
+                    "generation": census.generation,
+                }),
+            ),
+            Err(e) => map.insert("store".into(), serde_json::json!({"error": e.to_string()})),
+        };
+    }
     let mut body = serde_json::to_string_pretty(&doc).expect("json writer is total");
     body.push('\n');
     Response::json(200, body)
 }
 
+fn store_census(store: &Option<Store>) -> Result<Response, ServeError> {
+    let store = require_store(store)?;
+    let census = store.census().map_err(|e| ServeError::Internal(e.to_string()))?;
+    let index = store.latest().map_err(|e| ServeError::Internal(e.to_string()))?;
+    let entries: Vec<serde_json::Value> =
+        index.iter().flat_map(|i| i.entries.iter().map(|e| e.to_json())).collect();
+    let doc = serde_json::json!({
+        "blobs": census.blobs,
+        "entries": entries,
+        "generation": census.generation,
+    });
+    let mut body = serde_json::to_string_pretty(&doc).expect("json writer is total");
+    body.push('\n');
+    Ok(Response::json(200, body))
+}
+
+fn store_blob(store: &Option<Store>, hash: &str) -> Result<Response, ServeError> {
+    let store = require_store(store)?;
+    let hash = u64::from_str_radix(hash, 16)
+        .map_err(|_| ServeError::BadRequest(format!("`{hash}` is not a hex content hash")))?;
+    let stores = store
+        .load_blob(hash)
+        .map_err(|e| ServeError::NotFound(format!("blob {hash:013x}: {e}")))?;
+    let mut body = serde_json::to_string_pretty(&critter_core::snapshot::stores_to_json(&stores))
+        .expect("json writer is total");
+    body.push('\n');
+    Ok(Response::json(200, body))
+}
+
+fn require_store(store: &Option<Store>) -> Result<&Store, ServeError> {
+    store.as_ref().ok_or_else(|| {
+        ServeError::NotFound("this daemon has no profile store (start with --store DIR)".into())
+    })
+}
+
 fn submit(
     registry: &Arc<Registry>,
     scheduler: &Arc<Scheduler>,
+    store: &Option<Store>,
     request: &Request,
 ) -> Result<Response, ServeError> {
     let spec = JobSpec::from_json(request.body_utf8()?)?;
+    if spec.store && store.is_none() {
+        return Err(ServeError::Conflict(
+            "job spec sets \"store\": true but this daemon has no profile store \
+             (start with --store DIR)"
+                .into(),
+        ));
+    }
     let id = registry.create(spec)?;
     // Snapshot the status document before handing the job to the workers,
     // so the response deterministically shows the submit-time state

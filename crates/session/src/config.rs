@@ -124,6 +124,10 @@ pub struct SessionConfig {
     pub warm_start: Option<PathBuf>,
     /// Where to persist the final kernel-model profile of this session.
     pub profile_out: Option<PathBuf>,
+    /// Directory of a shared content-addressed profile store
+    /// (`critter-store`): warm-start from it when no file warm start is
+    /// given, and publish the final models back into it at sweep end.
+    pub store: Option<PathBuf>,
     /// Discounting applied to warm-started models.
     pub staleness: StalenessPolicy,
 }
@@ -164,9 +168,21 @@ impl SessionConfig {
         self
     }
 
+    /// Attach a shared profile-store directory: seed kernel models from
+    /// it (when no explicit `warm_start` file takes precedence) and
+    /// publish the session's final models back into it as one atomic
+    /// batch commit.
+    pub fn with_store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store = Some(dir.into());
+        self
+    }
+
     /// True when any part of the session touches disk.
     pub fn is_persistent(&self) -> bool {
-        self.checkpoint_dir.is_some() || self.warm_start.is_some() || self.profile_out.is_some()
+        self.checkpoint_dir.is_some()
+            || self.warm_start.is_some()
+            || self.profile_out.is_some()
+            || self.store.is_some()
     }
 
     /// Path of the checkpoint file, when checkpointing is enabled.
@@ -203,6 +219,9 @@ mod tests {
         assert_eq!(cfg.cadence(), 3);
         assert_eq!(SessionConfig::new().cadence(), 1);
         assert!(!SessionConfig::new().is_persistent());
+        let store_only = SessionConfig::new().with_store("store-dir");
+        assert!(store_only.is_persistent());
+        assert_eq!(store_only.store.as_deref(), Some(std::path::Path::new("store-dir")));
     }
 
     #[test]

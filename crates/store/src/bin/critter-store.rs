@@ -1,0 +1,269 @@
+//! Maintenance CLI for a profile-store directory.
+//!
+//! ```text
+//! critter-store ls     --dir STORE [--json]
+//! critter-store show   --dir STORE HASH [--json]
+//! critter-store verify --dir STORE [--json]
+//! critter-store gc     --dir STORE [--keep N] [--json]
+//! critter-store stress --dir STORE [--writers N] [--commits N] [--seed S]
+//! ```
+//!
+//! `verify` is the fsck: exit 0 only when every index generation opens
+//! cleanly, every entry's blob resolves, and every blob re-hashes to its
+//! name. `gc` keeps the newest `--keep` generations and drops everything
+//! they don't reference. `stress` fans `--writers` threads each
+//! publishing `--commits` synthetic profiles — the concurrent-writer
+//! smoke workload, and the process the kill -9 crash drill shoots down
+//! mid-commit.
+
+use critter_core::signature::{ComputeOp, KernelSig};
+use critter_core::KernelStore;
+use critter_machine::{MachineParams, NoiseParams};
+use critter_store::{MachineSpec, Store};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: critter-store <command> --dir STORE [options]\n\
+         \n\
+         commands:\n\
+         \x20 ls      list the latest generation's entries\n\
+         \x20 show    print one blob by 13-hex-digit content hash\n\
+         \x20 verify  fsck the store (exit 1 on any corruption)\n\
+         \x20 gc      keep the newest generations, drop the rest\n\
+         \x20 stress  hammer the store with concurrent batch commits\n\
+         \n\
+         options:\n\
+         \x20 --dir STORE    store directory (required)\n\
+         \x20 --json         machine-readable output (ls, show, verify, gc)\n\
+         \x20 --keep N       gc: generations to keep (default 4)\n\
+         \x20 --writers N    stress: concurrent writer threads (default 4)\n\
+         \x20 --commits N    stress: commits per writer (default 8)\n\
+         \x20 --seed S       stress: synthetic-sample seed (default 1)"
+    );
+    std::process::exit(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("critter-store: {msg}");
+    std::process::exit(1)
+}
+
+struct Args {
+    command: String,
+    dir: Option<String>,
+    hash: Option<String>,
+    json: bool,
+    keep: u64,
+    writers: u64,
+    commits: u64,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
+        usage();
+    }
+    let mut args = Args {
+        command: argv[0].clone(),
+        dir: None,
+        hash: None,
+        json: false,
+        keep: 4,
+        writers: 4,
+        commits: 8,
+        seed: 1,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--dir" => args.dir = Some(take(&mut i)),
+            "--json" => args.json = true,
+            "--keep" => args.keep = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--writers" => args.writers = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--commits" => args.commits = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            other if !other.starts_with('-') && args.hash.is_none() => {
+                args.hash = Some(other.to_string())
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn open(args: &Args) -> Store {
+    let Some(dir) = &args.dir else {
+        eprintln!("critter-store: --dir is required");
+        usage()
+    };
+    Store::open(dir).unwrap_or_else(|e| fail(e))
+}
+
+fn ls(args: &Args) {
+    let store = open(args);
+    let census = store.census().unwrap_or_else(|e| fail(e));
+    let index = store.latest().unwrap_or_else(|e| fail(e));
+    if args.json {
+        let entries: Vec<serde_json::Value> =
+            index.iter().flat_map(|i| i.entries.iter().map(|e| e.to_json())).collect();
+        let doc = serde_json::json!({
+            "blobs": census.blobs,
+            "entries": entries,
+            "generation": census.generation,
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("json writer is total"));
+        return;
+    }
+    println!(
+        "generation {} ({} entries, {} blobs)",
+        census.generation, census.entries, census.blobs
+    );
+    if let Some(index) = index {
+        for e in &index.entries {
+            println!(
+                "  seq {:>4}  machine {:013x}  ranks {:>5}  blob {:013x}  {}",
+                e.seq, e.machine_fp, e.ranks, e.blob, e.algo
+            );
+        }
+    }
+}
+
+fn show(args: &Args) {
+    let store = open(args);
+    let Some(hex) = &args.hash else {
+        eprintln!("critter-store: show needs a blob hash");
+        usage()
+    };
+    let hash = u64::from_str_radix(hex, 16)
+        .unwrap_or_else(|_| fail(format!("`{hex}` is not a hex content hash")));
+    let stores = store.load_blob(hash).unwrap_or_else(|e| fail(e));
+    if args.json {
+        let doc = critter_core::snapshot::stores_to_json(&stores);
+        println!("{}", serde_json::to_string_pretty(&doc).expect("json writer is total"));
+        return;
+    }
+    println!("blob {hash:013x}: {} rank stores", stores.len());
+    for (rank, s) in stores.iter().enumerate() {
+        let samples: u64 = s.local.values().map(|m| m.stats.count()).sum();
+        println!(
+            "  rank {rank}: {} kernel models, {samples} samples, {:.3e}s sampled",
+            s.local.len(),
+            s.total_sampled_time()
+        );
+    }
+}
+
+fn verify(args: &Args) {
+    let store = open(args);
+    let report = store.verify().unwrap_or_else(|e| fail(e));
+    if args.json {
+        let problems: Vec<serde_json::Value> =
+            report.problems.iter().map(|p| serde_json::Value::String(p.clone())).collect();
+        let doc = serde_json::json!({
+            "blobs": report.blobs,
+            "entries": report.entries,
+            "generations": report.generations,
+            "ok": report.ok(),
+            "problems": problems,
+            "tmp_strays": report.tmp_strays,
+            "unreferenced": report.unreferenced,
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("json writer is total"));
+    } else {
+        println!(
+            "{} generations, {} entries, {} blobs ({} unreferenced, {} tmp strays)",
+            report.generations,
+            report.entries,
+            report.blobs,
+            report.unreferenced,
+            report.tmp_strays
+        );
+        for p in &report.problems {
+            eprintln!("problem: {p}");
+        }
+        println!("{}", if report.ok() { "clean" } else { "CORRUPT" });
+    }
+    if !report.ok() {
+        std::process::exit(1);
+    }
+}
+
+fn gc(args: &Args) {
+    let store = open(args);
+    let report = store.gc(args.keep).unwrap_or_else(|e| fail(e));
+    if args.json {
+        let doc = serde_json::json!({
+            "kept_generations": report.kept_generations,
+            "removed_blobs": report.removed_blobs,
+            "removed_generations": report.removed_generations,
+            "removed_tmp": report.removed_tmp,
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("json writer is total"));
+    } else {
+        println!(
+            "kept {} generations; removed {} generations, {} blobs, {} tmp strays",
+            report.kept_generations,
+            report.removed_generations,
+            report.removed_blobs,
+            report.removed_tmp
+        );
+    }
+}
+
+/// Deterministic synthetic profile for writer `w`, commit `c`: distinct
+/// content per (seed, writer, commit) so every publish stages a fresh blob.
+fn synthetic_stores(seed: u64, writer: u64, commit: u64) -> Vec<KernelStore> {
+    let mut s = KernelStore::new();
+    let sig = KernelSig::compute(ComputeOp::Gemm, 8, 8, 8);
+    for i in 0..4u64 {
+        let jitter = (seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(writer * 1_000_003 + commit * 101 + i))
+            % 1000;
+        s.record(&sig, 1.0e-3 + jitter as f64 * 1.0e-9);
+    }
+    vec![s]
+}
+
+fn stress(args: &Args) {
+    let store = open(args);
+    let machine = MachineSpec::from_models(&MachineParams::test_machine(), &NoiseParams::cluster());
+    let handles: Vec<_> = (0..args.writers.max(1))
+        .map(|w| {
+            let store = store.clone();
+            let machine = machine.clone();
+            let (commits, seed) = (args.commits, args.seed);
+            std::thread::spawn(move || {
+                for c in 0..commits {
+                    let stores = synthetic_stores(seed, w, c);
+                    store
+                        .publish(&machine, &format!("stress-{w}"), &stores)
+                        .unwrap_or_else(|e| fail(e));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap_or_else(|_| fail("stress writer panicked"));
+    }
+    let census = store.census().unwrap_or_else(|e| fail(e));
+    println!("stress done: generation {}, {} entries", census.generation, census.entries);
+}
+
+fn main() {
+    let args = parse_args();
+    match args.command.as_str() {
+        "ls" => ls(&args),
+        "show" => show(&args),
+        "verify" => verify(&args),
+        "gc" => gc(&args),
+        "stress" => stress(&args),
+        _ => usage(),
+    }
+}

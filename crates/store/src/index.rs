@@ -1,0 +1,167 @@
+//! The versioned index: one immutable, envelope-sealed JSON document per
+//! generation, listing every live entry of the store.
+//!
+//! A generation is complete or absent — index files are only ever
+//! published by `hard_link`ing a fully written temp file into place, so a
+//! reader that re-lists the index directory and takes the highest
+//! generation whose envelope validates always sees a consistent store,
+//! no matter how many writers died mid-commit.
+
+use critter_core::{CritterError, Result};
+use serde_json::Value;
+
+use crate::machine::MachineSpec;
+
+/// Envelope kind of an index generation document.
+pub const INDEX_KIND: &str = "store-index";
+
+/// One published profile: the key it is filed under plus the
+/// content hash of the blob holding its kernel stores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreEntry {
+    /// The machine the profile was measured on.
+    pub machine: MachineSpec,
+    /// Cached [`MachineSpec::fingerprint`] (validated on load).
+    pub machine_fp: u64,
+    /// Algorithm identity: the sweep's workload names joined with `;` —
+    /// the same string the autotuner folds into its options fingerprint.
+    pub algo: String,
+    /// Rank count of the profile's per-rank store vector.
+    pub ranks: u64,
+    /// 52-bit content hash of the profile blob (its filename in `blobs/`).
+    pub blob: u64,
+    /// Store-wide monotone publication sequence number; higher = more
+    /// recent. Recency drives the staleness ordering of warm-start merges.
+    pub seq: u64,
+}
+
+impl StoreEntry {
+    /// Canonical JSON form of one entry.
+    pub fn to_json(&self) -> Value {
+        serde_json::json!({
+            "algo": self.algo,
+            "blob": self.blob,
+            "machine": self.machine.to_json(),
+            "machine_fp": self.machine_fp,
+            "ranks": self.ranks,
+            "seq": self.seq,
+        })
+    }
+
+    /// Parse and validate one entry; the cached fingerprint must match the
+    /// machine spec it claims to summarize.
+    pub fn from_json(v: &Value) -> Result<StoreEntry> {
+        let u = |key: &str| {
+            v.get(key)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| CritterError::schema("store entry", format!("bad key `{key}`")))
+        };
+        let algo = v
+            .get("algo")
+            .and_then(|x| x.as_str())
+            .ok_or_else(|| CritterError::schema("store entry", "bad key `algo`"))?
+            .to_string();
+        let machine = MachineSpec::from_json(
+            v.get("machine")
+                .ok_or_else(|| CritterError::schema("store entry", "bad key `machine`"))?,
+        )?;
+        let machine_fp = u("machine_fp")?;
+        if machine_fp != machine.fingerprint() {
+            return Err(CritterError::schema(
+                "store entry",
+                format!(
+                    "cached machine fingerprint {machine_fp} does not match the spec ({})",
+                    machine.fingerprint()
+                ),
+            ));
+        }
+        Ok(StoreEntry {
+            machine,
+            machine_fp,
+            algo,
+            ranks: u("ranks")?,
+            blob: u("blob")?,
+            seq: u("seq")?,
+        })
+    }
+}
+
+/// One complete index generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Index {
+    /// The generation number (also the envelope fingerprint of its file).
+    pub generation: u64,
+    /// Every live entry, in ascending `seq` order.
+    pub entries: Vec<StoreEntry>,
+}
+
+impl Index {
+    /// Canonical JSON payload of this generation (the envelope's body).
+    pub fn to_json(&self) -> Value {
+        let entries: Vec<Value> = self.entries.iter().map(StoreEntry::to_json).collect();
+        serde_json::json!({
+            "entries": entries,
+            "generation": self.generation,
+        })
+    }
+
+    /// Parse a generation payload; `generation` must match the number the
+    /// file name (and envelope fingerprint) claims.
+    pub fn from_json(v: &Value, generation: u64) -> Result<Index> {
+        let found = v
+            .get("generation")
+            .and_then(|x| x.as_u64())
+            .ok_or_else(|| CritterError::schema("store index", "bad key `generation`"))?;
+        if found != generation {
+            return Err(CritterError::schema(
+                "store index",
+                format!("payload generation {found} does not match file generation {generation}"),
+            ));
+        }
+        let entries = v
+            .get("entries")
+            .and_then(|x| x.as_array())
+            .ok_or_else(|| CritterError::schema("store index", "bad key `entries`"))?
+            .iter()
+            .map(StoreEntry::from_json)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Index { generation, entries })
+    }
+
+    /// The highest publication sequence number in this generation.
+    pub fn max_seq(&self) -> u64 {
+        self.entries.iter().map(|e| e.seq).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critter_machine::{MachineParams, NoiseParams};
+
+    fn entry(seq: u64) -> StoreEntry {
+        let machine =
+            MachineSpec::from_models(&MachineParams::test_machine(), &NoiseParams::cluster());
+        let machine_fp = machine.fingerprint();
+        StoreEntry { machine, machine_fp, algo: "a;b".into(), ranks: 4, blob: 0xabc, seq }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let idx = Index { generation: 3, entries: vec![entry(1), entry(2)] };
+        let back = Index::from_json(&idx.to_json(), 3).unwrap();
+        assert_eq!(idx, back);
+        assert_eq!(back.max_seq(), 2);
+        assert!(Index::from_json(&idx.to_json(), 4).is_err(), "generation binding");
+    }
+
+    #[test]
+    fn tampered_machine_fingerprint_is_rejected() {
+        let mut doc = entry(1).to_json();
+        if let Value::Object(m) = &mut doc {
+            m.insert("machine_fp".into(), serde_json::json!(1u64));
+        }
+        let err = StoreEntry::from_json(&doc).unwrap_err();
+        assert!(err.to_string().contains("fingerprint"), "got: {err}");
+    }
+}

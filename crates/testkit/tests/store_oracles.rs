@@ -1,0 +1,303 @@
+//! Oracle family 9: the content-addressed profile store.
+//!
+//! Four contracts, all against the real store and the real autotuner:
+//!
+//! * **File equivalence** — a sweep warm-started from a store holding
+//!   exactly one published profile must produce a report byte-identical
+//!   to the same sweep warm-started from the equivalent profile *file*.
+//!   The store is a strict superset of file warm-starts, never a
+//!   different code path with different numerics.
+//! * **Concurrent writers** — any number of threads publishing into one
+//!   store must serialize into a linear generation history with no lost
+//!   updates, and the store must stay fsck-clean throughout.
+//! * **Partial-commit recovery** — staged garbage (tmp strays,
+//!   unreferenced blobs) must never affect readers; a torn *index* file
+//!   must be detected by `verify` and reclaimed by `gc`.
+//! * **Shared-store daemons** (`#[ignore]`, nightly) — two `critter-serve`
+//!   daemons publishing into and consuming from one store directory must
+//!   leave it fsck-clean, and the store endpoints must serve its census.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use critter_autotune::{Autotuner, SessionConfig, StalenessPolicy, TuningOptions, TuningSpace};
+use critter_core::ExecutionPolicy;
+use critter_machine::{MachineParams, NoiseParams};
+use critter_serve::http::client;
+use critter_serve::{Server, ServerConfig};
+use critter_store::{MachineSpec, Store};
+use proptest::prelude::*;
+
+/// Scratch directory for one test, cleaned before use.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("critter-testkit-store-oracles")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The pinned persist-models sweep every store oracle runs: Capital
+/// Cholesky keeps kernel statistics across configurations, so profiles
+/// and store entries are meaningful.
+fn options() -> TuningOptions {
+    let space = TuningSpace::CapitalCholesky;
+    let mut opts = TuningOptions::new(ExecutionPolicy::LocalPropagation, 0.25)
+        .with_test_machine()
+        .with_persist_models(true);
+    opts.reset_between_configs = space.resets_between_configs();
+    opts
+}
+
+fn workloads() -> Vec<Arc<dyn critter_algs::Workload>> {
+    TuningSpace::CapitalCholesky.smoke()
+}
+
+/// A store holding exactly one published profile must warm-start a sweep
+/// byte-identically to the profile file it was published from — same
+/// report, same winner, same per-kernel statistics — under a non-trivial
+/// staleness policy, so the discounting path is exercised too.
+#[test]
+fn store_warm_start_is_byte_identical_to_file_warm_start() {
+    let dir = scratch("file-equivalence");
+    let profile = dir.join("profile.json");
+    let store_dir = dir.join("store");
+    let tuner = Autotuner::new(options());
+    let workloads = workloads();
+
+    // One cold sweep persists the same final models to both surfaces: a
+    // profile file and a store publication.
+    let cold = tuner
+        .tune_session(
+            &workloads,
+            &SessionConfig::new().with_profile_out(&profile).with_store(&store_dir),
+        )
+        .unwrap();
+    let index = Store::open(&store_dir).unwrap().latest().unwrap().expect("publication landed");
+    assert_eq!(index.generation, 1);
+    assert_eq!(index.entries.len(), 1);
+
+    let staleness = StalenessPolicy::fresh().with_decay(0.5).with_variance_inflation(2.0);
+    let warm_file = tuner
+        .tune_session(
+            &workloads,
+            &SessionConfig::new().with_warm_start(&profile).with_staleness(staleness),
+        )
+        .unwrap();
+    let warm_store = tuner
+        .tune_session(
+            &workloads,
+            &SessionConfig::new().with_store(&store_dir).with_staleness(staleness),
+        )
+        .unwrap();
+
+    assert_eq!(
+        warm_store.to_json_string(),
+        warm_file.to_json_string(),
+        "store warm start must be byte-identical to the file warm start"
+    );
+    assert_eq!(warm_store.selected(), cold.selected(), "warm start must not change the winner");
+
+    // The store-backed sweep also published its own final models: the
+    // history grew by one generation and stayed fsck-clean.
+    let store = Store::open(&store_dir).unwrap();
+    let after = store.latest().unwrap().expect("second publication landed");
+    assert_eq!(after.generation, 2);
+    assert_eq!(after.entries.len(), 2);
+    assert!(store.verify().unwrap().ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Deterministic synthetic profile, distinct per `(writer, commit)`.
+fn synthetic_stores(writer: u64, commit: u64) -> Vec<critter_core::KernelStore> {
+    use critter_core::signature::{ComputeOp, KernelSig};
+    let mut s = critter_core::KernelStore::new();
+    let sig = KernelSig::compute(ComputeOp::Gemm, 8, 8, 8);
+    for i in 0..3u64 {
+        s.record(&sig, 1.0e-3 + (writer * 7919 + commit * 101 + i) as f64 * 1.0e-9);
+    }
+    vec![s]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4 })]
+
+    /// Concurrent writers never lose an update: after `writers` threads
+    /// publish `commits` profiles each, the store holds exactly
+    /// `writers * commits` generations and entries, sequence numbers are
+    /// the contiguous range `1..=n`, every writer's full history is
+    /// present, and the store is fsck-clean.
+    #[test]
+    fn concurrent_writers_serialize_without_lost_updates(
+        writers in 2u64..5,
+        commits in 2u64..8,
+    ) {
+        let dir = scratch(&format!("writers-{writers}-{commits}"));
+        let store = Store::open(&dir).unwrap();
+        let machine =
+            MachineSpec::from_models(&MachineParams::test_machine(), &NoiseParams::cluster());
+        let handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let store = store.clone();
+                let machine = machine.clone();
+                std::thread::spawn(move || {
+                    for c in 0..commits {
+                        store
+                            .publish(&machine, &format!("w{w}"), &synthetic_stores(w, c))
+                            .expect("publish");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+
+        let total = writers * commits;
+        let index = store.latest().unwrap().expect("history exists");
+        prop_assert_eq!(index.generation, total);
+        prop_assert_eq!(index.entries.len() as u64, total);
+        let mut seqs: Vec<u64> = index.entries.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        prop_assert_eq!(seqs, (1..=total).collect::<Vec<u64>>());
+        for w in 0..writers {
+            let published = index.entries.iter().filter(|e| e.algo == format!("w{w}")).count();
+            prop_assert!(published as u64 == commits, "writer {} lost updates", w);
+        }
+        prop_assert!(store.verify().unwrap().ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A commit interrupted before its index link lands leaves only staging
+/// garbage, which readers never see and `gc` reclaims; a torn index file
+/// (disk corruption, not a crash — the hard-link commit cannot tear) is
+/// detected by `verify` and reclaimed by `gc` without hiding the valid
+/// history.
+#[test]
+fn partial_commits_and_torn_indexes_recover_by_relisting() {
+    let dir = scratch("partial-commit");
+    let store = Store::open(&dir).unwrap();
+    let machine = MachineSpec::from_models(&MachineParams::test_machine(), &NoiseParams::cluster());
+    for c in 0..3 {
+        store.publish(&machine, "base", &synthetic_stores(0, c)).unwrap();
+    }
+
+    // A crash between staging and linking: an orphaned staged blob plus a
+    // stray tmp index. Readers are unaffected and verify stays clean —
+    // staging garbage is legal, torn state is not possible.
+    store.stage(&synthetic_stores(9, 9)).unwrap();
+    std::fs::write(dir.join("tmp").join("12345-99.json"), "{\"half\": ").unwrap();
+    let index = store.latest().unwrap().unwrap();
+    assert_eq!(index.generation, 3);
+    let report = store.verify().unwrap();
+    assert!(report.ok(), "staging garbage is not corruption: {:?}", report.problems);
+    assert_eq!(report.unreferenced, 1);
+    assert!(report.tmp_strays >= 1);
+
+    // A torn index file *is* corruption: verify must say so, readers must
+    // still serve the valid generations, and gc must reclaim it.
+    std::fs::write(dir.join("index").join(format!("gen-{:020}.json", 4)), "{\"torn\": ").unwrap();
+    assert_eq!(store.latest().unwrap().unwrap().generation, 3, "torn squatter must not win");
+    assert!(!store.verify().unwrap().ok(), "a torn index file must fail verification");
+
+    // The writer path skips the squatter (generation 4 is taken by junk,
+    // so the next commit lands on 5) and gc restores a clean store.
+    let next = store.publish(&machine, "base", &synthetic_stores(0, 99)).unwrap();
+    assert_eq!(next, 5);
+    store.gc(2).unwrap();
+    let report = store.verify().unwrap();
+    assert!(report.ok(), "gc must reclaim the torn file: {:?}", report.problems);
+    assert_eq!(report.unreferenced, 0);
+    assert_eq!(report.tmp_strays, 0);
+    assert_eq!(store.latest().unwrap().unwrap().generation, 5);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Submit a job and wait for it to finish.
+fn run_job(addr: std::net::SocketAddr, spec: &str) -> String {
+    let (status, body) = client::request(addr, "POST", "/v1/jobs", Some(spec)).expect("submit");
+    assert_eq!(status, 202, "submit must be accepted: {body}");
+    let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+    let id = doc.get("id").and_then(|v| v.as_str()).expect("submit echoes the id").to_string();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(300);
+    loop {
+        let (_, doc) = client::request_json(addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+        match doc.get("state").and_then(|s| s.as_str()) {
+            Some("done") => return id,
+            Some("failed") => panic!("job {id} failed: {doc:?}"),
+            _ => {}
+        }
+        assert!(std::time::Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+/// Two daemons, one store: both publish into and warm-start from the same
+/// directory, concurrently, and the store must come out fsck-clean with
+/// every publication accounted for. Ignored in the default run (it runs
+/// several full sweeps); the nightly deep-verify lane includes it.
+#[test]
+#[ignore = "nightly: runs several full sweeps across two live daemons"]
+fn two_daemons_share_one_store_without_corruption() {
+    let base = scratch("two-daemons");
+    let store_dir = base.join("store");
+    let spec = r#"{"space": "capital-cholesky", "policy": "local", "smoke": true,
+                   "machine": "test", "persist_models": true, "store": true}"#;
+
+    let daemon = |tag: &str| {
+        let mut config = ServerConfig::new(base.join(tag)).with_store(&store_dir);
+        config.addr = "127.0.0.1:0".into();
+        config.job_workers = 2;
+        std::fs::create_dir_all(base.join(tag)).unwrap();
+        Server::start(config).expect("daemon starts")
+    };
+    let a = daemon("daemon-a");
+    let b = daemon("daemon-b");
+
+    // Two rounds on each daemon, interleaved: round two consumes what
+    // round one published.
+    let jobs_per_daemon = 2;
+    std::thread::scope(|s| {
+        for addr in [a.addr(), b.addr()] {
+            s.spawn(move || {
+                for _ in 0..jobs_per_daemon {
+                    run_job(addr, spec);
+                }
+            });
+        }
+    });
+
+    // Every job published exactly one generation.
+    let store = Store::open(&store_dir).unwrap();
+    let index = store.latest().unwrap().expect("publications landed");
+    assert_eq!(index.generation, 2 * jobs_per_daemon as u64);
+    assert_eq!(index.entries.len(), 2 * jobs_per_daemon);
+    let report = store.verify().unwrap();
+    assert!(report.ok(), "shared store corrupted: {:?}", report.problems);
+
+    // The census is visible over HTTP on both daemons, and blobs resolve.
+    for addr in [a.addr(), b.addr()] {
+        let (status, health) = client::request_json(addr, "GET", "/v1/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        let census = health.get("store").expect("store census in healthz");
+        assert_eq!(census.get("generation").and_then(|v| v.as_u64()), Some(index.generation));
+        assert_eq!(
+            census.get("entries").and_then(|v| v.as_u64()),
+            Some(index.entries.len() as u64)
+        );
+        let (status, listing) = client::request_json(addr, "GET", "/v1/store", None).unwrap();
+        assert_eq!(status, 200);
+        let entries = listing.get("entries").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(entries.len(), index.entries.len());
+        let blob = format!("{:013x}", index.entries[0].blob);
+        let (status, _) =
+            client::request_json(addr, "GET", &format!("/v1/store/blob/{blob}"), None).unwrap();
+        assert_eq!(status, 200);
+    }
+
+    a.shutdown();
+    b.shutdown();
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -26,6 +26,7 @@ struct Args {
     resume: bool,
     warm_start: Option<std::path::PathBuf>,
     profile_out: Option<std::path::PathBuf>,
+    store: Option<std::path::PathBuf>,
     faults: Option<f64>,
     retries: usize,
     backend: BackendKind,
@@ -42,7 +43,7 @@ fn usage() -> ! {
          \x20                 [--epsilon E=0.25] [--smoke] [--reps N=1]\n\
          \x20                 [--allocation A=0] [--extrapolate] [--no-overhead] [--profile] [--json]\n\
          \x20                 [--checkpoint-dir DIR] [--resume] [--warm-start FILE]\n\
-         \x20                 [--profile-out FILE] [--faults PANIC_PROB] [--retries N=2]\n\
+         \x20                 [--profile-out FILE] [--store DIR] [--faults PANIC_PROB] [--retries N=2]\n\
          \x20                 [--backend <threads|tasks>] [--seed N]\n\
          \x20                 [--observe] [--report-out FILE] [--metrics-out FILE]"
     );
@@ -65,6 +66,7 @@ fn parse_args() -> Args {
         resume: false,
         warm_start: None,
         profile_out: None,
+        store: None,
         faults: None,
         retries: 2,
         backend: BackendKind::default(),
@@ -130,6 +132,10 @@ fn parse_args() -> Args {
             "--profile-out" => {
                 i += 1;
                 args.profile_out = Some(argv.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--store" => {
+                i += 1;
+                args.store = Some(argv.get(i).map(Into::into).unwrap_or_else(|| usage()));
             }
             "--faults" => {
                 i += 1;
@@ -236,6 +242,9 @@ fn main() {
     }
     if let Some(path) = &args.profile_out {
         session = session.with_profile_out(path);
+    }
+    if let Some(dir) = &args.store {
+        session = session.with_store(dir);
     }
 
     eprintln!(
