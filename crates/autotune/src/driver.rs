@@ -290,14 +290,39 @@ pub struct SweepProgress {
     pub units_total: usize,
 }
 
+/// The progress hook's verdict on whether the sweep may proceed past the
+/// current committed-unit boundary (see [`Autotuner::with_progress`]).
+///
+/// Both stop verdicts are checkpoint-consistent: the boundary they fire at
+/// is persisted (even off the configured checkpoint cadence) before
+/// `tune_session` returns, so a later session resumes exactly there and
+/// produces a byte-identical report. The difference is intent —
+/// [`Cancel`](ProgressVerdict::Cancel) finalizes the job,
+/// [`Preempt`](ProgressVerdict::Preempt) pauses it to yield resources and
+/// expects the caller to re-run the same session later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressVerdict {
+    /// Keep sweeping.
+    Continue,
+    /// Pause at this boundary: `tune_session` checkpoints and returns
+    /// [`critter_core::CritterError::Preempted`].
+    Preempt,
+    /// Stop for good at this boundary: `tune_session` checkpoints and
+    /// returns [`critter_core::CritterError::Cancelled`].
+    Cancel,
+}
+
 /// Observer invoked by [`Autotuner::tune_session`] after every committed
-/// unit. Returning `false` stops the sweep at that unit boundary with
-/// [`critter_core::CritterError::Cancelled`]; everything committed so far is
-/// already checkpointed, so a later session resumes exactly where the hook
-/// stopped it. The hook is observational only — it runs after the unit's
-/// results (and checkpoint) are finalized, so it can never perturb report
-/// bytes.
-pub type ProgressHook = Arc<dyn Fn(SweepProgress) -> bool + Send + Sync>;
+/// unit. The returned [`ProgressVerdict`] decides whether the sweep
+/// continues, pauses ([`CritterError::Preempted`]), or stops
+/// ([`CritterError::Cancelled`]) at that unit boundary; either stop is
+/// checkpointed first, so a later session resumes exactly where the hook
+/// halted it. The hook is observational only — it runs after the unit's
+/// results are finalized, so it can never perturb report bytes.
+///
+/// [`CritterError::Preempted`]: critter_core::CritterError::Preempted
+/// [`CritterError::Cancelled`]: critter_core::CritterError::Cancelled
+pub type ProgressHook = Arc<dyn Fn(SweepProgress) -> ProgressVerdict + Send + Sync>;
 
 /// The exhaustive-search autotuner.
 pub struct Autotuner {
@@ -320,14 +345,17 @@ impl Autotuner {
     /// Install a progress hook: called with a [`SweepProgress`] snapshot
     /// after every `(config, rep)` unit [`Autotuner::tune_session`] commits
     /// (and once up front with the restored count when a checkpoint is
-    /// resumed). Returning `false` cancels the sweep at that boundary —
-    /// `tune_session` then returns [`critter_core::CritterError::Cancelled`]
-    /// and a later session resumes from the last checkpoint. Only session
-    /// sweeps report progress; the parallel [`Autotuner::tune`] schedule
-    /// does not.
+    /// resumed). The returned [`ProgressVerdict`] controls the sweep:
+    /// [`Preempt`](ProgressVerdict::Preempt) pauses it at that boundary
+    /// (`tune_session` checkpoints, then returns
+    /// [`critter_core::CritterError::Preempted`]) and
+    /// [`Cancel`](ProgressVerdict::Cancel) stops it for good (checkpoint,
+    /// then [`critter_core::CritterError::Cancelled`]); a later session
+    /// resumes from that exact boundary either way. Only session sweeps
+    /// report progress; the parallel [`Autotuner::tune`] schedule does not.
     pub fn with_progress(
         mut self,
-        hook: impl Fn(SweepProgress) -> bool + Send + Sync + 'static,
+        hook: impl Fn(SweepProgress) -> ProgressVerdict + Send + Sync + 'static,
     ) -> Self {
         self.progress = Some(Arc::new(hook));
         self
@@ -813,16 +841,25 @@ impl Autotuner {
             base.wrapping_add(((cfg_idx * reps + rep) * 3 + kind) as u64)
         };
         let units_total = workloads.len() * reps;
-        // Report a committed unit count to the progress hook; a `false`
-        // return cancels the sweep at this (already checkpointed) boundary.
-        let notify = |units_done: usize| -> critter_core::Result<()> {
+        // Ask the progress hook whether the sweep may proceed past a
+        // committed unit boundary.
+        let verdict = |units_done: usize| -> ProgressVerdict {
             match &self.progress {
-                Some(hook) if !hook(SweepProgress { units_done, units_total }) => {
-                    Err(critter_core::CritterError::cancelled(format!(
-                        "progress hook stopped the sweep at unit {units_done}/{units_total}"
-                    )))
-                }
-                _ => Ok(()),
+                Some(hook) => hook(SweepProgress { units_done, units_total }),
+                None => ProgressVerdict::Continue,
+            }
+        };
+        // Convert a stop verdict into the typed error `tune_session`
+        // surfaces; callers must have checkpointed the boundary first.
+        let stop = |v: ProgressVerdict, units_done: usize| -> critter_core::Result<()> {
+            match v {
+                ProgressVerdict::Continue => Ok(()),
+                ProgressVerdict::Preempt => Err(critter_core::CritterError::preempted(format!(
+                    "progress hook paused the sweep at unit {units_done}/{units_total}"
+                ))),
+                ProgressVerdict::Cancel => Err(critter_core::CritterError::cancelled(format!(
+                    "progress hook stopped the sweep at unit {units_done}/{units_total}"
+                ))),
             }
         };
 
@@ -929,7 +966,9 @@ impl Autotuner {
                 }
             }
         }
-        notify(units_done)?;
+        // The pre-sweep boundary is already durable (either the restored
+        // checkpoint or no work at all), so no extra checkpoint is needed.
+        stop(verdict(units_done), units_done)?;
 
         let keep = !self.opts.reset_between_configs;
         for (cfg_idx, w) in workloads.iter().enumerate() {
@@ -1016,6 +1055,7 @@ impl Autotuner {
                 result.pairs.push((full, tuned));
                 units_done = cfg_idx * reps + rep + 1;
 
+                let mut checkpointed = false;
                 if let Some(path) = &ckpt_path {
                     let boundary = rep + 1 == reps;
                     if boundary || units_done.is_multiple_of(cadence) {
@@ -1029,12 +1069,41 @@ impl Autotuner {
                             &obs_runs,
                             &session_events,
                         )?;
+                        checkpointed = true;
                         if let Some(log) = &log {
                             log.record(EventKind::Checkpoint, &name, units_done as f64)?;
                         }
                     }
                 }
-                notify(units_done)?;
+                let v = verdict(units_done);
+                if v != ProgressVerdict::Continue {
+                    // Checkpoint-on-stop: the hook halts the sweep at this
+                    // boundary, so persist it even off-cadence — the resumed
+                    // session must re-enter exactly here.
+                    if !checkpointed {
+                        if let Some(path) = &ckpt_path {
+                            self.write_checkpoint(
+                                path,
+                                fingerprint,
+                                units_done,
+                                &configs,
+                                &stores,
+                                &entry_state,
+                                &obs_runs,
+                                &session_events,
+                            )?;
+                            if let Some(log) = &log {
+                                log.record(EventKind::Checkpoint, &name, units_done as f64)?;
+                            }
+                        }
+                    }
+                    if v == ProgressVerdict::Preempt {
+                        if let Some(log) = &log {
+                            log.record(EventKind::Preempt, &name, units_done as f64)?;
+                        }
+                    }
+                    stop(v, units_done)?;
+                }
             }
             if quarantined {
                 // Abandon the configuration: drop the partial repetition,
@@ -1066,7 +1135,14 @@ impl Autotuner {
                         log.record(EventKind::Checkpoint, &name, units_done as f64)?;
                     }
                 }
-                notify(units_done)?;
+                // The quarantine boundary is already checkpointed above.
+                let v = verdict(units_done);
+                if v == ProgressVerdict::Preempt {
+                    if let Some(log) = &log {
+                        log.record(EventKind::Preempt, &name, units_done as f64)?;
+                    }
+                }
+                stop(v, units_done)?;
             }
         }
 
@@ -1170,7 +1246,7 @@ mod tests {
         let report = Autotuner::new(opts.clone())
             .with_progress(move |p| {
                 sink.lock().push(p);
-                true
+                ProgressVerdict::Continue
             })
             .tune_session(&w, &SessionConfig::new())
             .unwrap();
@@ -1182,12 +1258,63 @@ mod tests {
         // The hook is observational: the report matches a silent sweep's.
         assert_eq!(report, Autotuner::new(opts.clone()).tune(&w));
 
-        // Returning false stops the sweep with the typed Cancelled error.
+        // A Cancel verdict stops the sweep with the typed Cancelled error.
         let err = Autotuner::new(opts)
-            .with_progress(|p| p.units_done < 3)
+            .with_progress(|p| {
+                if p.units_done < 3 {
+                    ProgressVerdict::Continue
+                } else {
+                    ProgressVerdict::Cancel
+                }
+            })
             .tune_session(&w, &SessionConfig::new())
             .unwrap_err();
         assert!(err.is_cancelled(), "expected Cancelled, got {err}");
+    }
+
+    #[test]
+    fn preempt_checkpoints_off_cadence_and_resumes_byte_identically() {
+        let w = crate::TuningSpace::SlateCholesky.smoke();
+        let opts = TuningOptions::new(ExecutionPolicy::LocalPropagation, 0.25)
+            .with_test_machine()
+            .with_reps(2);
+        let total = w.len() * 2;
+        let dir = std::env::temp_dir().join(format!("critter-preempt-ckpt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        // Cadence far beyond the sweep: the only mid-sweep checkpoint can
+        // come from the checkpoint-on-preempt path.
+        let session = SessionConfig::new().with_checkpoint_dir(&dir).with_checkpoint_every(1000);
+        let err = Autotuner::new(opts.clone())
+            .with_progress(|p| {
+                if p.units_done < 3 {
+                    ProgressVerdict::Continue
+                } else {
+                    ProgressVerdict::Preempt
+                }
+            })
+            .tune_session(&w, &session)
+            .unwrap_err();
+        assert!(err.is_preempted(), "expected Preempted, got {err}");
+
+        // The resumed session must restart from exactly unit 3 …
+        let resumed: Arc<Mutex<Vec<SweepProgress>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&resumed);
+        let report = Autotuner::new(opts.clone())
+            .with_progress(move |p| {
+                sink.lock().push(p);
+                ProgressVerdict::Continue
+            })
+            .tune_session(&w, &session)
+            .unwrap();
+        assert_eq!(
+            resumed.lock().first(),
+            Some(&SweepProgress { units_done: 3, units_total: total }),
+            "resume must pick up at the preempted boundary"
+        );
+        // … and the stitched report must match an uncontended sweep's bytes.
+        let clean = Autotuner::new(opts).tune(&w);
+        assert_eq!(report.to_json_string(), clean.to_json_string());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -24,7 +24,8 @@ pub mod spaces;
 
 pub use critter_session::{SessionConfig, StalenessPolicy};
 pub use driver::{
-    Autotuner, ConfigResult, ProgressHook, RunRecord, SweepProgress, TuningOptions, TuningReport,
+    Autotuner, ConfigResult, ProgressHook, ProgressVerdict, RunRecord, SweepProgress,
+    TuningOptions, TuningReport,
 };
 pub use search::{search, SearchOutcome, SearchStrategy};
 pub use spaces::TuningSpace;

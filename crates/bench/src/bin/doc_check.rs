@@ -1,5 +1,6 @@
 //! Doc-drift gate: the CLI flag tables in `README.md` must match the
-//! binaries' actual `--help` output.
+//! binaries' actual `--help` output, and `docs/SERVICE.md` must match the
+//! service's compiled wire contract.
 //!
 //! For every block
 //!
@@ -12,9 +13,21 @@
 //! this tool runs the named sibling binary with `--help`, extracts the set
 //! of `--flag` tokens from its output, extracts the same from the README
 //! block, and fails (exit 1) on any difference — a flag added to a binary
-//! but not documented, or documented but since removed. CI runs it after
-//! `cargo build --release --workspace --bins`, so the README can never drift from the
-//! shipped interfaces.
+//! but not documented, or documented but since removed.
+//!
+//! For `docs/SERVICE.md` it additionally checks, against the linked
+//! `critter-serve` crate itself:
+//!
+//! * the error-code table rows (`| <status> | `<code>` | … |`) are exactly
+//!   [`ErrorCode::ALL`](critter_serve::ErrorCode::ALL) — every code the
+//!   service can emit is documented with its real status, and no
+//!   documented code has been removed from the enum;
+//! * the document states the current
+//!   [`API_VERSION`](critter_serve::API_VERSION) (the `**API version N**`
+//!   marker), so a version bump cannot ship without its docs.
+//!
+//! CI runs it after `cargo build --release --workspace --bins`, so neither
+//! document can drift from the shipped interfaces.
 //!
 //! ```text
 //! cargo build --release --workspace --bins && cargo run --release -p critter-bench --bin doc_check
@@ -23,6 +36,8 @@
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::Command;
+
+use critter_serve::{ErrorCode, API_VERSION};
 
 /// Flags every binary has implicitly; not required in the tables.
 const IGNORED: [&str; 2] = ["--help", "-h"];
@@ -108,6 +123,65 @@ fn readme_blocks(readme: &str) -> Result<Vec<(String, String)>, String> {
     Ok(blocks)
 }
 
+/// Extract `(status, code)` pairs from markdown table rows of the shape
+/// `| 429 | `quota_exceeded` | … |`.
+fn error_table_rows(text: &str) -> BTreeSet<(u16, String)> {
+    let mut rows = BTreeSet::new();
+    for line in text.lines() {
+        let mut cells = line.trim().split('|').map(str::trim);
+        let Some("") = cells.next() else { continue };
+        let Some(status) = cells.next().and_then(|c| c.parse::<u16>().ok()) else { continue };
+        let Some(code) = cells
+            .next()
+            .and_then(|c| c.strip_prefix('`'))
+            .and_then(|c| c.split_once('`'))
+            .map(|(code, _)| code)
+        else {
+            continue;
+        };
+        rows.insert((status, code.to_string()));
+    }
+    rows
+}
+
+/// `docs/SERVICE.md` must document exactly the compiled error-code enum
+/// and state the compiled API version. Returns whether it drifted.
+fn service_doc_drift(service_md: &str) -> bool {
+    let mut drifted = false;
+    let documented = error_table_rows(service_md);
+    let actual: BTreeSet<(u16, String)> =
+        ErrorCode::ALL.iter().map(|c| (c.status(), c.as_str().to_string())).collect();
+    for (status, code) in actual.difference(&documented) {
+        drifted = true;
+        eprintln!(
+            "doc_check: docs/SERVICE.md error table is missing `{code}` (status {status}) — \
+             the service can emit it"
+        );
+    }
+    for (status, code) in documented.difference(&actual) {
+        drifted = true;
+        eprintln!(
+            "doc_check: docs/SERVICE.md documents error code `{code}` (status {status}) \
+             but ErrorCode has no such variant"
+        );
+    }
+    let marker = format!("**API version {API_VERSION}**");
+    if !service_md.contains(&marker) {
+        drifted = true;
+        eprintln!(
+            "doc_check: docs/SERVICE.md does not state the current API version \
+             (expected the marker `{marker}`)"
+        );
+    }
+    if !drifted {
+        println!(
+            "doc_check: docs/SERVICE.md: {} error codes and API version {API_VERSION} in sync",
+            ErrorCode::ALL.len()
+        );
+    }
+    drifted
+}
+
 fn main() {
     let bin_dir = std::env::current_exe()
         .expect("current_exe")
@@ -118,6 +192,9 @@ fn main() {
     let readme_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../README.md");
     let readme = std::fs::read_to_string(&readme_path)
         .unwrap_or_else(|e| panic!("reading {}: {e}", readme_path.display()));
+    let service_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../docs/SERVICE.md");
+    let service_md = std::fs::read_to_string(&service_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", service_path.display()));
 
     let blocks = match readme_blocks(&readme) {
         Ok(b) => b,
@@ -153,9 +230,13 @@ fn main() {
             eprintln!("doc_check: {name}: README.md documents `{flag}` but --help does not");
         }
     }
+    if service_doc_drift(&service_md) {
+        drifted = true;
+    }
     if drifted {
         eprintln!(
-            "doc_check: README.md CLI tables drifted; update the doc-check blocks to match --help"
+            "doc_check: documentation drifted; update the README doc-check blocks to match \
+             --help and docs/SERVICE.md to match the compiled service contract"
         );
         std::process::exit(1);
     }

@@ -73,6 +73,15 @@ pub enum CritterError {
         /// What asked for the stop.
         detail: String,
     },
+    /// The sweep was paused by its progress hook to yield to other work
+    /// (see `Autotuner::with_progress`): like
+    /// [`Cancelled`](Self::Cancelled), a deliberate checkpoint-consistent
+    /// stop — but the caller intends to resume, so schedulers re-queue the
+    /// work instead of finalizing it.
+    Preempted {
+        /// What asked for the pause.
+        detail: String,
+    },
 }
 
 impl CritterError {
@@ -107,6 +116,17 @@ impl CritterError {
     pub fn is_cancelled(&self) -> bool {
         matches!(self, CritterError::Cancelled { .. })
     }
+
+    /// A deliberate [`Preempted`](Self::Preempted) pause.
+    pub fn preempted(detail: impl Into<String>) -> Self {
+        CritterError::Preempted { detail: detail.into() }
+    }
+
+    /// True for a deliberate [`Preempted`](Self::Preempted) pause — "stop
+    /// now, resume later" — as opposed to cancellation or a real failure.
+    pub fn is_preempted(&self) -> bool {
+        matches!(self, CritterError::Preempted { .. })
+    }
 }
 
 impl fmt::Display for CritterError {
@@ -126,6 +146,9 @@ impl fmt::Display for CritterError {
             }
             CritterError::Cancelled { detail } => {
                 write!(f, "sweep cancelled: {detail}")
+            }
+            CritterError::Preempted { detail } => {
+                write!(f, "sweep preempted: {detail}")
             }
         }
     }
@@ -156,8 +179,13 @@ mod tests {
         assert!(e.to_string().contains("epsilon"));
         let e = CritterError::cancelled("DELETE /v1/jobs/job-000001");
         assert!(e.is_cancelled());
+        assert!(!e.is_preempted());
         assert!(!CritterError::mismatch("d").is_cancelled());
         assert!(e.to_string().contains("cancelled"));
+        let e = CritterError::preempted("higher-priority job");
+        assert!(e.is_preempted());
+        assert!(!e.is_cancelled());
+        assert!(e.to_string().contains("preempted"));
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub enum EventKind {
     /// A session checkpoint was written; `arg` is the number of completed
     /// run units it covers.
     Checkpoint,
+    /// The sweep was preempted at a committed-unit boundary (the progress
+    /// hook returned a preempt verdict); `arg` is the number of units
+    /// committed — and checkpointed — at the preemption point.
+    Preempt,
     /// A session resumed from a checkpoint; `arg` is the number of run
     /// units restored from disk.
     Restore,
@@ -67,6 +71,7 @@ impl EventKind {
             EventKind::Retry => "retry",
             EventKind::Quarantine => "quarantine",
             EventKind::Checkpoint => "checkpoint",
+            EventKind::Preempt => "preempt",
             EventKind::Restore => "restore",
             EventKind::WarmStart => "warm_start",
         }
@@ -87,6 +92,7 @@ impl EventKind {
             "retry" => EventKind::Retry,
             "quarantine" => EventKind::Quarantine,
             "checkpoint" => EventKind::Checkpoint,
+            "preempt" => EventKind::Preempt,
             "restore" => EventKind::Restore,
             "warm_start" => EventKind::WarmStart,
             _ => return None,
@@ -185,6 +191,7 @@ mod tests {
             EventKind::Retry,
             EventKind::Quarantine,
             EventKind::Checkpoint,
+            EventKind::Preempt,
             EventKind::Restore,
             EventKind::WarmStart,
         ];
@@ -207,6 +214,7 @@ mod tests {
             EventKind::Retry,
             EventKind::Quarantine,
             EventKind::Checkpoint,
+            EventKind::Preempt,
             EventKind::Restore,
             EventKind::WarmStart,
         ] {

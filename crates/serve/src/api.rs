@@ -32,7 +32,7 @@ pub const POLICY_NAMES: [(&str, ExecutionPolicy); 6] = [
 ];
 
 /// Fields accepted in a job spec; anything else is a 400.
-const SPEC_FIELDS: [&str; 21] = [
+const SPEC_FIELDS: [&str; 23] = [
     "space",
     "policy",
     "epsilon",
@@ -54,7 +54,12 @@ const SPEC_FIELDS: [&str; 21] = [
     "profile",
     "store",
     "label",
+    "tenant",
+    "priority",
 ];
+
+/// Highest accepted `priority` value (priorities are `0..=PRIORITY_MAX`).
+pub const PRIORITY_MAX: u64 = 9;
 
 /// Fields accepted in the `faults` sub-object.
 const FAULT_FIELDS: [&str; 6] =
@@ -127,6 +132,13 @@ pub struct JobSpec {
     pub store: bool,
     /// Free-form client label echoed in status responses.
     pub label: Option<String>,
+    /// Tenant the job is accounted against for quota purposes (default
+    /// `"default"`; 1–64 characters of `[A-Za-z0-9._-]`).
+    pub tenant: String,
+    /// Scheduling priority, `0..=9` (default `0`); higher runs first, and
+    /// a higher-priority submission may preempt a lower-priority running
+    /// job at a committed-unit boundary.
+    pub priority: u8,
 }
 
 impl JobSpec {
@@ -216,6 +228,24 @@ impl JobSpec {
             ));
         }
 
+        let tenant = opt_str(map, "tenant")?.unwrap_or("default");
+        let tenant_ok = !tenant.is_empty()
+            && tenant.len() <= 64
+            && tenant
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-');
+        if !tenant_ok {
+            return Err(ServeError::BadRequest(format!(
+                "field `tenant` must be 1..=64 characters of [A-Za-z0-9._-], got `{tenant}`"
+            )));
+        }
+        let priority = opt_u64(map, "priority")?.unwrap_or(0);
+        if priority > PRIORITY_MAX {
+            return Err(ServeError::BadRequest(format!(
+                "field `priority` must be in 0..={PRIORITY_MAX}, got {priority}"
+            )));
+        }
+
         let spec = JobSpec {
             space,
             policy,
@@ -238,6 +268,8 @@ impl JobSpec {
             profile: opt_bool(map, "profile")?.unwrap_or(false),
             store: opt_bool(map, "store")?.unwrap_or(false),
             label: opt_str(map, "label")?.map(str::to_string),
+            tenant: tenant.to_string(),
+            priority: priority as u8,
         };
         if spec.warm_start.is_some() && spec.resets_between_configs() {
             return Err(ServeError::BadRequest(format!(
@@ -295,6 +327,7 @@ impl JobSpec {
             "machine": if self.test_machine { "test" } else { "stampede2-knl" },
             "observe": self.observe,
             "policy": self.policy_name(),
+            "priority": self.priority,
             "profile": self.profile,
             "reps": self.reps,
             "retries": self.retries,
@@ -303,6 +336,7 @@ impl JobSpec {
             "smoke": self.smoke,
             "space": self.space.name(),
             "store": self.store,
+            "tenant": self.tenant.as_str(),
         });
         let map = doc.as_object_mut().expect("doc is an object");
         if let Some(persist) = self.persist_models {
@@ -394,6 +428,13 @@ impl JobSpec {
     /// denominator of the job's progress counter.
     pub fn units_total(&self) -> usize {
         self.workloads().len() * self.reps
+    }
+
+    /// Simulated rank threads one run of this job leases from the shared
+    /// pool registry (every configuration in a space targets the same rank
+    /// count) — the unit per-tenant rank quotas are metered in.
+    pub fn ranks(&self) -> usize {
+        self.workloads().first().map(|w| w.ranks()).unwrap_or(0)
     }
 }
 
@@ -531,6 +572,9 @@ mod tests {
         assert_eq!(spec.seed, 0xC0FFEE);
         assert!(spec.charge_internal);
         assert!(!spec.smoke && !spec.observe && !spec.test_machine);
+        assert_eq!(spec.tenant, "default");
+        assert_eq!(spec.priority, 0);
+        assert!(spec.ranks() > 0, "every space targets at least one rank");
         let opts = spec.options();
         assert_eq!(opts.seed, 0xC0FFEE);
         assert!(opts.reset_between_configs);
@@ -544,7 +588,8 @@ mod tests {
             "machine": "test", "observe": true, "backend": "tasks",
             "shards": 2, "retries": 1, "label": "nightly",
             "faults": {"panic_prob": 0.1},
-            "profile": true
+            "profile": true,
+            "tenant": "team-a", "priority": 7
         }"#;
         let spec = JobSpec::from_json(text).unwrap();
         let canon = spec.to_json();
@@ -554,6 +599,8 @@ mod tests {
         assert_eq!(spec2.faults.unwrap().panic_prob, 0.1);
         assert_eq!(spec2.faults.unwrap().seed, 0xFA17);
         assert!(spec2.test_machine);
+        assert_eq!(spec2.tenant, "team-a");
+        assert_eq!(spec2.priority, 7);
     }
 
     #[test]
@@ -596,6 +643,16 @@ mod tests {
             (
                 r#"{"space": "slate-cholesky", "policy": "local", "profile": true}"#,
                 "persistent kernel models",
+            ),
+            (r#"{"space": "slate-cholesky", "policy": "local", "tenant": ""}"#, "field `tenant`"),
+            (
+                r#"{"space": "slate-cholesky", "policy": "local", "tenant": "team/a"}"#,
+                "field `tenant`",
+            ),
+            (r#"{"space": "slate-cholesky", "policy": "local", "priority": 10}"#, "0..=9"),
+            (
+                r#"{"space": "slate-cholesky", "policy": "local", "priority": "high"}"#,
+                "unsigned integer",
             ),
             ("[1, 2]", "must be a JSON object"),
             ("not json", "not valid JSON"),

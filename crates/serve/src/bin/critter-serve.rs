@@ -16,6 +16,9 @@ fn usage() -> ! {
          \x20                    [--data-dir DIR=critter-serve-data]\n\
          \x20                    [--job-workers N=2] [--http-workers N=4]\n\
          \x20                    [--queue-capacity N=64] [--store DIR]\n\
+         \x20                    [--tenant-max-queued N=16]\n\
+         \x20                    [--tenant-max-running N=2]\n\
+         \x20                    [--tenant-max-ranks N=0]\n\
          \n\
          Tuning-as-a-service daemon over the critter session engine.\n\
          Binds HOST:PORT (port 0 picks an ephemeral port), writes the bound\n\
@@ -23,7 +26,14 @@ fn usage() -> ! {
          On restart it recovers every job found there and resumes\n\
          unfinished sweeps from their checkpoints. With --store, jobs\n\
          whose spec sets \"store\": true share the content-addressed\n\
-         profile store at DIR (see docs/STORE.md). API reference:\n\
+         profile store at DIR (see docs/STORE.md).\n\
+         \n\
+         Jobs are scheduled by priority (spec field \"priority\", 0..=9,\n\
+         higher first); a higher-priority submission preempts a running\n\
+         lower-priority sweep at its next checkpointed unit boundary. The\n\
+         tenant-max flags cap each tenant's queued jobs, running jobs,\n\
+         and concurrently leased rank threads (0 = unlimited); submissions\n\
+         over a cap get a typed 429 `quota_exceeded`. API reference:\n\
          docs/SERVICE.md."
     );
     std::process::exit(2)
@@ -49,6 +59,15 @@ fn main() {
             }
             "--queue-capacity" => {
                 config.queue_capacity = take(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--tenant-max-queued" => {
+                config.tenant_max_queued = take(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--tenant-max-running" => {
+                config.tenant_max_running = take(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--tenant-max-ranks" => {
+                config.tenant_max_ranks = take(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--store" => config.store = Some(PathBuf::from(take(&mut i))),
             "--help" | "-h" => usage(),

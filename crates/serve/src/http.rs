@@ -31,6 +31,8 @@ pub struct Request {
     pub method: String,
     /// Decoded path with any query string stripped (`/v1/jobs/job-000001`).
     pub path: String,
+    /// Raw query string without the leading `?` (empty when absent).
+    pub query: String,
     /// Raw body bytes (empty when the request has no body).
     pub body: Vec<u8>,
 }
@@ -40,6 +42,28 @@ impl Request {
     pub fn body_utf8(&self) -> Result<&str, ServeError> {
         std::str::from_utf8(&self.body)
             .map_err(|_| ServeError::BadRequest("request body is not valid UTF-8".into()))
+    }
+
+    /// The value of query parameter `name`, if present. No percent
+    /// decoding: the parameters this API defines are plain integers.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
+
+    /// Parse query parameter `name` as an unsigned integer, defaulting to
+    /// `default` when absent. A non-numeric value is a typed 400.
+    pub fn query_u64(&self, name: &str, default: u64) -> Result<u64, ServeError> {
+        match self.query_param(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                ServeError::BadRequest(format!(
+                    "query parameter `{name}` must be an unsigned integer, got `{raw}`"
+                ))
+            }),
+        }
     }
 }
 
@@ -151,8 +175,11 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
         body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(content_length);
-    let path = target.split('?').next().unwrap_or(target).to_string();
-    Ok(Request { method: method.to_string(), path, body })
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    Ok(Request { method: method.to_string(), path, query, body })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -232,6 +259,23 @@ mod tests {
         for s in [200, 202, 400, 404, 405, 409, 413, 429, 500] {
             assert_ne!(reason(s), "Unknown", "status {s} needs a reason phrase");
         }
+    }
+
+    #[test]
+    fn query_params_parse_and_reject_garbage() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/v1/jobs/job-000001/events".into(),
+            query: "since=3&wait_ms=250&flag".into(),
+            body: Vec::new(),
+        };
+        assert_eq!(req.query_param("since"), Some("3"));
+        assert_eq!(req.query_param("flag"), Some(""));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.query_u64("since", 0).unwrap(), 3);
+        assert_eq!(req.query_u64("missing", 7).unwrap(), 7);
+        let err = Request { query: "since=lots".into(), ..req }.query_u64("since", 0).unwrap_err();
+        assert_eq!(err.status(), 400);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!   warm-start.json  inline warm-start profile, when the spec carries one
 //!   checkpoint.json  session-engine checkpoint (while running)
 //!   session.log      session-engine unit log
+//!   events.jsonl     append-only state/progress event log (streamed via
+//!                    GET /v1/jobs/{id}/events; reloaded on restart)
 //!   report.json      canonical TuningReport bytes (terminal: done)
 //!   metrics.txt      observability metrics, when the spec observes
 //!   profile.json     kernel-model profile, when the spec requests one
@@ -16,17 +18,21 @@
 //! ```
 //!
 //! The state machine is `queued → running → done | failed | cancelled`,
-//! and terminal states are exactly the presence of a terminal artifact —
-//! which is why a killed daemon can rebuild its registry by re-listing the
-//! job directories: jobs with no terminal artifact re-enter the queue and
-//! the session engine resumes them from their checkpoint.
+//! with a `preempted` detour (`running → preempted → running`) when a
+//! higher-priority submission pauses a sweep at a committed unit boundary.
+//! Terminal states are exactly the presence of a terminal artifact — which
+//! is why a killed daemon can rebuild its registry by re-listing the job
+//! directories: jobs with no terminal artifact (including jobs killed
+//! while preempted) re-enter the queue and the session engine resumes them
+//! from their checkpoint.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use serde_json::Value;
 
 use crate::api::JobSpec;
@@ -39,6 +45,9 @@ pub enum JobState {
     Queued,
     /// A worker is sweeping (or resuming) it.
     Running,
+    /// Paused at a checkpointed unit boundary to yield its worker to a
+    /// higher-priority job; back in the queue and will resume.
+    Preempted,
     /// Finished; `report.json` is served verbatim.
     Done,
     /// The sweep returned an error; see `error.json`.
@@ -55,6 +64,7 @@ impl JobState {
         match self {
             JobState::Queued => "queued",
             JobState::Running => "running",
+            JobState::Preempted => "preempted",
             JobState::Done => "done",
             JobState::Failed => "failed",
             JobState::Cancelled => "cancelled",
@@ -64,6 +74,128 @@ impl JobState {
     /// Whether the state is terminal.
     pub fn is_terminal(self) -> bool {
         matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+}
+
+/// Append-only per-job event log: the in-memory mirror of the job
+/// directory's `events.jsonl`.
+///
+/// Line `i` (0-based) always carries `"seq": i + 1`, so a client that has
+/// seen `seq <= N` asks for `?since=N` and gets exactly the suffix. Writers
+/// append under the lock and notify the condvar, which is what makes the
+/// long-poll `GET /v1/jobs/{id}/events` endpoint cheap: waiters block on
+/// the condvar instead of spinning on the file.
+pub struct JobEvents {
+    lines: Mutex<Vec<String>>,
+    cv: Condvar,
+}
+
+impl JobEvents {
+    /// An empty log.
+    pub fn new() -> JobEvents {
+        JobEvents { lines: Mutex::new(Vec::new()), cv: Condvar::new() }
+    }
+
+    /// Reload a log from `events.jsonl`, tolerating a torn tail: parsing
+    /// stops at the first line that is not valid JSON with the expected
+    /// `seq` (a daemon killed mid-append leaves at most one such line).
+    pub fn load(path: &Path) -> JobEvents {
+        let mut lines = Vec::new();
+        if let Ok(text) = std::fs::read_to_string(path) {
+            for line in text.lines() {
+                let Ok(doc) = serde_json::from_str(line) else { break };
+                let expected = lines.len() as u64 + 1;
+                if doc.get("seq").and_then(Value::as_u64) != Some(expected) {
+                    break;
+                }
+                lines.push(line.to_string());
+            }
+        }
+        JobEvents { lines: Mutex::new(lines), cv: Condvar::new() }
+    }
+
+    /// Append an event (the `seq` field is assigned here), mirroring it to
+    /// `file` when given. File errors are swallowed: the in-memory log and
+    /// the waiters' wakeup must not depend on the disk.
+    fn append(&self, file: Option<&Path>, doc: &mut Value) {
+        let mut lines = self.lines.lock();
+        let seq = lines.len() as u64 + 1;
+        doc.as_object_mut()
+            .expect("events are objects")
+            .insert("seq".into(), serde_json::json!(seq));
+        let line = serde_json::to_string(doc).expect("json writer is total");
+        if let Some(path) = file {
+            use std::io::Write as _;
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| writeln!(f, "{line}"));
+            if let Err(e) = appended {
+                eprintln!("critter-serve: appending to {}: {e}", path.display());
+            }
+        }
+        lines.push(line);
+        self.cv.notify_all();
+    }
+
+    /// Events with `seq > since`, plus the highest `seq` in the log (the
+    /// client's next `since`).
+    pub fn since(&self, since: u64) -> (Vec<Value>, u64) {
+        let lines = self.lines.lock();
+        let next = lines.len() as u64;
+        let skip = (since.min(next)) as usize;
+        let events = lines[skip..]
+            .iter()
+            .map(|l| serde_json::from_str(l).expect("log lines are valid JSON"))
+            .collect();
+        (events, next)
+    }
+
+    /// Like [`JobEvents::since`], but blocks up to `timeout` for an event
+    /// with `seq > since` to arrive.
+    pub fn wait_since(&self, since: u64, timeout: Duration) -> (Vec<Value>, u64) {
+        let deadline = Instant::now() + timeout;
+        let mut lines = self.lines.lock();
+        while lines.len() as u64 <= since {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let timed_out = self.cv.wait_for(&mut lines, deadline - now);
+            if timed_out.timed_out() {
+                break;
+            }
+        }
+        let next = lines.len() as u64;
+        let skip = (since.min(next)) as usize;
+        let events = lines[skip..]
+            .iter()
+            .map(|l| serde_json::from_str(l).expect("log lines are valid JSON"))
+            .collect();
+        (events, next)
+    }
+
+    /// Number of events in the log.
+    pub fn len(&self) -> u64 {
+        self.lines.lock().len() as u64
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lines.lock().is_empty()
+    }
+}
+
+impl Default for JobEvents {
+    fn default() -> Self {
+        JobEvents::new()
+    }
+}
+
+impl std::fmt::Debug for JobEvents {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobEvents").field("len", &self.len()).finish()
     }
 }
 
@@ -82,6 +214,8 @@ pub struct JobEntry {
     pub error: Option<String>,
     /// Set by `DELETE`; the progress hook observes it at unit boundaries.
     pub cancel: Arc<AtomicBool>,
+    /// The job's ordered state/progress event log (see [`JobEvents`]).
+    pub events: Arc<JobEvents>,
 }
 
 /// The daemon's job table, backed by the data directory.
@@ -137,6 +271,7 @@ impl Registry {
                 pending.push(id.clone());
                 (JobState::Queued, 0, None)
             };
+            let events = Arc::new(JobEvents::load(&dir.join("events.jsonl")));
             jobs.insert(
                 id,
                 JobEntry {
@@ -146,6 +281,7 @@ impl Registry {
                     units_total,
                     error,
                     cancel: Arc::new(AtomicBool::new(false)),
+                    events,
                 },
             );
         }
@@ -154,6 +290,11 @@ impl Registry {
             jobs: Mutex::new(jobs),
             next_id: AtomicU64::new(max_seq + 1),
         };
+        // Recovered unfinished jobs re-enter the queue; say so in their
+        // event logs, so a streaming client sees the restart seam.
+        for id in &pending {
+            registry.emit_state(id, JobState::Queued);
+        }
         Ok((registry, pending))
     }
 
@@ -190,8 +331,10 @@ impl Registry {
                 units_total,
                 error: None,
                 cancel: Arc::new(AtomicBool::new(false)),
+                events: Arc::new(JobEvents::new()),
             },
         );
+        self.emit_state(&id, JobState::Queued);
         Ok(id)
     }
 
@@ -216,12 +359,22 @@ impl Registry {
         self.jobs.lock().keys().cloned().collect()
     }
 
+    /// Per-tenant job totals across all states, for `GET /v1/tenants`.
+    pub fn tenant_counts(&self) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        for entry in self.jobs.lock().values() {
+            *counts.entry(entry.spec.tenant.clone()).or_insert(0) += 1;
+        }
+        counts
+    }
+
     /// Count of jobs per state, for `/v1/healthz`.
     pub fn state_counts(&self) -> BTreeMap<&'static str, usize> {
         let mut counts = BTreeMap::new();
         for state in [
             JobState::Queued,
             JobState::Running,
+            JobState::Preempted,
             JobState::Done,
             JobState::Failed,
             JobState::Cancelled,
@@ -234,8 +387,12 @@ impl Registry {
         counts
     }
 
-    /// Transition `id` to `state` (with an error detail for failures).
+    /// Transition `id` to `state` (with an error detail for failures) and
+    /// append the matching `state` event to the job's log. The event lands
+    /// before the state becomes visible, so a client that has observed the
+    /// transition via a status poll always finds the matching event.
     pub fn set_state(&self, id: &str, state: JobState, error: Option<String>) {
+        self.emit_state(id, state);
         if let Some(entry) = self.jobs.lock().get_mut(id) {
             entry.state = state;
             if state == JobState::Done {
@@ -245,11 +402,27 @@ impl Registry {
         }
     }
 
-    /// Record committed progress for `id`.
+    /// Record committed progress for `id` and append a `progress` event.
     pub fn set_progress(&self, id: &str, units_done: usize) {
-        if let Some(entry) = self.jobs.lock().get_mut(id) {
+        let (events, units_total) = {
+            let mut jobs = self.jobs.lock();
+            let Some(entry) = jobs.get_mut(id) else { return };
             entry.units_done = units_done;
-        }
+            (entry.events.clone(), entry.units_total)
+        };
+        let mut doc = serde_json::json!({
+            "kind": "progress",
+            "units_done": units_done,
+            "units_total": units_total,
+        });
+        events.append(Some(&self.job_dir(id).join("events.jsonl")), &mut doc);
+    }
+
+    /// Append a `state` event to `id`'s log (no state mutation).
+    fn emit_state(&self, id: &str, state: JobState) {
+        let Some(events) = self.jobs.lock().get(id).map(|e| e.events.clone()) else { return };
+        let mut doc = serde_json::json!({ "kind": "state", "state": state.name() });
+        events.append(Some(&self.job_dir(id).join("events.jsonl")), &mut doc);
     }
 
     /// Request cancellation of a queued or running job. The flag is
@@ -401,6 +574,60 @@ mod tests {
             progress.get("units_total").unwrap().as_u64()
         );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn event_log_appends_persists_and_tolerates_torn_tail() {
+        let dir = temp_dir("events");
+        let (registry, _) = Registry::open(&dir).unwrap();
+        let id = registry.create(spec()).unwrap();
+        registry.set_state(&id, JobState::Running, None);
+        registry.set_progress(&id, 1);
+        registry.set_state(&id, JobState::Preempted, None);
+
+        let entry = registry.get(&id).unwrap();
+        let (events, next) = entry.events.since(0);
+        assert_eq!(next, 4);
+        let kinds: Vec<&str> =
+            events.iter().map(|e| e.get("kind").unwrap().as_str().unwrap()).collect();
+        assert_eq!(kinds, ["state", "state", "progress", "state"]);
+        assert_eq!(events[3].get("state").unwrap().as_str(), Some("preempted"));
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.get("seq").unwrap().as_u64(), Some(i as u64 + 1));
+        }
+        // `since` returns only the suffix.
+        let (tail, _) = entry.events.since(3);
+        assert_eq!(tail.len(), 1);
+
+        // Simulate a daemon killed mid-append: a torn final line must be
+        // dropped on reload, everything before it preserved.
+        let path = registry.job_dir(&id).join("events.jsonl");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"kind\": \"state\", \"se");
+        std::fs::write(&path, &bytes).unwrap();
+        drop(registry);
+        let (reopened, _) = Registry::open(&dir).unwrap();
+        let entry = reopened.get(&id).unwrap();
+        // 4 surviving events + the recovery re-queue event appended by open.
+        let (events, next) = entry.events.since(0);
+        assert_eq!(next, 5);
+        assert_eq!(events[4].get("state").unwrap().as_str(), Some("queued"));
+        assert_eq!(events[4].get("seq").unwrap().as_u64(), Some(5));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wait_since_returns_immediately_when_events_exist() {
+        let ev = JobEvents::new();
+        let mut doc = serde_json::json!({ "kind": "state", "state": "queued" });
+        ev.append(None, &mut doc);
+        let (events, next) = ev.wait_since(0, Duration::from_secs(5));
+        assert_eq!((events.len(), next), (1, 1));
+        // And times out quickly when there is nothing new.
+        let started = Instant::now();
+        let (events, next) = ev.wait_since(1, Duration::from_millis(50));
+        assert!(events.is_empty() && next == 1);
+        assert!(started.elapsed() < Duration::from_secs(2));
     }
 
     #[test]

@@ -37,7 +37,15 @@ pub mod job;
 pub mod scheduler;
 pub mod server;
 
+/// The service API's wire version, reported by `GET /v1/healthz` under
+/// `api.version`. It bumps only on breaking changes to request or response
+/// shapes; additive fields and endpoints do not bump it. `docs/SERVICE.md`
+/// states the version it documents, and the `doc_check` bin fails CI when
+/// the two drift apart.
+pub const API_VERSION: u64 = 2;
+
 pub use api::JobSpec;
-pub use error::ServeError;
+pub use error::{ErrorCode, ServeError};
 pub use job::{JobState, Registry};
+pub use scheduler::{JobTicket, QuotaConfig, SchedCore, Scheduler, TenantUsage};
 pub use server::{Server, ServerConfig};

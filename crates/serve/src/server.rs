@@ -4,11 +4,13 @@
 //!
 //! | Method   | Path                    | Purpose                                |
 //! |----------|-------------------------|----------------------------------------|
-//! | `GET`    | `/v1/healthz`           | liveness + job-state counts            |
+//! | `GET`    | `/v1/healthz`           | liveness + API version + job-state counts |
+//! | `GET`    | `/v1/tenants`           | per-tenant usage + the quotas in force |
 //! | `GET`    | `/v1/jobs`              | list jobs in submission order          |
-//! | `POST`   | `/v1/jobs`              | submit a job spec (202, or 429 on backpressure) |
+//! | `POST`   | `/v1/jobs`              | submit a job spec (202, or typed 429)  |
 //! | `GET`    | `/v1/jobs/{id}`         | status: state machine + progress       |
-//! | `DELETE` | `/v1/jobs/{id}`         | cancel at the next unit boundary       |
+//! | `DELETE` | `/v1/jobs/{id}`         | cancel (queued: immediate; running: next unit boundary) |
+//! | `GET`    | `/v1/jobs/{id}/events`  | ordered event log, long-polls with `?since=N&wait_ms=T` |
 //! | `GET`    | `/v1/jobs/{id}/report`  | canonical `TuningReport` bytes         |
 //! | `GET`    | `/v1/jobs/{id}/metrics` | observability metrics text             |
 //! | `GET`    | `/v1/jobs/{id}/profile` | kernel-model warm-start profile        |
@@ -25,6 +27,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -34,7 +37,12 @@ use crate::api::JobSpec;
 use crate::error::ServeError;
 use crate::http::{read_request, write_response, Request, Response};
 use crate::job::{JobState, Registry};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{JobTicket, QuotaConfig, Scheduler};
+use crate::API_VERSION;
+
+/// Cap on one long-poll wait (`wait_ms` is clamped to this), comfortably
+/// below the connection read timeout so a waiting client never times out.
+pub const MAX_EVENT_WAIT: Duration = Duration::from_secs(8);
 
 /// Daemon configuration (the `critter-serve` CLI flags).
 #[derive(Debug, Clone)]
@@ -50,6 +58,12 @@ pub struct ServerConfig {
     pub http_workers: usize,
     /// Bounded job-queue depth (beyond it, submissions get 429).
     pub queue_capacity: usize,
+    /// Per-tenant cap on queued jobs (`0` = unlimited).
+    pub tenant_max_queued: usize,
+    /// Per-tenant cap on running jobs (`0` = unlimited).
+    pub tenant_max_running: usize,
+    /// Per-tenant cap on concurrently leased rank threads (`0` = unlimited).
+    pub tenant_max_ranks: usize,
     /// Shared content-addressed profile store (`--store`). Jobs whose
     /// spec sets `"store": true` warm-start from it and publish back into
     /// it; the `/v1/store` endpoints expose its census and blobs.
@@ -65,7 +79,19 @@ impl ServerConfig {
             job_workers: 2,
             http_workers: 4,
             queue_capacity: 64,
+            tenant_max_queued: 16,
+            tenant_max_running: 2,
+            tenant_max_ranks: 0,
             store: None,
+        }
+    }
+
+    /// The per-tenant quotas this configuration implies.
+    pub fn quota(&self) -> QuotaConfig {
+        QuotaConfig {
+            max_queued: self.tenant_max_queued,
+            max_running: self.tenant_max_running,
+            max_ranks: self.tenant_max_ranks,
         }
     }
 
@@ -106,25 +132,16 @@ impl Server {
             registry.clone(),
             config.job_workers,
             config.queue_capacity,
+            config.quota(),
             config.store.clone(),
         ));
 
-        // Recovered jobs re-enter the queue in submission order. This runs
-        // on its own thread: with more recovered jobs than queue slots the
-        // blocking sends drain as workers pick jobs up, and the daemon
-        // starts serving immediately either way.
-        if !pending.is_empty() {
-            let scheduler = scheduler.clone();
-            std::thread::Builder::new()
-                .name("critter-serve-recover".into())
-                .spawn(move || {
-                    for id in pending {
-                        if scheduler.enqueue_blocking(id).is_err() {
-                            return;
-                        }
-                    }
-                })
-                .expect("spawning the recovery thread");
+        // Recovered jobs re-enter the queue in submission order. They were
+        // admitted before the restart, so they bypass the queue bound and
+        // the tenant quotas; the priority queue still orders them.
+        for id in pending {
+            let Ok(entry) = registry.get(&id) else { continue };
+            scheduler.enqueue_recovered(ticket_for(&id, &entry.spec));
         }
 
         let listener = TcpListener::bind(&config.addr)?;
@@ -237,6 +254,9 @@ fn route(
         ("GET", ["v1", "healthz"]) => Ok(healthz(registry, store)),
         (_, ["v1", "healthz"]) => method_not_allowed(method, "GET"),
 
+        ("GET", ["v1", "tenants"]) => Ok(tenants(registry, scheduler)),
+        (_, ["v1", "tenants"]) => method_not_allowed(method, "GET"),
+
         ("GET", ["v1", "jobs"]) => Ok(Response::json(200, registry.list_json())),
         ("POST", ["v1", "jobs"]) => submit(registry, scheduler, store, request),
         (_, ["v1", "jobs"]) => method_not_allowed(method, "GET, POST"),
@@ -244,9 +264,17 @@ fn route(
         ("GET", ["v1", "jobs", id]) => Ok(Response::json(200, registry.status_json(id)?)),
         ("DELETE", ["v1", "jobs", id]) => {
             registry.cancel(id)?;
+            // A still-queued job is finalized right here: out of the queue,
+            // quota slot released, `cancelled.json` written. A running job
+            // keeps the old contract — its flag stops the sweep at the next
+            // committed unit boundary.
+            scheduler.cancel_queued(registry, id);
             Ok(Response::json(202, registry.status_json(id)?))
         }
         (_, ["v1", "jobs", _]) => method_not_allowed(method, "GET, DELETE"),
+
+        ("GET", ["v1", "jobs", id, "events"]) => events(registry, id, request),
+        (_, ["v1", "jobs", _, "events"]) => method_not_allowed(method, "GET"),
 
         ("GET", ["v1", "jobs", id, "report"]) => artifact(registry, id, "report.json", true),
         ("GET", ["v1", "jobs", id, "metrics"]) => artifact(registry, id, "metrics.txt", false),
@@ -279,6 +307,7 @@ fn healthz(registry: &Registry, store: &Option<Store>) -> Response {
     let mut doc = serde_json::json!({
         "ok": true,
         "version": env!("CARGO_PKG_VERSION"),
+        "api": serde_json::json!({ "version": API_VERSION }),
         "jobs": serde_json::Value::Object(jobs),
     });
     // The store census appears only on daemons started with --store, so
@@ -300,6 +329,59 @@ fn healthz(registry: &Registry, store: &Option<Store>) -> Response {
     let mut body = serde_json::to_string_pretty(&doc).expect("json writer is total");
     body.push('\n');
     Response::json(200, body)
+}
+
+/// `GET /v1/tenants`: the quotas in force plus, per tenant, the total job
+/// count and the live queued/running/rank-lease usage.
+fn tenants(registry: &Registry, scheduler: &Scheduler) -> Response {
+    let (usage, quota) = scheduler.tenant_usage();
+    let mut tenants = serde_json::Map::new();
+    for (tenant, jobs) in registry.tenant_counts() {
+        let live = usage.get(&tenant).copied().unwrap_or_default();
+        tenants.insert(
+            tenant,
+            serde_json::json!({
+                "jobs": jobs,
+                "queued": live.queued,
+                "running": live.running,
+                "running_ranks": live.running_ranks,
+            }),
+        );
+    }
+    let doc = serde_json::json!({
+        "quotas": serde_json::json!({
+            "max_queued": quota.max_queued,
+            "max_running": quota.max_running,
+            "max_ranks": quota.max_ranks,
+        }),
+        "tenants": serde_json::Value::Object(tenants),
+    });
+    let mut body = serde_json::to_string_pretty(&doc).expect("json writer is total");
+    body.push('\n');
+    Response::json(200, body)
+}
+
+/// `GET /v1/jobs/{id}/events?since=N&wait_ms=T`: the ordered event log
+/// suffix after seq `N`, long-polling up to `T` milliseconds when it is
+/// empty and the job is still live. The response's `next` is the client's
+/// next `since`.
+fn events(registry: &Arc<Registry>, id: &str, request: &Request) -> Result<Response, ServeError> {
+    let since = request.query_u64("since", 0)?;
+    let wait = Duration::from_millis(request.query_u64("wait_ms", 0)?).min(MAX_EVENT_WAIT);
+    let entry = registry.get(id)?;
+    let (events, next) = entry.events.since(since);
+    let (events, next) = if events.is_empty() && !wait.is_zero() && !entry.state.is_terminal() {
+        entry.events.wait_since(since, wait)
+    } else {
+        (events, next)
+    };
+    let doc = serde_json::json!({
+        "events": serde_json::Value::Array(events),
+        "next": next,
+    });
+    let mut body = serde_json::to_string_pretty(&doc).expect("json writer is total");
+    body.push('\n');
+    Ok(Response::json(200, body))
 }
 
 fn store_census(store: &Option<Store>) -> Result<Response, ServeError> {
@@ -351,18 +433,31 @@ fn submit(
                 .into(),
         ));
     }
+    let ticket_spec = spec.clone();
     let id = registry.create(spec)?;
     // Snapshot the status document before handing the job to the workers,
     // so the response deterministically shows the submit-time state
     // (`queued`, zero progress) even if a worker dequeues it immediately.
     let body = registry.status_json(&id)?;
-    if let Err(e) = scheduler.enqueue(id.clone()) {
-        // Backpressure: roll the whole submission back so a rejected job
-        // leaves no trace in the registry or on disk.
+    if let Err(e) = scheduler.enqueue(ticket_for(&id, &ticket_spec)) {
+        // Backpressure or an exceeded tenant quota: roll the whole
+        // submission back so a rejected job leaves no trace in the
+        // registry or on disk.
         registry.discard(&id);
         return Err(e);
     }
     Ok(Response::json(202, body))
+}
+
+/// The scheduler's view of a job: id, tenant, priority, and the rank
+/// threads its sweep leases.
+fn ticket_for(id: &str, spec: &JobSpec) -> JobTicket {
+    JobTicket {
+        id: id.to_string(),
+        tenant: spec.tenant.clone(),
+        priority: spec.priority,
+        ranks: spec.ranks(),
+    }
 }
 
 /// Serve a terminal artifact's bytes verbatim. `json` selects the

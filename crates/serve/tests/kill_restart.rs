@@ -123,3 +123,129 @@ fn sigkill_mid_sweep_then_restart_resumes_to_identical_report() {
     daemon.wait().expect("reaping the second daemon");
     std::fs::remove_dir_all(&data_dir).unwrap();
 }
+
+const LOW_PRI_SPEC: &str = r#"{
+    "space": "slate-cholesky", "policy": "local", "epsilon": 0.25,
+    "smoke": true, "machine": "test", "reps": 120, "seed": 5, "priority": 0
+}"#;
+const HIGH_PRI_SPEC: &str = r#"{
+    "space": "slate-qr", "policy": "online", "epsilon": 0.25,
+    "smoke": true, "machine": "test", "seed": 9, "priority": 9,
+    "tenant": "urgent"
+}"#;
+
+/// The compounding drill: preempt a running job, `kill -9` the daemon
+/// while the preempted job sits in the queue, restart, and *both* jobs
+/// must still finish with reports byte-identical to uncontended runs. A
+/// preempted job's checkpoint is its whole identity — the restart must
+/// treat it exactly like any other recovered job.
+#[test]
+fn sigkill_while_preempted_then_restart_resumes_both_jobs_identically() {
+    let data_dir = temp_dir("preempted");
+    std::fs::create_dir_all(&data_dir).unwrap();
+
+    let low_spec = JobSpec::from_json(LOW_PRI_SPEC).expect("low spec parses");
+    let expected_low = critter_autotune::Autotuner::new(low_spec.options())
+        .tune(&low_spec.workloads())
+        .to_json_string();
+    let high_spec = JobSpec::from_json(HIGH_PRI_SPEC).expect("high spec parses");
+    let expected_high = critter_autotune::Autotuner::new(high_spec.options())
+        .tune(&high_spec.workloads())
+        .to_json_string();
+
+    let mut daemon = start_daemon(&data_dir);
+    let addr = wait_for_addr(&data_dir);
+    let (status, doc) =
+        client::request_json(addr, "POST", "/v1/jobs", Some(LOW_PRI_SPEC)).expect("submit low");
+    assert_eq!(status, 202, "low submit failed: {doc:?}");
+    let low_id = doc.get("id").unwrap().as_str().unwrap().to_string();
+
+    // Let the low-priority sweep commit at least one unit, then submit the
+    // high-priority job and wait until the low one is actually preempted.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (state, done) = progress_of(addr, &low_id);
+        assert_ne!(state, "failed");
+        if state == "running" && done >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "low job made no progress");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let (status, doc) =
+        client::request_json(addr, "POST", "/v1/jobs", Some(HIGH_PRI_SPEC)).expect("submit high");
+    assert_eq!(status, 202, "high submit failed: {doc:?}");
+    let high_id = doc.get("id").unwrap().as_str().unwrap().to_string();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let killed_while_preempted = loop {
+        let (state, _) = progress_of(addr, &low_id);
+        assert_ne!(state, "failed");
+        if state == "preempted" {
+            break true;
+        }
+        if state == "done" {
+            break false; // sweep outran the preemption; recovery is still exercised
+        }
+        assert!(Instant::now() < deadline, "low job was never preempted");
+        std::thread::sleep(Duration::from_millis(1));
+    };
+
+    // SIGKILL with the preempted job parked in the queue and the
+    // high-priority job mid-sweep.
+    daemon.kill().expect("SIGKILL");
+    daemon.wait().expect("reaping the killed daemon");
+
+    let mut daemon = start_daemon(&data_dir);
+    let addr = wait_for_addr(&data_dir);
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        let (low_state, _) = progress_of(addr, &low_id);
+        let (high_state, _) = progress_of(addr, &high_id);
+        assert_ne!(low_state, "failed", "resumed low job failed");
+        assert_ne!(high_state, "failed", "resumed high job failed");
+        if low_state == "done" && high_state == "done" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "resumed jobs never finished");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let (status, low_report) =
+        client::request(addr, "GET", &format!("/v1/jobs/{low_id}/report"), None)
+            .expect("low report");
+    assert_eq!(status, 200);
+    assert_eq!(
+        low_report, expected_low,
+        "preempted+killed report differs from an uninterrupted run \
+         (killed while preempted: {killed_while_preempted})"
+    );
+    let (status, high_report) =
+        client::request(addr, "GET", &format!("/v1/jobs/{high_id}/report"), None)
+            .expect("high report");
+    assert_eq!(status, 200);
+    assert_eq!(high_report, expected_high);
+
+    // The event log survived the kill: the pre-kill `preempted` event is
+    // still there, followed by the post-restart re-queue and resume.
+    if killed_while_preempted {
+        let (status, events) =
+            client::request_json(addr, "GET", &format!("/v1/jobs/{low_id}/events"), None)
+                .expect("events");
+        assert_eq!(status, 200);
+        let states: Vec<&str> = events
+            .get("events")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("kind").unwrap().as_str() == Some("state"))
+            .map(|e| e.get("state").unwrap().as_str().unwrap())
+            .collect();
+        assert!(states.contains(&"preempted"), "persisted log lost the preemption: {states:?}");
+        assert_eq!(states.last(), Some(&"done"));
+    }
+
+    daemon.kill().expect("stopping the second daemon");
+    daemon.wait().expect("reaping the second daemon");
+    std::fs::remove_dir_all(&data_dir).unwrap();
+}

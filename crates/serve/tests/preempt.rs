@@ -1,0 +1,131 @@
+//! The preemption drill: a higher-priority submission pauses a running
+//! lower-priority sweep at a committed unit boundary, takes its worker,
+//! and both jobs still finish with reports byte-identical to uncontended
+//! in-process runs — the service-level restatement of the checkpoint
+//! resume guarantee, with scheduling contention instead of a kill.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use critter_serve::http::client;
+use critter_serve::{JobSpec, Server, ServerConfig};
+
+// Long enough that the high-priority submission lands mid-sweep.
+const LOW_SPEC: &str = r#"{
+    "space": "slate-cholesky", "policy": "local", "epsilon": 0.25,
+    "smoke": true, "machine": "test", "reps": 120, "seed": 3, "priority": 1
+}"#;
+const HIGH_SPEC: &str = r#"{
+    "space": "slate-qr", "policy": "online", "epsilon": 0.25,
+    "smoke": true, "machine": "test", "seed": 11, "priority": 5,
+    "tenant": "urgent"
+}"#;
+
+fn wait_done(addr: SocketAddr, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        let (_, doc) = client::request_json(addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+        match doc.get("state").and_then(|s| s.as_str()) {
+            Some("done") => return,
+            Some("failed") => panic!("job {id} failed: {doc:?}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn high_priority_submission_preempts_and_both_reports_stay_byte_identical() {
+    let data_dir: PathBuf =
+        std::env::temp_dir().join(format!("critter-serve-preempt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let mut config = ServerConfig::new(&data_dir);
+    config.addr = "127.0.0.1:0".into();
+    config.job_workers = 1; // one worker forces the contention
+    let server = Server::start(config).expect("server starts");
+    let addr = server.addr();
+
+    // The uncontended truths, computed in-process from the same specs.
+    let low_spec = JobSpec::from_json(LOW_SPEC).unwrap();
+    let expected_low = critter_autotune::Autotuner::new(low_spec.options())
+        .tune(&low_spec.workloads())
+        .to_json_string();
+    let high_spec = JobSpec::from_json(HIGH_SPEC).unwrap();
+    let expected_high = critter_autotune::Autotuner::new(high_spec.options())
+        .tune(&high_spec.workloads())
+        .to_json_string();
+
+    let (status, doc) = client::request_json(addr, "POST", "/v1/jobs", Some(LOW_SPEC)).unwrap();
+    assert_eq!(status, 202, "low-priority submit: {doc:?}");
+    let low_id = doc.get("id").unwrap().as_str().unwrap().to_string();
+
+    // Wait until the low-priority sweep has committed at least one unit,
+    // so the preemption genuinely lands mid-sweep.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (_, doc) =
+            client::request_json(addr, "GET", &format!("/v1/jobs/{low_id}"), None).unwrap();
+        let done = doc.get("progress").unwrap().get("units_done").unwrap().as_u64().unwrap();
+        if doc.get("state").unwrap().as_str() == Some("running") && done >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "low-priority job made no progress: {doc:?}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let (status, doc) = client::request_json(addr, "POST", "/v1/jobs", Some(HIGH_SPEC)).unwrap();
+    assert_eq!(status, 202, "high-priority submit: {doc:?}");
+    let high_id = doc.get("id").unwrap().as_str().unwrap().to_string();
+
+    wait_done(addr, &high_id);
+    wait_done(addr, &low_id);
+
+    // The low-priority job's event log proves it actually yielded: it
+    // carries a `preempted` state event, followed by a later `running`
+    // (the resume) and the final `done`.
+    let (status, events) =
+        client::request_json(addr, "GET", &format!("/v1/jobs/{low_id}/events"), None).unwrap();
+    assert_eq!(status, 200);
+    let states: Vec<String> = events
+        .get("events")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter(|e| e.get("kind").unwrap().as_str() == Some("state"))
+        .map(|e| e.get("state").unwrap().as_str().unwrap().to_string())
+        .collect();
+    let preempted_at = states
+        .iter()
+        .position(|s| s == "preempted")
+        .unwrap_or_else(|| panic!("low-priority job was never preempted (states: {states:?})"));
+    assert!(
+        states[preempted_at..].iter().any(|s| s == "running"),
+        "preempted job must resume (states: {states:?})"
+    );
+    assert_eq!(states.last().map(String::as_str), Some("done"));
+
+    // Both reports are byte-identical to their uncontended runs: the
+    // preemption checkpoint changed scheduling, not results.
+    let (status, low_report) =
+        client::request(addr, "GET", &format!("/v1/jobs/{low_id}/report"), None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(low_report, expected_low, "preempted report drifted from the uncontended run");
+    let (status, high_report) =
+        client::request(addr, "GET", &format!("/v1/jobs/{high_id}/report"), None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(high_report, expected_high);
+
+    // While both jobs ran, the `urgent` tenant's priority also shows up in
+    // the tenants document's job totals.
+    let (status, tenants) = client::request_json(addr, "GET", "/v1/tenants", None).unwrap();
+    assert_eq!(status, 200);
+    let tenants_obj = tenants.get("tenants").unwrap();
+    assert_eq!(tenants_obj.get("default").unwrap().get("jobs").unwrap().as_u64(), Some(1));
+    assert_eq!(tenants_obj.get("urgent").unwrap().get("jobs").unwrap().as_u64(), Some(1));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&data_dir).unwrap();
+}

@@ -1,0 +1,242 @@
+//! Property-test oracle for the multi-tenant scheduling core.
+//!
+//! Drives [`SchedCore`] through arbitrary interleavings of submissions,
+//! dispatches, completions, preemptions, and queued-job cancellations,
+//! mirrored against an independently written model, and checks after
+//! every step that:
+//!
+//! * admission decisions agree with the model exactly — same accept or
+//!   reject, same error code, and every rejection is a typed 429;
+//! * dispatch picks the model's job: highest priority among tenants under
+//!   quota, ties broken by submission order, with preempted jobs keeping
+//!   their original order;
+//! * no dispatch ever puts a tenant over its running-job or rank-thread
+//!   quota;
+//! * the per-tenant usage snapshot equals the usage recomputed from the
+//!   model's queue and running set (so cancellations and completions roll
+//!   accounting back exactly).
+
+use std::collections::BTreeMap;
+
+use critter_serve::{JobTicket, QuotaConfig, SchedCore, TenantUsage};
+use proptest::prelude::*;
+
+/// One scripted action against the scheduler; drawn from `(kind, a, b, c)`
+/// tuples so the shimmed proptest can generate it from range strategies.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Submit a job for tenant `a` with priority `b` and ranks `c`.
+    Submit { tenant: usize, priority: u8, ranks: usize },
+    /// Give an idle worker a chance to pick a job.
+    Dispatch,
+    /// Complete the `a`-th running job (wrapping), if any are running.
+    Complete(usize),
+    /// Flag a victim for an incoming priority `b`, then requeue every
+    /// flagged job (the worker-side half of preemption, compressed).
+    Preempt(u8),
+    /// Cancel the `a`-th queued job (wrapping), if any are queued.
+    CancelQueued(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0usize..5, 0usize..3, 0u64..10, 1usize..7).prop_map(|(kind, a, b, c)| match kind {
+        0 | 1 => Op::Submit { tenant: a, priority: b as u8, ranks: c },
+        2 => Op::Dispatch,
+        3 => Op::Complete(a),
+        _ => {
+            if c % 2 == 0 {
+                Op::Preempt(b as u8)
+            } else {
+                Op::CancelQueued(a)
+            }
+        }
+    })
+}
+
+/// The independent model: plain vectors plus the quota rules restated.
+struct Model {
+    quota: QuotaConfig,
+    capacity: usize,
+    next_seq: u64,
+    /// `(ticket, seq, flagged-for-preemption)` — running jobs carry the
+    /// flag so the model can mirror requeues.
+    queue: Vec<(JobTicket, u64)>,
+    running: Vec<(JobTicket, u64, bool)>,
+}
+
+impl Model {
+    fn usage(&self) -> BTreeMap<String, TenantUsage> {
+        let mut usage: BTreeMap<String, TenantUsage> = BTreeMap::new();
+        for (t, _) in &self.queue {
+            usage.entry(t.tenant.clone()).or_default().queued += 1;
+        }
+        for (t, _, _) in &self.running {
+            let u = usage.entry(t.tenant.clone()).or_default();
+            u.running += 1;
+            u.running_ranks += t.ranks;
+        }
+        usage.retain(|_, u| *u != TenantUsage::default());
+        usage
+    }
+
+    fn tenant_usage(&self, tenant: &str) -> TenantUsage {
+        self.usage().get(tenant).copied().unwrap_or_default()
+    }
+
+    /// The admission decision, restated: `Some(code)` is a rejection.
+    fn submit(&mut self, ticket: &JobTicket) -> Option<&'static str> {
+        if self.queue.len() >= self.capacity.max(1) {
+            return Some("backpressure");
+        }
+        if self.quota.max_ranks > 0 && ticket.ranks > self.quota.max_ranks {
+            return Some("quota_exceeded");
+        }
+        if self.quota.max_queued > 0
+            && self.tenant_usage(&ticket.tenant).queued >= self.quota.max_queued
+        {
+            return Some("quota_exceeded");
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push((ticket.clone(), seq));
+        None
+    }
+
+    fn eligible(&self, ticket: &JobTicket) -> bool {
+        let u = self.tenant_usage(&ticket.tenant);
+        (self.quota.max_running == 0 || u.running < self.quota.max_running)
+            && (self.quota.max_ranks == 0 || u.running_ranks + ticket.ranks <= self.quota.max_ranks)
+    }
+
+    /// The expected dispatch pick: among eligible queued jobs, highest
+    /// priority wins, then lowest submission seq.
+    fn dispatch(&mut self) -> Option<String> {
+        let pick = self
+            .queue
+            .iter()
+            .enumerate()
+            .filter(|(_, (t, _))| self.eligible(t))
+            .min_by_key(|(_, (t, seq))| (std::cmp::Reverse(t.priority), *seq))
+            .map(|(i, _)| i)?;
+        let (ticket, seq) = self.queue.remove(pick);
+        let id = ticket.id.clone();
+        self.running.push((ticket, seq, false));
+        Some(id)
+    }
+
+    /// The expected victim: lowest priority strictly below `priority`,
+    /// latest submission among equals, not already flagged.
+    fn preempt_victim(&mut self, priority: u8) -> bool {
+        let victim = self
+            .running
+            .iter_mut()
+            .filter(|(t, _, flagged)| t.priority < priority && !*flagged)
+            .max_by_key(|(t, seq, _)| (std::cmp::Reverse(t.priority), *seq));
+        match victim {
+            Some((_, _, flagged)) => {
+                *flagged = true;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn core_matches_the_model_under_arbitrary_interleavings(
+        max_queued in 0usize..4,
+        max_running in 0usize..3,
+        max_ranks in 0usize..12,
+        capacity in 1usize..8,
+        ops in proptest::collection::vec(arb_op(), 1..60),
+    ) {
+        let quota = QuotaConfig { max_queued, max_running, max_ranks };
+        let mut core = SchedCore::new(capacity, quota);
+        let mut model = Model {
+            quota,
+            capacity,
+            next_seq: 0,
+            queue: Vec::new(),
+            running: Vec::new(),
+        };
+        let mut flags = BTreeMap::new();
+        let mut next_id = 0usize;
+
+        for op in ops {
+            match op {
+                Op::Submit { tenant, priority, ranks } => {
+                    next_id += 1;
+                    let ticket = JobTicket {
+                        id: format!("job-{next_id:06}"),
+                        tenant: format!("tenant-{tenant}"),
+                        priority,
+                        ranks,
+                    };
+                    let expected = model.submit(&ticket);
+                    match core.submit(ticket) {
+                        Ok(()) => prop_assert_eq!(expected, None),
+                        Err(e) => {
+                            prop_assert_eq!(Some(e.code().as_str()), expected);
+                            // Rejections are always typed 429s.
+                            prop_assert_eq!(e.status(), 429);
+                        }
+                    }
+                }
+                Op::Dispatch => {
+                    let expected = model.dispatch();
+                    let got = core.dispatch();
+                    prop_assert_eq!(got.as_ref().map(|(t, _)| t.id.clone()), expected);
+                    if let Some((ticket, flag)) = got {
+                        // The dispatch must respect the running quotas.
+                        let u = model.tenant_usage(&ticket.tenant);
+                        prop_assert!(quota.max_running == 0 || u.running <= quota.max_running);
+                        prop_assert!(quota.max_ranks == 0 || u.running_ranks <= quota.max_ranks);
+                        flags.insert(ticket.id, flag);
+                    }
+                }
+                Op::Complete(i) => {
+                    if !model.running.is_empty() {
+                        let (ticket, _, _) = model.running.remove(i % model.running.len());
+                        core.complete(&ticket.id);
+                        flags.remove(&ticket.id);
+                    }
+                }
+                Op::Preempt(priority) => {
+                    prop_assert_eq!(core.preempt_victim(priority), model.preempt_victim(priority));
+                    // The worker half: every flagged job yields at its next
+                    // unit boundary and goes back in the queue, keeping seq.
+                    let mut requeued = Vec::new();
+                    model.running.retain(|(t, seq, flagged)| {
+                        if *flagged {
+                            requeued.push((t.clone(), *seq));
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    for (ticket, seq) in requeued {
+                        // The real flag the core handed out must be set.
+                        let flag = flags.remove(&ticket.id).expect("dispatched jobs have flags");
+                        prop_assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+                        core.requeue_preempted(&ticket.id);
+                        model.queue.push((ticket, seq));
+                    }
+                }
+                Op::CancelQueued(i) => {
+                    if !model.queue.is_empty() {
+                        let (ticket, _) = model.queue.remove(i % model.queue.len());
+                        prop_assert!(core.take_queued(&ticket.id));
+                        prop_assert!(!core.take_queued(&ticket.id), "second take is a no-op");
+                    }
+                }
+            }
+            // After every step the accounting must match the model exactly.
+            prop_assert_eq!(core.queued_len(), model.queue.len());
+            prop_assert_eq!(core.running_len(), model.running.len());
+            prop_assert_eq!(core.usage(), model.usage());
+        }
+    }
+}

@@ -169,6 +169,10 @@ fn registry() -> &'static PoolRegistry {
     REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Rank threads currently leased out of the registry, summed across live
+/// [`PoolLease`]s (see [`leased_ranks`]).
+static LEASED_RANKS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
 /// An exclusive lease on a pooled [`SimPool`]; returns the pool to the
 /// registry on drop (including on unwind, so a panicking simulation does
 /// not leak its threads).
@@ -180,6 +184,7 @@ impl PoolLease {
     /// Check a pool out of the registry, spawning one if none is idle.
     pub fn checkout(ranks: usize, stack_size: usize) -> Self {
         let pooled = registry().lock().get_mut(&(ranks, stack_size)).and_then(Vec::pop);
+        LEASED_RANKS.fetch_add(ranks, Ordering::Relaxed);
         PoolLease { pool: Some(pooled.unwrap_or_else(|| SimPool::new(ranks, stack_size))) }
     }
 
@@ -192,6 +197,7 @@ impl PoolLease {
 impl Drop for PoolLease {
     fn drop(&mut self) {
         if let Some(pool) = self.pool.take() {
+            LEASED_RANKS.fetch_sub(pool.ranks, Ordering::Relaxed);
             registry().lock().entry((pool.ranks, pool.stack_size)).or_default().push(pool);
         }
     }
@@ -201,6 +207,14 @@ impl Drop for PoolLease {
 /// visibility into reuse behavior).
 pub fn idle_pools() -> usize {
     registry().lock().values().map(Vec::len).sum()
+}
+
+/// Total rank threads currently checked out via [`PoolLease`] across the
+/// process. This is the live-capacity signal multi-tenant schedulers meter
+/// against: each running sweep worker holds one lease of `ranks` threads,
+/// so the sum tracks concurrent simulated-rank pressure in real time.
+pub fn leased_ranks() -> usize {
+    LEASED_RANKS.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -296,6 +310,26 @@ mod tests {
             .pool()
             .run(&SimConfig::new(ranks), machine(ranks), &|ctx: &mut RankCtx| ctx.rank());
         assert_eq!(ok.outputs, vec![0, 1]);
+    }
+
+    #[test]
+    fn leased_ranks_tracks_live_checkouts() {
+        // Sibling tests lease pools concurrently, so assert monotone deltas
+        // around this test's own leases rather than absolute values.
+        let (ranks, stack) = (3, (1 << 20) + 0xACC7);
+        let held = {
+            let _a = PoolLease::checkout(ranks, stack);
+            let one = leased_ranks();
+            assert!(one >= ranks, "a live lease must contribute its ranks");
+            let _b = PoolLease::checkout(ranks, stack);
+            let two = leased_ranks();
+            assert!(two >= 2 * ranks, "leases accumulate while both are live");
+            two
+        };
+        // Both leases dropped: the census gave back this test's 2×ranks
+        // (concurrent churn can only have added or removed other leases,
+        // never ours, so the floor holds).
+        assert!(held >= 2 * ranks);
     }
 
     #[test]

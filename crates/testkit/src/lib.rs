@@ -205,13 +205,29 @@ pub mod serve_oracle {
 
     /// The malformed-request table: every row must map to a typed 4xx —
     /// never a 5xx, never a connection drop. `(method, path, body)`.
-    pub const MALFORMED_REQUESTS: [(&str, &str, Option<&str>); 10] = [
+    pub const MALFORMED_REQUESTS: [(&str, &str, Option<&str>); 14] = [
         ("POST", "/v1/jobs", Some("not json")),
         ("POST", "/v1/jobs", Some("[1, 2, 3]")),
         ("POST", "/v1/jobs", Some(r#"{"space": "slate-cholesky"}"#)),
         ("POST", "/v1/jobs", Some(r#"{"space": "hypercube", "policy": "local"}"#)),
         ("POST", "/v1/jobs", Some(r#"{"space": "slate-cholesky", "policy": "local", "bogus": 1}"#)),
         ("POST", "/v1/jobs", Some(r#"{"space": "slate-cholesky", "policy": "local", "reps": 0}"#)),
+        (
+            "POST",
+            "/v1/jobs",
+            Some(r#"{"space": "slate-cholesky", "policy": "local", "tenant": "team/a"}"#),
+        ),
+        (
+            "POST",
+            "/v1/jobs",
+            Some(r#"{"space": "slate-cholesky", "policy": "local", "priority": 10}"#),
+        ),
+        (
+            "POST",
+            "/v1/jobs",
+            Some(r#"{"space": "slate-cholesky", "policy": "local", "priority": "high"}"#),
+        ),
+        ("GET", "/v1/jobs/job-000001/events?since=soon", None),
         ("GET", "/v1/jobs/job-999999", None),
         ("DELETE", "/v1/jobs/job-000001", None), // already done: 409
         ("PUT", "/v1/jobs", None),
@@ -239,6 +255,15 @@ pub mod serve_oracle {
         assert_eq!(status, 200);
         let (status, report) =
             client::request(addr, "GET", "/v1/jobs/job-000001/report", None).expect("report");
+        assert_eq!(status, 200);
+        // The event log is complete once the job is done, so the captured
+        // document pins the full queued → running → progress… → done
+        // sequence with its seq numbering.
+        let (status, events_body) =
+            client::request(addr, "GET", "/v1/jobs/job-000001/events", None).expect("events");
+        assert_eq!(status, 200);
+        let (status, tenants_body) =
+            client::request(addr, "GET", "/v1/tenants", None).expect("tenants");
         assert_eq!(status, 200);
 
         // The error table runs after the job is done so every row's
@@ -272,6 +297,8 @@ pub mod serve_oracle {
                 ("serve-submit", submit_body),
                 ("serve-status-done", status_body),
                 ("serve-healthz", health_body),
+                ("serve-events", events_body),
+                ("serve-tenants", tenants_body),
                 ("serve-errors", errors_body),
             ],
             report,
